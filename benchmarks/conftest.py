@@ -1,0 +1,37 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure through its experiment
+harness.  The resulting tables are printed (visible with ``pytest -s``)
+and, regardless of capture mode, persisted to ``benchmarks/results/`` —
+those files are the regenerated figures/tables themselves.  Heavy
+experiments run a single round; the tables are the deliverable, the
+timing is informative.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def show(request):
+    """Print an ExperimentResult and persist it to benchmarks/results/."""
+
+    def _show(result):
+        text = result.format()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = request.node.name.replace("/", "_")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        return result
+
+    return _show

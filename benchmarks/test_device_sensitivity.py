@@ -1,0 +1,56 @@
+"""Sensitivity study: do the paper's orderings survive a different GPU?
+
+Re-runs the Figure 4 comparison on an A100-class device (more SMs, much
+more bandwidth, deeper warp residency).  The paper's conclusions are
+about algorithm structure, so the orderings — MergePath-SpMM >
+GNNAdvisor-opt > GNNAdvisor on power-law inputs — should hold on both
+balance points even as the ratios move.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import ExperimentResult, geometric_mean
+from repro.gpu import a100_like, kernel_time, quadro_rtx_6000
+
+from repro.graphs import load_dataset
+
+GRAPHS = ("Cora", "Pubmed", "email-Euall", "Nell", "com-Amazon", "DD")
+
+
+def _run():
+    rows = []
+    for device in (quadro_rtx_6000(), a100_like()):
+        mp, opt = [], []
+        for name in GRAPHS:
+            adjacency = load_dataset(name).adjacency
+            base = kernel_time("gnnadvisor", adjacency, 16, device).cycles
+            mp.append(
+                base / kernel_time("mergepath", adjacency, 16, device,
+                                   cost=20).cycles
+            )
+            opt.append(
+                base / kernel_time("gnnadvisor-opt", adjacency, 16,
+                                   device).cycles
+            )
+        rows.append(
+            (
+                device.name,
+                geometric_mean(mp),
+                geometric_mean(opt),
+                geometric_mean(mp) / geometric_mean(opt),
+            )
+        )
+    return ExperimentResult(
+        title="Device sensitivity: Figure 4 geomeans on two GPUs (dim 16)",
+        headers=["device", "mergepath", "gnnadvisor-opt", "mp/opt"],
+        rows=rows,
+    )
+
+
+def test_device_sensitivity(benchmark, show):
+    result = run_once(benchmark, _run)
+    show(result)
+    for row in result.rows:
+        _, mp, opt, ratio = row
+        assert mp > opt > 1.0
+        assert ratio > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: end-to-end 2-layer GCN inference comparison (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import end_to_end_gnn
+from repro.experiments.reporting import geometric_mean
+
+
+def test_end_to_end_gnn(benchmark, show):
+    result = run_once(benchmark, end_to_end_gnn.run)
+    show(result)
+    speedups = result.column("speedup")
+    assert all(s > 1.0 for s in speedups)
+    assert geometric_mean(speedups) > 1.3

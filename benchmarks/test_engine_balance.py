@@ -1,0 +1,14 @@
+"""Benchmark: two-engine underutilization study (Section I motivation)."""
+
+from conftest import run_once
+
+from repro.experiments import engine_balance
+
+
+def test_engine_balance(benchmark, show):
+    result = run_once(benchmark, engine_balance.run)
+    show(result)
+    # A unified engine always recovers the idle time.
+    assert all(s >= 1.0 for s in result.column("unified_speedup"))
+    # At least one graph leaves an engine mostly idle.
+    assert max(result.column("idle_frac")) > 0.4

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 1 (degree-distribution power-law fits)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_power_law
+
+
+def test_fig1_power_law(benchmark, show):
+    result = run_once(benchmark, fig1_power_law.run)
+    show(result)
+    classes = dict(zip(result.column("graph"), result.column("classified")))
+    assert classes["Nell"] == "power-law"
+    assert classes["Yeast"] == "structured"

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (motivation kernel times)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_motivation
+
+
+def test_fig2_motivation(benchmark, show):
+    result = run_once(benchmark, fig2_motivation.run)
+    show(result)
+    data = {row[0]: row for row in result.rows}
+    awb = result.headers.index("awb-gcn")
+    gnna = result.headers.index("gnnadvisor")
+    serial = result.headers.index("merge-path-serial")
+    # Paper shape: AWB-GCN wins the small graphs, loses Nell to GNNAdvisor;
+    # the serial merge-path baseline is the worst case on small graphs.
+    assert data["Cora"][awb] < data["Cora"][gnna] < data["Cora"][serial]
+    assert data["Nell"][gnna] < data["Nell"][awb]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (worked merge-path example)."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_example
+
+
+def test_fig3_example(benchmark, show):
+    result = run_once(benchmark, fig3_example.run)
+    show(result)
+    thread2 = result.rows[1]
+    assert thread2[1] == "(1, 6)" and thread2[2] == "(3, 11)"

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 4 (speedups over GNNAdvisor, full suite)."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_speedup
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig4_speedup_full_suite(benchmark, show):
+    result = run_once(benchmark, fig4_speedup.run)
+    show(result)
+    mp = geometric_mean(result.column("mergepath"))
+    opt = geometric_mean(result.column("gnnadvisor-opt"))
+    # Paper: 1.85x and 1.41x; the model reproduces the ordering and the
+    # rough magnitudes (see EXPERIMENTS.md for the recorded values).
+    assert mp > opt > 1.0
+    assert mp > 1.4
+    # cuSPARSE must lose to all three on the small power-law graphs and
+    # stand out on Twitter-partial.
+    cu = dict(zip(result.column("graph"), result.column("cusparse")))
+    assert cu["Cora"] < 1.0 and cu["Nell"] < 1.0
+    assert cu["Twitter-partial"] > 2.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 (write-operation distribution)."""
+
+from conftest import run_once
+
+from repro.experiments import fig5_write_ops
+
+
+def test_fig5_write_ops_full_suite(benchmark, show):
+    result = run_once(benchmark, fig5_write_ops.run)
+    show(result)
+    frac = dict(zip(result.column("graph"), result.column("atomic_frac")))
+    # Paper shape: email-Euall far fewer atomics than email-Enron; the
+    # structured Type II graphs mostly regular writes.
+    assert frac["email-Euall"] < 0.4 * frac["email-Enron"]
+    assert frac["Yeast"] < 0.25
+    assert frac["OVCAR-8H"] < 0.25
+    assert frac["soc-BlogCatalog"] > 0.8

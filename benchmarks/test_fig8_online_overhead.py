@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (online scheduling overhead)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_online_overhead
+from repro.experiments.reporting import geometric_mean
+
+
+def test_fig8_online_overhead(benchmark, show):
+    result = run_once(benchmark, fig8_online_overhead.run)
+    show(result)
+    over = dict(zip(result.column("graph"), result.column("overhead_%")))
+    # Paper: ~2% geomean, ~10% worst case (Cora), <1% for com-Amazon.
+    assert geometric_mean(result.column("overhead_%")) < 5.0
+    assert over["Cora"] == max(over.values())
+    assert over["Cora"] < 15.0
+    assert over["com-Amazon"] < 1.0

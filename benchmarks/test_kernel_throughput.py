@@ -1,0 +1,51 @@
+"""Wall-clock throughput benchmarks of the Python executors themselves.
+
+Unlike the figure benchmarks (which report *modeled* GPU time), these time
+the actual NumPy executors — useful for tracking regressions in the
+library's own performance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import execute_vectorized, schedule_for_cost
+from repro.baselines import NeighborGroupSchedule
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def pubmed():
+    graph = load_dataset("Pubmed")
+    return graph.adjacency, graph.random_features(16, seed=0)
+
+
+def test_throughput_schedule_build(benchmark, pubmed):
+    adjacency, _ = pubmed
+    schedule = benchmark(schedule_for_cost, adjacency, 20)
+    assert schedule.n_threads > 1000
+
+
+def test_throughput_mergepath_executor(benchmark, pubmed):
+    adjacency, features = pubmed
+    schedule = schedule_for_cost(adjacency, 20)
+    output, _ = benchmark(execute_vectorized, schedule, features)
+    assert output.shape == (adjacency.n_rows, 16)
+
+
+def test_throughput_reference_spmm(benchmark, pubmed):
+    adjacency, features = pubmed
+    output = benchmark(adjacency.multiply_dense, features)
+    assert output.shape == (adjacency.n_rows, 16)
+
+
+def test_throughput_neighbor_group_build(benchmark, pubmed):
+    adjacency, _ = pubmed
+    schedule = benchmark(NeighborGroupSchedule.build, adjacency)
+    assert schedule.n_groups > 0
+
+
+def test_executors_agree_on_pubmed(pubmed):
+    adjacency, features = pubmed
+    schedule = schedule_for_cost(adjacency, 20)
+    output, _ = execute_vectorized(schedule, features)
+    assert np.allclose(output, adjacency.multiply_dense(features))

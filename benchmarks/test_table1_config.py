@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table I (simulator parameters)."""
+
+from conftest import run_once
+
+from repro.experiments import table1_config
+
+
+def test_table1_config(benchmark, show):
+    result = run_once(benchmark, table1_config.run)
+    show(result)
+    text = result.format()
+    assert "1024 single-threaded" in text
+    assert "limited-4" in text

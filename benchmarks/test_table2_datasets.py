@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (dataset statistics, all 23 graphs)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark, show):
+    result = run_once(benchmark, table2_datasets.run)
+    show(result)
+    assert len(result.rows) == 23
+    for row in result.rows:
+        assert row[2] == row[3] and row[4] == row[5] and row[8] == row[9]

@@ -1,0 +1,65 @@
+"""Simulate SpMM scaling on the 1000-core Table I machine.
+
+Runs MergePath-SpMM and GNNAdvisor through the trace-driven multicore
+simulator at increasing core counts on a power-law input, printing the
+normalized completion times, the compute/memory breakdown, and the
+coherence statistics that explain GNNAdvisor's scaling wall (Section V-D).
+
+Run:  python examples/multicore_scaling.py [dataset]
+"""
+
+import sys
+
+from repro import load_dataset
+from repro.experiments.reporting import format_table
+from repro.multicore import run_gnnadvisor, run_mergepath, run_row_splitting
+
+CORE_COUNTS = (64, 128, 256, 512, 1024)
+DIM = 16
+
+
+def main(name: str = "Cora") -> None:
+    graph = load_dataset(name)
+    stats = graph.statistics
+    print(
+        f"{name}: {stats.n_rows} nodes, {stats.nnz} non-zeros, max degree "
+        f"{stats.max_degree} — one thread per core, dim {DIM}\n"
+    )
+    rows = []
+    for kernel, runner in (
+        ("mergepath", run_mergepath),
+        ("gnnadvisor", run_gnnadvisor),
+        ("row-split", run_row_splitting),
+    ):
+        results = [runner(graph.adjacency, DIM, c) for c in CORE_COUNTS]
+        base = results[0].completion_cycles
+        for cores, res in zip(CORE_COUNTS, results):
+            total = res.compute_cycles + res.memory_cycles
+            rows.append(
+                (
+                    kernel,
+                    cores,
+                    res.completion_cycles / base,
+                    f"{res.completion_cycles / 1e3:.1f}k",
+                    res.memory_cycles / total if total else 0.0,
+                    res.l1_hit_rate,
+                    res.directory.invalidations_sent,
+                )
+            )
+    print(format_table(
+        ["kernel", "cores", "norm_to_64", "cycles", "mem_frac", "l1_hit",
+         "invalidations"],
+        rows,
+    ))
+    print(
+        "\nreading guide: MergePath-SpMM keeps invalidations (coherence "
+        "traffic from atomic updates) low, so its completion time keeps "
+        "dropping; GNNAdvisor's all-atomic updates serialize on the evil "
+        "rows' output lines at high core counts; row-splitting needs no "
+        "synchronization at all but is pinned to the core holding the "
+        "evil rows, so adding cores barely helps."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Cora")

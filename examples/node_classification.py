@@ -1,0 +1,71 @@
+"""Train a GCN end to end on a planted-community graph.
+
+Demonstrates that the library is a complete GNN substrate, not just an
+inference kernel: a stochastic-block-model graph with label-correlated
+noisy features, a 2-layer GCN trained by full-batch Adam with manual
+backpropagation, and MergePath-SpMM powering both the forward aggregation
+and the transposed backward aggregation.
+
+Run:  python examples/node_classification.py
+"""
+
+import numpy as np
+
+from repro.gnn import accuracy
+from repro.gnn.training import AdamOptimizer, TrainableGCN
+from repro.graphs import Graph
+from repro.graphs.generators import block_labels, stochastic_block_model
+
+COMMUNITIES = [80, 80, 80]
+FEATURE_NOISE = 2.0
+EPOCHS = 60
+
+
+def main() -> None:
+    # 1. A 3-community SBM: dense within blocks, sparse across.
+    adjacency = stochastic_block_model(
+        COMMUNITIES, p_in=0.15, p_out=0.01, seed=7
+    )
+    graph = Graph(name="sbm-240", adjacency=adjacency)
+    labels = block_labels(COMMUNITIES)
+    rng = np.random.default_rng(0)
+    features = np.eye(len(COMMUNITIES))[labels] + FEATURE_NOISE * rng.normal(
+        size=(graph.n_nodes, len(COMMUNITIES))
+    )
+    print(
+        f"graph: {graph.n_nodes} nodes in {len(COMMUNITIES)} communities, "
+        f"{graph.n_edges} edges; feature noise {FEATURE_NOISE}"
+    )
+
+    # 2. Split: train on half the nodes, evaluate on the rest.
+    mask = np.zeros(graph.n_nodes, dtype=bool)
+    mask[rng.permutation(graph.n_nodes)[: graph.n_nodes // 2]] = True
+
+    # 3. A linear probe on raw features shows the task is non-trivial.
+    model_linear = TrainableGCN([3, 3], seed=3, backend="mergepath")
+    linear = model_linear.fit(
+        graph, features, labels, mask=mask, epochs=EPOCHS,
+        optimizer=AdamOptimizer(learning_rate=0.05),
+    )
+    test_linear = accuracy(linear.final_logits[~mask], labels[~mask])
+
+    # 4. The 2-layer GCN aggregates neighbours and should beat the probe.
+    model = TrainableGCN([3, 16, 3], seed=3, backend="mergepath")
+    report = model.fit(
+        graph, features, labels, mask=mask, epochs=EPOCHS,
+        optimizer=AdamOptimizer(learning_rate=0.05),
+    )
+    test_gcn = accuracy(report.final_logits[~mask], labels[~mask])
+
+    print(f"loss: {report.losses[0]:.3f} -> {report.losses[-1]:.3f} "
+          f"over {EPOCHS} epochs")
+    print(f"1-layer probe : train {linear.train_accuracy:.2%}, "
+          f"test {test_linear:.2%}")
+    print(f"2-layer GCN   : train {report.train_accuracy:.2%}, "
+          f"test {test_gcn:.2%}")
+    print("aggregation backend: MergePath-SpMM (forward and transposed "
+          "backward)")
+
+
+if __name__ == "__main__":
+    main()

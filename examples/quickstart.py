@@ -1,0 +1,63 @@
+"""Quickstart: MergePath-SpMM on a synthetic power-law graph.
+
+Builds a power-law adjacency matrix, runs the load-balanced SpMM against
+a dense feature matrix, verifies the product, and inspects the schedule —
+the three things a new user of the library does first.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import merge_path_spmm, power_law_graph, row_statistics
+
+
+def main() -> None:
+    # 1. A graph with an "evil row": one node connected to 900 others.
+    adjacency = power_law_graph(
+        n_nodes=10_000, nnz=80_000, max_degree=900, seed=42
+    )
+    stats = row_statistics(adjacency)
+    print(
+        f"graph: {stats.n_rows} nodes, {stats.nnz} edges, "
+        f"avg degree {stats.avg_degree:.1f}, max degree {stats.max_degree} "
+        f"(imbalance {stats.imbalance_factor:.0f}x)"
+    )
+
+    # 2. Multiply against a dense feature matrix (hidden dimension 16).
+    features = np.random.default_rng(0).random((10_000, 16))
+    result = merge_path_spmm(adjacency, features)
+
+    # 3. The product is exact.
+    expected = adjacency.multiply_dense(features)
+    assert np.allclose(result.output, expected)
+    print(f"output: {result.output.shape}, verified against dense reference")
+
+    # 4. The schedule tells the load-balancing story: every thread gets the
+    # same bounded share of (rows + non-zeros), and only rows split across
+    # threads are updated atomically.
+    sched = result.schedule.statistics
+    print(
+        f"schedule: {sched.n_threads} threads, "
+        f"<= {sched.items_per_thread} merge items each"
+    )
+    print(
+        f"writes: {sched.regular_writes} regular, {sched.atomic_writes} "
+        f"atomic ({100 * sched.atomic_write_fraction:.1f}% atomic) across "
+        f"{sched.split_rows} split rows"
+    )
+
+    # 5. Compare with a row-splitting decomposition of the same graph: the
+    # evil row makes its most-loaded thread hundreds of times heavier.
+    from repro.baselines import RowSplitSchedule
+
+    rs = RowSplitSchedule.build(adjacency, sched.n_threads)
+    print(
+        f"row-splitting imbalance at the same thread count: "
+        f"{rs.load_imbalance:.0f}x (merge-path: "
+        f"{sched.max_thread_items / max(1, sched.items_per_thread):.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Command-line entry point: ``python -m repro [experiment ...]``.
+
+Delegates to :mod:`repro.experiments.harness`; run with ``--list`` to see
+the available experiments and their approximate runtimes.
+"""
+
+import sys
+
+from repro.experiments.harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Baseline SpMM algorithms the paper compares against.
+
+Every baseline provides (a) a *partitioning/schedule* capturing how work is
+distributed among threads or processing elements, (b) a functional executor
+verified against dense ground truth, and (c) enough statistics for the GPU
+timing model in :mod:`repro.gpu` to reproduce the paper's comparisons.
+
+Implemented baselines:
+
+* :mod:`repro.baselines.row_splitting` — contiguous equal-row chunks, no
+  atomics, severe load imbalance on power-law inputs (used by AWB-GCN-style
+  accelerators and as the paper's simplest GPU baseline).
+* :mod:`repro.baselines.neighbor_groups` — GNNAdvisor's nnz-splitting into
+  fixed-size neighbor groups, every output update atomic; includes the
+  paper's GNNAdvisor-opt packing of multiple groups per warp.
+* :mod:`repro.baselines.merge_path_serial` — Merrill & Garland's merge-path
+  SpMV strategy generalized to SpMM: complete rows in parallel, partial
+  rows fixed up in a serial phase.
+* :mod:`repro.baselines.cusparse_like` — a kernel-selection library model
+  (row-per-warp CSR kernel plus a regular-matrix ELL-style kernel).
+* :mod:`repro.baselines.awb_gcn` — the AWB-GCN accelerator's PE array with
+  runtime evil-row rebalancing, as an analytic timing model.
+"""
+
+from repro.baselines.row_splitting import RowSplitSchedule, row_splitting_spmm
+from repro.baselines.neighbor_groups import (
+    NeighborGroupSchedule,
+    gnnadvisor_spmm,
+)
+from repro.baselines.merge_path_serial import (
+    SerialMergePathSchedule,
+    merge_path_serial_spmm,
+)
+from repro.baselines.cusparse_like import (
+    CuSparseKernel,
+    CuSparsePlan,
+    cusparse_like_spmm,
+    select_kernel,
+)
+from repro.baselines.awb_gcn import AWBGCNConfig, AWBGCNModel
+from repro.baselines.hygcn import HyGCNConfig, HyGCNModel, LayerTiming
+
+__all__ = [
+    "AWBGCNConfig",
+    "AWBGCNModel",
+    "HyGCNConfig",
+    "HyGCNModel",
+    "LayerTiming",
+    "CuSparseKernel",
+    "CuSparsePlan",
+    "NeighborGroupSchedule",
+    "RowSplitSchedule",
+    "SerialMergePathSchedule",
+    "cusparse_like_spmm",
+    "gnnadvisor_spmm",
+    "merge_path_serial_spmm",
+    "row_splitting_spmm",
+    "select_kernel",
+]

@@ -1,0 +1,120 @@
+"""A cuSPARSE-like kernel-selection SpMM library model.
+
+cuSPARSE is closed source; what the paper observes is *behaviour*: it loses
+to load-balanced kernels on power-law inputs (its row-major kernels
+serialize evil rows) and wins on structured inputs (tuned regular kernels,
+no atomics, excellent coalescing), with an outsized advantage on
+Twitter-partial that the paper itself could only attribute to "a different
+parallelization kernel".
+
+This module reproduces that behaviour from mechanism where possible and
+from a documented dispatch approximation where not:
+
+* :class:`CuSparseKernel.ROW_PER_WARP` — the classic csrmm kernel: one warp
+  per row, vectorized across the dimension.  Per-warp work equals the row
+  length, so evil rows become stragglers.
+* :class:`CuSparseKernel.BALANCED_NNZ` — a tuned regular-matrix kernel:
+  non-zeros split evenly across warps with no atomics (legal only when row
+  boundaries are respected, which the dispatcher only selects for
+  low-variance inputs), with a lower per-non-zero instruction cost
+  reflecting hand-tuned code.
+* :class:`CuSparseKernel.FEATURE_MAJOR` — a feature-major (column-parallel)
+  kernel that excels on ultra-short-row mid-size matrices; the dispatch
+  rule that selects it is calibrated to the paper's observed Twitter-partial
+  behaviour and is documented as such.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats import CSRMatrix, row_statistics
+
+
+class CuSparseKernel(enum.Enum):
+    """Kernels the modeled library dispatches between."""
+
+    ROW_PER_WARP = "row_per_warp"
+    BALANCED_NNZ = "balanced_nnz"
+    FEATURE_MAJOR = "feature_major"
+
+
+# Relative per-non-zero instruction cost of each kernel (1.0 is the generic
+# row-wise kernel's cost).  Tuned constants: see module docstring.
+KERNEL_EFFICIENCY = {
+    CuSparseKernel.ROW_PER_WARP: 1.0,
+    CuSparseKernel.BALANCED_NNZ: 0.60,
+    CuSparseKernel.FEATURE_MAJOR: 0.35,
+}
+
+
+@dataclass(frozen=True)
+class CuSparsePlan:
+    """The dispatcher's decision for one input.
+
+    Attributes:
+        kernel: Selected kernel.
+        matrix: The sparse input the plan was built for.
+        reason: Human-readable dispatch justification (for reports).
+    """
+
+    kernel: CuSparseKernel
+    matrix: CSRMatrix
+    reason: str
+
+    @property
+    def efficiency(self) -> float:
+        """Relative per-non-zero instruction cost factor of the kernel."""
+        return KERNEL_EFFICIENCY[self.kernel]
+
+
+def select_kernel(matrix: CSRMatrix) -> CuSparsePlan:
+    """Dispatch heuristic approximating the closed-source library.
+
+    Rules (checked in order):
+
+    1. Ultra-short rows (average degree < 3, maximum degree <= 16) on a
+       mid-size matrix select the feature-major kernel — this reproduces
+       the paper's Twitter-partial observation and is an *approximation of
+       observed dispatch*, not reverse engineering.
+    2. Low row-length variance (max/avg <= 8) selects the regular-matrix
+       balanced kernel.
+    3. Everything else falls back to the generic row-per-warp kernel.
+    """
+    stats = row_statistics(matrix)
+    if (
+        stats.avg_degree < 3.0
+        and stats.max_degree <= 16
+        and 100_000 <= stats.n_rows <= 1_200_000
+    ):
+        return CuSparsePlan(
+            CuSparseKernel.FEATURE_MAJOR,
+            matrix,
+            "ultra-short rows on mid-size matrix: feature-major kernel",
+        )
+    if stats.avg_degree > 0 and stats.imbalance_factor <= 8.0:
+        return CuSparsePlan(
+            CuSparseKernel.BALANCED_NNZ,
+            matrix,
+            "low row-length variance: regular-matrix balanced kernel",
+        )
+    return CuSparsePlan(
+        CuSparseKernel.ROW_PER_WARP,
+        matrix,
+        "irregular input: generic row-per-warp CSR kernel",
+    )
+
+
+def cusparse_like_spmm(
+    matrix: CSRMatrix, dense: np.ndarray
+) -> tuple[np.ndarray, CuSparsePlan]:
+    """Kernel-selected SpMM; returns the product and the dispatch plan.
+
+    All three kernels compute the same product; they differ only in the
+    execution structure the GPU timing model charges for.
+    """
+    plan = select_kernel(matrix)
+    return matrix.multiply_dense(np.asarray(dense, dtype=np.float64)), plan

@@ -1,0 +1,131 @@
+"""HyGCN-style two-engine accelerator model (related-work baseline).
+
+HyGCN [27] and similar designs split a GCN layer across two dedicated
+hardware engines: an *aggregation* engine consuming the sparse-sparse
+work (``A @ X``) and a *combination* engine consuming the dense neural
+work (``(.) @ W``).  The paper's introduction points out the flaw this
+reproduction quantifies: because the split between the two kinds of work
+depends entirely on the input graph, one engine idles while the other is
+the bottleneck ("inter-engine workload imbalance"), which motivated the
+unified-engine designs (AWB-GCN, GNNAdvisor) the paper builds on.
+
+The model is analytic: each engine has a fixed MAC throughput, a layer's
+time is the maximum of the two engines' times (they pipeline), and the
+idle fraction of the non-bottleneck engine is the utilization loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formats import CSRMatrix
+from repro.formats.spgemm import spgemm_flops
+
+
+@dataclass(frozen=True)
+class HyGCNConfig:
+    """Two-engine hardware parameters (HyGCN-like proportions).
+
+    Attributes:
+        aggregation_macs: MAC units in the SpGEMM (aggregation) engine.
+        combination_macs: MAC units in the dense (combination) engine.
+        clock_hz: Accelerator clock.
+        utilization: Sustained fraction of peak per engine.
+    """
+
+    aggregation_macs: int = 32 * 32
+    combination_macs: int = 32 * 128
+    clock_hz: float = 1e9
+    utilization: float = 0.5
+
+
+@dataclass(frozen=True)
+class LayerTiming:
+    """One layer's modeled execution on the two engines.
+
+    Attributes:
+        aggregation_seconds: Aggregation-engine busy time.
+        combination_seconds: Combination-engine busy time.
+        layer_seconds: Pipelined layer time (max of the two).
+        bottleneck: ``"aggregation"`` or ``"combination"``.
+        idle_fraction: Idle share of the non-bottleneck engine — the
+            inter-engine workload imbalance the paper criticizes.
+    """
+
+    aggregation_seconds: float
+    combination_seconds: float
+    layer_seconds: float
+    bottleneck: str
+    idle_fraction: float
+
+
+class HyGCNModel:
+    """Analytic timing for the two-engine design."""
+
+    def __init__(self, config: HyGCNConfig | None = None) -> None:
+        self.config = config or HyGCNConfig()
+
+    def layer_time(
+        self,
+        adjacency: CSRMatrix,
+        features: CSRMatrix,
+        out_dim: int,
+    ) -> LayerTiming:
+        """Model one GCN layer ``(A @ X) @ W``.
+
+        Args:
+            adjacency: Sparse ``n x n`` adjacency (aggregation operand).
+            features: Sparse ``n x f`` feature matrix.
+            out_dim: Width of the dense weight matrix ``W``.
+
+        Returns:
+            The per-engine and pipelined :class:`LayerTiming`.
+        """
+        cfg = self.config
+        aggregation_work = spgemm_flops(adjacency, features)
+        # Combination: the aggregated (n x f) output, densified row-wise,
+        # against the f x out_dim weights.  Work scales with the non-zero
+        # structure of the aggregate, bounded by the dense product.
+        combination_work = min(
+            aggregation_work * out_dim,
+            adjacency.n_rows * features.n_cols * out_dim,
+        )
+        agg_rate = cfg.aggregation_macs * cfg.utilization * cfg.clock_hz
+        comb_rate = cfg.combination_macs * cfg.utilization * cfg.clock_hz
+        t_agg = aggregation_work / agg_rate
+        t_comb = combination_work / comb_rate
+        layer = max(t_agg, t_comb)
+        idle = 1.0 - min(t_agg, t_comb) / layer if layer > 0 else 0.0
+        return LayerTiming(
+            aggregation_seconds=t_agg,
+            combination_seconds=t_comb,
+            layer_seconds=layer,
+            bottleneck="aggregation" if t_agg >= t_comb else "combination",
+            idle_fraction=idle,
+        )
+
+    def unified_layer_time(
+        self,
+        adjacency: CSRMatrix,
+        features: CSRMatrix,
+        out_dim: int,
+    ) -> float:
+        """The same layer on one unified engine of equal total MACs.
+
+        The comparison the paper's Section I draws: a unified design
+        processes the combined work with no inter-engine idling.
+        """
+        cfg = self.config
+        timing = self.layer_time(adjacency, features, out_dim)
+        total_work = (
+            timing.aggregation_seconds
+            * cfg.aggregation_macs
+            * cfg.utilization
+            * cfg.clock_hz
+            + timing.combination_seconds
+            * cfg.combination_macs
+            * cfg.utilization
+            * cfg.clock_hz
+        )
+        unified_macs = cfg.aggregation_macs + cfg.combination_macs
+        return total_work / (unified_macs * cfg.utilization * cfg.clock_hz)

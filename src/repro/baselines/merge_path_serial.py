@@ -1,0 +1,102 @@
+"""Merge-path SpMM with a serial fix-up phase (Merrill & Garland's SpMV
+strategy generalized to SpMM).
+
+This is the paper's "merge-path" baseline: work is decomposed with the same
+load-balanced merge-path search as MergePath-SpMM, but instead of atomic
+updates, every thread saves the partial sums of rows it shares with
+neighbours into a carry-out buffer, and a *serial* phase folds all carries
+into the output after the parallel phase ends.  For SpMV the serial phase
+touches one scalar per split row; for SpMM it touches ``dim`` values per
+split row, and on power-law graphs (where evil rows are split across many
+threads) the serial phase dominates — the bottleneck Figure 2 demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.schedule import MergePathSchedule
+from repro.core.spmm import write_segments
+from repro.formats import CSRMatrix
+
+
+@dataclass(frozen=True)
+class SerialMergePathSchedule:
+    """Merge-path decomposition with carry-based (serial fix-up) execution.
+
+    Attributes:
+        schedule: The underlying merge-path schedule (same decomposition as
+            MergePath-SpMM).
+    """
+
+    schedule: MergePathSchedule
+
+    @classmethod
+    def build(cls, matrix: CSRMatrix, n_threads: int) -> "SerialMergePathSchedule":
+        return cls(schedule=MergePathSchedule(matrix, n_threads))
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        return self.schedule.matrix
+
+    @property
+    def n_threads(self) -> int:
+        return self.schedule.n_threads
+
+    @cached_property
+    def carry_count(self) -> int:
+        """Partial-row segments folded in by the serial phase."""
+        segments = write_segments(self.schedule)
+        return int(segments.atomic.sum())
+
+    @cached_property
+    def serial_nnz(self) -> int:
+        """Non-zeros whose accumulation lands in the serial phase's carries.
+
+        In the SpMV formulation each thread accumulates its partial-row
+        products locally during the parallel phase and the serial phase
+        only folds carries; the folded *work* still scales with the number
+        of carries times the dimension size, which the GPU model charges
+        as unhidden serial latency.
+        """
+        segments = write_segments(self.schedule)
+        return int(segments.lengths[segments.atomic].sum())
+
+    def execute(self, dense: np.ndarray) -> np.ndarray:
+        """Compute ``matrix @ dense`` with parallel phase + serial fix-up."""
+        dense = np.asarray(dense, dtype=np.float64)
+        matrix = self.matrix
+        if dense.shape[0] != matrix.n_cols:
+            raise ValueError(f"dimension mismatch: {matrix.shape} @ {dense.shape}")
+        segments = write_segments(self.schedule)
+        dim = dense.shape[1]
+        output = np.zeros((matrix.n_rows, dim), dtype=np.float64)
+        cp, values = matrix.column_indices, matrix.values
+        carries: list[tuple[int, np.ndarray]] = []
+        # Parallel phase: complete rows stored directly, partial-row sums
+        # saved as (row, carry) pairs.
+        for i in range(segments.n_segments):
+            lo = int(segments.starts[i])
+            hi = lo + int(segments.lengths[i])
+            row = int(segments.rows[i])
+            partial = values[lo:hi] @ dense[cp[lo:hi]] if hi > lo else None
+            if segments.atomic[i]:
+                if partial is not None:
+                    carries.append((row, partial))
+            else:
+                output[row] = partial if partial is not None else 0.0
+        # Serial phase: fold carries one by one (modeled as unparallelized).
+        for row, carry in carries:
+            output[row] += carry
+        return output
+
+
+def merge_path_serial_spmm(
+    matrix: CSRMatrix, dense: np.ndarray, n_threads: int
+) -> tuple[np.ndarray, SerialMergePathSchedule]:
+    """Serial-fix-up merge-path SpMM; returns the product and schedule."""
+    schedule = SerialMergePathSchedule.build(matrix, n_threads)
+    return schedule.execute(dense), schedule

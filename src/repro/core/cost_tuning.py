@@ -1,0 +1,91 @@
+"""Merge-path cost auto-tuning (Section III-C / Figure 6).
+
+The merge-path cost trades parallelism (low cost, many threads, many
+partial rows) against synchronization (high cost, few threads, few atomic
+updates).  :func:`tune_merge_path_cost` sweeps candidate costs through the
+GPU timing model and returns the sweep — the machinery behind Figure 6 and
+behind deployments that tune the cost for an unseen dimension size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schedule import schedule_for_cost
+from repro.core.thread_mapping import MIN_THREADS
+from repro.formats import CSRMatrix
+
+DEFAULT_COST_GRID = (2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+@dataclass(frozen=True)
+class CostSweep:
+    """Result of sweeping the merge-path cost for one dimension size.
+
+    Attributes:
+        dim: Dense operand width the sweep was run for.
+        costs: Candidate costs, ascending.
+        cycles: Geometric-mean modeled cycles per cost (over all swept
+            matrices).
+        best_cost: Cost with the lowest modeled cycles.
+        normalized_performance: Performance relative to the first cost in
+            the grid (the paper normalizes to cost 2).
+    """
+
+    dim: int
+    costs: tuple[int, ...]
+    cycles: np.ndarray
+    best_cost: int
+    normalized_performance: np.ndarray
+
+
+def tune_merge_path_cost(
+    matrices: "list[CSRMatrix] | CSRMatrix",
+    dim: int,
+    costs: "tuple[int, ...]" = DEFAULT_COST_GRID,
+    min_threads: int = MIN_THREADS,
+    device=None,
+) -> CostSweep:
+    """Sweep merge-path costs through the GPU model and pick the best.
+
+    Args:
+        matrices: One matrix or a suite; suites are aggregated by
+            geometric mean, as in the paper's Figure 6.
+        dim: Dense operand width.
+        costs: Candidate costs (ascending).
+        min_threads: Small-graph thread floor.
+        device: GPU model; defaults to the paper's Quadro RTX 6000.
+
+    Returns:
+        The :class:`CostSweep` with per-cost aggregate cycles.
+    """
+    # Imported lazily: repro.gpu depends on repro.core.
+    from repro.gpu.device import quadro_rtx_6000
+    from repro.gpu.kernels import mergepath_workload
+    from repro.gpu.timing import simulate
+
+    if isinstance(matrices, CSRMatrix):
+        matrices = [matrices]
+    if not matrices:
+        raise ValueError("need at least one matrix to tune against")
+    if list(costs) != sorted(costs) or len(costs) < 2:
+        raise ValueError("costs must be an ascending grid of >= 2 entries")
+    device = device or quadro_rtx_6000()
+
+    aggregate = np.zeros(len(costs))
+    for matrix in matrices:
+        for i, cost in enumerate(costs):
+            schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
+            workload = mergepath_workload(matrix, dim, device, schedule=schedule)
+            aggregate[i] += np.log(simulate(workload, device).cycles)
+    cycles = np.exp(aggregate / len(matrices))
+    best = int(np.argmin(cycles))
+    return CostSweep(
+        dim=dim,
+        costs=tuple(costs),
+        cycles=cycles,
+        best_cost=int(costs[best]),
+        normalized_performance=cycles[0] / cycles,
+    )

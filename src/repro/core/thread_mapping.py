@@ -1,0 +1,122 @@
+"""SIMD thread-mapping policy and merge-path cost defaults (Section III-C).
+
+The dense operand's dimension size rarely equals the SIMD width, so the
+paper maps logical merge-path threads onto warps three ways:
+
+* ``dim == lanes``: one thread per warp;
+* ``dim > lanes``: each thread is *replicated* across ``dim / lanes``
+  warps, each warp covering one 32-wide slice of the dimensions;
+* ``dim < lanes``: ``lanes / dim`` threads *share* one warp, each owning a
+  lane subset (relies on Volta-style independent thread scheduling; at the
+  extreme of 16 threads per warp the divergence cost becomes visible and
+  the paper responds by raising the merge-path cost).
+
+The default merge-path cost per dimension size is the paper's empirically
+tuned table from Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.merge_path import merge_path_length
+from repro.formats import CSRMatrix
+
+SIMD_LANES = 32
+"""SIMD width of one warp on the evaluated GPU (NVIDIA, 32 lanes)."""
+
+MIN_THREADS = 1024
+"""Minimum spawned threads for small graphs (Section III-C threshold)."""
+
+DEFAULT_COST_BY_DIM = {2: 50, 4: 15, 8: 15, 16: 20, 32: 30, 64: 35, 128: 50}
+"""Best-performing merge-path cost per dimension size (paper, Figure 6)."""
+
+
+@dataclass(frozen=True)
+class ThreadMapping:
+    """How logical threads map onto SIMD warps for a dimension size.
+
+    Attributes:
+        dim: Dense operand width (hidden dimension size).
+        simd_lanes: Warp SIMD width.
+        threads_per_warp: Logical threads co-resident in one warp
+            (``> 1`` only when ``dim < simd_lanes``).
+        warps_per_thread: Warps a single logical thread is replicated
+            across (``> 1`` only when ``dim > simd_lanes``).
+        lane_utilization: Fraction of SIMD lanes doing useful work.
+        divergent_threads: Threads per warp taking independent control
+            paths; the GPU model charges a penalty when this is large.
+    """
+
+    dim: int
+    simd_lanes: int
+    threads_per_warp: int
+    warps_per_thread: int
+    lane_utilization: float
+    divergent_threads: int
+
+    def warps_for_threads(self, n_threads: int) -> int:
+        """Warps launched for ``n_threads`` logical threads."""
+        if self.threads_per_warp > 1:
+            return -(-n_threads // self.threads_per_warp)
+        return n_threads * self.warps_per_thread
+
+
+def map_threads_to_simd(dim: int, simd_lanes: int = SIMD_LANES) -> ThreadMapping:
+    """Compute the Section III-C mapping for a dimension size.
+
+    Args:
+        dim: Dense operand width; must be positive.
+        simd_lanes: SIMD width of a warp.
+
+    Returns:
+        The :class:`ThreadMapping` for this configuration.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    if simd_lanes < 1:
+        raise ValueError(f"simd_lanes must be >= 1, got {simd_lanes}")
+    if dim == simd_lanes:
+        return ThreadMapping(dim, simd_lanes, 1, 1, 1.0, 1)
+    if dim > simd_lanes:
+        warps = -(-dim // simd_lanes)
+        utilization = dim / (warps * simd_lanes)
+        return ThreadMapping(dim, simd_lanes, 1, warps, utilization, 1)
+    threads = simd_lanes // dim
+    utilization = (threads * dim) / simd_lanes
+    return ThreadMapping(dim, simd_lanes, threads, 1, utilization, threads)
+
+
+def default_merge_path_cost(dim: int) -> int:
+    """The paper's tuned merge-path cost for a dimension size.
+
+    Dimensions outside the studied set fall back to the nearest studied
+    size (log-scale nearest, since the table is indexed by powers of two).
+    """
+    if dim in DEFAULT_COST_BY_DIM:
+        return DEFAULT_COST_BY_DIM[dim]
+    sizes = sorted(DEFAULT_COST_BY_DIM)
+    nearest = min(sizes, key=lambda s: abs(s - dim) / s)
+    return DEFAULT_COST_BY_DIM[nearest]
+
+
+def determine_thread_count(
+    matrix: CSRMatrix,
+    cost: int,
+    min_threads: int = MIN_THREADS,
+) -> int:
+    """Thread count for a target merge-path cost (Section III-C).
+
+    The count is the merge-path length divided by the cost, raised to
+    ``min_threads`` when the graph is too small to expose parallelism and
+    capped at one merge item per thread.
+    """
+    if cost < 1:
+        raise ValueError(f"cost must be >= 1, got {cost}")
+    total = merge_path_length(matrix)
+    if total == 0:
+        return 1
+    n_threads = max(1, -(-total // cost))
+    if n_threads < min_threads:
+        n_threads = min_threads
+    return max(1, min(n_threads, total))

@@ -1,0 +1,25 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Every module exposes ``run(...) -> ExperimentResult`` returning the rows
+the paper's figure/table plots, plus a ``main()`` that prints them.  The
+mapping to the paper is recorded in DESIGN.md §3 and the measured-vs-paper
+comparison in EXPERIMENTS.md.
+
+Modules and the artifacts they regenerate:
+
+* :mod:`repro.experiments.fig1_power_law` — Figure 1 degree distributions.
+* :mod:`repro.experiments.fig2_motivation` — Figure 2 kernel times.
+* :mod:`repro.experiments.fig3_example` — Figure 3 worked example.
+* :mod:`repro.experiments.table1_config` — Table I machine parameters.
+* :mod:`repro.experiments.table2_datasets` — Table II dataset statistics.
+* :mod:`repro.experiments.fig4_speedup` — Figure 4 speedups at dim 16.
+* :mod:`repro.experiments.fig5_write_ops` — Figure 5 write distribution.
+* :mod:`repro.experiments.fig6_cost_sweep` — Figure 6 cost sweeps.
+* :mod:`repro.experiments.fig7_dimension_scaling` — Figure 7.
+* :mod:`repro.experiments.fig8_online_overhead` — Figure 8.
+* :mod:`repro.experiments.fig9_multicore_scaling` — Figure 9.
+"""
+
+from repro.experiments.reporting import ExperimentResult, format_table, geometric_mean
+
+__all__ = ["ExperimentResult", "format_table", "geometric_mean"]

@@ -1,0 +1,69 @@
+"""Figure 1: power-law degree distributions across application domains.
+
+The paper plots log-log degree distributions for graphs from diverse
+domains to motivate the load-imbalance problem.  This harness fits the
+power-law tail of representative Type I datasets (plus Type II controls)
+and reports the exponent, fit quality, and dynamic range — the
+quantitative content of the figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import ExperimentResult
+from repro.formats.stats import row_statistics
+from repro.graphs import load_dataset
+from repro.graphs.degree import fit_power_law, looks_power_law
+
+DEFAULT_GRAPHS = (
+    "Cora",
+    "Wiki-Vote",
+    "email-Enron",
+    "Nell",
+    "soc-BlogCatalog",
+    "PROTEINS_full",
+    "Yeast",
+)
+
+
+def run(names=DEFAULT_GRAPHS, seed: int = 2023) -> ExperimentResult:
+    """Fit degree-distribution tails for the selected datasets."""
+    rows = []
+    for name in names:
+        graph = load_dataset(name, seed=seed)
+        stats = row_statistics(graph.adjacency)
+        fit = fit_power_law(graph.adjacency)
+        rows.append(
+            (
+                name,
+                stats.avg_degree,
+                stats.max_degree,
+                fit.alpha,
+                fit.r_squared,
+                fit.dynamic_range,
+                "power-law" if looks_power_law(graph.adjacency) else "structured",
+            )
+        )
+    return ExperimentResult(
+        title="Figure 1: degree-distribution power-law fits",
+        headers=[
+            "graph",
+            "avg_deg",
+            "max_deg",
+            "alpha",
+            "r^2",
+            "dyn_range",
+            "classified",
+        ],
+        rows=rows,
+        notes=[
+            "Type I datasets should classify as power-law, Type II as structured",
+        ],
+    )
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Figure 2: motivation — existing accelerators and GPU kernels.
+
+Kernel completion times for the AWB-GCN accelerator model and four GPU
+implementations (row-splitting, GNNAdvisor, merge-path with serial fix-up,
+and the proposed MergePath-SpMM) on the four graphs whose AWB-GCN times
+the paper quotes.  Nell uses a hidden dimension of 64, the others 16,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import AWBGCNModel
+from repro.experiments.reporting import ExperimentResult
+from repro.gpu import kernel_time, quadro_rtx_6000
+from repro.graphs import load_dataset
+
+WORKLOADS = (("Cora", 16), ("Citeseer", 16), ("Pubmed", 16), ("Nell", 64))
+GPU_KERNELS = ("row-splitting", "gnnadvisor", "merge-path-serial", "mergepath")
+
+
+def run(seed: int = 2023, device=None) -> ExperimentResult:
+    """Completion times (microseconds) for every Figure 2 bar."""
+    device = device or quadro_rtx_6000()
+    awb = AWBGCNModel()
+    rows = []
+    for name, dim in WORKLOADS:
+        adjacency = load_dataset(name, seed=seed).adjacency
+        row = [name, dim, awb.completion_time(adjacency, dim) * 1e6]
+        for kernel in GPU_KERNELS:
+            row.append(kernel_time(kernel, adjacency, dim, device).microseconds)
+        rows.append(tuple(row))
+    return ExperimentResult(
+        title="Figure 2: kernel completion times (us)",
+        headers=["graph", "dim", "awb-gcn"] + list(GPU_KERNELS),
+        rows=rows,
+        notes=[
+            "expected shape: AWB-GCN best on Cora/Citeseer; merge-path "
+            "(serial) worst there; GNNAdvisor ahead of AWB-GCN on Nell; "
+            "AWB-GCN ahead of row-splitting on Nell",
+        ],
+    )
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Figure 5: atomic versus regular output writes in MergePath-SpMM.
+
+For every Table II graph at dimension 16 (merge-path cost 20), the share
+of output-write operations performed atomically versus regularly — taken
+directly from the schedule's write accounting, which the executors match
+operation for operation.
+"""
+
+from __future__ import annotations
+
+from repro.core import schedule_for_cost
+from repro.experiments.reporting import ExperimentResult
+from repro.graphs import (
+    load_dataset,
+    power_law_dataset_names,
+    structured_dataset_names,
+)
+
+MERGE_PATH_COST = 20
+
+
+def run(names=None, seed: int = 2023) -> ExperimentResult:
+    """Atomic/regular write distribution per graph."""
+    if names is None:
+        names = power_law_dataset_names() + structured_dataset_names()
+    power_law = set(power_law_dataset_names())
+    rows = []
+    for name in names:
+        adjacency = load_dataset(name, seed=seed).adjacency
+        stats = schedule_for_cost(
+            adjacency, MERGE_PATH_COST, min_threads=1024
+        ).statistics
+        rows.append(
+            (
+                "I" if name in power_law else "II",
+                name,
+                stats.atomic_writes,
+                stats.regular_writes,
+                stats.atomic_write_fraction,
+                stats.atomic_nnz_fraction,
+                stats.split_rows,
+            )
+        )
+    return ExperimentResult(
+        title="Figure 5: write-operation distribution (dim 16, cost 20)",
+        headers=[
+            "type", "graph", "atomic", "regular", "atomic_frac",
+            "atomic_nnz_frac", "split_rows",
+        ],
+        rows=rows,
+        notes=[
+            "expected shape: Type II graphs nearly all-regular; "
+            "email-Euall far fewer atomics than email-Enron; high-degree "
+            "small-row-count graphs (Wiki-Vote, artist, soc-BlogCatalog) "
+            "atomic-heavy",
+        ],
+    )
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Figure 7: speedup at different dimension sizes.
+
+MergePath-SpMM, GNNAdvisor and GNNAdvisor-opt across dimension sizes 2 to
+128, normalized to GNNAdvisor at dimension 128.  MergePath-SpMM uses the
+per-dimension tuned merge-path cost (the paper determines it empirically
+per dimension; we use the model-tuned value from the Figure 6 machinery so
+the experiment is self-consistent).
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_tuning import tune_merge_path_cost
+from repro.experiments.reporting import ExperimentResult, geometric_mean
+from repro.gpu import kernel_time, quadro_rtx_6000
+from repro.graphs import load_dataset
+
+DIMS = (128, 64, 32, 16, 8, 4, 2)
+DEFAULT_GRAPHS = (
+    "Cora", "Pubmed", "email-Euall", "Nell", "com-Amazon", "PROTEINS_full",
+)
+KERNELS = ("gnnadvisor", "gnnadvisor-opt", "mergepath")
+
+
+def run(names=DEFAULT_GRAPHS, dims=DIMS, seed: int = 2023, device=None
+        ) -> ExperimentResult:
+    """Geomean speedups vs GNNAdvisor@128 per kernel and dimension."""
+    device = device or quadro_rtx_6000()
+    matrices = {n: load_dataset(n, seed=seed).adjacency for n in names}
+    baseline = {
+        n: kernel_time("gnnadvisor", m, 128, device).cycles
+        for n, m in matrices.items()
+    }
+    tuned_cost = {
+        dim: tune_merge_path_cost(list(matrices.values()), dim,
+                                  device=device).best_cost
+        for dim in dims
+    }
+    rows = []
+    for kernel in KERNELS:
+        row = [kernel]
+        for dim in dims:
+            ratios = []
+            for name, matrix in matrices.items():
+                kwargs = (
+                    {"cost": tuned_cost[dim]} if kernel == "mergepath" else {}
+                )
+                cycles = kernel_time(kernel, matrix, dim, device, **kwargs).cycles
+                ratios.append(baseline[name] / cycles)
+            row.append(geometric_mean(ratios))
+        rows.append(tuple(row))
+    return ExperimentResult(
+        title="Figure 7: speedup vs GNNAdvisor at dim 128",
+        headers=["kernel"] + [f"d{d}" for d in dims],
+        rows=rows,
+        notes=[
+            f"mergepath uses model-tuned costs: {tuned_cost}",
+            "expected shape: GNNAdvisor saturates below dim 32; "
+            "GNNAdvisor-opt keeps improving (paper ~9x at dim 2); "
+            "MergePath-SpMM highest everywhere (paper 27.6x at dim 2)",
+        ],
+    )
+
+
+def main() -> None:
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Run-everything entry point: ``python -m repro.experiments.harness``.
+
+Runs any subset of the paper's experiments by name and prints (optionally
+saves) their tables.  The benchmarks under ``benchmarks/`` wrap the same
+harnesses with pytest-benchmark and shape assertions; this module is the
+interactive/CI-free way to regenerate results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    end_to_end_gnn,
+    engine_balance,
+    fig1_power_law,
+    fig2_motivation,
+    fig3_example,
+    fig4_speedup,
+    fig5_write_ops,
+    fig6_cost_sweep,
+    fig7_dimension_scaling,
+    fig8_online_overhead,
+    fig9_multicore_scaling,
+    table1_config,
+    table2_datasets,
+)
+from repro.experiments.reporting import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig1_power_law.run,
+    "fig2": fig2_motivation.run,
+    "fig3": fig3_example.run,
+    "table1": table1_config.run,
+    "table2": table2_datasets.run,
+    "fig4": fig4_speedup.run,
+    "fig5": fig5_write_ops.run,
+    "fig6": fig6_cost_sweep.run,
+    "fig7": fig7_dimension_scaling.run,
+    "fig8": fig8_online_overhead.run,
+    "fig9": fig9_multicore_scaling.run,
+    "e2e": end_to_end_gnn.run,
+    "engines": engine_balance.run,
+}
+
+# Rough single-run wall-clock on a 2-core box, to set expectations.
+APPROX_SECONDS = {
+    "fig1": 2, "fig2": 5, "fig3": 1, "table1": 1, "table2": 8, "fig4": 15,
+    "fig5": 5, "fig6": 10, "fig7": 15, "fig8": 50, "fig9": 200, "e2e": 5,
+    "engines": 3,
+}
+
+
+def run_experiments(
+    names: list[str], output_dir: "Path | None" = None
+) -> dict[str, ExperimentResult]:
+    """Run the named experiments; optionally persist tables to a directory.
+
+    Args:
+        names: Keys of :data:`EXPERIMENTS` (e.g. ``["fig4", "fig5"]``).
+        output_dir: When given, each table is written to
+            ``<output_dir>/<name>.txt``.
+
+    Returns:
+        Name -> result mapping, in execution order.
+    """
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment(s) {unknown}; known: {known}")
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        started = time.perf_counter()
+        result = EXPERIMENTS[name]()
+        result.notes.append(
+            f"regenerated in {time.perf_counter() - started:.1f}s"
+        )
+        results[name] = result
+        if output_dir is not None:
+            output_dir.mkdir(parents=True, exist_ok=True)
+            (output_dir / f"{name}.txt").write_text(result.format() + "\n")
+    return results
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"which to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    parser.add_argument(
+        "--output-dir", type=Path, default=None,
+        help="also write each table to <dir>/<name>.txt",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(f"{name:8s} ~{APPROX_SECONDS[name]}s")
+        return 0
+    names = args.experiments or list(EXPERIMENTS)
+    results = run_experiments(names, output_dir=args.output_dir)
+    for result in results.values():
+        print()
+        result.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

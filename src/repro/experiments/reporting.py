@@ -1,0 +1,73 @@
+"""Shared result container and table formatting for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of positive values (the paper's aggregate)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[tuple]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper table/figure.
+
+    Attributes:
+        title: What the result reproduces (e.g. ``"Figure 4"``).
+        headers: Column names.
+        rows: Data rows, one tuple per printed line.
+        notes: Free-form remarks (aggregates, deviations, parameters).
+    """
+
+    title: str
+    headers: list[str]
+    rows: list[tuple]
+    notes: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        parts = [f"=== {self.title} ===", format_table(self.headers, self.rows)]
+        parts.extend(f"  * {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        print(self.format())
+
+    def column(self, name: str) -> list:
+        """All values of one column, by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]

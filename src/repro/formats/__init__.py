@@ -1,0 +1,43 @@
+"""Sparse matrix storage formats.
+
+This package provides the sparse-matrix substrate used throughout the
+reproduction: compressed sparse row (CSR), coordinate (COO), and compressed
+sparse column (CSC) containers, conversions between them, structural
+validation, and row/column statistics.
+
+The containers are deliberately small and explicit.  They store NumPy arrays
+with the same naming the paper uses (``row_pointers`` is the paper's *RP*
+array, ``column_indices`` is *CP*) so the algorithm code in
+:mod:`repro.core` reads like the paper's pseudo-code.
+"""
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csc import CSCMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.io import (
+    MatrixMarketError,
+    read_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.formats.spgemm import spgemm, spgemm_flops
+from repro.formats.validation import SparseFormatError, validate_csr
+from repro.formats.stats import RowStatistics, row_statistics
+
+__all__ = [
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "ELLMatrix",
+    "MatrixMarketError",
+    "RowStatistics",
+    "SparseFormatError",
+    "read_edge_list",
+    "read_matrix_market",
+    "row_statistics",
+    "spgemm",
+    "spgemm_flops",
+    "validate_csr",
+    "write_matrix_market",
+]

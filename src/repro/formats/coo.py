@@ -1,0 +1,106 @@
+"""Coordinate (COO) sparse matrix container.
+
+The paper stores the dense ``XW`` operand "in coordinate COO format" for its
+pseudo-code; in practice COO is the natural interchange format for edge
+lists, so the graph generators in :mod:`repro.graphs` emit COO and convert
+to CSR once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.validation import validate_coo
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class COOMatrix:
+    """An immutable COO sparse matrix (row, col, value triplets)."""
+
+    n_rows: int
+    n_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", np.ascontiguousarray(self.rows, INDEX_DTYPE))
+        object.__setattr__(self, "cols", np.ascontiguousarray(self.cols, INDEX_DTYPE))
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, VALUE_DTYPE)
+        )
+        validate_coo(self.rows, self.cols, self.values, self.n_rows, self.n_cols)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: "np.ndarray | list[tuple[int, int]]",
+        n_rows: int,
+        n_cols: int | None = None,
+        values: "np.ndarray | None" = None,
+    ) -> "COOMatrix":
+        """Build from an ``(m, 2)`` edge array; values default to ones."""
+        edges = np.asarray(edges, dtype=INDEX_DTYPE).reshape(-1, 2)
+        if values is None:
+            values = np.ones(len(edges), dtype=VALUE_DTYPE)
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_rows if n_cols is None else n_cols,
+            rows=edges[:, 0],
+            cols=edges[:, 1],
+            values=values,
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def deduplicate(self) -> "COOMatrix":
+        """Merge duplicate coordinates by summing their values."""
+        if self.nnz == 0:
+            return self
+        keys = self.rows * self.n_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        unique_mask = np.concatenate(([True], keys[1:] != keys[:-1]))
+        group_ids = np.cumsum(unique_mask) - 1
+        summed = np.zeros(group_ids[-1] + 1, dtype=VALUE_DTYPE)
+        np.add.at(summed, group_ids, self.values[order])
+        unique_keys = keys[unique_mask]
+        return COOMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            rows=unique_keys // self.n_cols,
+            cols=unique_keys % self.n_cols,
+            values=summed,
+        )
+
+    def to_csr(self):
+        """Convert to CSR (rows are sorted; duplicates preserved)."""
+        from repro.formats.csr import CSRMatrix
+
+        order = np.argsort(self.rows, kind="stable")
+        counts = np.bincount(self.rows, minlength=self.n_rows)
+        row_pointers = np.concatenate(([0], np.cumsum(counts)))
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=row_pointers,
+            column_indices=self.cols[order],
+            values=self.values[order],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense

@@ -1,0 +1,99 @@
+"""Compressed sparse column (CSC) sparse matrix container.
+
+CSC is used by the column-major kernels of the cuSPARSE-like baseline
+(:mod:`repro.baselines.cusparse_like`) and for cheap transposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.validation import SparseFormatError
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class CSCMatrix:
+    """An immutable CSC sparse matrix (column-compressed)."""
+
+    n_rows: int
+    n_cols: int
+    col_pointers: np.ndarray
+    row_indices: np.ndarray
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "col_pointers", np.ascontiguousarray(self.col_pointers, INDEX_DTYPE)
+        )
+        object.__setattr__(
+            self, "row_indices", np.ascontiguousarray(self.row_indices, INDEX_DTYPE)
+        )
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, VALUE_DTYPE)
+        )
+        # CSC invariants mirror CSR invariants with rows and columns swapped.
+        if len(self.col_pointers) != self.n_cols + 1:
+            raise SparseFormatError(
+                f"col_pointers must have length n_cols + 1 = {self.n_cols + 1}, "
+                f"got {len(self.col_pointers)}"
+            )
+        if self.col_pointers[0] != 0 or self.col_pointers[-1] != len(self.row_indices):
+            raise SparseFormatError("col_pointers must start at 0 and end at nnz")
+        if np.any(np.diff(self.col_pointers) < 0):
+            raise SparseFormatError("col_pointers must be non-decreasing")
+        if len(self.row_indices) != len(self.values):
+            raise SparseFormatError("row_indices and values must have equal length")
+        if len(self.row_indices) and (
+            self.row_indices.min() < 0 or self.row_indices.max() >= self.n_rows
+        ):
+            raise SparseFormatError(
+                f"row indices must lie in [0, {self.n_rows})"
+            )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def col_lengths(self) -> np.ndarray:
+        """Per-column non-zero counts."""
+        return np.diff(self.col_pointers)
+
+    def col_slice(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of one column."""
+        if not 0 <= col < self.n_cols:
+            raise IndexError(f"column {col} out of range [0, {self.n_cols})")
+        start, end = self.col_pointers[col], self.col_pointers[col + 1]
+        return self.row_indices[start:end], self.values[start:end]
+
+    def to_csr(self):
+        """Convert to CSR."""
+        from repro.formats.csr import CSRMatrix
+
+        cols = np.repeat(np.arange(self.n_cols, dtype=INDEX_DTYPE), self.col_lengths)
+        order = np.argsort(self.row_indices, kind="stable")
+        counts = np.bincount(self.row_indices, minlength=self.n_rows)
+        row_pointers = np.concatenate(([0], np.cumsum(counts)))
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=row_pointers,
+            column_indices=cols[order],
+            values=self.values[order],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        cols = np.repeat(np.arange(self.n_cols), self.col_lengths)
+        np.add.at(dense, (self.row_indices, cols), self.values)
+        return dense

@@ -1,0 +1,268 @@
+"""Compressed sparse row (CSR) matrix container.
+
+CSR is the input format for every SpMM kernel in this reproduction, exactly
+as in the paper: the ``row_pointers`` array (the paper's *RP*) has length
+``n_rows + 1`` and encodes where each row starts inside ``column_indices``
+(the paper's *CP*) and ``values``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.formats.validation import validate_csr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.formats.coo import COOMatrix
+    from repro.formats.csc import CSCMatrix
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR sparse matrix.
+
+    Attributes:
+        n_rows: Number of rows.
+        n_cols: Number of columns.
+        row_pointers: ``int64`` array of length ``n_rows + 1`` (paper's *RP*).
+        column_indices: ``int64`` array of length ``nnz`` (paper's *CP*).
+        values: ``float64`` array of length ``nnz``.
+    """
+
+    n_rows: int
+    n_cols: int
+    row_pointers: np.ndarray
+    column_indices: np.ndarray
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "row_pointers", np.ascontiguousarray(self.row_pointers, INDEX_DTYPE)
+        )
+        object.__setattr__(
+            self,
+            "column_indices",
+            np.ascontiguousarray(self.column_indices, INDEX_DTYPE),
+        )
+        object.__setattr__(
+            self, "values", np.ascontiguousarray(self.values, VALUE_DTYPE)
+        )
+        validate_csr(
+            self.row_pointers,
+            self.column_indices,
+            self.values,
+            self.n_rows,
+            self.n_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Build a CSR matrix from a dense 2-D array (zeros are dropped)."""
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        if dense.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        counts = np.bincount(rows, minlength=dense.shape[0])
+        row_pointers = np.concatenate(([0], np.cumsum(counts)))
+        return cls(
+            n_rows=dense.shape[0],
+            n_cols=dense.shape[1],
+            row_pointers=row_pointers,
+            column_indices=cols,
+            values=dense[rows, cols],
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        row_pointers: "np.ndarray | list[int]",
+        column_indices: "np.ndarray | list[int]",
+        values: "np.ndarray | list[float] | None" = None,
+        *,
+        n_cols: int | None = None,
+    ) -> "CSRMatrix":
+        """Build a CSR matrix directly from RP/CP arrays.
+
+        Args:
+            row_pointers: Row pointer array of length ``n_rows + 1``.
+            column_indices: Column index array of length ``nnz``.
+            values: Non-zero values; defaults to all ones (an unweighted
+                adjacency matrix, the common case for GCN aggregation).
+            n_cols: Number of columns; defaults to ``n_rows`` (square).
+        """
+        row_pointers = np.asarray(row_pointers, dtype=INDEX_DTYPE)
+        column_indices = np.asarray(column_indices, dtype=INDEX_DTYPE)
+        if values is None:
+            values = np.ones(len(column_indices), dtype=VALUE_DTYPE)
+        n_rows = len(row_pointers) - 1
+        return cls(
+            n_rows=n_rows,
+            n_cols=n_rows if n_cols is None else n_cols,
+            row_pointers=row_pointers,
+            column_indices=column_indices,
+            values=np.asarray(values, dtype=VALUE_DTYPE),
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "CSRMatrix":
+        """The ``n x n`` identity matrix."""
+        return cls(
+            n_rows=n,
+            n_cols=n,
+            row_pointers=np.arange(n + 1, dtype=INDEX_DTYPE),
+            column_indices=np.arange(n, dtype=INDEX_DTYPE),
+            values=np.ones(n, dtype=VALUE_DTYPE),
+        )
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return len(self.column_indices)
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        """Per-row non-zero counts (node degrees for an adjacency matrix)."""
+        return np.diff(self.row_pointers)
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that are stored non-zeros."""
+        cells = self.n_rows * self.n_cols
+        return self.nnz / cells if cells else 0.0
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row_slice(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of one row."""
+        if not 0 <= row < self.n_rows:
+            raise IndexError(f"row {row} out of range [0, {self.n_rows})")
+        start, end = self.row_pointers[row], self.row_pointers[row + 1]
+        return self.column_indices[start:end], self.values[start:end]
+
+    def iter_rows(self) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row, column_indices, values)`` for every row."""
+        for row in range(self.n_rows):
+            cols, vals = self.row_slice(row)
+            yield row, cols, vals
+
+    # ------------------------------------------------------------------
+    # Conversions and operations
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (duplicates are summed)."""
+        dense = np.zeros(self.shape, dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.n_rows), self.row_lengths)
+        np.add.at(dense, (rows, self.column_indices), self.values)
+        return dense
+
+    def to_coo(self) -> "COOMatrix":
+        """Convert to coordinate format."""
+        from repro.formats.coo import COOMatrix
+
+        rows = np.repeat(np.arange(self.n_rows, dtype=INDEX_DTYPE), self.row_lengths)
+        return COOMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            rows=rows,
+            cols=self.column_indices.copy(),
+            values=self.values.copy(),
+        )
+
+    def to_csc(self) -> "CSCMatrix":
+        """Convert to compressed sparse column format."""
+        from repro.formats.csc import CSCMatrix
+
+        order = np.argsort(self.column_indices, kind="stable")
+        rows = np.repeat(np.arange(self.n_rows, dtype=INDEX_DTYPE), self.row_lengths)
+        counts = np.bincount(self.column_indices, minlength=self.n_cols)
+        col_pointers = np.concatenate(([0], np.cumsum(counts)))
+        return CSCMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            col_pointers=col_pointers,
+            row_indices=rows[order],
+            values=self.values[order],
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """The transposed matrix, again in CSR form."""
+        csc = self.to_csc()
+        return CSRMatrix(
+            n_rows=self.n_cols,
+            n_cols=self.n_rows,
+            row_pointers=csc.col_pointers,
+            column_indices=csc.row_indices,
+            values=csc.values,
+        )
+
+    def multiply_dense(self, dense: np.ndarray) -> np.ndarray:
+        """Reference SpMM ``self @ dense`` used as ground truth in tests.
+
+        Implemented with vectorized scatter-adds; every kernel in
+        :mod:`repro.core` and :mod:`repro.baselines` is verified against it.
+        """
+        dense = np.asarray(dense, dtype=VALUE_DTYPE)
+        if dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} @ {dense.shape}"
+            )
+        out = np.zeros((self.n_rows, dense.shape[1]), dtype=VALUE_DTYPE)
+        rows = np.repeat(np.arange(self.n_rows), self.row_lengths)
+        # Chunked scatter-add keeps the temporary partial-product array
+        # bounded regardless of nnz.
+        chunk = 1 << 20
+        for lo in range(0, self.nnz, chunk):
+            hi = min(lo + chunk, self.nnz)
+            np.add.at(
+                out,
+                rows[lo:hi],
+                self.values[lo:hi, None] * dense[self.column_indices[lo:hi]],
+            )
+        return out
+
+    def sorted_indices(self) -> "CSRMatrix":
+        """Return an equivalent matrix with column indices sorted per row."""
+        column_indices = self.column_indices.copy()
+        values = self.values.copy()
+        for row in range(self.n_rows):
+            start, end = self.row_pointers[row], self.row_pointers[row + 1]
+            order = np.argsort(column_indices[start:end], kind="stable")
+            column_indices[start:end] = column_indices[start:end][order]
+            values[start:end] = values[start:end][order]
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=self.row_pointers.copy(),
+            column_indices=column_indices,
+            values=values,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.row_pointers, other.row_pointers)
+            and np.array_equal(self.column_indices, other.column_indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("CSRMatrix is not hashable (holds mutable arrays)")

@@ -1,0 +1,121 @@
+"""ELLPACK (ELL) format: fixed-width padded rows.
+
+ELL stores every row padded to the same width, giving perfectly regular,
+vectorizable access — the representation behind the "regular matrix"
+kernels of libraries like cuSPARSE.  It is efficient exactly when the
+maximum row length is close to the average (Type II inputs) and
+disastrous on power-law inputs, which is why the kernel-selection
+baseline's dispatch depends on the padding ratio this module computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+PAD_COLUMN = -1
+"""Column index marking padding slots."""
+
+
+@dataclass(frozen=True)
+class ELLMatrix:
+    """An ELL matrix: ``(n_rows, width)`` column/value grids.
+
+    Attributes:
+        n_rows: Number of rows.
+        n_cols: Number of columns.
+        columns: ``(n_rows, width)`` int64 grid; padding slots hold
+            :data:`PAD_COLUMN`.
+        values: ``(n_rows, width)`` float64 grid; padding slots hold 0.
+    """
+
+    n_rows: int
+    n_cols: int
+    columns: np.ndarray
+    values: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.columns.shape != self.values.shape:
+            raise ValueError(
+                f"columns {self.columns.shape} and values "
+                f"{self.values.shape} must have the same shape"
+            )
+        if self.columns.ndim != 2 or len(self.columns) != self.n_rows:
+            raise ValueError(
+                f"expected ({self.n_rows}, width) grids, got "
+                f"{self.columns.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Padded row width (the maximum row length of the source)."""
+        return self.columns.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        """Stored non-zeros (padding excluded)."""
+        return int((self.columns != PAD_COLUMN).sum())
+
+    @property
+    def padding_ratio(self) -> float:
+        """Stored slots over useful slots; 1.0 means no padding at all."""
+        nnz = self.nnz
+        return (self.n_rows * self.width) / nnz if nnz else float("inf")
+
+    @classmethod
+    def from_csr(cls, matrix: CSRMatrix) -> "ELLMatrix":
+        """Convert CSR to ELL (width = maximum row length)."""
+        width = int(matrix.row_lengths.max(initial=0))
+        columns = np.full((matrix.n_rows, width), PAD_COLUMN, dtype=np.int64)
+        values = np.zeros((matrix.n_rows, width), dtype=np.float64)
+        lengths = matrix.row_lengths
+        # Scatter each row's entries into its padded slots, vectorized via
+        # flat indices row * width + position-within-row.
+        rows = np.repeat(np.arange(matrix.n_rows), lengths)
+        starts = np.repeat(matrix.row_pointers[:-1], lengths)
+        within = np.arange(matrix.nnz) - starts
+        flat = rows * width + within
+        columns.reshape(-1)[flat] = matrix.column_indices
+        values.reshape(-1)[flat] = matrix.values
+        return cls(
+            n_rows=matrix.n_rows, n_cols=matrix.n_cols,
+            columns=columns, values=values,
+        )
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR, dropping padding."""
+        mask = self.columns != PAD_COLUMN
+        lengths = mask.sum(axis=1)
+        row_pointers = np.concatenate(([0], np.cumsum(lengths)))
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=row_pointers,
+            column_indices=self.columns[mask],
+            values=self.values[mask],
+        )
+
+    def multiply_dense(self, dense: np.ndarray) -> np.ndarray:
+        """The ELL SpMM: one fully regular pass per padded column.
+
+        This is the access pattern the regular-matrix GPU kernels exploit:
+        every step processes one slot of every row with perfectly uniform,
+        branch-free work.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dimension mismatch: ({self.n_rows}, {self.n_cols}) @ "
+                f"{dense.shape}"
+            )
+        output = np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
+        for slot in range(self.width):
+            cols = self.columns[:, slot]
+            valid = cols != PAD_COLUMN
+            output[valid] += (
+                self.values[valid, slot, None] * dense[cols[valid]]
+            )
+        return output

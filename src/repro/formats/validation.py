@@ -1,0 +1,97 @@
+"""Structural validation for sparse matrix containers.
+
+All containers validate their arrays on construction so that algorithm code
+can rely on well-formed inputs.  Validation failures raise
+:class:`SparseFormatError` with a message naming the violated invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SparseFormatError(ValueError):
+    """A sparse matrix's arrays violate a structural invariant."""
+
+
+def validate_csr(
+    row_pointers: np.ndarray,
+    column_indices: np.ndarray,
+    values: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+) -> None:
+    """Check the CSR invariants; raise :class:`SparseFormatError` on failure.
+
+    Invariants checked:
+
+    * ``row_pointers`` has length ``n_rows + 1``
+    * ``row_pointers[0] == 0`` and ``row_pointers[-1] == nnz``
+    * ``row_pointers`` is non-decreasing
+    * every column index is in ``[0, n_cols)``
+    * ``column_indices`` and ``values`` have the same length
+    """
+    if n_rows < 0 or n_cols < 0:
+        raise SparseFormatError(
+            f"matrix shape must be non-negative, got ({n_rows}, {n_cols})"
+        )
+    if row_pointers.ndim != 1 or len(row_pointers) != n_rows + 1:
+        raise SparseFormatError(
+            f"row_pointers must have length n_rows + 1 = {n_rows + 1}, "
+            f"got shape {row_pointers.shape}"
+        )
+    if len(column_indices) != len(values):
+        raise SparseFormatError(
+            f"column_indices (len {len(column_indices)}) and values "
+            f"(len {len(values)}) must have equal length"
+        )
+    if len(row_pointers) == 0:
+        raise SparseFormatError("row_pointers must not be empty")
+    if row_pointers[0] != 0:
+        raise SparseFormatError(
+            f"row_pointers[0] must be 0, got {row_pointers[0]}"
+        )
+    if row_pointers[-1] != len(column_indices):
+        raise SparseFormatError(
+            f"row_pointers[-1] must equal nnz = {len(column_indices)}, "
+            f"got {row_pointers[-1]}"
+        )
+    if np.any(np.diff(row_pointers) < 0):
+        raise SparseFormatError("row_pointers must be non-decreasing")
+    if len(column_indices) and (
+        column_indices.min() < 0 or column_indices.max() >= n_cols
+    ):
+        raise SparseFormatError(
+            f"column indices must lie in [0, {n_cols}), got range "
+            f"[{column_indices.min()}, {column_indices.max()}]"
+        )
+
+
+def validate_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    values: np.ndarray,
+    n_rows: int,
+    n_cols: int,
+) -> None:
+    """Check the COO invariants; raise :class:`SparseFormatError` on failure."""
+    if n_rows < 0 or n_cols < 0:
+        raise SparseFormatError(
+            f"matrix shape must be non-negative, got ({n_rows}, {n_cols})"
+        )
+    if not (len(rows) == len(cols) == len(values)):
+        raise SparseFormatError(
+            "rows, cols and values must have equal length, got "
+            f"{len(rows)}, {len(cols)}, {len(values)}"
+        )
+    if len(rows):
+        if rows.min() < 0 or rows.max() >= n_rows:
+            raise SparseFormatError(
+                f"row indices must lie in [0, {n_rows}), got range "
+                f"[{rows.min()}, {rows.max()}]"
+            )
+        if cols.min() < 0 or cols.max() >= n_cols:
+            raise SparseFormatError(
+                f"column indices must lie in [0, {n_cols}), got range "
+                f"[{cols.min()}, {cols.max()}]"
+            )

@@ -1,0 +1,45 @@
+"""Graph neural network substrate.
+
+Implements the models the paper's kernels serve: graph convolutional
+networks (Kipf & Welling) plus GraphSAGE-mean and GIN aggregation
+variants, all built on the ``A @ (X @ W)`` execution order the paper's
+accelerators use, with a pluggable SpMM backend so any kernel from
+:mod:`repro.core` or :mod:`repro.baselines` can drive the aggregation.
+"""
+
+from repro.gnn.layers import (
+    BACKENDS,
+    GCNLayer,
+    relu,
+    sigmoid,
+    spmm_backend,
+)
+from repro.gnn.models import GCN, GIN, GraphSAGE
+from repro.gnn.inference import InferenceEngine, InferenceReport
+from repro.gnn.metrics import (
+    accuracy,
+    cross_entropy,
+    planted_community_labels,
+    softmax,
+)
+from repro.gnn.training import AdamOptimizer, TrainReport, TrainableGCN
+
+__all__ = [
+    "AdamOptimizer",
+    "BACKENDS",
+    "GCN",
+    "GIN",
+    "GCNLayer",
+    "GraphSAGE",
+    "InferenceEngine",
+    "InferenceReport",
+    "TrainReport",
+    "TrainableGCN",
+    "accuracy",
+    "cross_entropy",
+    "planted_community_labels",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "spmm_backend",
+]

@@ -1,0 +1,202 @@
+"""GNN models: GCN plus GraphSAGE and GIN aggregation variants.
+
+All models share the aggregation-heavy structure the paper targets; the
+differences are how neighbour features combine with the node's own
+features.  Every aggregation runs through the pluggable SpMM backend, so
+the models double as end-to-end workloads for kernel comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+from repro.gnn.layers import GCNLayer, SpMMFn, spmm_backend
+from repro.graphs import Graph
+
+
+class GCN:
+    """A multi-layer graph convolutional network (Kipf & Welling).
+
+    Args:
+        layers: The stacked :class:`GCNLayer` instances.
+    """
+
+    def __init__(self, layers: list[GCNLayer]) -> None:
+        if not layers:
+            raise ValueError("a GCN needs at least one layer")
+        for first, second in zip(layers, layers[1:]):
+            if first.out_features != second.in_features:
+                raise ValueError(
+                    f"layer width mismatch: {first.out_features} -> "
+                    f"{second.in_features}"
+                )
+        self.layers = layers
+
+    @classmethod
+    def random(
+        cls,
+        dims: list[int],
+        seed: int = 0,
+        backend: "str | SpMMFn" = "mergepath",
+    ) -> "GCN":
+        """A GCN with random weights and the given layer widths.
+
+        Args:
+            dims: Feature widths, e.g. ``[1433, 16, 7]`` builds the
+                classic 2-layer Cora model.
+            seed: Weight RNG seed.
+            backend: SpMM backend for every layer.
+        """
+        if len(dims) < 2:
+            raise ValueError("need at least input and output widths")
+        layers = [
+            GCNLayer.random(
+                dims[i],
+                dims[i + 1],
+                seed=seed + i,
+                activation="relu" if i < len(dims) - 2 else "none",
+                backend=backend,
+            )
+            for i in range(len(dims) - 1)
+        ]
+        return cls(layers)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def forward(self, graph: Graph, features: np.ndarray | None = None) -> np.ndarray:
+        """Full forward pass over the GCN-normalized adjacency."""
+        adjacency = graph.normalized_adjacency()
+        if features is None:
+            if graph.features is None:
+                raise ValueError("graph carries no features; pass them explicitly")
+            features = graph.features
+        hidden = np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            hidden = layer.forward(adjacency, hidden)
+        return hidden
+
+
+class GraphSAGE:
+    """GraphSAGE with mean aggregation.
+
+    Each layer concatenates the node's own features with the mean of its
+    neighbours' features, then applies a dense transform:
+    ``act([X | mean_agg(X)] @ W)``.  The mean aggregation is a row-
+    normalized SpMM — the same kernel shape as GCN aggregation.
+    """
+
+    def __init__(
+        self,
+        weights: list[np.ndarray],
+        backend: "str | SpMMFn" = "mergepath",
+    ) -> None:
+        if not weights:
+            raise ValueError("GraphSAGE needs at least one layer weight")
+        self.weights = [np.asarray(w, dtype=np.float64) for w in weights]
+        self._spmm = spmm_backend(backend) if isinstance(backend, str) else backend
+
+    @classmethod
+    def random(
+        cls, dims: list[int], seed: int = 0, backend: "str | SpMMFn" = "mergepath"
+    ) -> "GraphSAGE":
+        """Random weights; each layer's weight has shape ``(2 * in, out)``."""
+        rng = np.random.default_rng(seed)
+        weights = []
+        for i in range(len(dims) - 1):
+            limit = np.sqrt(6.0 / (2 * dims[i] + dims[i + 1]))
+            weights.append(
+                rng.uniform(-limit, limit, size=(2 * dims[i], dims[i + 1]))
+            )
+        return cls(weights, backend=backend)
+
+    @staticmethod
+    def _mean_adjacency(graph: Graph) -> CSRMatrix:
+        adj = graph.adjacency
+        degrees = adj.row_lengths.astype(np.float64)
+        inv = np.where(degrees > 0, 1.0 / np.maximum(degrees, 1), 0.0)
+        rows = np.repeat(np.arange(adj.n_rows), adj.row_lengths)
+        return CSRMatrix(
+            n_rows=adj.n_rows,
+            n_cols=adj.n_cols,
+            row_pointers=adj.row_pointers,
+            column_indices=adj.column_indices,
+            values=adj.values * inv[rows],
+        )
+
+    def forward(self, graph: Graph, features: np.ndarray | None = None) -> np.ndarray:
+        """Full forward pass with mean aggregation per layer."""
+        mean_adj = self._mean_adjacency(graph)
+        if features is None:
+            if graph.features is None:
+                raise ValueError("graph carries no features; pass them explicitly")
+            features = graph.features
+        hidden = np.asarray(features, dtype=np.float64)
+        for i, weight in enumerate(self.weights):
+            aggregated = self._spmm(mean_adj, hidden)
+            combined = np.concatenate([hidden, aggregated], axis=1)
+            hidden = combined @ weight
+            if i < len(self.weights) - 1:
+                hidden = np.maximum(hidden, 0.0)
+        return hidden
+
+
+class GIN:
+    """Graph isomorphism network with sum aggregation.
+
+    Each layer computes ``MLP((1 + eps) * X + sum_agg(X))`` with a one-
+    hidden-layer MLP; the sum aggregation is a plain adjacency SpMM.
+    """
+
+    def __init__(
+        self,
+        mlps: list[tuple[np.ndarray, np.ndarray]],
+        eps: float = 0.0,
+        backend: "str | SpMMFn" = "mergepath",
+    ) -> None:
+        if not mlps:
+            raise ValueError("GIN needs at least one MLP")
+        self.mlps = [
+            (np.asarray(w1, dtype=np.float64), np.asarray(w2, dtype=np.float64))
+            for w1, w2 in mlps
+        ]
+        self.eps = eps
+        self._spmm = spmm_backend(backend) if isinstance(backend, str) else backend
+
+    @classmethod
+    def random(
+        cls,
+        dims: list[int],
+        seed: int = 0,
+        eps: float = 0.0,
+        backend: "str | SpMMFn" = "mergepath",
+    ) -> "GIN":
+        """Random two-matrix MLPs with a hidden width equal to the output."""
+        rng = np.random.default_rng(seed)
+        mlps = []
+        for i in range(len(dims) - 1):
+            hidden = dims[i + 1]
+            limit1 = np.sqrt(6.0 / (dims[i] + hidden))
+            limit2 = np.sqrt(6.0 / (hidden + dims[i + 1]))
+            mlps.append(
+                (
+                    rng.uniform(-limit1, limit1, size=(dims[i], hidden)),
+                    rng.uniform(-limit2, limit2, size=(hidden, dims[i + 1])),
+                )
+            )
+        return cls(mlps, eps=eps, backend=backend)
+
+    def forward(self, graph: Graph, features: np.ndarray | None = None) -> np.ndarray:
+        """Full forward pass with sum aggregation per layer."""
+        if features is None:
+            if graph.features is None:
+                raise ValueError("graph carries no features; pass them explicitly")
+            features = graph.features
+        hidden = np.asarray(features, dtype=np.float64)
+        for w1, w2 in self.mlps:
+            aggregated = self._spmm(graph.adjacency, hidden)
+            combined = (1.0 + self.eps) * hidden + aggregated
+            hidden = np.maximum(combined @ w1, 0.0) @ w2
+        return hidden

@@ -1,0 +1,153 @@
+"""GPU hardware description and timing-model constants.
+
+:class:`GPUDevice` carries the published hardware parameters of the
+evaluation GPU; :class:`ModelParams` carries the timing model's calibrated
+constants.  Keeping every tunable in one frozen dataclass makes the
+calibration auditable: EXPERIMENTS.md records which paper observations each
+constant was fitted against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Calibrated constants of the GPU timing model.
+
+    Issue-side constants (instruction slots per warp-step):
+
+    Attributes:
+        issue_overhead_per_nnz: Bookkeeping slots per non-zero (pointer
+            arithmetic, index/value loads, loop control).
+        issue_lane_cycles: Slots per 32-lane slice of dimension work per
+            non-zero (the FMA itself plus the operand shuffle).
+        issue_per_row: Row bookkeeping slots (row-pointer reads, output
+            address computation).
+        issue_per_thread: Per-thread setup slots (the merge-path binary
+            search for MergePath-SpMM, partition metadata for GNNAdvisor).
+        issue_per_write: Slots per output write operation.
+        divergence_alpha: Issue multiplier slope per extra divergent
+            thread sharing a warp (1 + alpha * (threads_per_warp - 1)).
+        row_per_warp_overhead: Warp setup/drain slots per row for kernels
+            that dedicate a whole warp to each row (cuSPARSE's generic
+            csrmm path); dominates on short-row inputs.
+
+    Memory-side constants:
+
+    Attributes:
+        index_bytes_per_nnz: Column-index + value traffic per non-zero.
+        xw_cache_discount: Fraction of dense-operand reads that miss the
+            on-chip caches (models row reuse through L1/L2).
+        min_transaction_bytes: Smallest useful memory transaction (sector).
+        mem_latency_cycles: DRAM round-trip latency.
+        latency_hiding_warps: Resident warps per SM needed to fully hide
+            memory latency.
+
+    Atomic-update constants:
+
+    Attributes:
+        atomic_bandwidth_fraction: Fraction of peak DRAM bandwidth the
+            atomic path sustains (read-modify-write traffic through L2).
+        atomic_rmw_factor: Traffic multiplier for the read-modify-write.
+        hotspot_serialize_cycles: Serialization cost per conflicting
+            atomic update to the same output row, per 32-byte sector.
+
+    Launch:
+
+    Attributes:
+        launch_cycles: Fixed kernel-launch overhead in device cycles.
+    """
+
+    issue_overhead_per_nnz: float = 20.0
+    issue_lane_cycles: float = 10.0
+    issue_per_row: float = 8.0
+    issue_per_thread: float = 8.0
+    issue_per_write: float = 4.0
+    divergence_alpha: float = 0.05
+    index_bytes_per_nnz: float = 8.0
+    xw_cache_discount: float = 0.05
+    row_per_warp_overhead: float = 64.0
+    min_transaction_bytes: float = 32.0
+    mem_latency_cycles: float = 440.0
+    latency_hiding_warps: float = 6.0
+    atomic_bandwidth_fraction: float = 0.5
+    atomic_rmw_factor: float = 1.0
+    hotspot_serialize_cycles: float = 16.0
+    launch_cycles: float = 2500.0
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """Hardware parameters of the modeled GPU.
+
+    Attributes:
+        name: Marketing name, used in reports.
+        n_sms: Streaming multiprocessors.
+        cuda_cores: Total FP32 lanes (n_sms * 64 on Turing).
+        clock_ghz: Sustained SM clock.
+        mem_bandwidth_gbps: Peak DRAM bandwidth (GB/s).
+        warp_size: SIMD width of one warp.
+        max_warps_per_sm: Resident-warp limit per SM.
+        params: Timing-model constants.
+    """
+
+    name: str
+    n_sms: int
+    cuda_cores: int
+    clock_ghz: float
+    mem_bandwidth_gbps: float
+    warp_size: int = 32
+    max_warps_per_sm: int = 32
+    params: ModelParams = ModelParams()
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """DRAM bytes deliverable per device cycle."""
+        return self.mem_bandwidth_gbps / self.clock_ghz
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Device-wide resident-warp capacity."""
+        return self.n_sms * self.max_warps_per_sm
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+    def cycles_to_microseconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e3)
+
+
+def quadro_rtx_6000(params: ModelParams | None = None) -> GPUDevice:
+    """The paper's evaluation GPU (Section IV-A)."""
+    return GPUDevice(
+        name="NVIDIA Quadro RTX 6000",
+        n_sms=72,
+        cuda_cores=4608,
+        clock_ghz=1.44,
+        mem_bandwidth_gbps=672.0,
+        warp_size=32,
+        max_warps_per_sm=32,
+        params=params or ModelParams(),
+    )
+
+
+def a100_like(params: ModelParams | None = None) -> GPUDevice:
+    """An A100-class datacenter GPU (sensitivity-study device).
+
+    More SMs, deeper residency, and ~2.3x the DRAM bandwidth of the
+    paper's card.  Used by the device-sensitivity benchmark to check that
+    the paper's kernel orderings are not an artifact of one GPU's balance
+    point.
+    """
+    return GPUDevice(
+        name="A100-class",
+        n_sms=108,
+        cuda_cores=6912,
+        clock_ghz=1.41,
+        mem_bandwidth_gbps=1555.0,
+        warp_size=32,
+        max_warps_per_sm=64,
+        params=params or ModelParams(),
+    )

@@ -1,0 +1,88 @@
+"""Human-readable reports over the GPU timing model.
+
+Utilities that turn :class:`~repro.gpu.timing.KernelTiming` objects into
+breakdown tables and cross-kernel comparisons — the "why is this kernel
+slow" surface users reach for after `kernel_time` tells them *that* it is.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.formats import CSRMatrix
+from repro.gpu.device import GPUDevice, quadro_rtx_6000
+from repro.gpu.kernels import KERNELS, kernel_time
+from repro.gpu.timing import KernelTiming
+
+_COMPONENTS = (
+    ("issue", "issue_cycles"),
+    ("bandwidth", "bandwidth_cycles"),
+    ("little", "little_cycles"),
+    ("span", "span_cycles"),
+    ("atomic", "atomic_cycles"),
+    ("hotspot", "hotspot_cycles"),
+    ("serial", "serial_cycles"),
+    ("launch", "launch_cycles"),
+)
+
+
+def breakdown_table(timing: KernelTiming) -> str:
+    """One kernel's component breakdown as an aligned table."""
+    rows = []
+    for label, attr in _COMPONENTS:
+        cycles = getattr(timing, attr)
+        rows.append(
+            (
+                label + (" <- binding" if label == timing.bound_by else ""),
+                cycles,
+                100.0 * cycles / timing.cycles if timing.cycles else 0.0,
+            )
+        )
+    header = (
+        f"{timing.label} on {timing.device_name}: "
+        f"{timing.microseconds:.2f} us ({timing.n_warps} warps)\n"
+    )
+    return header + format_table(["component", "cycles", "% of total"], rows)
+
+
+def compare_kernels(
+    matrix: CSRMatrix,
+    dim: int,
+    kernels: "tuple[str, ...] | None" = None,
+    device: GPUDevice | None = None,
+    **kwargs,
+) -> list[KernelTiming]:
+    """Time several kernels on one input, fastest first.
+
+    Args:
+        matrix: Sparse input.
+        dim: Dense operand width.
+        kernels: Kernel names; defaults to every registered kernel.
+        device: GPU model; defaults to the paper's.
+        **kwargs: Forwarded to each builder (e.g. ``cost=`` is accepted by
+            mergepath and silently ignored by kernels without the knob is
+            NOT supported — pass only universally valid options here).
+    """
+    device = device or quadro_rtx_6000()
+    names = kernels if kernels is not None else tuple(sorted(KERNELS))
+    timings = [kernel_time(name, matrix, dim, device, **kwargs) for name in names]
+    return sorted(timings, key=lambda t: t.cycles)
+
+
+def comparison_table(timings: list[KernelTiming]) -> str:
+    """Render a ``compare_kernels`` result as an aligned table."""
+    if not timings:
+        raise ValueError("no timings to render")
+    fastest = timings[0].cycles
+    rows = [
+        (
+            t.label,
+            t.microseconds,
+            t.cycles / fastest,
+            t.bound_by,
+            t.n_warps,
+        )
+        for t in timings
+    ]
+    return format_table(
+        ["kernel", "modeled_us", "vs_fastest", "bound_by", "warps"], rows
+    )

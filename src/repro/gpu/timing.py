@@ -1,0 +1,185 @@
+"""The GPU timing model: per-warp workload -> modeled kernel cycles.
+
+The model composes six mechanisms, each a first-order GPU behaviour the
+paper's analysis leans on:
+
+1. **Issue throughput** — every SM issues roughly one warp-instruction per
+   cycle; a kernel's issue load is spread over ``min(n_sms, n_warps)``
+   SMs.  SIMD packing (GNNAdvisor-opt, MergePath's thread mapping) lowers
+   the issue load; divergence raises it.
+2. **Memory bandwidth** — total traffic over peak DRAM bytes/cycle.
+3. **Little's-law memory throughput** — the memory system needs enough
+   outstanding requests to reach peak bandwidth; with few resident warps
+   (each sustaining ``mem_parallelism`` outstanding loads) the achievable
+   request rate is ``outstanding / latency``.  This is what punishes
+   low-parallelism schedules: very high merge-path costs, the serial
+   merge-path baseline at small thread counts, row-splitting on small
+   inputs.
+4. **Straggler span** — a single warp cannot finish faster than its own
+   dependent chain: its issue cycles plus its transactions served at
+   ``latency / mem_parallelism`` apiece.  This is what serializes evil
+   rows in row-per-warp kernels.
+5. **Atomic updates** — read-modify-write traffic served at a fraction of
+   peak bandwidth, plus serialization of updates contending on the same
+   output row (hotspot).  Atomics are charged additively: the RMW path is
+   dependent traffic at the end of each work unit.
+6. **Launch overhead** — fixed cost per kernel invocation.
+
+``total = launch + max(bandwidth, little, span) + issue + atomic + serial``
+
+Issue is additive rather than folded into the max: at the modest occupancy
+levels SpMM kernels run at, instruction issue and memory service overlap
+only partially, and the additive form is what creates the measured
+interior optimum of the merge-path cost sweep (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.device import GPUDevice
+from repro.gpu.workload import GPUWorkload
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Modeled execution time of one kernel, with component breakdown.
+
+    All components are in device cycles; ``microseconds`` converts the
+    total using the device clock.
+    """
+
+    label: str
+    device_name: str
+    cycles: float
+    issue_cycles: float
+    bandwidth_cycles: float
+    little_cycles: float
+    span_cycles: float
+    atomic_cycles: float
+    hotspot_cycles: float
+    serial_cycles: float
+    launch_cycles: float
+    n_warps: int
+    microseconds: float
+
+    @property
+    def memory_cycles(self) -> float:
+        """The binding memory-side term."""
+        return max(self.bandwidth_cycles, self.little_cycles, self.span_cycles)
+
+    @property
+    def bound_by(self) -> str:
+        """Which component binds the modeled time."""
+        components = {
+            "issue": self.issue_cycles,
+            "bandwidth": self.bandwidth_cycles,
+            "little": self.little_cycles,
+            "span": self.span_cycles,
+            "atomic": max(self.atomic_cycles, self.hotspot_cycles),
+            "serial": self.serial_cycles,
+        }
+        return max(components, key=components.get)
+
+
+def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
+    """Model the execution time of ``workload`` on ``device``."""
+    params = device.params
+    n_warps = workload.n_warps
+
+    def finish(parallel: float, issue: float, bandwidth: float, little: float,
+               span: float, atomic: float, hotspot: float) -> KernelTiming:
+        total = (
+            params.launch_cycles
+            + parallel
+            + issue
+            + max(atomic, hotspot)
+            + workload.serial_cycles
+        )
+        return KernelTiming(
+            label=workload.label,
+            device_name=device.name,
+            cycles=total,
+            issue_cycles=issue,
+            bandwidth_cycles=bandwidth,
+            little_cycles=little,
+            span_cycles=span,
+            atomic_cycles=atomic,
+            hotspot_cycles=hotspot,
+            serial_cycles=workload.serial_cycles,
+            launch_cycles=params.launch_cycles,
+            n_warps=n_warps,
+            microseconds=device.cycles_to_microseconds(total),
+        )
+
+    if n_warps == 0:
+        return finish(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    # 1. Issue throughput: load spread over the SMs that have work.
+    issue = workload.total_issue_cycles / min(device.n_sms, n_warps)
+
+    # 2. Memory bandwidth.
+    bandwidth = workload.total_mem_bytes / device.bytes_per_cycle
+
+    # 3. Little's law: request throughput is outstanding-requests / latency.
+    mlp = workload.mem_parallelism
+    transactions = workload.warp_mem_bytes / params.min_transaction_bytes
+    total_tx = float(transactions.sum())
+    outstanding = mlp * min(n_warps, device.max_resident_warps)
+    little = total_tx * params.mem_latency_cycles / outstanding
+
+    # 4. Straggler span: the longest single warp's dependent chain.
+    per_tx = params.mem_latency_cycles / mlp
+    spans = (
+        workload.warp_issue_cycles
+        + transactions * per_tx
+        + workload.warp_atomic_ops * per_tx
+    )
+    span = float(spans.max(initial=0.0))
+
+    # 5. Atomic path: RMW throughput plus same-row serialization.
+    atomic_bytes = workload.total_atomic_ops * workload.atomic_bytes_per_op
+    atomic_bw = device.bytes_per_cycle * params.atomic_bandwidth_fraction
+    atomic = atomic_bytes / atomic_bw if atomic_bw > 0 else 0.0
+    sectors_per_update = max(
+        1.0, workload.dim * 4.0 / params.min_transaction_bytes
+    )
+    hotspot = (
+        workload.max_row_sharers
+        * params.hotspot_serialize_cycles
+        * sectors_per_update
+    )
+
+    parallel = max(bandwidth, little, span)
+    return finish(parallel, issue, bandwidth, little, span, atomic, hotspot)
+
+
+def scheduling_time(
+    n_threads: int,
+    merge_items: int,
+    device: GPUDevice,
+) -> float:
+    """Modeled cycles to compute a MergePath-SpMM schedule on the GPU.
+
+    Each thread performs two constrained binary searches over the
+    row-pointer array (Algorithm 1): ``log2(merge_items)`` dependent
+    probes, each a compare plus an L2-latency load (the row-pointer array
+    is hot in cache).  With one thread per lane the searches run
+    ``n_threads / warp_size`` warps wide.
+
+    The search runs in the main kernel's prologue (as in CUB), so no
+    separate launch is charged.
+    """
+    if n_threads < 1:
+        raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+    steps = 2.0 * max(1.0, np.log2(max(2, merge_items)))
+    l2_latency = 60.0  # cache-resident row pointers
+    issue_per_step = 2.0
+    n_warps = max(1, -(-n_threads // device.warp_size))
+    # Dependent probes: each warp's span is latency-bound; throughput
+    # across warps is issue-bound.
+    per_thread = steps * (issue_per_step + l2_latency)
+    throughput = steps * issue_per_step * n_warps / min(device.n_sms, n_warps)
+    return max(per_thread, throughput)

@@ -1,0 +1,114 @@
+"""The per-warp workload abstraction consumed by the timing model.
+
+A :class:`GPUWorkload` reduces a kernel execution to the quantities that
+determine its modeled time: per-warp instruction-issue cycles, per-warp
+memory traffic, atomic-update counts and their per-row contention, plus an
+optional strictly-serial tail (the merge-path SpMV fix-up phase).
+
+Workload builders (:mod:`repro.gpu.kernels`) compute these arrays exactly
+from the algorithm's real schedule; nothing here is sampled or assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GPUWorkload:
+    """A kernel execution summarized per warp.
+
+    Attributes:
+        label: Kernel name for reports.
+        dim: Dense operand width.
+        warp_issue_cycles: Instruction-issue cycles per warp.
+        warp_mem_bytes: DRAM traffic (bytes) attributed to each warp.
+        warp_atomic_ops: Atomic output updates issued by each warp.
+        atomic_sharers: For every output row receiving atomic updates, the
+            number of distinct updates targeting it (contention profile).
+        serial_cycles: Cycles executed with no parallelism after the
+            parallel phase (0 for all kernels except the serial-fix-up
+            merge-path baseline).
+        atomic_bytes_per_op: Read-modify-write traffic per atomic update.
+        mem_parallelism: Outstanding memory requests one warp sustains
+            (memory-level parallelism).  Vectorized kernels pipeline well
+            (default 8); scalar thread-per-row kernels chase dependent
+            pointers and sustain far less.
+    """
+
+    label: str
+    dim: int
+    warp_issue_cycles: np.ndarray
+    warp_mem_bytes: np.ndarray
+    warp_atomic_ops: np.ndarray
+    atomic_sharers: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    serial_cycles: float = 0.0
+    atomic_bytes_per_op: float = 0.0
+    mem_parallelism: float = 8.0
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.warp_issue_cycles),
+            len(self.warp_mem_bytes),
+            len(self.warp_atomic_ops),
+        }
+        if len(lengths) != 1:
+            raise ValueError(
+                "per-warp arrays must have equal length, got "
+                f"{sorted(lengths)}"
+            )
+
+    @property
+    def n_warps(self) -> int:
+        return len(self.warp_issue_cycles)
+
+    @property
+    def total_issue_cycles(self) -> float:
+        return float(self.warp_issue_cycles.sum())
+
+    @property
+    def total_mem_bytes(self) -> float:
+        return float(self.warp_mem_bytes.sum())
+
+    @property
+    def total_atomic_ops(self) -> float:
+        return float(self.warp_atomic_ops.sum())
+
+    @property
+    def max_row_sharers(self) -> int:
+        """Worst-case atomic contention on a single output row."""
+        return int(self.atomic_sharers.max(initial=0))
+
+
+def group_reduce_max(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Max over consecutive fixed-size groups (last group may be short).
+
+    Used to compute per-warp step counts when several logical threads
+    share a warp: the warp advances at the pace of its slowest thread.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    values = np.asarray(values)
+    if len(values) == 0:
+        return values.copy()
+    n_groups = -(-len(values) // group_size)
+    padded = np.full(n_groups * group_size, values.min(initial=0), dtype=values.dtype)
+    padded[: len(values)] = values
+    return padded.reshape(n_groups, group_size).max(axis=1)
+
+
+def group_reduce_sum(values: np.ndarray, group_size: int) -> np.ndarray:
+    """Sum over consecutive fixed-size groups (last group may be short)."""
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    values = np.asarray(values)
+    if len(values) == 0:
+        return values.copy()
+    n_groups = -(-len(values) // group_size)
+    padded = np.zeros(n_groups * group_size, dtype=values.dtype)
+    padded[: len(values)] = values
+    return padded.reshape(n_groups, group_size).sum(axis=1)

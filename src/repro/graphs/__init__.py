@@ -1,0 +1,60 @@
+"""Graph substrate: containers, synthetic generators, and dataset registry.
+
+The paper evaluates on 23 real graphs (Table II).  This environment has no
+network access, so :mod:`repro.graphs.datasets` regenerates each dataset as
+a *seeded synthetic stand-in* matched to the published statistics (node
+count, non-zero count, average degree, maximum degree, and a power-law vs.
+structured degree profile).  The generators themselves live in
+:mod:`repro.graphs.generators` and are reusable for arbitrary experiments.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    block_labels,
+    erdos_renyi_graph,
+    power_law_degree_sequence,
+    power_law_graph,
+    regular_graph,
+    rmat_graph,
+    stochastic_block_model,
+    structured_degree_sequence,
+)
+from repro.graphs.datasets import (
+    DATASETS,
+    DatasetSpec,
+    load_dataset,
+    power_law_dataset_names,
+    structured_dataset_names,
+)
+from repro.graphs.degree import PowerLawFit, fit_power_law
+from repro.graphs.reorder import (
+    bfs_order,
+    degree_sort_order,
+    permute_rows_and_columns,
+    random_order,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "Graph",
+    "PowerLawFit",
+    "barabasi_albert_graph",
+    "bfs_order",
+    "block_labels",
+    "degree_sort_order",
+    "erdos_renyi_graph",
+    "fit_power_law",
+    "load_dataset",
+    "power_law_dataset_names",
+    "permute_rows_and_columns",
+    "power_law_degree_sequence",
+    "power_law_graph",
+    "random_order",
+    "regular_graph",
+    "rmat_graph",
+    "stochastic_block_model",
+    "structured_dataset_names",
+    "structured_degree_sequence",
+]

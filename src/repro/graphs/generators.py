@@ -1,0 +1,308 @@
+"""Seeded synthetic graph generators.
+
+All generators are deterministic given a seed and return CSR adjacency
+matrices.  Two generator families matter for the reproduction:
+
+* **Power-law** (Table II Type I): a Zipf-shaped degree sequence scaled to
+  hit a target non-zero count and maximum degree exactly, with neighbor
+  choices drawn from a skewed popularity distribution so in-degrees are
+  heavy-tailed too.  This reproduces the "evil row" structure the paper's
+  load-balancing argument depends on.
+* **Structured** (Table II Type II): near-uniform degree sequences with a
+  small spread between average and maximum degree.
+
+General-purpose generators (Barabási–Albert, R-MAT, Erdős–Rényi, ring
+lattice) are included for tests, examples, and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+
+
+def _distribute_residual(
+    degrees: np.ndarray, target_sum: int, max_degree: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Adjust ``degrees`` in place so it sums to ``target_sum``.
+
+    Increments are spread over rows below ``max_degree``; decrements over
+    non-empty rows, never touching the (single) row pinned at
+    ``max_degree`` so the maximum is preserved.
+    """
+    degrees = degrees.copy()
+    residual = target_sum - int(degrees.sum())
+    guard = 0
+    while residual != 0:
+        guard += 1
+        if guard > 10_000:  # pragma: no cover - safety net
+            raise RuntimeError("degree residual distribution failed to converge")
+        if residual > 0:
+            eligible = np.nonzero(degrees < max_degree)[0]
+            if len(eligible) == 0:
+                raise ValueError(
+                    f"cannot reach nnz={target_sum} with max_degree={max_degree}"
+                )
+            chosen = eligible[: residual] if residual <= len(eligible) else eligible
+            degrees[chosen] += 1
+            residual -= len(chosen)
+        else:
+            # Keep exactly one row at max_degree: skip the first such row.
+            at_max = np.nonzero(degrees == max_degree)[0]
+            protected = at_max[0] if len(at_max) else -1
+            eligible = np.nonzero(degrees > 0)[0]
+            eligible = eligible[eligible != protected]
+            if len(eligible) == 0:
+                raise ValueError("cannot shrink degree sequence further")
+            take = min(-residual, len(eligible))
+            # Remove from the largest unprotected rows first to soften the tail
+            # as little as possible while converging fast.
+            order = np.argsort(degrees[eligible])[::-1][:take]
+            degrees[eligible[order]] -= 1
+            residual += take
+    return degrees
+
+
+def power_law_degree_sequence(
+    n_nodes: int, nnz: int, max_degree: int, seed: int = 0
+) -> np.ndarray:
+    """A degree sequence with Zipf-shaped tail summing to exactly ``nnz``.
+
+    The largest entry equals ``max_degree`` exactly.  The Zipf exponent is
+    found by bisection so the unadjusted sequence lands near ``nnz``; a
+    residual pass then fixes the total without disturbing the maximum.
+    The returned sequence is shuffled so evil rows land at random indices,
+    as in real graphs.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    if nnz < 0:
+        raise ValueError("nnz must be non-negative")
+    max_degree = min(max_degree, nnz)
+    if max_degree <= 0:
+        return np.zeros(n_nodes, dtype=np.int64)
+    if nnz > n_nodes * max_degree:
+        raise ValueError(
+            f"nnz={nnz} unreachable with {n_nodes} rows of max degree {max_degree}"
+        )
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_nodes + 1, dtype=np.float64)
+
+    def total(exponent: float) -> int:
+        return int(np.round(max_degree * ranks**-exponent).sum())
+
+    low, high = 1e-3, 8.0
+    if total(low) < nnz:
+        # Even an almost-flat sequence is short of nnz: top up in the
+        # residual pass below.
+        exponent = low
+    elif total(high) > nnz:
+        exponent = high
+    else:
+        for _ in range(80):
+            mid = 0.5 * (low + high)
+            if total(mid) > nnz:
+                low = mid
+            else:
+                high = mid
+        exponent = 0.5 * (low + high)
+    degrees = np.round(max_degree * ranks**-exponent).astype(np.int64)
+    degrees[0] = max_degree
+    np.clip(degrees, 0, max_degree, out=degrees)
+    degrees = _distribute_residual(degrees, nnz, max_degree, rng)
+    rng.shuffle(degrees)
+    return degrees
+
+
+def structured_degree_sequence(
+    n_nodes: int, nnz: int, max_degree: int, seed: int = 0
+) -> np.ndarray:
+    """A near-uniform degree sequence (Table II Type II profile).
+
+    Degrees are ``floor(nnz / n)`` or one more, with a single row raised to
+    ``max_degree`` so the Table II maximum matches.
+    """
+    if n_nodes <= 0:
+        raise ValueError("n_nodes must be positive")
+    max_degree = min(max_degree, nnz)
+    base, extra = divmod(nnz, n_nodes)
+    if base > max_degree or (base == max_degree and extra):
+        raise ValueError(
+            f"nnz={nnz} unreachable with {n_nodes} rows of max degree {max_degree}"
+        )
+    rng = np.random.default_rng(seed)
+    degrees = np.full(n_nodes, base, dtype=np.int64)
+    degrees[:extra] += 1
+    if max_degree > degrees.max() and nnz >= max_degree:
+        degrees[0] = max_degree
+        degrees = _distribute_residual(degrees, nnz, max_degree, rng)
+    rng.shuffle(degrees)
+    return degrees
+
+
+def graph_from_degree_sequence(
+    degrees: np.ndarray,
+    seed: int = 0,
+    skewed_targets: bool = True,
+) -> CSRMatrix:
+    """Build a CSR adjacency matrix realizing an out-degree sequence.
+
+    Neighbor (column) choices are sampled with replacement-free behaviour
+    *not* enforced: duplicate edges are possible but rare and harmless for
+    SpMM workloads (they simply add weight).  When ``skewed_targets`` is
+    true, targets are drawn from a Zipf popularity distribution over a
+    seeded permutation of the nodes so that in-degrees are heavy-tailed.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    n = len(degrees)
+    nnz = int(degrees.sum())
+    rng = np.random.default_rng(seed)
+    if nnz == 0:
+        return CSRMatrix.from_arrays(np.zeros(n + 1, dtype=np.int64), [], [])
+    if skewed_targets:
+        weights = 1.0 / np.arange(1, n + 1, dtype=np.float64)
+        rng.shuffle(weights)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        columns = np.searchsorted(cdf, rng.random(nnz), side="left").astype(np.int64)
+        np.clip(columns, 0, n - 1, out=columns)
+    else:
+        columns = rng.integers(0, n, size=nnz, dtype=np.int64)
+    row_pointers = np.concatenate(([0], np.cumsum(degrees)))
+    return CSRMatrix.from_arrays(row_pointers, columns)
+
+
+def power_law_graph(
+    n_nodes: int, nnz: int, max_degree: int, seed: int = 0
+) -> CSRMatrix:
+    """A power-law graph matching ``(n_nodes, nnz, max_degree)`` exactly."""
+    degrees = power_law_degree_sequence(n_nodes, nnz, max_degree, seed)
+    return graph_from_degree_sequence(degrees, seed=seed + 1, skewed_targets=True)
+
+
+def regular_graph(
+    n_nodes: int, nnz: int, max_degree: int, seed: int = 0
+) -> CSRMatrix:
+    """A structured (near-regular) graph matching the target statistics."""
+    degrees = structured_degree_sequence(n_nodes, nnz, max_degree, seed)
+    return graph_from_degree_sequence(degrees, seed=seed + 1, skewed_targets=False)
+
+
+def erdos_renyi_graph(n_nodes: int, p: float, seed: int = 0) -> CSRMatrix:
+    """Erdős–Rényi ``G(n, p)`` directed graph (binomial row lengths)."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    degrees = rng.binomial(n_nodes, p, size=n_nodes).astype(np.int64)
+    return graph_from_degree_sequence(degrees, seed=seed + 1, skewed_targets=False)
+
+
+def barabasi_albert_graph(n_nodes: int, m_edges: int, seed: int = 0) -> CSRMatrix:
+    """Barabási–Albert preferential attachment (undirected, symmetrized).
+
+    Each new node attaches to ``m_edges`` existing nodes chosen by the
+    repeated-nodes trick (uniform sampling from the running endpoint list),
+    which realizes linear preferential attachment.
+    """
+    if m_edges < 1 or m_edges >= n_nodes:
+        raise ValueError("need 1 <= m_edges < n_nodes")
+    rng = np.random.default_rng(seed)
+    endpoints: list[int] = list(range(m_edges))
+    sources: list[int] = []
+    targets: list[int] = []
+    for node in range(m_edges, n_nodes):
+        picks = set()
+        while len(picks) < m_edges:
+            picks.add(endpoints[rng.integers(0, len(endpoints))])
+        for target in picks:
+            sources.append(node)
+            targets.append(target)
+            endpoints.append(node)
+            endpoints.append(target)
+    rows = np.array(sources + targets, dtype=np.int64)
+    cols = np.array(targets + sources, dtype=np.int64)
+    from repro.formats import COOMatrix
+
+    return COOMatrix(
+        n_rows=n_nodes,
+        n_cols=n_nodes,
+        rows=rows,
+        cols=cols,
+        values=np.ones(len(rows)),
+    ).deduplicate().to_csr()
+
+
+def stochastic_block_model(
+    sizes: "list[int]",
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> CSRMatrix:
+    """Stochastic block model: dense-within, sparse-between communities.
+
+    The classic planted-community benchmark used by the node-
+    classification example: a GCN aggregating over such a graph separates
+    the blocks easily, so training accuracy is a meaningful signal.
+
+    Args:
+        sizes: Community sizes (their sum is the node count).
+        p_in: Edge probability inside a community.
+        p_out: Edge probability between communities.
+        seed: RNG seed.
+    """
+    if not sizes or any(s < 1 for s in sizes):
+        raise ValueError("sizes must be non-empty positive integers")
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise ValueError("need 0 <= p_out <= p_in <= 1")
+    rng = np.random.default_rng(seed)
+    boundaries = np.concatenate(([0], np.cumsum(sizes)))
+    n = int(boundaries[-1])
+    blocks = []
+    for i in range(len(sizes)):
+        row_blocks = []
+        for j in range(len(sizes)):
+            p = p_in if i == j else p_out
+            row_blocks.append(rng.random((sizes[i], sizes[j])) < p)
+        blocks.append(np.concatenate(row_blocks, axis=1))
+    dense = np.concatenate(blocks, axis=0)
+    np.fill_diagonal(dense, False)
+    return CSRMatrix.from_dense(dense.astype(np.float64))
+
+
+def block_labels(sizes: "list[int]") -> np.ndarray:
+    """Ground-truth community label per node for an SBM graph."""
+    return np.repeat(np.arange(len(sizes)), sizes)
+
+
+def rmat_graph(
+    scale: int,
+    nnz: int,
+    seed: int = 0,
+    probabilities: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+) -> CSRMatrix:
+    """R-MAT recursive-matrix graph with ``2**scale`` nodes.
+
+    The Graph500-style quadrant probabilities default to the standard
+    ``(0.57, 0.19, 0.19, 0.05)`` which yields strong power-law behaviour.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    a, b, c, d = probabilities
+    if not np.isclose(a + b + c + d, 1.0):
+        raise ValueError("quadrant probabilities must sum to 1")
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    rows = np.zeros(nnz, dtype=np.int64)
+    cols = np.zeros(nnz, dtype=np.int64)
+    thresholds = np.cumsum([a, b, c])
+    for _ in range(scale):
+        draw = rng.random(nnz)
+        quadrant = np.searchsorted(thresholds, draw, side="right")
+        rows = rows * 2 + (quadrant >= 2)
+        cols = cols * 2 + (quadrant % 2)
+    from repro.formats import COOMatrix
+
+    return COOMatrix(
+        n_rows=n, n_cols=n, rows=rows, cols=cols, values=np.ones(nnz)
+    ).to_csr()

@@ -1,0 +1,108 @@
+"""Graph reordering strategies.
+
+The paper stresses that MergePath-SpMM "requires no preprocessing,
+reordering, or extension of the sparse input matrix" — unlike several
+accelerator frameworks that reorder rows to tame load imbalance.  This
+module implements the common reorderings so that claim can be *tested*:
+the merge-path schedule's load-balance statistics are invariant under
+permutation, while row-splitting's imbalance changes dramatically.
+
+Implemented orderings:
+
+* :func:`degree_sort_order` — rows by descending degree (clusters evil
+  rows; what AWB-GCN-like designs benefit from);
+* :func:`bfs_order` — breadth-first (Cuthill-McKee-style locality);
+* :func:`random_order` — seeded shuffle (destroys locality; a control).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+
+
+def permute_rows_and_columns(matrix: CSRMatrix, order: np.ndarray) -> CSRMatrix:
+    """Symmetric permutation: row/column ``order[i]`` becomes ``i``.
+
+    Args:
+        matrix: Square CSR matrix.
+        order: Permutation of ``range(n_rows)``: the old index placed at
+            each new position.
+
+    Returns:
+        The permuted matrix (both rows and columns relabeled).
+    """
+    order = np.asarray(order, dtype=np.int64)
+    n = matrix.n_rows
+    if matrix.n_cols != n:
+        raise ValueError("symmetric permutation requires a square matrix")
+    if sorted(order.tolist()) != list(range(n)):
+        raise ValueError("order must be a permutation of range(n_rows)")
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.arange(n)
+    lengths = matrix.row_lengths[order]
+    row_pointers = np.concatenate(([0], np.cumsum(lengths)))
+    column_indices = np.empty(matrix.nnz, dtype=np.int64)
+    values = np.empty(matrix.nnz, dtype=np.float64)
+    for new_row, old_row in enumerate(order):
+        lo, hi = matrix.row_pointers[old_row], matrix.row_pointers[old_row + 1]
+        dst = row_pointers[new_row]
+        column_indices[dst: dst + hi - lo] = inverse[
+            matrix.column_indices[lo:hi]
+        ]
+        values[dst: dst + hi - lo] = matrix.values[lo:hi]
+    return CSRMatrix(
+        n_rows=n,
+        n_cols=n,
+        row_pointers=row_pointers,
+        column_indices=column_indices,
+        values=values,
+    )
+
+
+def degree_sort_order(matrix: CSRMatrix, descending: bool = True) -> np.ndarray:
+    """Row order by degree (stable)."""
+    lengths = matrix.row_lengths
+    order = np.argsort(-lengths if descending else lengths, kind="stable")
+    return order.astype(np.int64)
+
+
+def bfs_order(matrix: CSRMatrix, start: int = 0) -> np.ndarray:
+    """Breadth-first row order, restarting at unvisited nodes.
+
+    A light-weight Cuthill-McKee relative: neighbours are visited in
+    column order, giving the banded locality reordering frameworks use.
+    """
+    n = matrix.n_rows
+    if not 0 <= start < max(n, 1):
+        raise ValueError(f"start {start} out of range [0, {n})")
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    count = 0
+    queue: deque[int] = deque()
+    for seed in [start] + [i for i in range(n) if i != start]:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue.append(seed)
+        while queue:
+            node = queue.popleft()
+            order[count] = node
+            count += 1
+            cols, _ = matrix.row_slice(node)
+            for neighbour in cols:
+                if not visited[neighbour]:
+                    visited[neighbour] = True
+                    queue.append(int(neighbour))
+    return order
+
+
+def random_order(matrix: CSRMatrix, seed: int = 0) -> np.ndarray:
+    """A seeded random permutation of the rows."""
+    rng = np.random.default_rng(seed)
+    order = np.arange(matrix.n_rows, dtype=np.int64)
+    rng.shuffle(order)
+    return order

@@ -1,0 +1,78 @@
+"""Large-core-count multicore simulator (Table I machine).
+
+A from-scratch, trace-driven reimplementation of the evaluation
+methodology the paper borrows from the MIT Graphite simulator: up to 1024
+single-threaded in-order RISC-V-style cores, each with a private L1 and a
+slice of a physically distributed shared L2, kept coherent by an
+invalidation-based MESI directory with limited-4 sharer pointers, connected
+by a 2-D mesh NoC with X-Y routing, and backed by distributed memory
+controllers (DESIGN.md §1).
+
+Traces are generated from the *actual* SpMM schedules
+(:mod:`repro.multicore.trace`), so load imbalance, coherence traffic on
+atomically updated output rows, and NoC/DRAM pressure all emerge from the
+algorithms rather than being assumed.
+
+Modules:
+
+* :mod:`repro.multicore.config` — Table I machine description + scaling
+  rules for lower core counts.
+* :mod:`repro.multicore.cache` — set-associative LRU cache model.
+* :mod:`repro.multicore.directory` — MESI directory with limited pointers.
+* :mod:`repro.multicore.noc` — 2-D mesh with X-Y routing and link
+  contention accounting.
+* :mod:`repro.multicore.dram` — memory controllers and DRAM timing.
+* :mod:`repro.multicore.trace` — per-thread memory/compute traces from
+  SpMM schedules.
+* :mod:`repro.multicore.system` — the interval simulator tying it together.
+* :mod:`repro.multicore.kernels` — one-call runners for MergePath-SpMM and
+  GNNAdvisor on the modeled machine.
+"""
+
+from repro.multicore.config import (
+    CacheConfig,
+    DramConfig,
+    MachineConfig,
+    NocConfig,
+    table1_machine,
+)
+from repro.multicore.system import MulticoreSystem, SimulationResult
+from repro.multicore.trace import (
+    ThreadTrace,
+    gnnadvisor_traces,
+    mergepath_traces,
+    row_splitting_traces,
+)
+from repro.multicore.kernels import (
+    run_gnnadvisor,
+    run_mergepath,
+    run_row_splitting,
+)
+from repro.multicore.sweep import ScalingCurve, sweep_core_counts
+from repro.multicore.locality import (
+    apply_placement,
+    linear_placement,
+    tile_placement,
+)
+
+__all__ = [
+    "CacheConfig",
+    "DramConfig",
+    "MachineConfig",
+    "MulticoreSystem",
+    "NocConfig",
+    "ScalingCurve",
+    "SimulationResult",
+    "ThreadTrace",
+    "apply_placement",
+    "linear_placement",
+    "sweep_core_counts",
+    "tile_placement",
+    "gnnadvisor_traces",
+    "mergepath_traces",
+    "row_splitting_traces",
+    "run_gnnadvisor",
+    "run_mergepath",
+    "run_row_splitting",
+    "table1_machine",
+]

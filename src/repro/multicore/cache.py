@@ -1,0 +1,99 @@
+"""Set-associative LRU cache model.
+
+Line-granular and functional-free: the cache tracks which line tags are
+present, not their data.  Used for both the private L1s and the shared-L2
+slices of the multicore simulator.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.multicore.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Addresses are *line* addresses (byte address // line size); the caller
+    performs the division once so the hot path stays cheap.
+
+    Args:
+        config: Geometry (size, associativity, line size).
+    """
+
+    __slots__ = ("config", "n_sets", "associativity", "_sets", "stats")
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.associativity = config.associativity
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    def access(self, line: int) -> bool:
+        """Touch ``line``; return True on hit.  Misses insert the line.
+
+        Returns:
+            Whether the line was present (LRU state is updated either way;
+            an eviction may occur on miss).
+        """
+        return self.access_with_victim(line)[0]
+
+    def access_with_victim(self, line: int) -> "tuple[bool, int | None]":
+        """Like :meth:`access`, also reporting the evicted line (if any).
+
+        Returns:
+            ``(hit, victim)`` — ``victim`` is the line evicted to make
+            room, or ``None`` on a hit or a non-evicting fill.
+        """
+        target = self._sets[line % self.n_sets]
+        if line in target:
+            target.move_to_end(line)
+            self.stats.hits += 1
+            return True, None
+        self.stats.misses += 1
+        target[line] = None
+        victim = None
+        if len(target) > self.associativity:
+            victim, _ = target.popitem(last=False)
+            self.stats.evictions += 1
+        return False, victim
+
+    def contains(self, line: int) -> bool:
+        """Whether ``line`` is present (no LRU update, no counters)."""
+        return line in self._sets[line % self.n_sets]
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present; return whether it was present."""
+        target = self._sets[line % self.n_sets]
+        if line in target:
+            del target[line]
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Empty the cache and zero the counters."""
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,151 @@
+"""Machine configuration for the multicore simulator (paper Table I).
+
+The reference machine is 1024 single-threaded in-order cores at 1 GHz,
+4 KB 4-way private L1-I/L1-D (1 cycle), a shared L2 built from 8 KB
+per-core slices (8 MB total), an invalidation-based MESI directory with
+limited-4 sharer pointers, 32 memory controllers in front of 320 GB/s /
+100 ns DRAM, and an electrical 2-D mesh with X-Y routing, 2-cycle hops
+(1 router + 1 link), 64-bit flits and link-only contention.
+
+Scaling rules for smaller core counts follow Section V-D: total cache
+capacity is held constant by growing the per-core slice, memory
+controllers shrink with the core count, and total DRAM bandwidth stays
+fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level's geometry.
+
+    Attributes:
+        size_bytes: Total capacity of this cache (per core for L1, per
+            slice for L2).
+        associativity: Ways per set.
+        line_bytes: Cache-line size.
+        hit_cycles: Access latency on a hit.
+    """
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    hit_cycles: int = 1
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return max(1, self.n_lines // self.associativity)
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """2-D mesh network parameters.
+
+    Attributes:
+        hop_cycles: Latency per hop (1 router + 1 link in Table I).
+        flit_bits: Link width; a 64-byte line payload is 8 flits.
+        link_contention: Whether to model link queueing delays.
+    """
+
+    hop_cycles: int = 2
+    flit_bits: int = 64
+    link_contention: bool = True
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Memory subsystem parameters.
+
+    Attributes:
+        n_controllers: Memory controllers at the chip boundary.
+        latency_ns: DRAM access latency.
+        bandwidth_gbps: Total DRAM bandwidth (held constant across core
+            counts).
+    """
+
+    n_controllers: int = 32
+    latency_ns: float = 100.0
+    bandwidth_gbps: float = 320.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full Table I machine.
+
+    Attributes:
+        n_cores: Core count (power of four yields a square mesh, but any
+            count is accepted — the mesh is the smallest enclosing
+            rectangle).
+        clock_ghz: Core clock.
+        l1: Private L1-D configuration (L1-I is not simulated: the SpMM
+            kernels' code footprint trivially fits 4 KB).
+        l2_slice: Per-core shared-L2 slice configuration.
+        directory_pointers: Sharer pointers per directory entry
+            (limited-4 in Table I).
+        simd_width: 16-bit vector lanes per core (4 in Section IV-B).
+        noc: Mesh parameters.
+        dram: Memory subsystem parameters.
+    """
+
+    n_cores: int = 1024
+    clock_ghz: float = 1.0
+    l1: CacheConfig = CacheConfig(size_bytes=4 * 1024, associativity=4)
+    l2_slice: CacheConfig = CacheConfig(
+        size_bytes=8 * 1024, associativity=8, hit_cycles=8
+    )
+    directory_pointers: int = 4
+    simd_width: int = 4
+    noc: NocConfig = NocConfig()
+    dram: DramConfig = DramConfig()
+
+    @property
+    def mesh_width(self) -> int:
+        return int(math.ceil(math.sqrt(self.n_cores)))
+
+    @property
+    def mesh_height(self) -> int:
+        return int(math.ceil(self.n_cores / self.mesh_width))
+
+    @property
+    def dram_latency_cycles(self) -> float:
+        return self.dram.latency_ns * self.clock_ghz
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram.bandwidth_gbps / self.clock_ghz
+
+    @property
+    def total_l2_bytes(self) -> int:
+        return self.l2_slice.size_bytes * self.n_cores
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / (self.clock_ghz * 1e9)
+
+
+def table1_machine(n_cores: int = 1024) -> MachineConfig:
+    """The Table I machine scaled to ``n_cores`` (Section V-D rules).
+
+    * total shared-L2 capacity stays at 8 MB (per-core slices grow as the
+      core count shrinks);
+    * memory controllers scale down proportionally (min 1);
+    * total DRAM bandwidth stays at 320 GB/s.
+    """
+    if n_cores < 1:
+        raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+    base = MachineConfig()
+    slice_bytes = base.l2_slice.size_bytes * base.n_cores // n_cores
+    controllers = max(1, base.dram.n_controllers * n_cores // base.n_cores)
+    return replace(
+        base,
+        n_cores=n_cores,
+        l2_slice=replace(base.l2_slice, size_bytes=slice_bytes),
+        dram=replace(base.dram, n_controllers=controllers),
+    )

@@ -1,0 +1,105 @@
+"""Invalidation-based MESI directory with limited sharer pointers.
+
+Each cache line's directory entry lives at its home L2 slice and tracks up
+to ``n_pointers`` sharers (Table I: limited-4) plus an exclusive owner.
+When a fifth sharer arrives, one existing sharer is invalidated to free a
+pointer — the classic limited-directory behaviour.  Writes (including the
+atomic read-modify-writes of partial-row updates) invalidate every sharer
+and take exclusive ownership; this is the serialization mechanism that
+makes indiscriminate atomics expensive at high core counts (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DirectoryStats:
+    """Coherence event counters."""
+
+    read_misses: int = 0
+    write_misses: int = 0
+    invalidations_sent: int = 0
+    downgrades: int = 0
+    pointer_evictions: int = 0
+
+
+class Directory:
+    """Directory state for all lines, with limited sharer pointers.
+
+    Args:
+        n_pointers: Maximum sharers tracked per line before pointer
+            eviction kicks in.
+    """
+
+    __slots__ = ("n_pointers", "_sharers", "_owner", "stats")
+
+    def __init__(self, n_pointers: int = 4) -> None:
+        if n_pointers < 1:
+            raise ValueError(f"n_pointers must be >= 1, got {n_pointers}")
+        self.n_pointers = n_pointers
+        self._sharers: dict[int, list[int]] = {}
+        self._owner: dict[int, int] = {}
+        self.stats = DirectoryStats()
+
+    def sharers_of(self, line: int) -> tuple[int, ...]:
+        """Current sharers of ``line`` (read-only view)."""
+        return tuple(self._sharers.get(line, ()))
+
+    def owner_of(self, line: int) -> int | None:
+        """Exclusive owner of ``line``, if any."""
+        return self._owner.get(line)
+
+    def read(self, line: int, core: int) -> tuple[bool, list[int]]:
+        """Record a read of ``line`` by ``core``.
+
+        Returns:
+            ``(owner_downgraded, invalidated_cores)`` — whether a remote
+            exclusive owner had to be downgraded (dirty forwarding), and
+            which sharers lost their copy to pointer eviction.
+        """
+        owner = self._owner.get(line)
+        downgraded = False
+        if owner is not None and owner != core:
+            # Remote M/E copy: downgrade to shared, data forwarded.
+            del self._owner[line]
+            self._sharers.setdefault(line, [])
+            if owner not in self._sharers[line]:
+                self._sharers[line].append(owner)
+            self.stats.downgrades += 1
+            downgraded = True
+        sharers = self._sharers.setdefault(line, [])
+        invalidated: list[int] = []
+        if core not in sharers:
+            if len(sharers) >= self.n_pointers:
+                victim = sharers.pop(0)
+                invalidated.append(victim)
+                self.stats.pointer_evictions += 1
+                self.stats.invalidations_sent += 1
+            sharers.append(core)
+        return downgraded, invalidated
+
+    def write(self, line: int, core: int) -> list[int]:
+        """Record a write of ``line`` by ``core``; take exclusive ownership.
+
+        Returns:
+            Cores whose copies were invalidated (remote sharers and any
+            remote exclusive owner).
+        """
+        invalidated: list[int] = []
+        owner = self._owner.get(line)
+        if owner is not None and owner != core:
+            invalidated.append(owner)
+        for sharer in self._sharers.get(line, ()):
+            if sharer != core and sharer not in invalidated:
+                invalidated.append(sharer)
+        self._sharers[line] = []
+        self._owner[line] = core
+        self.stats.invalidations_sent += len(invalidated)
+        return invalidated
+
+    def drop(self, line: int) -> None:
+        """Forget all state for ``line`` (L2 eviction)."""
+        self._sharers.pop(line, None)
+        self._owner.pop(line, None)

@@ -1,0 +1,48 @@
+"""Memory controllers and DRAM timing.
+
+Table I: 32 distributed controllers at the chip boundary, 100 ns access
+latency, 320 GB/s aggregate bandwidth (held constant as core counts
+scale).  Lines are address-interleaved across controllers; queueing delay
+is modeled from aggregate bandwidth utilization over the simulated
+interval, mirroring the link-contention treatment in
+:mod:`repro.multicore.noc`.
+"""
+
+from __future__ import annotations
+
+from repro.multicore.config import MachineConfig
+
+
+class DramModel:
+    """DRAM access accounting for one simulation.
+
+    Args:
+        machine: Machine configuration.
+    """
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.accesses = 0
+        self.bytes_transferred = 0.0
+
+    def controller_of(self, line: int) -> int:
+        """Home memory controller of a line (address-interleaved)."""
+        return line % self.machine.dram.n_controllers
+
+    def record_access(self, line_bytes: int) -> float:
+        """Account one line fill/writeback; return uncontended latency."""
+        self.accesses += 1
+        self.bytes_transferred += line_bytes
+        return self.machine.dram_latency_cycles
+
+    def queueing_factor(self, interval_cycles: float) -> float:
+        """Latency inflation from bandwidth utilization over an interval."""
+        if interval_cycles <= 0:
+            return 1.0
+        peak = self.machine.dram_bytes_per_cycle * interval_cycles
+        rho = min(0.95, self.bytes_transferred / peak) if peak > 0 else 0.0
+        return 1.0 + rho / (2.0 * (1.0 - rho))
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.bytes_transferred = 0.0

@@ -1,0 +1,72 @@
+"""One-call multicore kernel runners for the Figure 9 experiments.
+
+Each runner builds the algorithm's schedule with a one-to-one
+thread-to-core mapping (Section V-D), generates traces, and simulates the
+Table I machine at the requested core count.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.neighbor_groups import NeighborGroupSchedule
+from repro.baselines.row_splitting import RowSplitSchedule
+from repro.core.schedule import MergePathSchedule
+from repro.formats import CSRMatrix
+from repro.multicore.config import table1_machine
+from repro.multicore.system import MulticoreSystem, SimulationResult
+from repro.multicore.trace import (
+    gnnadvisor_traces,
+    mergepath_traces,
+    row_splitting_traces,
+)
+
+
+def run_mergepath(
+    matrix: CSRMatrix,
+    dim: int,
+    n_cores: int,
+    quantum: int = 256,
+) -> SimulationResult:
+    """Simulate MergePath-SpMM with one merge-path thread per core.
+
+    With the thread count pinned to the core count, the merge-path cost
+    scales with the input size (Section V-D's observation), so larger
+    graphs see fewer partial rows per core.
+    """
+    machine = table1_machine(n_cores)
+    schedule = MergePathSchedule(matrix, n_cores)
+    traces = mergepath_traces(schedule, dim, simd_width=machine.simd_width)
+    return MulticoreSystem(machine).run(traces, quantum=quantum)
+
+
+def run_row_splitting(
+    matrix: CSRMatrix,
+    dim: int,
+    n_cores: int,
+    quantum: int = 256,
+) -> SimulationResult:
+    """Simulate row-splitting with one contiguous row chunk per core.
+
+    The hardware-accelerator baseline strategy: no synchronization at all,
+    but on power-law inputs the core holding the evil rows becomes the
+    completion-time bottleneck.
+    """
+    machine = table1_machine(n_cores)
+    schedule = RowSplitSchedule.build(matrix, n_cores)
+    traces = row_splitting_traces(schedule, dim, simd_width=machine.simd_width)
+    return MulticoreSystem(machine).run(traces, quantum=quantum)
+
+
+def run_gnnadvisor(
+    matrix: CSRMatrix,
+    dim: int,
+    n_cores: int,
+    group_size: int | None = None,
+    quantum: int = 256,
+) -> SimulationResult:
+    """Simulate GNNAdvisor with neighbor groups dealt across the cores."""
+    machine = table1_machine(n_cores)
+    schedule = NeighborGroupSchedule.build(matrix, group_size)
+    traces = gnnadvisor_traces(
+        schedule, dim, n_cores, simd_width=machine.simd_width
+    )
+    return MulticoreSystem(machine).run(traces, quantum=quantum)

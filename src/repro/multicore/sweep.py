@@ -1,0 +1,102 @@
+"""Core-count sweeps on the multicore machine.
+
+Reusable machinery behind Figure 9: run a kernel across a range of core
+counts, collect normalized completion times and the compute/memory
+breakdowns, and expose the scaling summary the paper discusses in
+Section V-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+from repro.multicore.kernels import run_gnnadvisor, run_mergepath
+from repro.multicore.system import SimulationResult
+
+RUNNERS: dict[str, Callable[..., SimulationResult]] = {
+    "mergepath": run_mergepath,
+    "gnnadvisor": run_gnnadvisor,
+}
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """One kernel's scaling behaviour over a core-count sweep.
+
+    Attributes:
+        kernel: Kernel name.
+        core_counts: Swept core counts, ascending.
+        completion_cycles: Absolute completion time per core count.
+        compute_cycles: Compute component of the slowest core, per count.
+        memory_cycles: Memory-stall component of the slowest core.
+    """
+
+    kernel: str
+    core_counts: tuple[int, ...]
+    completion_cycles: np.ndarray
+    compute_cycles: np.ndarray
+    memory_cycles: np.ndarray
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Completion time normalized to the smallest core count."""
+        return self.completion_cycles / self.completion_cycles[0]
+
+    @property
+    def total_speedup(self) -> float:
+        """Speedup from the smallest to the largest core count."""
+        return float(self.completion_cycles[0] / self.completion_cycles[-1])
+
+    @property
+    def compute_speedup(self) -> float:
+        """How well the compute component alone scales."""
+        return float(self.compute_cycles[0] / max(1e-9, self.compute_cycles[-1]))
+
+    @property
+    def memory_speedup(self) -> float:
+        """How well the memory-stall component scales (paper: poorly)."""
+        return float(self.memory_cycles[0] / max(1e-9, self.memory_cycles[-1]))
+
+    def scaling_stalls_after(self, threshold: float = 1.15) -> int | None:
+        """First core count where doubling cores gains < ``threshold``.
+
+        Returns ``None`` when the kernel scales across the whole sweep.
+        """
+        for i in range(len(self.core_counts) - 1):
+            gain = self.completion_cycles[i] / self.completion_cycles[i + 1]
+            if gain < threshold:
+                return self.core_counts[i]
+        return None
+
+
+def sweep_core_counts(
+    matrix: CSRMatrix,
+    kernel: str,
+    core_counts: tuple[int, ...] = (64, 128, 256, 512, 1024),
+    dim: int = 16,
+) -> ScalingCurve:
+    """Run ``kernel`` at every core count and collect its scaling curve.
+
+    Args:
+        matrix: Sparse input.
+        kernel: ``"mergepath"`` or ``"gnnadvisor"``.
+        core_counts: Ascending core counts to sweep.
+        dim: Dense operand width.
+    """
+    if kernel not in RUNNERS:
+        known = ", ".join(sorted(RUNNERS))
+        raise KeyError(f"unknown kernel {kernel!r}; known: {known}")
+    if list(core_counts) != sorted(core_counts) or not core_counts:
+        raise ValueError("core_counts must be a non-empty ascending sequence")
+    results = [RUNNERS[kernel](matrix, dim, cores) for cores in core_counts]
+    return ScalingCurve(
+        kernel=kernel,
+        core_counts=tuple(core_counts),
+        completion_cycles=np.array([r.completion_cycles for r in results]),
+        compute_cycles=np.array([r.compute_cycles for r in results]),
+        memory_cycles=np.array([r.memory_cycles for r in results]),
+    )

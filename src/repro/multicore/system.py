@@ -1,0 +1,252 @@
+"""The multicore interval simulator.
+
+Cores execute their traces in round-robin quanta so that coherence
+interactions interleave realistically (Graphite itself relaxes cycle-level
+synchronization the same way).  Every line access walks the memory
+hierarchy:
+
+* private L1 (1 cycle on hit);
+* the line's home L2 slice across the mesh (slice latency + 2 hops each
+  way, X-Y routed);
+* the MESI directory at the home slice — remote-owner downgrades, limited
+  pointer evictions, and write/atomic invalidations add round trips and
+  drop remote L1 copies;
+* DRAM on L2 miss (100 ns + controller path).
+
+Per-core time = compute cycles + the sum of its access latencies; NoC link
+contention and DRAM bandwidth queueing are applied as fixed-point
+inflation factors over the interval (Table I models link contention only).
+The parallel completion time is the slowest core, and the result keeps the
+compute/memory breakdown the paper discusses in Section V-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.multicore.cache import SetAssociativeCache
+from repro.multicore.config import MachineConfig
+from repro.multicore.directory import Directory, DirectoryStats
+from repro.multicore.dram import DramModel
+from repro.multicore.noc import MeshNetwork
+from repro.multicore.trace import ATOMIC, ThreadTrace
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one multicore kernel simulation.
+
+    Attributes:
+        completion_cycles: Parallel completion time (slowest core), after
+            contention inflation.
+        compute_cycles: Compute component of the slowest core.
+        memory_cycles: Memory-stall component of the slowest core.
+        per_core_cycles: Total cycles per core (post-inflation).
+        l1_hit_rate: Aggregate private-cache hit rate.
+        l2_hit_rate: Aggregate shared-slice hit rate (of L1 misses).
+        dram_accesses: Line fills from memory.
+        directory: Coherence event counters.
+        noc_contention_factor: Applied link-queueing inflation.
+        dram_queueing_factor: Applied DRAM-bandwidth inflation.
+    """
+
+    completion_cycles: float
+    compute_cycles: float
+    memory_cycles: float
+    per_core_cycles: np.ndarray
+    l1_hit_rate: float
+    l2_hit_rate: float
+    dram_accesses: int
+    directory: DirectoryStats
+    noc_contention_factor: float
+    dram_queueing_factor: float
+
+    @property
+    def completion_seconds(self) -> float:
+        """Completion time assuming the Table I 1 GHz clock."""
+        return self.completion_cycles / 1e9
+
+
+class MulticoreSystem:
+    """The Table I machine, ready to run per-core traces.
+
+    Args:
+        machine: Machine configuration (see
+            :func:`repro.multicore.config.table1_machine`).
+    """
+
+    def __init__(self, machine: MachineConfig) -> None:
+        self.machine = machine
+        self.l1s = [SetAssociativeCache(machine.l1) for _ in range(machine.n_cores)]
+        self.l2_slices = [
+            SetAssociativeCache(machine.l2_slice) for _ in range(machine.n_cores)
+        ]
+        self.directory = Directory(machine.directory_pointers)
+        self.noc = MeshNetwork(machine)
+        self.dram = DramModel(machine)
+
+    def home_slice(self, line: int) -> int:
+        """Home L2 slice of a line (address-interleaved)."""
+        return line % self.machine.n_cores
+
+    # ------------------------------------------------------------------
+    def run(self, traces: list[ThreadTrace], quantum: int = 256) -> SimulationResult:
+        """Execute one trace per core and return timing + statistics.
+
+        Args:
+            traces: One :class:`ThreadTrace` per core; fewer traces than
+                cores leaves the remaining cores idle.
+            quantum: Accesses each core advances per round-robin turn.
+        """
+        machine = self.machine
+        n_cores = machine.n_cores
+        if len(traces) > n_cores:
+            raise ValueError(
+                f"{len(traces)} traces for {n_cores} cores; fold threads "
+                "into cores before simulation"
+            )
+        hop_cycles = machine.noc.hop_cycles
+        l1_cycles = machine.l1.hit_cycles
+        l2_cycles = machine.l2_slice.hit_cycles
+        dram_cycles = machine.dram_latency_cycles
+        width = machine.mesh_width
+        line_bytes = machine.l1.line_bytes
+        header_flits = 1
+        line_flits = 1 + line_bytes * 8 // machine.noc.flit_bits
+
+        mem_cycles = np.zeros(n_cores)
+        positions = [0] * n_cores
+        l1s = self.l1s
+        l2s = self.l2_slices
+        directory = self.directory
+        dram = self.dram
+        flit_hops_total = 0.0
+        # Atomic read-modify-writes to the same line serialize: ownership
+        # ping-pongs through the directory, so the k-th RMW waits for k-1
+        # predecessors.  Service time per RMW is the slice access plus an
+        # average-distance ownership transfer across the mesh.
+        atomic_seq: dict[int, int] = {}
+        avg_hops = (width + machine.mesh_height) / 3.0
+        # Service = dirty forwarding from the previous owner plus the new
+        # owner's request round trip (two mesh crossings end to end).
+        rmw_service = 2.0 * (l2_cycles + 2.0 * hop_cycles * avg_hops)
+
+        active = [c for c in range(len(traces)) if traces[c].n_accesses]
+        while active:
+            still_active = []
+            for core in active:
+                trace = traces[core]
+                lines = trace.lines
+                kinds = trace.kinds
+                pos = positions[core]
+                end = min(pos + quantum, len(lines))
+                latency_acc = 0.0
+                l1 = l1s[core]
+                cx, cy = core % width, core // width
+                for i in range(pos, end):
+                    line = int(lines[i])
+                    kind = kinds[i]
+                    if kind == 0 and l1.access(line):
+                        latency_acc += l1_cycles
+                        continue
+                    # L1 miss (all writes go through to the home slice:
+                    # the output is write-coalesced there, and atomics are
+                    # RMWs at the directory).
+                    if kind == 0:
+                        pass
+                    else:
+                        l1.access(line)  # allocate locally as well
+                    home = line % n_cores
+                    hops = abs(cx - home % width) + abs(cy - home // width)
+                    trip = 2 * hops * hop_cycles
+                    flit_hops_total += hops * (header_flits + line_flits)
+                    latency = l1_cycles + trip + l2_cycles
+                    l2_hit, evicted_line = l2s[home].access_with_victim(line)
+                    if not l2_hit:
+                        latency += dram.record_access(line_bytes)
+                        if evicted_line is not None:
+                            # The L2 eviction retires the victim's
+                            # directory entry; its L1 copies are recalled
+                            # (off the critical path, so no latency).
+                            for sharer in directory.sharers_of(evicted_line):
+                                l1s[sharer].invalidate(evicted_line)
+                            owner = directory.owner_of(evicted_line)
+                            if owner is not None:
+                                l1s[owner].invalidate(evicted_line)
+                            directory.drop(evicted_line)
+                    if kind == 0:
+                        downgraded, evicted = directory.read(line, core)
+                        if downgraded:
+                            latency += 2 * hop_cycles  # owner forwarding
+                        for victim in evicted:
+                            l1s[victim].invalidate(line)
+                    else:
+                        invalidated = directory.write(line, core)
+                        if invalidated:
+                            # Invalidation round trip to the farthest
+                            # sharer gates the write's completion.
+                            worst = 0
+                            for victim in invalidated:
+                                l1s[victim].invalidate(line)
+                                vh = abs(
+                                    home % width - victim % width
+                                ) + abs(home // width - victim // width)
+                                if vh > worst:
+                                    worst = vh
+                            latency += 2 * worst * hop_cycles
+                            flit_hops_total += worst * header_flits * 2
+                        if kind == ATOMIC:
+                            # Read-modify-write at the home slice, queued
+                            # behind every earlier RMW to this line.
+                            prior = atomic_seq.get(line, 0)
+                            atomic_seq[line] = prior + 1
+                            latency += l2_cycles + prior * rmw_service
+                    latency_acc += latency
+                mem_cycles[core] += latency_acc
+                positions[core] = end
+                if end < len(lines):
+                    still_active.append(core)
+            active = still_active
+
+        compute = np.zeros(n_cores)
+        for core, trace in enumerate(traces):
+            compute[core] = trace.compute_cycles
+
+        # Fixed-point contention inflation: utilization over the interval
+        # inflates memory stalls, which lengthens the interval, which
+        # lowers utilization; two iterations converge closely.
+        total = compute + mem_cycles
+        interval = float(total.max(initial=1.0))
+        noc_factor = dram_factor = 1.0
+        n_links = max(1, 2 * (2 * width * (width - 1)))
+        for _ in range(2):
+            rho_noc = min(0.95, 3.0 * flit_hops_total / (n_links * interval))
+            noc_factor = 1.0 + rho_noc / (2.0 * (1.0 - rho_noc))
+            dram_factor = self.dram.queueing_factor(interval)
+            inflated = compute + mem_cycles * noc_factor * dram_factor
+            interval = float(inflated.max(initial=1.0))
+        per_core = compute + mem_cycles * noc_factor * dram_factor
+
+        slowest = int(np.argmax(per_core)) if n_cores else 0
+        l1_hits = sum(c.stats.hits for c in l1s)
+        l1_total = sum(c.stats.accesses for c in l1s)
+        l2_hits = sum(c.stats.hits for c in l2s)
+        l2_total = sum(c.stats.accesses for c in l2s)
+        return SimulationResult(
+            completion_cycles=float(per_core.max(initial=0.0)),
+            compute_cycles=float(compute[slowest]) if n_cores else 0.0,
+            memory_cycles=(
+                float(mem_cycles[slowest] * noc_factor * dram_factor)
+                if n_cores
+                else 0.0
+            ),
+            per_core_cycles=per_core,
+            l1_hit_rate=l1_hits / l1_total if l1_total else 0.0,
+            l2_hit_rate=l2_hits / l2_total if l2_total else 0.0,
+            dram_accesses=self.dram.accesses,
+            directory=self.directory.stats,
+            noc_contention_factor=noc_factor,
+            dram_queueing_factor=dram_factor,
+        )

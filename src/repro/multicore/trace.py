@@ -1,0 +1,302 @@
+"""Per-thread memory/compute traces generated from real SpMM schedules.
+
+A :class:`ThreadTrace` is the unit of work one core executes: a sequence
+of cache-line accesses (reads of the CSR arrays and the dense operand,
+regular or atomic writes of the output) plus the thread's total compute
+cycles.  Traces are derived from the same schedules the GPU model uses —
+:class:`~repro.core.schedule.MergePathSchedule` for MergePath-SpMM and
+:class:`~repro.baselines.neighbor_groups.NeighborGroupSchedule` for
+GNNAdvisor — so the multicore results inherit the genuine load-balance and
+synchronization structure of each algorithm.
+
+Consecutive duplicate line accesses (e.g. sixteen ``CP`` indices sharing a
+line) are collapsed at generation time: they would hit L1 unconditionally
+and only slow the simulator down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.neighbor_groups import NeighborGroupSchedule
+from repro.core.schedule import MergePathSchedule
+from repro.core.spmm import write_segments
+from repro.formats import CSRMatrix
+
+READ = 0
+WRITE = 1
+ATOMIC = 2
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Line-granular layout of the kernel's data structures.
+
+    Regions (row pointers, column indices, values, dense operand, output)
+    are laid out back to back; dense rows are line-aligned so one XW row
+    of ``dim <= 16`` floats occupies exactly one 64-byte line.
+    """
+
+    n_rows: int
+    nnz: int
+    dim: int
+    line_bytes: int = 64
+
+    @property
+    def ints_per_line(self) -> int:
+        return self.line_bytes // 4  # 4-byte indices/values
+
+    @property
+    def lines_per_dense_row(self) -> int:
+        return max(1, -(-self.dim * 4 // self.line_bytes))
+
+    @property
+    def rp_base(self) -> int:
+        return 0
+
+    @property
+    def cp_base(self) -> int:
+        return self.rp_base + -(-(self.n_rows + 1) // self.ints_per_line)
+
+    @property
+    def val_base(self) -> int:
+        return self.cp_base + -(-self.nnz // self.ints_per_line)
+
+    @property
+    def xw_base(self) -> int:
+        return self.val_base + -(-self.nnz // self.ints_per_line)
+
+    @property
+    def out_base(self) -> int:
+        return self.xw_base + self.n_rows * self.lines_per_dense_row
+
+    @property
+    def total_lines(self) -> int:
+        return self.out_base + self.n_rows * self.lines_per_dense_row
+
+    def rp_line(self, row: "np.ndarray | int") -> "np.ndarray | int":
+        return self.rp_base + row // self.ints_per_line
+
+    def cp_line(self, j: "np.ndarray | int") -> "np.ndarray | int":
+        return self.cp_base + j // self.ints_per_line
+
+    def val_line(self, j: "np.ndarray | int") -> "np.ndarray | int":
+        return self.val_base + j // self.ints_per_line
+
+    def xw_first_line(self, col: "np.ndarray | int") -> "np.ndarray | int":
+        return self.xw_base + col * self.lines_per_dense_row
+
+    def out_first_line(self, row: "np.ndarray | int") -> "np.ndarray | int":
+        return self.out_base + row * self.lines_per_dense_row
+
+
+@dataclass(frozen=True)
+class ThreadTrace:
+    """One core's work: line accesses plus aggregate compute cycles."""
+
+    lines: np.ndarray
+    kinds: np.ndarray
+    compute_cycles: float
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.lines)
+
+
+def _dedupe_consecutive(lines: np.ndarray, kinds: np.ndarray):
+    """Drop *reads* identical (line and kind) to their predecessor.
+
+    Writes and atomics are never dropped: each is a distinct update
+    operation even when it targets the same line as its predecessor.
+    """
+    if len(lines) == 0:
+        return lines, kinds
+    keep = np.empty(len(lines), dtype=bool)
+    keep[0] = True
+    keep[1:] = (
+        (lines[1:] != lines[:-1])
+        | (kinds[1:] != kinds[:-1])
+        | (kinds[1:] != READ)
+    )
+    return lines[keep], kinds[keep]
+
+
+def _nnz_stream(amap: AddressMap, matrix: CSRMatrix, lo: int, hi: int):
+    """Interleaved CP/value/XW line accesses for non-zeros ``[lo, hi)``."""
+    if hi <= lo:
+        return np.empty(0, dtype=np.int64)
+    j = np.arange(lo, hi, dtype=np.int64)
+    cols = matrix.column_indices[lo:hi]
+    per_nnz = 2 + amap.lines_per_dense_row
+    out = np.empty((hi - lo) * per_nnz, dtype=np.int64)
+    out[0::per_nnz] = amap.cp_line(j)
+    out[1::per_nnz] = amap.val_line(j)
+    first = amap.xw_first_line(cols)
+    for k in range(amap.lines_per_dense_row):
+        out[2 + k::per_nnz] = first + k
+    return out
+
+
+def _compute_cycles(nnz: int, writes: int, dim: int, simd_width: int) -> float:
+    """In-order core compute cycles: SIMD FMAs plus index bookkeeping."""
+    fma = -(-dim // simd_width)
+    return nnz * (fma + 2.0) + writes * fma
+
+
+def _output_accesses(amap: AddressMap, rows: np.ndarray, kind: int):
+    """Write accesses covering each output row's lines."""
+    lpr = amap.lines_per_dense_row
+    first = amap.out_first_line(rows)
+    lines = (first[:, None] + np.arange(lpr)[None, :]).reshape(-1)
+    kinds = np.full(len(lines), kind, dtype=np.int8)
+    return lines, kinds
+
+
+def mergepath_traces(
+    schedule: MergePathSchedule, dim: int, simd_width: int = 4
+) -> list[ThreadTrace]:
+    """Per-thread traces for the MergePath-SpMM kernel.
+
+    Each thread reads its row-pointer window, streams its non-zeros (index,
+    value, dense row), and writes complete rows regularly and partial rows
+    atomically, exactly as Algorithm 2 prescribes.
+    """
+    matrix = schedule.matrix
+    amap = AddressMap(matrix.n_rows, matrix.nnz, dim)
+    segments = write_segments(schedule)
+    # Map each write segment to its owning thread via the segment's start
+    # non-zero (searchsorted over thread nnz boundaries).  Zero-length
+    # segments (empty rows) belong to the thread whose range covers them.
+    seg_thread = np.searchsorted(
+        schedule.end_nnzs, segments.starts, side="right"
+    )
+    seg_thread = np.minimum(seg_thread, schedule.n_threads - 1)
+    order = np.argsort(seg_thread, kind="stable")
+    seg_sorted = order
+    seg_bounds = np.searchsorted(
+        seg_thread[order], np.arange(schedule.n_threads + 1)
+    )
+
+    traces = []
+    for t in range(schedule.n_threads):
+        y0, y1 = int(schedule.start_nnzs[t]), int(schedule.end_nnzs[t])
+        x0, x1 = int(schedule.start_rows[t]), int(schedule.end_rows[t])
+        rp_rows = np.arange(x0, min(x1 + 2, matrix.n_rows + 1), dtype=np.int64)
+        rp_lines = np.asarray(amap.rp_line(rp_rows), dtype=np.int64)
+        stream = _nnz_stream(amap, matrix, y0, y1)
+        segs = seg_sorted[seg_bounds[t]: seg_bounds[t + 1]]
+        wl, wk = _output_accesses(
+            amap, segments.rows[segs], WRITE
+        )
+        wk[np.repeat(segments.atomic[segs], amap.lines_per_dense_row)] = ATOMIC
+        lines = np.concatenate([rp_lines, stream, wl])
+        kinds = np.concatenate(
+            [
+                np.zeros(len(rp_lines) + len(stream), dtype=np.int8),
+                wk,
+            ]
+        )
+        lines, kinds = _dedupe_consecutive(lines, kinds)
+        traces.append(
+            ThreadTrace(
+                lines=lines,
+                kinds=kinds,
+                compute_cycles=_compute_cycles(
+                    y1 - y0, len(segs), dim, simd_width
+                ),
+            )
+        )
+    return traces
+
+
+def row_splitting_traces(
+    schedule, dim: int, simd_width: int = 4
+) -> list[ThreadTrace]:
+    """Per-core traces for the row-splitting kernel.
+
+    Each core owns a contiguous row chunk (equal row counts, wildly
+    unequal non-zeros on power-law inputs) and writes every output row
+    regularly — no coherence traffic, but the completion time is pinned
+    to the heaviest chunk.
+
+    Args:
+        schedule: A :class:`repro.baselines.row_splitting.RowSplitSchedule`.
+        dim: Dense operand width.
+        simd_width: Core SIMD lanes.
+    """
+    matrix = schedule.matrix
+    amap = AddressMap(matrix.n_rows, matrix.nnz, dim)
+    rp = matrix.row_pointers
+    traces = []
+    for t in range(schedule.n_threads):
+        row_lo = int(schedule.boundaries[t])
+        row_hi = int(schedule.boundaries[t + 1])
+        nnz_lo, nnz_hi = int(rp[row_lo]), int(rp[row_hi])
+        rp_rows = np.arange(row_lo, min(row_hi + 1, matrix.n_rows + 1))
+        rp_lines = np.asarray(amap.rp_line(rp_rows), dtype=np.int64)
+        stream = _nnz_stream(amap, matrix, nnz_lo, nnz_hi)
+        wl, wk = _output_accesses(
+            amap, np.arange(row_lo, row_hi, dtype=np.int64), WRITE
+        )
+        lines = np.concatenate([rp_lines, stream, wl])
+        kinds = np.concatenate(
+            [np.zeros(len(rp_lines) + len(stream), dtype=np.int8), wk]
+        )
+        lines, kinds = _dedupe_consecutive(lines, kinds)
+        traces.append(
+            ThreadTrace(
+                lines=lines,
+                kinds=kinds,
+                compute_cycles=_compute_cycles(
+                    nnz_hi - nnz_lo, row_hi - row_lo, dim, simd_width
+                ),
+            )
+        )
+    return traces
+
+
+def gnnadvisor_traces(
+    schedule: NeighborGroupSchedule,
+    dim: int,
+    n_cores: int,
+    simd_width: int = 4,
+) -> list[ThreadTrace]:
+    """Per-core traces for GNNAdvisor's neighbor-group kernel.
+
+    Groups are dealt round-robin across cores (the kernel's grid-stride
+    mapping); every output update is an atomic read-modify-write.
+    """
+    matrix = schedule.matrix
+    amap = AddressMap(matrix.n_rows, matrix.nnz, dim)
+    traces = []
+    for core in range(n_cores):
+        group_ids = np.arange(core, schedule.n_groups, n_cores, dtype=np.int64)
+        parts = []
+        total_nnz = 0
+        for g in group_ids:
+            lo, hi = int(schedule.group_starts[g]), int(schedule.group_ends[g])
+            rp_line = np.asarray(
+                [amap.rp_line(int(schedule.group_rows[g]))], dtype=np.int64
+            )
+            parts.append(rp_line)
+            parts.append(_nnz_stream(amap, matrix, lo, hi))
+            total_nnz += hi - lo
+        wl, wk = _output_accesses(amap, schedule.group_rows[group_ids], ATOMIC)
+        reads = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+        )
+        lines = np.concatenate([reads, wl])
+        kinds = np.concatenate([np.zeros(len(reads), dtype=np.int8), wk])
+        lines, kinds = _dedupe_consecutive(lines, kinds)
+        traces.append(
+            ThreadTrace(
+                lines=lines,
+                kinds=kinds,
+                compute_cycles=_compute_cycles(
+                    total_nnz, len(group_ids), dim, simd_width
+                ),
+            )
+        )
+    return traces

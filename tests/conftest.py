@@ -1,0 +1,55 @@
+"""Shared fixtures: small matrices and graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.graphs import power_law_graph, regular_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def dense_small(rng):
+    """A 12x12 dense array with ~25% non-zeros, including empty rows."""
+    dense = (rng.random((12, 12)) < 0.25) * rng.random((12, 12))
+    dense[3] = 0.0  # guaranteed empty row
+    dense[7] = 0.0
+    return dense
+
+@pytest.fixture
+def csr_small(dense_small):
+    return CSRMatrix.from_dense(dense_small)
+
+
+@pytest.fixture
+def paper_example():
+    """The Figure 3 matrix: 10 rows, 16 non-zeros, evil row 1."""
+    row_pointers = [0, 0, 8, 11, 12, 12, 13, 14, 15, 16, 16]
+    return CSRMatrix.from_arrays(row_pointers, np.arange(16) % 10)
+
+
+@pytest.fixture(scope="session")
+def small_power_law():
+    """A 600-node power-law graph with an evil row (session-cached)."""
+    return power_law_graph(n_nodes=600, nnz=4_000, max_degree=300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_structured():
+    """A 600-node near-regular graph (session-cached)."""
+    return regular_graph(n_nodes=600, nnz=2_400, max_degree=8, seed=7)
+
+
+@pytest.fixture
+def features(rng):
+    """Feature factory: features(n, d) -> dense operand."""
+    def make(n: int, d: int) -> np.ndarray:
+        return np.random.default_rng(99).random((n, d))
+
+    return make

@@ -1,0 +1,92 @@
+"""Unit tests for schedule load-balance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_schedule
+from repro.core.analysis import (
+    compare_strategies,
+    summarize_merge_path,
+    work_histogram,
+)
+
+
+class TestSummaries:
+    def test_merge_path_bounded_imbalance(self, small_power_law):
+        summary = summarize_merge_path(build_schedule(small_power_law, 64))
+        assert summary.strategy == "merge-path"
+        assert summary.n_units == 64
+        assert summary.imbalance <= 1.05  # merge-path cost bound
+
+    def test_compare_orders_and_contents(self, small_power_law):
+        summaries = compare_strategies(small_power_law, 64)
+        names = [s.strategy for s in summaries]
+        assert names == ["merge-path", "row-splitting", "neighbor-groups"]
+
+    def test_power_law_story(self, small_power_law):
+        mp, rs, ng = compare_strategies(small_power_law, 64)
+        # Row-splitting's bottleneck explodes on the evil row.
+        assert rs.imbalance > 3.0 * mp.imbalance
+        # Row-splitting needs no atomics; neighbor groups are all atomic.
+        assert rs.atomic_updates == 0
+        assert ng.atomic_updates == ng.n_units
+        # Merge-path uses some atomics, but far fewer than one per unit
+        # of work handled by neighbor groups.
+        assert 0 < mp.atomic_updates < ng.atomic_updates
+
+    def test_structured_graph_row_splitting_ok(self, small_structured):
+        mp, rs, _ = compare_strategies(small_structured, 64)
+        assert rs.imbalance < 2.0  # no evil rows, row-splitting is fine
+
+    def test_rejects_bad_thread_count(self, small_power_law):
+        with pytest.raises(ValueError):
+            compare_strategies(small_power_law, 0)
+
+
+class TestHistogram:
+    def test_degenerate_distribution(self, small_power_law):
+        schedule = build_schedule(small_power_law, 64)
+        edges, counts = work_histogram(schedule, n_bins=5)
+        assert counts.sum() == 64
+        assert len(edges) == 6
+        # Nearly every thread sits in the top bin (the cost bound).
+        assert counts[-1] >= 63
+
+    def test_rejects_bad_bins(self, small_power_law):
+        schedule = build_schedule(small_power_law, 8)
+        with pytest.raises(ValueError):
+            work_histogram(schedule, n_bins=0)
+
+
+class TestOddDimensions:
+    """GPU model coverage for non-power-of-two dimension sizes."""
+
+    @pytest.mark.parametrize("dim", [1, 3, 48, 100])
+    def test_kernel_time_defined(self, small_power_law, dim):
+        from repro.gpu import kernel_time
+
+        for kernel in ("mergepath", "gnnadvisor", "gnnadvisor-opt"):
+            timing = kernel_time(kernel, small_power_law, dim)
+            assert timing.cycles > 0
+
+    def test_dim48_mapping(self):
+        from repro.core import map_threads_to_simd
+
+        mapping = map_threads_to_simd(48)
+        assert mapping.warps_per_thread == 2
+        assert mapping.lane_utilization == pytest.approx(0.75)
+
+    def test_dim3_mapping_packs_ten_threads(self):
+        from repro.core import map_threads_to_simd
+
+        mapping = map_threads_to_simd(3)
+        assert mapping.threads_per_warp == 10
+        assert mapping.lane_utilization == pytest.approx(30 / 32)
+
+    @pytest.mark.parametrize("dim", [1, 3, 48])
+    def test_spmm_correct_at_odd_dims(self, small_power_law, dim, features):
+        from repro.core import merge_path_spmm
+
+        x = features(small_power_law.n_cols, dim)
+        result = merge_path_spmm(small_power_law, x)
+        assert np.allclose(result.output, small_power_law.multiply_dense(x))

@@ -1,0 +1,198 @@
+"""Unit tests for all baseline SpMM algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AWBGCNConfig,
+    AWBGCNModel,
+    CuSparseKernel,
+    NeighborGroupSchedule,
+    RowSplitSchedule,
+    SerialMergePathSchedule,
+    cusparse_like_spmm,
+    gnnadvisor_spmm,
+    merge_path_serial_spmm,
+    row_splitting_spmm,
+    select_kernel,
+)
+from repro.formats import CSRMatrix
+from repro.graphs import load_dataset
+
+
+class TestRowSplitting:
+    def test_correctness(self, dense_small, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        for n_threads in (1, 3, 12, 30):
+            output, _ = row_splitting_spmm(matrix, features(12, 4), n_threads)
+            assert np.allclose(output, dense_small @ features(12, 4))
+
+    def test_equal_row_chunks(self, small_power_law):
+        schedule = RowSplitSchedule.build(small_power_law, 10)
+        rows = schedule.per_thread_rows
+        assert rows.sum() == small_power_law.n_rows
+        assert rows.max() - rows.min() <= 1
+
+    def test_nnz_partition(self, small_power_law):
+        schedule = RowSplitSchedule.build(small_power_law, 10)
+        assert schedule.per_thread_nnz.sum() == small_power_law.nnz
+
+    def test_power_law_imbalance_detected(self, small_power_law, small_structured):
+        pl = RowSplitSchedule.build(small_power_law, 20).load_imbalance
+        st = RowSplitSchedule.build(small_structured, 20).load_imbalance
+        assert pl > st
+
+    def test_rejects_zero_threads(self, small_power_law):
+        with pytest.raises(ValueError):
+            RowSplitSchedule.build(small_power_law, 0)
+
+    def test_shape_mismatch(self, csr_small):
+        schedule = RowSplitSchedule.build(csr_small, 2)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            schedule.execute(np.ones((3, 2)))
+
+
+class TestNeighborGroups:
+    def test_correctness(self, dense_small, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        for group_size in (1, 2, 4, None):
+            output, _ = gnnadvisor_spmm(matrix, features(12, 4), group_size)
+            assert np.allclose(output, dense_small @ features(12, 4))
+
+    def test_default_group_size_is_average_degree(self, small_power_law):
+        schedule = NeighborGroupSchedule.build(small_power_law)
+        avg = small_power_law.nnz / small_power_law.n_rows
+        assert schedule.group_size == max(1, round(avg))
+
+    def test_groups_tile_each_row(self, paper_example):
+        schedule = NeighborGroupSchedule.build(paper_example, 3)
+        for row in range(paper_example.n_rows):
+            mask = schedule.group_rows == row
+            lo = paper_example.row_pointers[row]
+            hi = paper_example.row_pointers[row + 1]
+            assert schedule.group_lengths[mask].sum() == hi - lo
+            if mask.any():
+                assert schedule.group_starts[mask].min() == lo
+                assert schedule.group_ends[mask].max() == hi
+
+    def test_group_size_bound(self, small_power_law):
+        schedule = NeighborGroupSchedule.build(small_power_law, 5)
+        assert schedule.group_lengths.max() <= 5
+        assert schedule.group_lengths.min() >= 1
+
+    def test_all_updates_atomic(self, paper_example):
+        schedule = NeighborGroupSchedule.build(paper_example, 2)
+        assert schedule.atomic_writes == schedule.n_groups
+
+    def test_evil_row_sharers(self, paper_example):
+        schedule = NeighborGroupSchedule.build(paper_example, 2)
+        assert schedule.max_row_sharers == 4  # row 1: 8 nnz / group of 2
+
+    def test_empty_rows_get_no_groups(self, paper_example):
+        schedule = NeighborGroupSchedule.build(paper_example, 2)
+        assert 0 not in schedule.group_rows  # row 0 is empty
+
+    def test_rejects_bad_group_size(self, paper_example):
+        with pytest.raises(ValueError):
+            NeighborGroupSchedule.build(paper_example, 0)
+
+
+class TestSerialMergePath:
+    def test_correctness(self, dense_small, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        for n_threads in (1, 4, 16):
+            output, _ = merge_path_serial_spmm(matrix, features(12, 4), n_threads)
+            assert np.allclose(output, dense_small @ features(12, 4))
+
+    def test_carry_count_matches_atomic_segments(self, small_power_law):
+        schedule = SerialMergePathSchedule.build(small_power_law, 64)
+        assert (
+            schedule.carry_count
+            == schedule.schedule.statistics.atomic_writes
+        )
+
+    def test_serial_nnz_matches_atomic_nnz(self, small_power_law):
+        schedule = SerialMergePathSchedule.build(small_power_law, 64)
+        assert schedule.serial_nnz == schedule.schedule.statistics.atomic_nnz
+
+    def test_more_threads_more_carries(self, small_power_law):
+        few = SerialMergePathSchedule.build(small_power_law, 8)
+        many = SerialMergePathSchedule.build(small_power_law, 128)
+        assert many.carry_count > few.carry_count
+
+
+class TestCuSparseLike:
+    def test_correctness(self, dense_small, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        output, _ = cusparse_like_spmm(matrix, features(12, 4))
+        assert np.allclose(output, dense_small @ features(12, 4))
+
+    def test_power_law_selects_row_per_warp(self, small_power_law):
+        assert select_kernel(small_power_law).kernel is CuSparseKernel.ROW_PER_WARP
+
+    def test_structured_selects_balanced(self, small_structured):
+        assert select_kernel(small_structured).kernel is CuSparseKernel.BALANCED_NNZ
+
+    def test_twitter_selects_feature_major(self):
+        twitter = load_dataset("Twitter-partial").adjacency
+        assert select_kernel(twitter).kernel is CuSparseKernel.FEATURE_MAJOR
+
+    def test_yeast_not_feature_major(self):
+        yeast = load_dataset("Yeast").adjacency
+        assert select_kernel(yeast).kernel is CuSparseKernel.BALANCED_NNZ
+
+    def test_plan_reports_reason(self, small_power_law):
+        assert "row-per-warp" in select_kernel(small_power_law).reason
+
+    def test_efficiency_ordering(self):
+        from repro.baselines.cusparse_like import KERNEL_EFFICIENCY
+
+        assert (
+            KERNEL_EFFICIENCY[CuSparseKernel.FEATURE_MAJOR]
+            < KERNEL_EFFICIENCY[CuSparseKernel.BALANCED_NNZ]
+            < KERNEL_EFFICIENCY[CuSparseKernel.ROW_PER_WARP]
+        )
+
+
+class TestAWBGCN:
+    def test_published_cora_time(self):
+        cora = load_dataset("Cora").adjacency
+        model = AWBGCNModel()
+        time_us = model.completion_time(cora, 16) * 1e6
+        assert time_us == pytest.approx(4.3, rel=0.15)
+
+    def test_tuner_always_helps_or_neutral(self, small_power_law):
+        model = AWBGCNModel()
+        assert model.speedup_from_tuner(small_power_law, 16) >= 1.0
+
+    def test_tuner_helps_power_law_more(self, small_power_law, small_structured):
+        model = AWBGCNModel()
+        assert (
+            model.speedup_from_tuner(small_power_law, 16)
+            > model.speedup_from_tuner(small_structured, 16)
+        )
+
+    def test_evil_row_detection(self, paper_example):
+        model = AWBGCNModel(AWBGCNConfig(evil_row_multiple=3.0))
+        assert 1 in model.detect_evil_rows(paper_example)
+
+    def test_dedicated_pool_shrinks_with_rows(self):
+        model = AWBGCNModel()
+        small = load_dataset("Cora").adjacency
+        large = load_dataset("Nell").adjacency
+        assert model.dedicated_evil_pes(small) == model.config.n_pes
+        assert model.dedicated_evil_pes(large) < model.config.n_pes
+
+    def test_row_loads_floor(self, paper_example):
+        model = AWBGCNModel()
+        loads = model.row_loads(paper_example, 1)
+        assert (loads >= model.config.row_overhead_cycles).all()
+
+    def test_rejects_bad_dim(self, paper_example):
+        with pytest.raises(ValueError):
+            AWBGCNModel().row_loads(paper_example, 0)
+
+    def test_time_scales_with_dim(self):
+        nell = load_dataset("Nell").adjacency
+        model = AWBGCNModel()
+        assert model.completion_time(nell, 64) > model.completion_time(nell, 16)

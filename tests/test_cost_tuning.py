@@ -1,0 +1,69 @@
+"""Unit tests for merge-path cost auto-tuning and the harness CLI."""
+
+import numpy as np
+import pytest
+
+from repro.core import tune_merge_path_cost
+from repro.core.cost_tuning import DEFAULT_COST_GRID
+from repro.experiments.harness import EXPERIMENTS, run_experiments
+
+
+class TestCostTuning:
+    def test_sweep_structure(self, small_power_law):
+        sweep = tune_merge_path_cost(small_power_law, 16, costs=(2, 10, 30))
+        assert sweep.costs == (2, 10, 30)
+        assert len(sweep.cycles) == 3
+        assert sweep.best_cost in sweep.costs
+        assert sweep.normalized_performance[0] == pytest.approx(1.0)
+
+    def test_best_cost_minimizes_cycles(self, small_power_law):
+        sweep = tune_merge_path_cost(small_power_law, 16)
+        best_index = list(sweep.costs).index(sweep.best_cost)
+        assert sweep.cycles[best_index] == sweep.cycles.min()
+
+    def test_suite_aggregation_is_geomean(self, small_power_law, small_structured):
+        a = tune_merge_path_cost(small_power_law, 16, costs=(2, 20))
+        b = tune_merge_path_cost(small_structured, 16, costs=(2, 20))
+        both = tune_merge_path_cost(
+            [small_power_law, small_structured], 16, costs=(2, 20)
+        )
+        expected = np.sqrt(a.cycles * b.cycles)
+        assert np.allclose(both.cycles, expected)
+
+    def test_default_grid_matches_paper_range(self):
+        assert DEFAULT_COST_GRID[0] == 2
+        assert DEFAULT_COST_GRID[-1] == 50
+
+    def test_rejects_empty_suite(self):
+        with pytest.raises(ValueError, match="at least one matrix"):
+            tune_merge_path_cost([], 16)
+
+    def test_rejects_unsorted_grid(self, small_power_law):
+        with pytest.raises(ValueError, match="ascending"):
+            tune_merge_path_cost(small_power_law, 16, costs=(30, 2))
+
+
+class TestHarness:
+    def test_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "table1", "table2", "e2e", "engines",
+        }
+
+    def test_run_experiments_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiments(["fig99"])
+
+    def test_run_and_persist(self, tmp_path):
+        results = run_experiments(["fig3", "table1"], output_dir=tmp_path)
+        assert set(results) == {"fig3", "table1"}
+        assert (tmp_path / "fig3.txt").exists()
+        text = (tmp_path / "table1.txt").read_text()
+        assert "1024 single-threaded" in text
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.harness import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out

@@ -1,0 +1,53 @@
+"""Smoke tests: the lighter example scripts run end to end.
+
+The heavy examples (multicore_scaling, kernel_comparison on big inputs)
+are exercised through their underlying harnesses elsewhere; here the
+quick ones run exactly as a user would invoke them.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None):
+    saved_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+
+
+def test_quickstart_runs(capsys):
+    _run("quickstart.py")
+    out = capsys.readouterr().out
+    assert "verified against dense reference" in out
+    assert "atomic" in out
+
+
+def test_node_classification_runs(capsys):
+    _run("node_classification.py")
+    out = capsys.readouterr().out
+    assert "2-layer GCN" in out
+
+
+def test_cost_tuning_runs(capsys):
+    _run("cost_tuning.py", ["Cora"])
+    out = capsys.readouterr().out
+    assert "tuned_cost" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "gcn_inference.py", "kernel_comparison.py",
+     "multicore_scaling.py", "cost_tuning.py", "node_classification.py"],
+)
+def test_examples_exist_and_have_docstring(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith('"""'), f"{name} missing module docstring"
+    assert "Run:" in text, f"{name} missing run instructions"

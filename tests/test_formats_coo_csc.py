@@ -1,0 +1,107 @@
+"""Unit tests for COO and CSC containers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix, SparseFormatError
+
+
+class TestCOO:
+    def test_from_edges_defaults(self):
+        coo = COOMatrix.from_edges([(0, 1), (2, 0)], n_rows=3)
+        assert coo.shape == (3, 3)
+        assert np.array_equal(coo.values, [1.0, 1.0])
+
+    def test_from_edges_rectangular(self):
+        coo = COOMatrix.from_edges([(0, 4)], n_rows=2, n_cols=5)
+        assert coo.shape == (2, 5)
+
+    def test_to_dense_sums_duplicates(self):
+        coo = COOMatrix(
+            n_rows=2, n_cols=2,
+            rows=np.array([0, 0]), cols=np.array([1, 1]),
+            values=np.array([2.0, 3.0]),
+        )
+        assert coo.to_dense()[0, 1] == 5.0
+
+    def test_deduplicate_merges(self):
+        coo = COOMatrix(
+            n_rows=2, n_cols=2,
+            rows=np.array([0, 1, 0]), cols=np.array([1, 0, 1]),
+            values=np.array([2.0, 4.0, 3.0]),
+        )
+        out = coo.deduplicate()
+        assert out.nnz == 2
+        assert np.array_equal(out.to_dense(), coo.to_dense())
+
+    def test_deduplicate_empty(self):
+        coo = COOMatrix.from_edges(np.empty((0, 2)), n_rows=3)
+        assert coo.deduplicate().nnz == 0
+
+    def test_to_csr_round_trip(self, dense_small):
+        csr = CSRMatrix.from_dense(dense_small)
+        assert np.array_equal(csr.to_coo().to_csr().to_dense(), dense_small)
+
+    def test_to_csr_orders_rows(self):
+        coo = COOMatrix(
+            n_rows=3, n_cols=3,
+            rows=np.array([2, 0, 1]), cols=np.array([0, 1, 2]),
+            values=np.array([1.0, 2.0, 3.0]),
+        )
+        csr = coo.to_csr()
+        assert np.array_equal(csr.row_pointers, [0, 1, 2, 3])
+        assert np.array_equal(csr.to_dense(), coo.to_dense())
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(SparseFormatError, match="row indices"):
+            COOMatrix(n_rows=2, n_cols=2, rows=np.array([2]),
+                      cols=np.array([0]), values=np.array([1.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SparseFormatError, match="equal length"):
+            COOMatrix(n_rows=2, n_cols=2, rows=np.array([0, 1]),
+                      cols=np.array([0]), values=np.array([1.0]))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(SparseFormatError, match="non-negative"):
+            COOMatrix(n_rows=-1, n_cols=2, rows=np.array([], dtype=int),
+                      cols=np.array([], dtype=int), values=np.array([]))
+
+
+class TestCSC:
+    def test_from_csr_round_trip(self, csr_small):
+        csc = csr_small.to_csc()
+        assert np.array_equal(csc.to_csr().to_dense(), csr_small.to_dense())
+
+    def test_col_lengths(self, dense_small):
+        csc = CSRMatrix.from_dense(dense_small).to_csc()
+        assert np.array_equal(csc.col_lengths, (dense_small != 0).sum(axis=0))
+
+    def test_col_slice(self, dense_small):
+        csc = CSRMatrix.from_dense(dense_small).to_csc()
+        rows, vals = csc.col_slice(0)
+        expected = np.nonzero(dense_small[:, 0])[0]
+        assert np.array_equal(np.sort(rows), expected)
+
+    def test_col_slice_out_of_range(self, csr_small):
+        csc = csr_small.to_csc()
+        with pytest.raises(IndexError):
+            csc.col_slice(csc.n_cols)
+
+    def test_bad_col_pointer_length(self):
+        with pytest.raises(SparseFormatError, match="length"):
+            CSCMatrix(n_rows=2, n_cols=3, col_pointers=np.array([0, 1]),
+                      row_indices=np.array([0]), values=np.array([1.0]))
+
+    def test_decreasing_col_pointers(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSCMatrix(n_rows=2, n_cols=2, col_pointers=np.array([0, 2, 1]),
+                      row_indices=np.array([0]), values=np.array([1.0]))
+
+    def test_row_index_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="row indices"):
+            CSCMatrix(n_rows=2, n_cols=1, col_pointers=np.array([0, 1]),
+                      row_indices=np.array([5]), values=np.array([1.0]))
+
+    def test_nnz(self, csr_small):
+        assert csr_small.to_csc().nnz == csr_small.nnz

@@ -1,0 +1,164 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, SparseFormatError
+
+
+class TestConstruction:
+    def test_from_dense_round_trip(self, dense_small):
+        csr = CSRMatrix.from_dense(dense_small)
+        assert np.array_equal(csr.to_dense(), dense_small)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CSRMatrix.from_dense(np.ones(4))
+
+    def test_from_arrays_defaults_to_unit_values(self):
+        csr = CSRMatrix.from_arrays([0, 2, 3], [0, 1, 2], n_cols=3)
+        assert np.array_equal(csr.values, [1.0, 1.0, 1.0])
+
+    def test_from_arrays_defaults_to_square(self):
+        csr = CSRMatrix.from_arrays([0, 1, 2], [0, 1])
+        assert csr.shape == (2, 2)
+
+    def test_identity(self):
+        eye = CSRMatrix.identity(5)
+        assert np.array_equal(eye.to_dense(), np.eye(5))
+
+    def test_identity_zero(self):
+        assert CSRMatrix.identity(0).nnz == 0
+
+    def test_arrays_coerced_to_canonical_dtypes(self):
+        csr = CSRMatrix.from_arrays(
+            np.array([0, 1], dtype=np.int32), np.array([0], dtype=np.int16)
+        )
+        assert csr.row_pointers.dtype == np.int64
+        assert csr.column_indices.dtype == np.int64
+        assert csr.values.dtype == np.float64
+
+
+class TestProperties:
+    def test_shape_and_nnz(self, csr_small, dense_small):
+        assert csr_small.shape == dense_small.shape
+        assert csr_small.nnz == np.count_nonzero(dense_small)
+
+    def test_row_lengths_match_dense(self, csr_small, dense_small):
+        assert np.array_equal(
+            csr_small.row_lengths, (dense_small != 0).sum(axis=1)
+        )
+
+    def test_density(self):
+        csr = CSRMatrix.from_dense(np.eye(4))
+        assert csr.density == pytest.approx(0.25)
+
+    def test_density_empty_matrix(self):
+        csr = CSRMatrix.from_arrays([0], [], n_cols=0)
+        assert csr.density == 0.0
+
+
+class TestRowAccess:
+    def test_row_slice_contents(self, paper_example):
+        cols, vals = paper_example.row_slice(1)
+        assert len(cols) == 8
+        assert len(vals) == 8
+
+    def test_row_slice_empty_row(self, paper_example):
+        cols, vals = paper_example.row_slice(0)
+        assert len(cols) == 0 and len(vals) == 0
+
+    def test_row_slice_out_of_range(self, paper_example):
+        with pytest.raises(IndexError):
+            paper_example.row_slice(10)
+        with pytest.raises(IndexError):
+            paper_example.row_slice(-1)
+
+    def test_iter_rows_covers_all_nnz(self, csr_small):
+        total = sum(len(cols) for _, cols, _ in csr_small.iter_rows())
+        assert total == csr_small.nnz
+
+
+class TestConversionsAndOps:
+    def test_to_coo_round_trip(self, csr_small):
+        assert np.array_equal(
+            csr_small.to_coo().to_csr().to_dense(), csr_small.to_dense()
+        )
+
+    def test_to_csc_preserves_dense(self, csr_small):
+        assert np.array_equal(csr_small.to_csc().to_dense(), csr_small.to_dense())
+
+    def test_transpose(self, csr_small):
+        assert np.array_equal(
+            csr_small.transpose().to_dense(), csr_small.to_dense().T
+        )
+
+    def test_transpose_rectangular(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 3.0, 0.0]])
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.transpose().to_dense(), dense.T)
+
+    def test_multiply_dense_matches_matmul(self, csr_small, dense_small):
+        x = np.random.default_rng(0).random((12, 5))
+        assert np.allclose(csr_small.multiply_dense(x), dense_small @ x)
+
+    def test_multiply_dense_shape_mismatch(self, csr_small):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            csr_small.multiply_dense(np.ones((5, 3)))
+
+    def test_multiply_dense_chunking_consistent(self):
+        # Exercise the chunked path by monkeypatching would be invasive;
+        # instead verify a matrix larger than one chunk boundary interval
+        # still agrees with dense matmul on a prefix structure.
+        rng = np.random.default_rng(3)
+        dense = (rng.random((200, 200)) < 0.1) * 1.0
+        csr = CSRMatrix.from_dense(dense)
+        x = rng.random((200, 3))
+        assert np.allclose(csr.multiply_dense(x), dense @ x)
+
+    def test_sorted_indices_sorts_each_row(self):
+        csr = CSRMatrix.from_arrays([0, 3], [2, 0, 1], [10.0, 20.0, 30.0], n_cols=3)
+        out = csr.sorted_indices()
+        assert np.array_equal(out.column_indices, [0, 1, 2])
+        assert np.array_equal(out.values, [20.0, 30.0, 10.0])
+        assert np.array_equal(out.to_dense(), csr.to_dense())
+
+    def test_equality(self, csr_small):
+        clone = CSRMatrix.from_dense(csr_small.to_dense())
+        assert csr_small == clone
+
+    def test_inequality_different_values(self, csr_small):
+        other = CSRMatrix(
+            n_rows=csr_small.n_rows,
+            n_cols=csr_small.n_cols,
+            row_pointers=csr_small.row_pointers,
+            column_indices=csr_small.column_indices,
+            values=csr_small.values * 2,
+        )
+        assert csr_small != other
+
+    def test_not_hashable(self, csr_small):
+        with pytest.raises(TypeError):
+            hash(csr_small)
+
+
+class TestValidationOnConstruction:
+    def test_bad_row_pointer_length(self):
+        with pytest.raises(SparseFormatError, match="length"):
+            CSRMatrix(n_rows=3, n_cols=3, row_pointers=np.array([0, 1]),
+                      column_indices=np.array([0]), values=np.array([1.0]))
+
+    def test_decreasing_row_pointers(self):
+        with pytest.raises(SparseFormatError, match="non-decreasing"):
+            CSRMatrix(n_rows=2, n_cols=2, row_pointers=np.array([0, 2, 1]),
+                      column_indices=np.array([0]), values=np.array([1.0]))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(SparseFormatError, match="column indices"):
+            CSRMatrix(n_rows=1, n_cols=2, row_pointers=np.array([0, 1]),
+                      column_indices=np.array([5]), values=np.array([1.0]))
+
+    def test_value_length_mismatch(self):
+        with pytest.raises(SparseFormatError, match="equal length"):
+            CSRMatrix(n_rows=1, n_cols=2, row_pointers=np.array([0, 1]),
+                      column_indices=np.array([0]), values=np.array([1.0, 2.0]))

@@ -1,0 +1,64 @@
+"""Unit tests for the ELL format."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, ELLMatrix
+
+
+class TestELL:
+    def test_round_trip(self, csr_small):
+        ell = ELLMatrix.from_csr(csr_small)
+        assert np.allclose(ell.to_csr().to_dense(), csr_small.to_dense())
+
+    def test_width_is_max_row_length(self, paper_example):
+        ell = ELLMatrix.from_csr(paper_example)
+        assert ell.width == 8
+
+    def test_nnz_excludes_padding(self, paper_example):
+        ell = ELLMatrix.from_csr(paper_example)
+        assert ell.nnz == paper_example.nnz
+
+    def test_padding_ratio_power_law_vs_structured(
+        self, small_power_law, small_structured
+    ):
+        power_law = ELLMatrix.from_csr(small_power_law).padding_ratio
+        structured = ELLMatrix.from_csr(small_structured).padding_ratio
+        assert power_law > 5.0  # evil rows make padding explode
+        assert structured < 2.5
+
+    def test_padding_ratio_regular_matrix(self):
+        eye = ELLMatrix.from_csr(CSRMatrix.identity(10))
+        assert eye.padding_ratio == 1.0
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0, 0], [])
+        ell = ELLMatrix.from_csr(empty)
+        assert ell.width == 0
+        assert ell.padding_ratio == float("inf")
+
+    def test_multiply_dense_matches_csr(self, csr_small):
+        ell = ELLMatrix.from_csr(csr_small)
+        x = np.random.default_rng(1).random((csr_small.n_cols, 5))
+        assert np.allclose(
+            ell.multiply_dense(x), csr_small.multiply_dense(x)
+        )
+
+    def test_multiply_dense_shape_check(self, csr_small):
+        ell = ELLMatrix.from_csr(csr_small)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            ell.multiply_dense(np.ones((3, 2)))
+
+    def test_rejects_mismatched_grids(self):
+        with pytest.raises(ValueError, match="same shape"):
+            ELLMatrix(
+                n_rows=2, n_cols=2,
+                columns=np.zeros((2, 3), dtype=np.int64),
+                values=np.zeros((2, 2)),
+            )
+
+    def test_values_preserved(self, rng):
+        dense = (rng.random((15, 15)) < 0.3) * rng.random((15, 15))
+        csr = CSRMatrix.from_dense(dense)
+        ell = ELLMatrix.from_csr(csr)
+        assert np.allclose(ell.to_csr().to_dense(), dense)

@@ -1,0 +1,124 @@
+"""Unit tests for Matrix Market and edge-list I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import (
+    CSRMatrix,
+    MatrixMarketError,
+    read_edge_list,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+def _roundtrip(matrix: CSRMatrix) -> CSRMatrix:
+    buffer = io.StringIO()
+    write_matrix_market(matrix, buffer, comment="test matrix")
+    buffer.seek(0)
+    return read_matrix_market(buffer)
+
+
+class TestMatrixMarket:
+    def test_round_trip_preserves_dense(self, csr_small):
+        assert np.allclose(_roundtrip(csr_small).to_dense(), csr_small.to_dense())
+
+    def test_round_trip_rectangular(self):
+        matrix = CSRMatrix.from_dense(np.array([[0.0, 1.5, 0.0], [2.0, 0.0, 0.0]]))
+        out = _roundtrip(matrix)
+        assert out.shape == (2, 3)
+        assert np.allclose(out.to_dense(), matrix.to_dense())
+
+    def test_pattern_matrix_unit_values(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        matrix = read_matrix_market(io.StringIO(text))
+        assert np.array_equal(matrix.to_dense(), np.eye(2))
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 5.0\n"
+            "3 3 7.0\n"
+        )
+        matrix = read_matrix_market(io.StringIO(text))
+        dense = matrix.to_dense()
+        assert dense[1, 0] == 5.0 and dense[0, 1] == 5.0  # mirrored
+        assert dense[2, 2] == 7.0  # diagonal not duplicated
+        assert matrix.nnz == 3
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "\n"
+            "2 2 1\n"
+            "% another\n"
+            "1 2 3.0\n"
+        )
+        matrix = read_matrix_market(io.StringIO(text))
+        assert matrix.to_dense()[0, 1] == 3.0
+
+    def test_integer_field(self):
+        text = "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 4\n"
+        assert read_matrix_market(io.StringIO(text)).values[0] == 4.0
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(MatrixMarketError, match="header"):
+            read_matrix_market(io.StringIO("hello world\n"))
+
+    def test_rejects_array_layout(self):
+        with pytest.raises(MatrixMarketError, match="coordinate"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_rejects_complex_field(self):
+        with pytest.raises(MatrixMarketError, match="unsupported field"):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix coordinate complex general\n")
+            )
+
+    def test_rejects_wrong_entry_count(self):
+        text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n"
+        with pytest.raises(MatrixMarketError, match="declares 2"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_rejects_missing_size_line(self):
+        text = "%%MatrixMarket matrix coordinate real general\n% only comments\n"
+        with pytest.raises(MatrixMarketError, match="size line"):
+            read_matrix_market(io.StringIO(text))
+
+    def test_file_round_trip(self, tmp_path, csr_small):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(csr_small, path)
+        assert np.allclose(
+            read_matrix_market(path).to_dense(), csr_small.to_dense()
+        )
+
+
+class TestEdgeList:
+    def test_basic_parse(self):
+        matrix = read_edge_list(["0 1", "1 2", "2 0"])
+        assert matrix.shape == (3, 3)
+        assert matrix.nnz == 3
+
+    def test_comments_skipped(self):
+        matrix = read_edge_list(["# SNAP header", "0 1"])
+        assert matrix.nnz == 1
+
+    def test_explicit_node_count(self):
+        matrix = read_edge_list(["0 1"], n_nodes=10)
+        assert matrix.shape == (10, 10)
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(MatrixMarketError, match="bad edge line"):
+            read_edge_list(["42"])
+
+    def test_file_input(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n0 2\n1 0\n")
+        matrix = read_edge_list(path)
+        assert matrix.nnz == 2

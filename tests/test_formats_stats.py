@@ -1,0 +1,87 @@
+"""Unit tests for row statistics and degree analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix, row_statistics
+from repro.formats.stats import degree_histogram, evil_rows, gini_coefficient
+
+
+class TestRowStatistics:
+    def test_basic_counts(self, paper_example):
+        stats = row_statistics(paper_example)
+        assert stats.n_rows == 10
+        assert stats.nnz == 16
+        assert stats.avg_degree == pytest.approx(1.6)
+        assert stats.max_degree == 8
+
+    def test_empty_rows_counted(self, paper_example):
+        assert row_statistics(paper_example).empty_rows == 3
+
+    def test_imbalance_factor(self, paper_example):
+        stats = row_statistics(paper_example)
+        assert stats.imbalance_factor == pytest.approx(8 / 1.6)
+
+    def test_zero_rows_matrix(self):
+        empty = CSRMatrix.from_arrays([0], [], n_cols=0)
+        stats = row_statistics(empty)
+        assert stats.n_rows == 0 and stats.nnz == 0
+
+    def test_uniform_matrix_low_gini(self):
+        eye = CSRMatrix.identity(50)
+        assert row_statistics(eye).gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_power_law_higher_gini_than_structured(
+        self, small_power_law, small_structured
+    ):
+        assert (
+            row_statistics(small_power_law).gini
+            > row_statistics(small_structured).gini + 0.2
+        )
+
+
+class TestGini:
+    def test_all_equal_is_zero(self):
+        assert gini_coefficient(np.full(10, 7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_holder_near_one(self):
+        lengths = np.zeros(1000)
+        lengths[0] = 1000
+        assert gini_coefficient(lengths) > 0.99
+
+    def test_empty_and_zero_total(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_bounded(self, small_power_law):
+        g = gini_coefficient(small_power_law.row_lengths)
+        assert 0.0 <= g <= 1.0
+
+
+class TestEvilRows:
+    def test_detects_evil_row(self, paper_example):
+        evil = evil_rows(paper_example, threshold_multiple=3.0)
+        assert 1 in evil  # row 1 holds 8 of 16 non-zeros
+
+    def test_no_evil_rows_in_identity(self):
+        assert len(evil_rows(CSRMatrix.identity(10))) == 0
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0, 0, 0], [])
+        assert len(evil_rows(empty)) == 0
+
+    def test_threshold_monotonic(self, small_power_law):
+        low = evil_rows(small_power_law, threshold_multiple=4.0)
+        high = evil_rows(small_power_law, threshold_multiple=16.0)
+        assert set(high).issubset(set(low))
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_rows_with_that_degree(self, paper_example):
+        degrees, counts = degree_histogram(paper_example)
+        assert counts.sum() == paper_example.n_rows
+        assert dict(zip(degrees, counts))[0] == 3  # three empty rows
+
+    def test_histogram_reconstructs_nnz(self, small_power_law):
+        degrees, counts = degree_histogram(small_power_law)
+        assert (degrees * counts).sum() == small_power_law.nnz

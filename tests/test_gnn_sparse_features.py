@@ -1,0 +1,43 @@
+"""Tests for sparse feature-matrix support in GCN layers."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.gnn import GCNLayer
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def setup(rng):
+    dense_adj = (rng.random((25, 25)) < 0.2) * 1.0
+    graph = Graph(name="g", adjacency=CSRMatrix.from_dense(dense_adj))
+    dense_features = (rng.random((25, 6)) < 0.4) * rng.random((25, 6))
+    return graph.normalized_adjacency(), dense_features
+
+
+class TestSparseFeatures:
+    def test_sparse_matches_dense_features(self, setup):
+        adjacency, dense_features = setup
+        layer = GCNLayer.random(6, 4, seed=1, backend="mergepath")
+        from_dense = layer.forward(adjacency, dense_features)
+        from_sparse = layer.forward(
+            adjacency, CSRMatrix.from_dense(dense_features)
+        )
+        assert np.allclose(from_dense, from_sparse)
+
+    def test_sparse_width_check(self, setup):
+        adjacency, _ = setup
+        layer = GCNLayer.random(6, 4)
+        wrong = CSRMatrix.from_dense(np.ones((25, 5)))
+        with pytest.raises(ValueError, match="feature width"):
+            layer.forward(adjacency, wrong)
+
+    def test_all_zero_sparse_features(self, setup):
+        adjacency, _ = setup
+        layer = GCNLayer.random(6, 4, activation="none")
+        empty = CSRMatrix.from_arrays(
+            np.zeros(26, dtype=np.int64), [], n_cols=6
+        )
+        out = layer.forward(adjacency, empty)
+        assert np.all(out == 0.0)

@@ -1,0 +1,44 @@
+"""Unit tests for GPU device description and model constants."""
+
+import pytest
+
+from repro.gpu import GPUDevice, ModelParams, quadro_rtx_6000
+
+
+class TestDevice:
+    def test_rtx6000_published_specs(self):
+        dev = quadro_rtx_6000()
+        assert dev.n_sms == 72
+        assert dev.cuda_cores == 4608
+        assert dev.clock_ghz == pytest.approx(1.44)
+        assert dev.mem_bandwidth_gbps == pytest.approx(672.0)
+        assert dev.warp_size == 32
+
+    def test_bytes_per_cycle(self):
+        dev = quadro_rtx_6000()
+        assert dev.bytes_per_cycle == pytest.approx(672.0 / 1.44)
+
+    def test_max_resident_warps(self):
+        dev = quadro_rtx_6000()
+        assert dev.max_resident_warps == 72 * 32
+
+    def test_cycle_conversions(self):
+        dev = quadro_rtx_6000()
+        assert dev.cycles_to_microseconds(1440) == pytest.approx(1.0)
+        assert dev.cycles_to_seconds(1.44e9) == pytest.approx(1.0)
+
+    def test_custom_params_carried(self):
+        params = ModelParams(launch_cycles=0.0)
+        dev = quadro_rtx_6000(params)
+        assert dev.params.launch_cycles == 0.0
+
+    def test_params_frozen(self):
+        with pytest.raises(Exception):
+            quadro_rtx_6000().params.launch_cycles = 1.0
+
+    def test_custom_device(self):
+        dev = GPUDevice(
+            name="toy", n_sms=2, cuda_cores=128, clock_ghz=1.0,
+            mem_bandwidth_gbps=100.0,
+        )
+        assert dev.bytes_per_cycle == pytest.approx(100.0)

@@ -1,0 +1,181 @@
+"""Unit tests for the per-kernel GPU workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import schedule_for_cost
+from repro.gpu import (
+    KERNELS,
+    gnnadvisor_workload,
+    kernel_time,
+    mergepath_workload,
+    quadro_rtx_6000,
+    row_splitting_workload,
+    merge_path_serial_workload,
+    cusparse_workload,
+)
+from repro.gpu.timing import simulate
+
+DEV = quadro_rtx_6000()
+
+
+class TestMergePathWorkload:
+    def test_atomics_match_schedule(self, small_power_law):
+        schedule = schedule_for_cost(small_power_law, 20, min_threads=64)
+        workload = mergepath_workload(small_power_law, 16, DEV, schedule=schedule)
+        assert workload.total_atomic_ops == pytest.approx(
+            schedule.statistics.atomic_writes
+        )
+
+    def test_packing_below_32(self, small_power_law):
+        w16 = mergepath_workload(small_power_law, 16, DEV, cost=20, min_threads=64)
+        schedule = schedule_for_cost(small_power_law, 20, min_threads=64)
+        assert w16.n_warps == -(-schedule.n_threads // 2)
+
+    def test_replication_above_32(self, small_power_law):
+        w64 = mergepath_workload(small_power_law, 64, DEV, cost=20, min_threads=64)
+        schedule = schedule_for_cost(small_power_law, 20, min_threads=64)
+        assert w64.n_warps == 2 * schedule.n_threads
+
+    def test_force_all_atomic_ablation(self, small_power_law, small_structured):
+        normal = mergepath_workload(small_power_law, 16, DEV, cost=20)
+        forced = mergepath_workload(
+            small_power_law, 16, DEV, cost=20, force_all_atomic=True
+        )
+        assert forced.total_atomic_ops > normal.total_atomic_ops
+        # On a structured graph nearly all writes are regular, so the
+        # ablation's cost shows up directly in the modeled time.
+        normal_t = simulate(
+            mergepath_workload(
+                small_structured, 16, DEV, cost=20, min_threads=64
+            ),
+            DEV,
+        ).cycles
+        forced_t = simulate(
+            mergepath_workload(
+                small_structured, 16, DEV, cost=20, min_threads=64,
+                force_all_atomic=True,
+            ),
+            DEV,
+        ).cycles
+        assert forced_t > normal_t
+
+    def test_default_cost_comes_from_dim(self, small_power_law):
+        default = mergepath_workload(small_power_law, 16, DEV)
+        explicit = mergepath_workload(small_power_law, 16, DEV, cost=20)
+        assert default.n_warps == explicit.n_warps
+
+
+class TestGNNAdvisorWorkload:
+    def test_one_warp_per_group_baseline(self, small_power_law):
+        from repro.baselines import NeighborGroupSchedule
+
+        schedule = NeighborGroupSchedule.build(small_power_law)
+        workload = gnnadvisor_workload(small_power_law, 16, DEV, schedule=schedule)
+        assert workload.n_warps == schedule.n_groups
+
+    def test_opt_packs_groups_below_32(self, small_power_law):
+        base = gnnadvisor_workload(small_power_law, 16, DEV)
+        opt = gnnadvisor_workload(small_power_law, 16, DEV, opt=True)
+        assert opt.n_warps == -(-base.n_warps // 2)
+
+    def test_opt_identical_at_32_and_above(self, small_power_law):
+        base = gnnadvisor_workload(small_power_law, 32, DEV)
+        opt = gnnadvisor_workload(small_power_law, 32, DEV, opt=True)
+        assert base.n_warps == opt.n_warps
+        assert simulate(base, DEV).cycles == simulate(opt, DEV).cycles
+
+    def test_all_writes_atomic(self, small_power_law):
+        workload = gnnadvisor_workload(small_power_law, 16, DEV)
+        from repro.baselines import NeighborGroupSchedule
+
+        groups = NeighborGroupSchedule.build(small_power_law).n_groups
+        assert workload.total_atomic_ops == pytest.approx(groups)
+
+    def test_opt_faster_at_dim16(self, small_power_law):
+        base = simulate(gnnadvisor_workload(small_power_law, 16, DEV), DEV)
+        opt = simulate(gnnadvisor_workload(small_power_law, 16, DEV, opt=True), DEV)
+        assert opt.cycles < base.cycles
+
+
+class TestRowSplittingWorkload:
+    def test_one_warp_per_32_rows(self, small_power_law):
+        workload = row_splitting_workload(small_power_law, 16, DEV)
+        assert workload.n_warps == -(-small_power_law.n_rows // 32)
+
+    def test_no_atomics(self, small_power_law):
+        workload = row_splitting_workload(small_power_law, 16, DEV)
+        assert workload.total_atomic_ops == 0.0
+
+    def test_low_mem_parallelism(self, small_power_law):
+        assert row_splitting_workload(small_power_law, 16, DEV).mem_parallelism < 8
+
+
+class TestSerialWorkload:
+    def test_serial_cycles_positive_on_split_rows(self, small_power_law):
+        workload = merge_path_serial_workload(
+            small_power_law, 16, DEV, n_threads=256
+        )
+        assert workload.serial_cycles > 0
+
+    def test_thread_sweep_picks_best(self, small_power_law):
+        swept = simulate(
+            merge_path_serial_workload(small_power_law, 16, DEV), DEV
+        ).cycles
+        for threads in (256, 4096):
+            fixed = simulate(
+                merge_path_serial_workload(
+                    small_power_law, 16, DEV, n_threads=threads
+                ),
+                DEV,
+            ).cycles
+            assert swept <= fixed + 1e-6
+
+
+class TestCuSparseWorkload:
+    def test_row_per_warp_for_power_law(self, small_power_law):
+        workload = cusparse_workload(small_power_law, 16, DEV)
+        assert "row_per_warp" in workload.label
+        assert workload.n_warps == small_power_law.n_rows
+
+    def test_balanced_for_structured(self, small_structured):
+        workload = cusparse_workload(small_structured, 16, DEV)
+        assert "balanced" in workload.label
+
+    def test_no_atomics(self, small_structured):
+        workload = cusparse_workload(small_structured, 16, DEV)
+        assert workload.total_atomic_ops == 0.0
+
+
+class TestKernelTime:
+    def test_registry_complete(self):
+        assert set(KERNELS) == {
+            "mergepath", "gnnadvisor", "gnnadvisor-opt", "row-splitting",
+            "merge-path-serial", "cusparse",
+        }
+
+    def test_all_kernels_produce_timings(self, small_power_law):
+        for name in KERNELS:
+            timing = kernel_time(name, small_power_law, 16)
+            assert timing.cycles > 0
+            assert timing.microseconds > 0
+
+    def test_unknown_kernel(self, small_power_law):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_time("magic", small_power_law, 16)
+
+    def test_mergepath_beats_gnnadvisor_on_power_law(self):
+        # Use a Table II graph: on tiny fixtures the 1024-thread floor
+        # makes every merge-path boundary a partial row, which is not the
+        # regime Figure 4 reports.
+        from repro.graphs import load_dataset
+
+        adjacency = load_dataset("Cora").adjacency
+        mp = kernel_time("mergepath", adjacency, 16, cost=20)
+        gnna = kernel_time("gnnadvisor", adjacency, 16)
+        assert mp.cycles < gnna.cycles
+
+    def test_serial_baseline_slowest_of_merge_family(self, small_power_law):
+        serial = kernel_time("merge-path-serial", small_power_law, 16)
+        mp = kernel_time("mergepath", small_power_law, 16)
+        assert serial.cycles > mp.cycles

@@ -1,0 +1,119 @@
+"""Unit tests for the GPU timing model's mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPUWorkload, quadro_rtx_6000, scheduling_time, simulate
+
+DEV = quadro_rtx_6000()
+
+
+def _workload(n_warps=100, issue=10.0, bytes_=64.0, atomics=0.0, **kwargs):
+    return GPUWorkload(
+        label="test",
+        dim=kwargs.pop("dim", 16),
+        warp_issue_cycles=np.full(n_warps, issue),
+        warp_mem_bytes=np.full(n_warps, bytes_),
+        warp_atomic_ops=np.full(n_warps, atomics),
+        **kwargs,
+    )
+
+
+class TestSimulate:
+    def test_empty_workload_is_launch_only(self):
+        timing = simulate(_workload(n_warps=0), DEV)
+        assert timing.cycles == DEV.params.launch_cycles
+
+    def test_launch_always_included(self):
+        timing = simulate(_workload(), DEV)
+        assert timing.cycles >= DEV.params.launch_cycles
+
+    def test_issue_throughput_scales_with_sms(self):
+        timing = simulate(_workload(n_warps=720, issue=100.0, bytes_=0.0), DEV)
+        assert timing.issue_cycles == pytest.approx(720 * 100 / 72)
+
+    def test_issue_limited_by_active_sms(self):
+        # 8 warps can only use 8 SMs.
+        timing = simulate(_workload(n_warps=8, issue=100.0, bytes_=0.0), DEV)
+        assert timing.issue_cycles == pytest.approx(8 * 100 / 8)
+
+    def test_bandwidth_term(self):
+        timing = simulate(_workload(n_warps=10_000, bytes_=466.0), DEV)
+        assert timing.bandwidth_cycles == pytest.approx(
+            10_000 * 466.0 / DEV.bytes_per_cycle
+        )
+
+    def test_little_term_punishes_low_warp_counts(self):
+        few = simulate(_workload(n_warps=32, bytes_=32_000.0), DEV)
+        many = simulate(_workload(n_warps=3_200, bytes_=320.0), DEV)
+        # Same total traffic; fewer warps -> higher Little's-law bound.
+        assert few.little_cycles > many.little_cycles
+
+    def test_span_captures_straggler(self):
+        issue = np.full(100, 10.0)
+        issue[3] = 50_000.0
+        workload = GPUWorkload(
+            label="straggler", dim=16,
+            warp_issue_cycles=issue,
+            warp_mem_bytes=np.zeros(100),
+            warp_atomic_ops=np.zeros(100),
+        )
+        timing = simulate(workload, DEV)
+        assert timing.span_cycles == pytest.approx(50_000.0)
+        assert timing.cycles >= 50_000.0
+
+    def test_atomic_throughput_additive(self):
+        without = simulate(_workload(atomics=0.0), DEV)
+        with_atomics = simulate(
+            _workload(atomics=50.0, atomic_bytes_per_op=64.0), DEV
+        )
+        assert with_atomics.cycles > without.cycles
+
+    def test_hotspot_term(self):
+        quiet = simulate(
+            _workload(atomics=1.0, atomic_bytes_per_op=64.0,
+                      atomic_sharers=np.array([1, 1])), DEV
+        )
+        contended = simulate(
+            _workload(atomics=1.0, atomic_bytes_per_op=64.0,
+                      atomic_sharers=np.array([1000])), DEV
+        )
+        assert contended.hotspot_cycles > quiet.hotspot_cycles
+        assert contended.cycles > quiet.cycles
+
+    def test_serial_phase_additive(self):
+        base = simulate(_workload(), DEV).cycles
+        with_serial = simulate(_workload(serial_cycles=123_456.0), DEV).cycles
+        assert with_serial == pytest.approx(base + 123_456.0)
+
+    def test_low_mem_parallelism_raises_span(self):
+        fast = simulate(_workload(mem_parallelism=8.0), DEV)
+        slow = simulate(_workload(mem_parallelism=1.0), DEV)
+        assert slow.span_cycles > fast.span_cycles
+
+    def test_bound_by_reports_binding_term(self):
+        timing = simulate(_workload(n_warps=720, issue=1e6, bytes_=1.0), DEV)
+        assert timing.bound_by == "issue"
+
+    def test_microseconds_conversion(self):
+        timing = simulate(_workload(), DEV)
+        assert timing.microseconds == pytest.approx(
+            DEV.cycles_to_microseconds(timing.cycles)
+        )
+
+
+class TestSchedulingTime:
+    def test_grows_with_merge_items_logarithmically(self):
+        small = scheduling_time(1024, 1_000, DEV)
+        large = scheduling_time(1024, 1_000_000, DEV)
+        assert large > small
+        assert large < 3 * small
+
+    def test_throughput_bound_for_many_threads(self):
+        few = scheduling_time(1024, 10_000, DEV)
+        many = scheduling_time(1_000_000, 10_000, DEV)
+        assert many > few
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(ValueError):
+            scheduling_time(0, 100, DEV)

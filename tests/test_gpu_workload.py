@@ -1,0 +1,82 @@
+"""Unit tests for the GPU workload abstraction and grouping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPUWorkload
+from repro.gpu.workload import group_reduce_max, group_reduce_sum
+
+
+def _workload(n_warps=4, **kwargs):
+    defaults = dict(
+        label="test",
+        dim=16,
+        warp_issue_cycles=np.full(n_warps, 10.0),
+        warp_mem_bytes=np.full(n_warps, 64.0),
+        warp_atomic_ops=np.zeros(n_warps),
+    )
+    defaults.update(kwargs)
+    return GPUWorkload(**defaults)
+
+
+class TestGPUWorkload:
+    def test_totals(self):
+        w = _workload(4)
+        assert w.n_warps == 4
+        assert w.total_issue_cycles == 40.0
+        assert w.total_mem_bytes == 256.0
+        assert w.total_atomic_ops == 0.0
+
+    def test_max_row_sharers_empty(self):
+        assert _workload().max_row_sharers == 0
+
+    def test_max_row_sharers(self):
+        w = _workload(atomic_sharers=np.array([1, 5, 2]))
+        assert w.max_row_sharers == 5
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="equal length"):
+            GPUWorkload(
+                label="bad",
+                dim=16,
+                warp_issue_cycles=np.zeros(3),
+                warp_mem_bytes=np.zeros(2),
+                warp_atomic_ops=np.zeros(3),
+            )
+
+    def test_default_mem_parallelism(self):
+        assert _workload().mem_parallelism == 8.0
+
+
+class TestGroupReduce:
+    def test_max_exact_groups(self):
+        out = group_reduce_max(np.array([1, 5, 2, 4]), 2)
+        assert np.array_equal(out, [5, 4])
+
+    def test_max_ragged_tail(self):
+        out = group_reduce_max(np.array([1, 5, 9]), 2)
+        assert np.array_equal(out, [5, 9])
+
+    def test_sum_exact_groups(self):
+        out = group_reduce_sum(np.array([1.0, 5.0, 2.0, 4.0]), 2)
+        assert np.array_equal(out, [6.0, 6.0])
+
+    def test_sum_ragged_tail(self):
+        out = group_reduce_sum(np.array([1.0, 5.0, 9.0]), 2)
+        assert np.array_equal(out, [6.0, 9.0])
+
+    def test_group_size_one_is_identity(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert np.array_equal(group_reduce_max(values, 1), values)
+        assert np.array_equal(group_reduce_sum(values, 1), values)
+
+    def test_empty_input(self):
+        empty = np.array([])
+        assert len(group_reduce_max(empty, 4)) == 0
+        assert len(group_reduce_sum(empty, 4)) == 0
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            group_reduce_max(np.array([1.0]), 0)
+        with pytest.raises(ValueError):
+            group_reduce_sum(np.array([1.0]), 0)

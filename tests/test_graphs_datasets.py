@@ -1,0 +1,89 @@
+"""Unit tests for the Table II dataset registry."""
+
+import pytest
+
+from repro.graphs import (
+    DATASETS,
+    load_dataset,
+    power_law_dataset_names,
+    structured_dataset_names,
+)
+from repro.graphs.datasets import scaled_spec
+
+
+class TestRegistry:
+    def test_all_23_datasets_present(self):
+        assert len(DATASETS) == 23
+
+    def test_type_partition(self):
+        assert len(power_law_dataset_names()) == 17
+        assert len(structured_dataset_names()) == 6
+
+    def test_published_statistics_examples(self):
+        nell = DATASETS["Nell"]
+        assert (nell.n_nodes, nell.nnz, nell.max_degree) == (65_755, 251_550, 4_549)
+        twitter = DATASETS["Twitter-partial"]
+        assert (twitter.n_nodes, twitter.max_degree) == (580_768, 12)
+
+    def test_avg_degree_consistent_with_counts(self):
+        for spec in DATASETS.values():
+            assert spec.avg_degree == pytest.approx(
+                spec.nnz / spec.n_nodes, rel=0.05
+            )
+
+    def test_order_matches_paper(self):
+        names = power_law_dataset_names()
+        assert names[0] == "Cora"
+        assert names[-1] == "amazon0505"
+
+
+class TestLoadDataset:
+    def test_matches_published_stats_exactly(self):
+        graph = load_dataset("Cora")
+        spec = DATASETS["Cora"]
+        assert graph.n_nodes == spec.n_nodes
+        assert graph.n_edges == spec.nnz
+        assert graph.statistics.max_degree == spec.max_degree
+
+    def test_structured_dataset_stats(self):
+        graph = load_dataset("PROTEINS_full")
+        spec = DATASETS["PROTEINS_full"]
+        assert graph.n_edges == spec.nnz
+        assert graph.statistics.max_degree == spec.max_degree
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("NotAGraph")
+
+    def test_caching_returns_same_object(self):
+        assert load_dataset("Citeseer") is load_dataset("Citeseer")
+
+    def test_different_seeds_differ(self):
+        a = load_dataset("Citeseer", seed=1)
+        b = load_dataset("Citeseer", seed=2)
+        assert (a.adjacency.column_indices != b.adjacency.column_indices).any()
+
+
+class TestScaledSpec:
+    def test_identity_scale(self):
+        spec = DATASETS["Pubmed"]
+        assert scaled_spec(spec, 1.0) is spec
+
+    def test_downscale_preserves_avg_degree(self):
+        spec = scaled_spec(DATASETS["Pubmed"], 0.25)
+        original = DATASETS["Pubmed"]
+        assert spec.avg_degree == pytest.approx(original.avg_degree, rel=0.05)
+
+    def test_downscale_preserves_max_degree_when_possible(self):
+        spec = scaled_spec(DATASETS["Nell"], 0.25)
+        assert spec.max_degree == DATASETS["Nell"].max_degree
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_spec(DATASETS["Cora"], 0.0)
+        with pytest.raises(ValueError):
+            scaled_spec(DATASETS["Cora"], 1.5)
+
+    def test_scaled_load_generates(self):
+        graph = load_dataset("Pubmed", scale=0.1)
+        assert graph.n_nodes == pytest.approx(1_972, abs=5)

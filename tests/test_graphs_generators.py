@@ -1,0 +1,150 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    power_law_degree_sequence,
+    power_law_graph,
+    regular_graph,
+    rmat_graph,
+    structured_degree_sequence,
+)
+from repro.graphs.generators import graph_from_degree_sequence
+
+
+class TestPowerLawDegreeSequence:
+    def test_exact_sum_and_max(self):
+        degrees = power_law_degree_sequence(500, 3_000, 200, seed=1)
+        assert degrees.sum() == 3_000
+        assert degrees.max() == 200
+
+    def test_deterministic_given_seed(self):
+        a = power_law_degree_sequence(300, 1_500, 80, seed=5)
+        b = power_law_degree_sequence(300, 1_500, 80, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_shuffle(self):
+        a = power_law_degree_sequence(300, 1_500, 80, seed=5)
+        b = power_law_degree_sequence(300, 1_500, 80, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_max_degree_clamped_to_nnz(self):
+        degrees = power_law_degree_sequence(10, 5, 100, seed=0)
+        assert degrees.max() <= 5
+
+    def test_heavy_tail_shape(self):
+        degrees = power_law_degree_sequence(2_000, 10_000, 1_000, seed=2)
+        top = np.sort(degrees)[-20:]
+        # The top 1% of rows should hold a disproportionate share.
+        assert top.sum() > 0.2 * degrees.sum()
+
+    def test_unreachable_nnz_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            power_law_degree_sequence(10, 1_000, 5, seed=0)
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            power_law_degree_sequence(0, 10, 5)
+
+    def test_zero_nnz(self):
+        degrees = power_law_degree_sequence(10, 0, 5, seed=0)
+        assert degrees.sum() == 0
+
+
+class TestStructuredDegreeSequence:
+    def test_exact_sum_and_max(self):
+        degrees = structured_degree_sequence(100, 450, 12, seed=1)
+        assert degrees.sum() == 450
+        assert degrees.max() == 12
+
+    def test_low_variance(self):
+        degrees = structured_degree_sequence(1_000, 5_000, 25, seed=1)
+        # Nearly all rows sit at floor(avg) or ceil(avg).
+        base = 5
+        near = np.isin(degrees, [base - 1, base, base + 1]).mean()
+        assert near > 0.95
+
+    def test_unreachable_raises(self):
+        with pytest.raises(ValueError, match="unreachable"):
+            structured_degree_sequence(10, 200, 3, seed=0)
+
+
+class TestGraphFromDegreeSequence:
+    def test_realizes_sequence(self):
+        degrees = np.array([3, 0, 5, 1])
+        csr = graph_from_degree_sequence(degrees, seed=0)
+        assert np.array_equal(csr.row_lengths, degrees)
+
+    def test_columns_in_range(self):
+        degrees = np.array([10, 10, 10])
+        csr = graph_from_degree_sequence(degrees, seed=0)
+        assert csr.column_indices.max() < 3
+
+    def test_empty_sequence(self):
+        csr = graph_from_degree_sequence(np.zeros(5, dtype=int), seed=0)
+        assert csr.nnz == 0 and csr.n_rows == 5
+
+    def test_skewed_targets_give_heavy_in_degree(self):
+        degrees = np.full(2_000, 10)
+        skew = graph_from_degree_sequence(degrees, seed=0, skewed_targets=True)
+        flat = graph_from_degree_sequence(degrees, seed=0, skewed_targets=False)
+        in_skew = np.bincount(skew.column_indices, minlength=2_000)
+        in_flat = np.bincount(flat.column_indices, minlength=2_000)
+        assert in_skew.max() > 3 * in_flat.max()
+
+
+class TestTopLevelGenerators:
+    def test_power_law_graph_matches_targets(self):
+        csr = power_law_graph(400, 2_500, 150, seed=3)
+        assert csr.n_rows == 400
+        assert csr.nnz == 2_500
+        assert csr.row_lengths.max() == 150
+
+    def test_regular_graph_matches_targets(self):
+        csr = regular_graph(400, 1_600, 10, seed=3)
+        assert csr.nnz == 1_600
+        assert csr.row_lengths.max() == 10
+
+    def test_erdos_renyi_density(self):
+        csr = erdos_renyi_graph(500, 0.02, seed=4)
+        expected = 500 * 500 * 0.02
+        assert abs(csr.nnz - expected) < 0.25 * expected
+
+    def test_erdos_renyi_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_barabasi_albert_edge_count(self):
+        csr = barabasi_albert_graph(100, 3, seed=5)
+        # Symmetrized: ~2 * m * (n - m) directed edges, minus dedup losses.
+        assert csr.nnz <= 2 * 3 * 97
+        assert csr.nnz >= 1.5 * 3 * 97
+
+    def test_barabasi_albert_hub_formation(self):
+        csr = barabasi_albert_graph(400, 2, seed=5)
+        assert csr.row_lengths.max() > 10 * csr.row_lengths.mean()
+
+    def test_barabasi_albert_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+    def test_rmat_dimensions(self):
+        csr = rmat_graph(scale=8, nnz=2_000, seed=6)
+        assert csr.n_rows == 256
+        assert csr.nnz == 2_000
+
+    def test_rmat_skew(self):
+        csr = rmat_graph(scale=10, nnz=20_000, seed=6)
+        lengths = csr.row_lengths
+        assert lengths.max() > 8 * max(1.0, lengths.mean())
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            rmat_graph(4, 10, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 10)

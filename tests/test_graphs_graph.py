@@ -1,0 +1,93 @@
+"""Unit tests for the Graph container and degree analysis."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.graphs import Graph, fit_power_law
+from repro.graphs.degree import looks_power_law
+
+
+def _graph(dense, name="g"):
+    return Graph(name=name, adjacency=CSRMatrix.from_dense(dense))
+
+
+class TestGraph:
+    def test_rejects_rectangular_adjacency(self):
+        rect = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            Graph(name="bad", adjacency=rect)
+
+    def test_rejects_mismatched_features(self):
+        adj = CSRMatrix.identity(4)
+        with pytest.raises(ValueError, match="one row per node"):
+            Graph(name="bad", adjacency=adj, features=np.ones((3, 2)))
+
+    def test_counts(self):
+        g = _graph(np.eye(5))
+        assert g.n_nodes == 5 and g.n_edges == 5
+
+    def test_random_features_deterministic(self):
+        g = _graph(np.eye(4))
+        assert np.array_equal(g.random_features(3, seed=1),
+                              g.random_features(3, seed=1))
+
+    def test_with_features(self):
+        g = _graph(np.eye(4))
+        feats = np.ones((4, 2))
+        g2 = g.with_features(feats)
+        assert g2.features is feats
+        assert g.features is None
+
+    def test_statistics_shortcut(self, small_power_law):
+        g = Graph(name="pl", adjacency=small_power_law)
+        assert g.statistics.nnz == small_power_law.nnz
+
+
+class TestNormalizedAdjacency:
+    def test_adds_self_loops(self):
+        g = _graph(np.zeros((3, 3)))
+        norm = g.normalized_adjacency()
+        # With no edges, A + I = I and D = I, so the result is I.
+        assert np.allclose(norm.to_dense(), np.eye(3))
+
+    def test_symmetric_normalization_values(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        norm = _graph(dense).normalized_adjacency()
+        # A + I is all-ones; degrees are 2; D^-1/2 (A+I) D^-1/2 = 0.5.
+        assert np.allclose(norm.to_dense(), 0.5 * np.ones((2, 2)))
+
+    def test_without_self_loops(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        norm = _graph(dense).normalized_adjacency(add_self_loops=False)
+        assert np.allclose(norm.to_dense(), np.array([[0, 1], [1, 0]]))
+
+    def test_self_loops_added_and_duplicates_merged(self, small_power_law):
+        g = Graph(name="pl", adjacency=small_power_law)
+        norm = g.normalized_adjacency()
+        # Every diagonal entry exists; duplicate edges merge, so the total
+        # is bounded by nnz + n and reaches at least n.
+        assert g.n_nodes <= norm.nnz <= small_power_law.nnz + g.n_nodes
+        dense = norm.to_dense()
+        assert (dense.diagonal() > 0).all()
+
+
+class TestPowerLawFit:
+    def test_fit_on_known_power_law(self, small_power_law):
+        fit = fit_power_law(small_power_law)
+        assert fit.alpha > 0.5
+        assert 0 < fit.r_squared <= 1.0
+
+    def test_fit_requires_two_degrees(self):
+        with pytest.raises(ValueError, match="two distinct degrees"):
+            fit_power_law(CSRMatrix.identity(10))
+
+    def test_classifier_separates_types(self, small_power_law, small_structured):
+        assert looks_power_law(small_power_law)
+        assert not looks_power_law(small_structured)
+
+    def test_dynamic_range(self, small_power_law):
+        fit = fit_power_law(small_power_law)
+        assert fit.dynamic_range >= fit.degree_range[1] / max(
+            1, fit.degree_range[0]
+        ) - 1e-9

@@ -1,0 +1,101 @@
+"""Unit tests for graph reordering and the reorder-invariance claim."""
+
+import numpy as np
+import pytest
+
+from repro.core import schedule_for_cost
+from repro.formats import CSRMatrix
+from repro.graphs.reorder import (
+    bfs_order,
+    degree_sort_order,
+    permute_rows_and_columns,
+    random_order,
+)
+
+
+class TestPermutation:
+    def test_identity_permutation(self, csr_small):
+        # csr_small is square (12x12).
+        order = np.arange(csr_small.n_rows)
+        out = permute_rows_and_columns(csr_small, order)
+        assert np.allclose(out.to_dense(), csr_small.to_dense())
+
+    def test_permutation_is_symmetric_relabel(self, csr_small):
+        order = random_order(csr_small, seed=1)
+        out = permute_rows_and_columns(csr_small, order)
+        dense = csr_small.to_dense()
+        expected = dense[np.ix_(order, order)]
+        assert np.allclose(out.to_dense(), expected)
+
+    def test_preserves_nnz_and_degree_multiset(self, small_power_law):
+        order = random_order(small_power_law, seed=2)
+        out = permute_rows_and_columns(small_power_law, order)
+        assert out.nnz == small_power_law.nnz
+        assert sorted(out.row_lengths) == sorted(small_power_law.row_lengths)
+
+    def test_rejects_non_permutation(self, csr_small):
+        with pytest.raises(ValueError, match="permutation"):
+            permute_rows_and_columns(csr_small, np.zeros(csr_small.n_rows,
+                                                         dtype=int))
+
+    def test_rejects_rectangular(self):
+        rect = CSRMatrix.from_dense(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="square"):
+            permute_rows_and_columns(rect, np.array([0, 1]))
+
+
+class TestOrderings:
+    def test_degree_sort_descending(self, small_power_law):
+        order = degree_sort_order(small_power_law)
+        lengths = small_power_law.row_lengths[order]
+        assert (np.diff(lengths) <= 0).all()
+
+    def test_degree_sort_ascending(self, small_power_law):
+        order = degree_sort_order(small_power_law, descending=False)
+        lengths = small_power_law.row_lengths[order]
+        assert (np.diff(lengths) >= 0).all()
+
+    def test_bfs_visits_every_node_once(self, small_power_law):
+        order = bfs_order(small_power_law)
+        assert sorted(order.tolist()) == list(range(small_power_law.n_rows))
+
+    def test_bfs_start_first(self, small_power_law):
+        assert bfs_order(small_power_law, start=5)[0] == 5
+
+    def test_bfs_rejects_bad_start(self, small_power_law):
+        with pytest.raises(ValueError):
+            bfs_order(small_power_law, start=10_000)
+
+    def test_random_order_deterministic(self, small_power_law):
+        assert np.array_equal(
+            random_order(small_power_law, seed=9),
+            random_order(small_power_law, seed=9),
+        )
+
+
+class TestReorderInvariance:
+    def test_merge_path_stats_invariant_under_permutation(self, small_power_law):
+        """The paper's 'no reordering needed' claim, quantified."""
+        base = schedule_for_cost(small_power_law, 10, min_threads=None)
+        shuffled = permute_rows_and_columns(
+            small_power_law, random_order(small_power_law, seed=4)
+        )
+        other = schedule_for_cost(shuffled, 10, min_threads=None)
+        # Thread counts and per-thread bounds are identical; atomic write
+        # counts move only marginally (boundaries land differently).
+        assert base.n_threads == other.n_threads
+        assert base.items_per_thread == other.items_per_thread
+        ratio = other.statistics.atomic_writes / max(
+            1, base.statistics.atomic_writes
+        )
+        assert 0.7 < ratio < 1.4
+
+    def test_row_splitting_sensitive_to_degree_sort(self, small_power_law):
+        from repro.baselines import RowSplitSchedule
+
+        sorted_matrix = permute_rows_and_columns(
+            small_power_law, degree_sort_order(small_power_law)
+        )
+        base = RowSplitSchedule.build(small_power_law, 20).load_imbalance
+        sorted_ = RowSplitSchedule.build(sorted_matrix, 20).load_imbalance
+        assert sorted_ > 1.5 * base

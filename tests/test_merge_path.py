@@ -1,0 +1,107 @@
+"""Unit tests for the merge-path decomposition (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import merge_path_length, merge_path_search, merge_path_splits
+from repro.core.merge_path import thread_diagonals
+from repro.formats import CSRMatrix
+
+
+class TestMergePathLength:
+    def test_rows_plus_nnz(self, paper_example):
+        assert merge_path_length(paper_example) == 26
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0, 0], [])
+        assert merge_path_length(empty) == 1
+
+
+class TestScalarSearch:
+    def test_paper_thread2_start(self, paper_example):
+        coord = merge_path_search(paper_example, 7)
+        assert (coord.row, coord.nnz) == (1, 6)
+
+    def test_paper_thread2_end(self, paper_example):
+        coord = merge_path_search(paper_example, 14)
+        assert (coord.row, coord.nnz) == (3, 11)
+
+    def test_origin(self, paper_example):
+        coord = merge_path_search(paper_example, 0)
+        assert (coord.row, coord.nnz) == (0, 0)
+
+    def test_terminus(self, paper_example):
+        coord = merge_path_search(paper_example, 26)
+        assert (coord.row, coord.nnz) == (10, 16)
+
+    def test_diagonal_invariant(self, paper_example):
+        for diag in range(27):
+            coord = merge_path_search(paper_example, diag)
+            assert coord.diagonal == diag
+
+    def test_row_prefix_consumed_before_nnz(self, paper_example):
+        # At any split, all non-zeros of fully-consumed rows lie behind it.
+        rp = paper_example.row_pointers
+        for diag in range(27):
+            coord = merge_path_search(paper_example, diag)
+            assert rp[coord.row] <= coord.nnz
+            if coord.row < paper_example.n_rows:
+                # Row `row`'s end marker has not been consumed yet.
+                assert rp[coord.row + 1] + coord.row + 1 > diag
+
+    def test_out_of_range_diagonal(self, paper_example):
+        with pytest.raises(ValueError):
+            merge_path_search(paper_example, -1)
+        with pytest.raises(ValueError):
+            merge_path_search(paper_example, 27)
+
+
+class TestVectorizedSearch:
+    def test_matches_scalar_on_paper_example(self, paper_example):
+        diagonals = np.arange(27)
+        coords = merge_path_splits(paper_example, diagonals)
+        for diag in diagonals:
+            scalar = merge_path_search(paper_example, int(diag))
+            assert (scalar.row, scalar.nnz) == tuple(coords[diag])
+
+    def test_matches_scalar_on_random_matrices(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 30))
+            dense = (rng.random((n, n)) < 0.3) * 1.0
+            matrix = CSRMatrix.from_dense(dense)
+            diagonals = np.arange(merge_path_length(matrix) + 1)
+            coords = merge_path_splits(matrix, diagonals)
+            for diag in diagonals:
+                scalar = merge_path_search(matrix, int(diag))
+                assert (scalar.row, scalar.nnz) == tuple(coords[diag])
+
+    def test_rejects_out_of_range(self, paper_example):
+        with pytest.raises(ValueError):
+            merge_path_splits(paper_example, np.array([40]))
+
+    def test_empty_input(self, paper_example):
+        coords = merge_path_splits(paper_example, np.array([], dtype=int))
+        assert coords.shape == (0, 2)
+
+
+class TestThreadDiagonals:
+    def test_paper_example_boundaries(self, paper_example):
+        diagonals = thread_diagonals(paper_example, 4)
+        assert list(diagonals) == [0, 7, 14, 21, 26]
+
+    def test_covers_whole_path(self, paper_example):
+        for n_threads in (1, 2, 5, 26, 100):
+            diagonals = thread_diagonals(paper_example, n_threads)
+            assert diagonals[0] == 0
+            assert diagonals[-1] == 26
+            assert (np.diff(diagonals) >= 0).all()
+
+    def test_cost_bound(self, paper_example):
+        for n_threads in (1, 3, 4, 7):
+            diagonals = thread_diagonals(paper_example, n_threads)
+            cost = -(-26 // n_threads)
+            assert np.diff(diagonals).max() <= cost
+
+    def test_rejects_zero_threads(self, paper_example):
+        with pytest.raises(ValueError):
+            thread_diagonals(paper_example, 0)

@@ -1,0 +1,137 @@
+"""Unit tests for the set-associative cache and MESI directory."""
+
+import pytest
+
+from repro.multicore.cache import SetAssociativeCache
+from repro.multicore.config import CacheConfig
+from repro.multicore.directory import Directory
+
+
+def _cache(size=256, assoc=2, line=64):
+    return SetAssociativeCache(CacheConfig(size_bytes=size, associativity=assoc,
+                                           line_bytes=line))
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = _cache(size=128, assoc=2)  # 1 set, 2 ways
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 is now MRU
+        cache.access(2)  # evicts 1 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.stats.evictions == 1
+
+    def test_set_isolation(self):
+        cache = _cache(size=256, assoc=2)  # 2 sets
+        # Lines 0 and 2 map to set 0; line 1 maps to set 1.
+        cache.access(0)
+        cache.access(2)
+        cache.access(1)
+        assert cache.contains(0) and cache.contains(2) and cache.contains(1)
+
+    def test_invalidate(self):
+        cache = _cache()
+        cache.access(7)
+        assert cache.invalidate(7) is True
+        assert not cache.contains(7)
+        assert cache.invalidate(7) is False
+
+    def test_contains_does_not_touch_lru(self):
+        cache = _cache(size=128, assoc=2)
+        cache.access(0)
+        cache.access(1)
+        cache.contains(0)  # must NOT refresh 0
+        cache.access(2)  # evicts 0 (still LRU)
+        assert not cache.contains(0)
+
+    def test_reset(self):
+        cache = _cache()
+        cache.access(1)
+        cache.reset()
+        assert not cache.contains(1)
+        assert cache.stats.accesses == 0
+
+    def test_hit_rate(self):
+        cache = _cache()
+        cache.access(1)
+        cache.access(1)
+        cache.access(1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestDirectory:
+    def test_read_registers_sharer(self):
+        d = Directory(4)
+        downgraded, evicted = d.read(10, core=3)
+        assert not downgraded and not evicted
+        assert d.sharers_of(10) == (3,)
+
+    def test_repeat_read_no_duplicate(self):
+        d = Directory(4)
+        d.read(10, 3)
+        d.read(10, 3)
+        assert d.sharers_of(10) == (3,)
+
+    def test_limited_pointers_evict(self):
+        d = Directory(2)
+        d.read(10, 0)
+        d.read(10, 1)
+        _, evicted = d.read(10, 2)
+        assert evicted == [0]
+        assert d.sharers_of(10) == (1, 2)
+        assert d.stats.pointer_evictions == 1
+
+    def test_write_invalidates_sharers(self):
+        d = Directory(4)
+        d.read(10, 0)
+        d.read(10, 1)
+        invalidated = d.write(10, 2)
+        assert set(invalidated) == {0, 1}
+        assert d.owner_of(10) == 2
+        assert d.sharers_of(10) == ()
+
+    def test_write_by_sharer_does_not_invalidate_self(self):
+        d = Directory(4)
+        d.read(10, 0)
+        assert d.write(10, 0) == []
+
+    def test_read_downgrades_remote_owner(self):
+        d = Directory(4)
+        d.write(10, 0)
+        downgraded, _ = d.read(10, 1)
+        assert downgraded
+        assert d.owner_of(10) is None
+        assert set(d.sharers_of(10)) == {0, 1}
+        assert d.stats.downgrades == 1
+
+    def test_owner_reread_no_downgrade(self):
+        d = Directory(4)
+        d.write(10, 0)
+        downgraded, _ = d.read(10, 0)
+        assert not downgraded
+
+    def test_write_chain_serializes_ownership(self):
+        d = Directory(4)
+        assert d.write(10, 0) == []
+        assert d.write(10, 1) == [0]
+        assert d.write(10, 2) == [1]
+
+    def test_drop(self):
+        d = Directory(4)
+        d.write(10, 0)
+        d.drop(10)
+        assert d.owner_of(10) is None
+        assert d.sharers_of(10) == ()
+
+    def test_rejects_bad_pointer_count(self):
+        with pytest.raises(ValueError):
+            Directory(0)

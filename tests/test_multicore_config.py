@@ -1,0 +1,61 @@
+"""Unit tests for the Table I machine configuration."""
+
+import pytest
+
+from repro.multicore import table1_machine
+from repro.multicore.config import CacheConfig
+
+
+class TestCacheConfig:
+    def test_geometry(self):
+        cache = CacheConfig(size_bytes=4 * 1024, associativity=4)
+        assert cache.n_lines == 64
+        assert cache.n_sets == 16
+
+    def test_degenerate_small_cache(self):
+        cache = CacheConfig(size_bytes=64, associativity=4)
+        assert cache.n_sets == 1
+
+
+class TestTable1Machine:
+    def test_reference_configuration(self):
+        m = table1_machine(1024)
+        assert m.n_cores == 1024
+        assert m.clock_ghz == 1.0
+        assert m.l1.size_bytes == 4 * 1024
+        assert m.l1.hit_cycles == 1
+        assert m.l2_slice.size_bytes == 8 * 1024
+        assert m.directory_pointers == 4
+        assert m.dram.n_controllers == 32
+        assert m.dram.latency_ns == 100.0
+        assert m.dram.bandwidth_gbps == 320.0
+        assert m.noc.hop_cycles == 2
+        assert m.noc.flit_bits == 64
+        assert m.simd_width == 4
+
+    def test_total_l2_constant_across_core_counts(self):
+        for cores in (64, 128, 256, 512, 1024):
+            assert table1_machine(cores).total_l2_bytes == 8 * 1024 * 1024
+
+    def test_controllers_scale_down(self):
+        assert table1_machine(512).dram.n_controllers == 16
+        assert table1_machine(64).dram.n_controllers == 2
+
+    def test_bandwidth_constant(self):
+        assert table1_machine(64).dram.bandwidth_gbps == 320.0
+
+    def test_mesh_dimensions(self):
+        m = table1_machine(1024)
+        assert (m.mesh_width, m.mesh_height) == (32, 32)
+        m = table1_machine(128)
+        assert m.mesh_width * m.mesh_height >= 128
+
+    def test_dram_latency_cycles(self):
+        assert table1_machine(1024).dram_latency_cycles == pytest.approx(100.0)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            table1_machine(0)
+
+    def test_cycles_to_seconds(self):
+        assert table1_machine(64).cycles_to_seconds(1e9) == pytest.approx(1.0)

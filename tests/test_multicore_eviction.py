@@ -1,0 +1,79 @@
+"""Tests for L2-eviction directory cleanup and the A100 device profile."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import a100_like, quadro_rtx_6000
+from repro.multicore import MulticoreSystem, table1_machine
+from repro.multicore.cache import SetAssociativeCache
+from repro.multicore.config import CacheConfig
+from repro.multicore.trace import ThreadTrace
+
+
+class TestAccessWithVictim:
+    def test_hit_reports_no_victim(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=128, associativity=2))
+        cache.access(0)
+        hit, victim = cache.access_with_victim(0)
+        assert hit and victim is None
+
+    def test_fill_without_eviction(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=128, associativity=2))
+        hit, victim = cache.access_with_victim(0)
+        assert not hit and victim is None
+
+    def test_eviction_reports_lru_victim(self):
+        cache = SetAssociativeCache(CacheConfig(size_bytes=128, associativity=2))
+        cache.access(0)
+        cache.access(1)
+        hit, victim = cache.access_with_victim(2)
+        assert not hit and victim == 0
+
+
+class TestL2EvictionCleansDirectory:
+    def test_directory_dropped_on_l2_eviction(self):
+        machine = table1_machine(4)
+        system = MulticoreSystem(machine)
+        # All lines homed at slice 0 (line % 4 == 0); slice is 2 MB at 4
+        # cores, so force conflict misses within one set instead: lines
+        # spaced by 4 * n_sets collide in the same set of slice 0.
+        n_sets = machine.l2_slice.n_sets
+        assoc = machine.l2_slice.associativity
+        stride = 4 * n_sets
+        lines = [i * stride for i in range(assoc + 1)]
+        trace = ThreadTrace(
+            lines=np.array(lines, dtype=np.int64),
+            kinds=np.zeros(len(lines), dtype=np.int8),
+            compute_cycles=0.0,
+        )
+        system.run([trace])
+        # The first line was evicted from slice 0, so its directory entry
+        # (core 0 was a sharer) must be gone.
+        assert system.directory.sharers_of(lines[0]) == ()
+        assert system.l2_slices[0].stats.evictions >= 1
+
+    def test_l1_copy_recalled_on_l2_eviction(self):
+        machine = table1_machine(4)
+        system = MulticoreSystem(machine)
+        n_sets = machine.l2_slice.n_sets
+        assoc = machine.l2_slice.associativity
+        stride = 4 * n_sets
+        lines = [i * stride for i in range(assoc + 1)]
+        trace = ThreadTrace(
+            lines=np.array(lines, dtype=np.int64),
+            kinds=np.zeros(len(lines), dtype=np.int8),
+            compute_cycles=0.0,
+        )
+        system.run([trace])
+        assert not system.l1s[0].contains(lines[0])
+
+
+class TestDeviceProfiles:
+    def test_a100_specs(self):
+        device = a100_like()
+        assert device.n_sms == 108
+        assert device.mem_bandwidth_gbps == pytest.approx(1555.0)
+        assert device.max_warps_per_sm == 64
+
+    def test_a100_more_bandwidth_per_cycle(self):
+        assert a100_like().bytes_per_cycle > 2 * quadro_rtx_6000().bytes_per_cycle

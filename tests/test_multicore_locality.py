@@ -1,0 +1,82 @@
+"""Unit tests for locality-aware thread placement."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_schedule
+from repro.multicore import MulticoreSystem, table1_machine
+from repro.multicore.locality import (
+    apply_placement,
+    linear_placement,
+    tile_placement,
+)
+from repro.multicore.trace import mergepath_traces
+
+
+class TestPlacements:
+    def test_linear_identity(self):
+        assert np.array_equal(linear_placement(5), [0, 1, 2, 3, 4])
+
+    def test_tile_placement_is_bijection(self):
+        machine = table1_machine(64)
+        placement = tile_placement(machine, 64, tile=4)
+        assert sorted(placement.tolist()) == list(range(64))
+
+    def test_tile_placement_groups_neighbours(self):
+        machine = table1_machine(64)  # 8x8 mesh
+        placement = tile_placement(machine, 64, tile=4)
+        # The first 16 threads all land inside the top-left 4x4 tile.
+        first = placement[:16]
+        xs, ys = first % 8, first // 8
+        assert xs.max() < 4 and ys.max() < 4
+
+    def test_tile_one_is_linear_order(self):
+        machine = table1_machine(64)
+        assert np.array_equal(tile_placement(machine, 64, tile=1),
+                              linear_placement(64))
+
+    def test_tile_rejects_bad_args(self):
+        machine = table1_machine(64)
+        with pytest.raises(ValueError):
+            tile_placement(machine, 64, tile=0)
+        with pytest.raises(ValueError):
+            tile_placement(machine, 100, tile=4)
+
+
+class TestApplyPlacement:
+    def test_reorders_traces(self, small_power_law):
+        machine = table1_machine(64)
+        schedule = build_schedule(small_power_law, 64)
+        traces = mergepath_traces(schedule, 16)
+        placement = tile_placement(machine, 64, tile=4)
+        slots = apply_placement(traces, placement, 64)
+        assert len(slots) == 64
+        for thread, core in enumerate(placement):
+            assert slots[core] is traces[thread]
+
+    def test_rejects_length_mismatch(self, small_power_law):
+        schedule = build_schedule(small_power_law, 8)
+        traces = mergepath_traces(schedule, 16)
+        with pytest.raises(ValueError, match="placement covers"):
+            apply_placement(traces, np.arange(4), 64)
+
+    def test_rejects_duplicate_core(self, small_power_law):
+        schedule = build_schedule(small_power_law, 2)
+        traces = mergepath_traces(schedule, 16)
+        with pytest.raises(ValueError, match="assigned twice"):
+            apply_placement(traces, np.array([3, 3]), 64)
+
+    def test_placed_run_matches_workload(self, small_power_law):
+        """Total work is placement-invariant; only latency shifts."""
+        machine = table1_machine(64)
+        schedule = build_schedule(small_power_law, 64)
+        traces = mergepath_traces(schedule, 16)
+        linear = MulticoreSystem(machine).run(
+            apply_placement(traces, linear_placement(64), 64)
+        )
+        tiled = MulticoreSystem(machine).run(
+            apply_placement(traces, tile_placement(machine, 64), 64)
+        )
+        assert linear.dram_accesses == tiled.dram_accesses
+        ratio = tiled.completion_cycles / linear.completion_cycles
+        assert 0.7 < ratio < 1.3

@@ -1,0 +1,173 @@
+"""Unit tests for the mesh NoC, DRAM model, and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NeighborGroupSchedule
+from repro.core import build_schedule
+from repro.multicore import table1_machine
+from repro.multicore.dram import DramModel
+from repro.multicore.noc import MeshNetwork
+from repro.multicore.trace import (
+    ATOMIC,
+    WRITE,
+    AddressMap,
+    gnnadvisor_traces,
+    mergepath_traces,
+)
+
+
+class TestMesh:
+    def test_coordinates(self):
+        mesh = MeshNetwork(table1_machine(64))  # 8x8
+        assert mesh.coordinates(0) == (0, 0)
+        assert mesh.coordinates(9) == (1, 1)
+        assert mesh.coordinates(63) == (7, 7)
+
+    def test_coordinates_out_of_range(self):
+        mesh = MeshNetwork(table1_machine(64))
+        with pytest.raises(IndexError):
+            mesh.coordinates(64)
+
+    def test_hops_manhattan(self):
+        mesh = MeshNetwork(table1_machine(64))
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 9) == 2
+        assert mesh.hops(0, 63) == 14
+
+    def test_base_latency(self):
+        mesh = MeshNetwork(table1_machine(64))
+        assert mesh.base_latency(0, 63) == 2 * 14
+
+    def test_record_message_accumulates_flit_hops(self):
+        mesh = MeshNetwork(table1_machine(64))
+        mesh.record_message(0, 9, payload_bytes=64)  # 8 flits, 2 hops
+        assert mesh.total_flit_hops == 16
+
+    def test_record_bulk_equivalent_to_messages(self):
+        a = MeshNetwork(table1_machine(64))
+        b = MeshNetwork(table1_machine(64))
+        for _ in range(5):
+            a.record_message(3, 42, 64)
+        b.record_bulk(3, 42, 64, count=5)
+        assert a.total_flit_hops == b.total_flit_hops
+        assert a.max_link_load() == b.max_link_load()
+
+    def test_contention_factor_increases_with_load(self):
+        mesh = MeshNetwork(table1_machine(64))
+        low = mesh.contention_factor(1_000_000)
+        mesh.record_bulk(0, 63, 64, count=10_000)
+        high = mesh.contention_factor(1_000)
+        assert high > low >= 1.0
+
+    def test_contention_disabled(self):
+        machine = table1_machine(64)
+        from dataclasses import replace
+
+        machine = replace(machine, noc=replace(machine.noc, link_contention=False))
+        mesh = MeshNetwork(machine)
+        mesh.record_bulk(0, 63, 64, count=10_000)
+        assert mesh.contention_factor(1.0) == 1.0
+
+    def test_reset(self):
+        mesh = MeshNetwork(table1_machine(64))
+        mesh.record_message(0, 63, 64)
+        mesh.reset()
+        assert mesh.total_flit_hops == 0
+
+
+class TestDram:
+    def test_latency_and_accounting(self):
+        dram = DramModel(table1_machine(1024))
+        latency = dram.record_access(64)
+        assert latency == pytest.approx(100.0)
+        assert dram.accesses == 1
+        assert dram.bytes_transferred == 64
+
+    def test_queueing_grows_with_traffic(self):
+        dram = DramModel(table1_machine(1024))
+        idle = dram.queueing_factor(1_000)
+        for _ in range(10_000):
+            dram.record_access(64)
+        busy = dram.queueing_factor(1_000)
+        assert busy > idle
+
+    def test_controller_interleaving(self):
+        dram = DramModel(table1_machine(1024))
+        assert dram.controller_of(0) != dram.controller_of(1)
+        assert dram.controller_of(32) == dram.controller_of(0)
+
+
+class TestAddressMap:
+    def test_regions_disjoint_and_ordered(self):
+        amap = AddressMap(n_rows=100, nnz=500, dim=16)
+        assert amap.rp_base < amap.cp_base < amap.val_base < amap.xw_base
+        assert amap.xw_base < amap.out_base < amap.total_lines
+
+    def test_dense_row_lines(self):
+        amap = AddressMap(n_rows=10, nnz=20, dim=16)
+        assert amap.lines_per_dense_row == 1
+        amap64 = AddressMap(n_rows=10, nnz=20, dim=64)
+        assert amap64.lines_per_dense_row == 4
+
+    def test_line_lookup_vectorized(self):
+        amap = AddressMap(n_rows=100, nnz=500, dim=16)
+        j = np.array([0, 15, 16])
+        lines = amap.cp_line(j)
+        assert lines[0] == lines[1]  # same 64-byte line (16 ints)
+        assert lines[2] == lines[0] + 1
+
+
+class TestTraces:
+    def test_mergepath_traces_cover_reads_and_writes(self, small_power_law):
+        schedule = build_schedule(small_power_law, 16)
+        traces = mergepath_traces(schedule, dim=16)
+        assert len(traces) == 16
+        amap = AddressMap(small_power_law.n_rows, small_power_law.nnz, 16)
+        kinds = np.concatenate([t.kinds for t in traces])
+        lines = np.concatenate([t.lines for t in traces])
+        # Every output row line is written exactly by the write segments.
+        write_mask = kinds != 0
+        written = set(lines[write_mask].tolist())
+        out_lines = set(
+            range(amap.out_base, amap.out_base + small_power_law.n_rows)
+        )
+        assert written.issubset(out_lines)
+        # Atomic writes exist (the power-law fixture splits rows).
+        assert (kinds == ATOMIC).any()
+        assert (kinds == WRITE).any()
+
+    def test_mergepath_write_counts_match_schedule(self, small_power_law):
+        schedule = build_schedule(small_power_law, 16)
+        traces = mergepath_traces(schedule, dim=16)
+        stats = schedule.statistics
+        atomics = sum(int((t.kinds == ATOMIC).sum()) for t in traces)
+        assert atomics == stats.atomic_writes  # dim 16 -> 1 line per row
+
+    def test_mergepath_compute_scales_with_nnz(self, small_power_law):
+        schedule = build_schedule(small_power_law, 8)
+        traces = mergepath_traces(schedule, dim=16)
+        total = sum(t.compute_cycles for t in traces)
+        assert total >= small_power_law.nnz * 4  # >= fma cycles per nnz
+
+    def test_gnnadvisor_traces_all_atomic(self, small_power_law):
+        schedule = NeighborGroupSchedule.build(small_power_law)
+        traces = gnnadvisor_traces(schedule, dim=16, n_cores=8)
+        kinds = np.concatenate([t.kinds for t in traces])
+        assert (kinds[kinds != 0] == ATOMIC).all()
+        atomics = int((kinds == ATOMIC).sum())
+        assert atomics == schedule.n_groups
+
+    def test_gnnadvisor_round_robin_balance(self, small_power_law):
+        schedule = NeighborGroupSchedule.build(small_power_law)
+        traces = gnnadvisor_traces(schedule, dim=16, n_cores=8)
+        accesses = np.array([t.n_accesses for t in traces])
+        assert accesses.max() < 2.0 * max(1, accesses.mean())
+
+    def test_trace_dedupe_removes_consecutive_repeats(self, small_power_law):
+        schedule = build_schedule(small_power_law, 4)
+        for trace in mergepath_traces(schedule, dim=16):
+            pair_equal = (trace.lines[1:] == trace.lines[:-1]) & (
+                trace.kinds[1:] == trace.kinds[:-1]
+            )
+            assert not pair_equal.any()

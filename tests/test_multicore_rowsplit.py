@@ -1,0 +1,51 @@
+"""Tests for row-splitting on the multicore machine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RowSplitSchedule
+from repro.multicore import run_mergepath, run_row_splitting
+from repro.multicore.trace import WRITE, row_splitting_traces
+
+
+class TestRowSplittingTraces:
+    def test_covers_all_rows_and_nnz(self, small_power_law):
+        schedule = RowSplitSchedule.build(small_power_law, 8)
+        traces = row_splitting_traces(schedule, dim=16)
+        assert len(traces) == 8
+        kinds = np.concatenate([t.kinds for t in traces])
+        writes = int((kinds == WRITE).sum())
+        assert writes == small_power_law.n_rows  # one write per row
+
+    def test_no_atomics(self, small_power_law):
+        schedule = RowSplitSchedule.build(small_power_law, 8)
+        traces = row_splitting_traces(schedule, dim=16)
+        kinds = np.concatenate([t.kinds for t in traces])
+        assert (kinds <= WRITE).all()
+
+    def test_imbalanced_access_counts(self, small_power_law):
+        schedule = RowSplitSchedule.build(small_power_law, 64)
+        traces = row_splitting_traces(schedule, dim=16)
+        accesses = np.array([t.n_accesses for t in traces])
+        assert accesses.max() > 2.0 * accesses.mean()
+
+
+class TestRowSplittingRuns:
+    def test_no_write_invalidations(self, small_power_law):
+        result = run_row_splitting(small_power_law, 16, 64)
+        # Rows are exclusively owned, so the only invalidations are
+        # limited-4 pointer evictions on widely read-shared lines.
+        assert (
+            result.directory.invalidations_sent
+            == result.directory.pointer_evictions
+        )
+
+    def test_loses_to_mergepath_on_power_law(self, small_power_law):
+        rowsplit = run_row_splitting(small_power_law, 16, 128)
+        mergepath = run_mergepath(small_power_law, 16, 128)
+        assert mergepath.completion_cycles < rowsplit.completion_cycles
+
+    def test_bottleneck_core_holds_evil_chunk(self, small_power_law):
+        result = run_row_splitting(small_power_law, 16, 64)
+        per_core = result.per_core_cycles
+        assert per_core.max() > 3.0 * per_core.mean()

@@ -1,0 +1,110 @@
+"""Unit and integration tests for the multicore interval simulator."""
+
+import numpy as np
+import pytest
+
+from repro.multicore import MulticoreSystem, table1_machine
+from repro.multicore.kernels import run_gnnadvisor, run_mergepath
+from repro.multicore.trace import ATOMIC, READ, WRITE, ThreadTrace
+
+
+def _trace(lines, kinds=None, compute=0.0):
+    lines = np.asarray(lines, dtype=np.int64)
+    if kinds is None:
+        kinds = np.zeros(len(lines), dtype=np.int8)
+    return ThreadTrace(lines=lines, kinds=np.asarray(kinds, dtype=np.int8),
+                       compute_cycles=compute)
+
+
+class TestSystem:
+    def test_idle_machine(self):
+        system = MulticoreSystem(table1_machine(64))
+        result = system.run([])
+        assert result.completion_cycles == 0.0
+
+    def test_compute_only_core(self):
+        system = MulticoreSystem(table1_machine(64))
+        result = system.run([_trace([], compute=1234.0)])
+        assert result.completion_cycles == pytest.approx(1234.0)
+        assert result.memory_cycles == 0.0
+
+    def test_l1_hit_after_miss(self):
+        system = MulticoreSystem(table1_machine(64))
+        result = system.run([_trace([5, 5, 5, 5])])
+        assert result.l1_hit_rate == pytest.approx(3 / 4)
+
+    def test_completion_is_slowest_core(self):
+        system = MulticoreSystem(table1_machine(64))
+        heavy = _trace(list(range(0, 6400, 64)))
+        light = _trace([0])
+        result = system.run([heavy, light])
+        assert result.completion_cycles == pytest.approx(
+            result.per_core_cycles.max()
+        )
+        assert result.per_core_cycles[0] > result.per_core_cycles[1]
+
+    def test_remote_access_costs_more_than_local(self):
+        machine = table1_machine(64)
+        # Line 0 is homed at slice 0; line 63 at slice 63 (opposite corner).
+        local = MulticoreSystem(machine).run([_trace([0])])
+        remote = MulticoreSystem(machine).run([_trace([63])])
+        assert remote.completion_cycles > local.completion_cycles
+
+    def test_dram_charged_once_while_l2_resident(self):
+        system = MulticoreSystem(table1_machine(64))
+        result = system.run([_trace([0, 0])])
+        assert result.dram_accesses == 1
+
+    def test_atomic_rmw_serialization(self):
+        machine = table1_machine(64)
+        # 8 cores all atomically updating the same output line.
+        traces = [
+            _trace([100], kinds=[ATOMIC]) for _ in range(8)
+        ]
+        contended = MulticoreSystem(machine).run(traces)
+        solo = MulticoreSystem(machine).run([_trace([100], kinds=[ATOMIC])])
+        assert contended.completion_cycles > 3 * solo.completion_cycles
+
+    def test_write_invalidates_reader(self):
+        machine = table1_machine(64)
+        system = MulticoreSystem(machine)
+        # Core 0 reads line 7, core 1 writes it: a sharer gets invalidated.
+        system.run([_trace([7]), _trace([7], kinds=[WRITE])])
+        assert system.directory.stats.invalidations_sent >= 1
+
+    def test_rejects_too_many_traces(self):
+        system = MulticoreSystem(table1_machine(4))
+        with pytest.raises(ValueError, match="traces"):
+            system.run([_trace([0])] * 5)
+
+    def test_contention_factors_at_least_one(self, small_power_law):
+        result = run_mergepath(small_power_law, 16, 64)
+        assert result.noc_contention_factor >= 1.0
+        assert result.dram_queueing_factor >= 1.0
+
+
+class TestKernelRunners:
+    def test_mergepath_scales_on_clean_graph(self, small_structured):
+        t64 = run_mergepath(small_structured, 16, 64).completion_cycles
+        t256 = run_mergepath(small_structured, 16, 256).completion_cycles
+        assert t256 < t64
+
+    def test_gnnadvisor_runs(self, small_power_law):
+        result = run_gnnadvisor(small_power_law, 16, 64)
+        assert result.completion_cycles > 0
+        assert result.directory.invalidations_sent > 0
+
+    def test_mergepath_fewer_invalidations_than_gnnadvisor(
+        self, small_power_law
+    ):
+        mp = run_mergepath(small_power_law, 16, 128)
+        gnna = run_gnnadvisor(small_power_law, 16, 128)
+        assert (
+            mp.directory.invalidations_sent < gnna.directory.invalidations_sent
+        )
+
+    def test_breakdown_components_sum(self, small_power_law):
+        result = run_mergepath(small_power_law, 16, 64)
+        assert result.compute_cycles + result.memory_cycles == pytest.approx(
+            result.completion_cycles
+        )

@@ -1,0 +1,61 @@
+"""Unit tests for the multi-threaded CPU executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_schedule, execute_parallel, execute_vectorized
+from repro.formats import CSRMatrix
+
+
+class TestParallelExecutor:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4, 8])
+    def test_matches_serial_executor(self, small_power_law, n_workers, features):
+        x = features(small_power_law.n_cols, 8)
+        schedule = build_schedule(small_power_law, 64)
+        serial, _ = execute_vectorized(schedule, x)
+        result = execute_parallel(schedule, x, n_workers=n_workers)
+        assert np.allclose(result.output, serial)
+        assert result.n_workers == n_workers
+
+    def test_accounting_matches_schedule(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 4)
+        schedule = build_schedule(small_power_law, 64)
+        result = execute_parallel(schedule, x, n_workers=3)
+        stats = schedule.statistics
+        assert result.writes.atomic_writes == stats.atomic_writes
+        assert result.writes.regular_writes == stats.regular_writes
+
+    def test_evil_row_contention_correct(self, features):
+        # One giant row split across every thread: all workers contend on
+        # the same output row through the lock stripes.
+        matrix = CSRMatrix.from_arrays([0, 256], np.arange(256) % 4, n_cols=4)
+        x = features(4, 6)
+        schedule = build_schedule(matrix, 32)
+        result = execute_parallel(schedule, x, n_workers=8)
+        assert np.allclose(result.output, matrix.multiply_dense(x))
+
+    def test_deterministic_across_runs(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 4)
+        schedule = build_schedule(small_power_law, 64)
+        a = execute_parallel(schedule, x, n_workers=4).output
+        b = execute_parallel(schedule, x, n_workers=4).output
+        # Atomic adds commute; each segment's internal order is fixed, so
+        # results agree to floating-point round-off of the add order.
+        assert np.allclose(a, b)
+
+    def test_rejects_bad_worker_count(self, paper_example, features):
+        schedule = build_schedule(paper_example, 2)
+        with pytest.raises(ValueError):
+            execute_parallel(schedule, features(10, 2), n_workers=0)
+
+    def test_shape_mismatch(self, paper_example):
+        schedule = build_schedule(paper_example, 2)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            execute_parallel(schedule, np.ones((3, 2)))
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0, 0, 0], [])
+        schedule = build_schedule(empty, 2)
+        result = execute_parallel(schedule, np.ones((2, 2)), n_workers=2)
+        assert result.output.shape == (2, 2)
+        assert np.all(result.output == 0.0)

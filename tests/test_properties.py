@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the load-balance and correctness guarantees the paper's
+algorithm rests on, checked over arbitrary CSR structures:
+
+* merge-path splits tile the matrix exactly, with bounded per-thread cost;
+* every output row is owned by exactly one regular writer or by atomic
+  writers only;
+* the executors agree with dense ground truth and with each other;
+* format conversions are lossless.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_schedule, execute_reference, execute_vectorized
+from repro.core.merge_path import merge_path_splits, thread_diagonals
+from repro.formats import CSRMatrix
+from repro.formats.stats import gini_coefficient
+
+
+@st.composite
+def csr_matrices(draw, max_rows=24, max_cols=16, max_row_nnz=12):
+    """Arbitrary small CSR matrices, including empty and evil rows."""
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    lengths = draw(
+        st.lists(st.integers(0, max_row_nnz), min_size=n_rows, max_size=n_rows)
+    )
+    row_pointers = np.concatenate(([0], np.cumsum(lengths)))
+    nnz = int(row_pointers[-1])
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return CSRMatrix(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        row_pointers=row_pointers,
+        column_indices=np.array(cols, dtype=np.int64),
+        values=np.array(values),
+    )
+
+
+@given(matrix=csr_matrices(), n_threads=st.integers(1, 40))
+@settings(max_examples=120, deadline=None)
+def test_schedule_invariants_hold(matrix, n_threads):
+    """Tiling, cost bound, and row-ownership partition, for any input."""
+    schedule = build_schedule(matrix, n_threads)
+    schedule.validate()
+
+
+@given(matrix=csr_matrices(), n_threads=st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_executors_match_ground_truth(matrix, n_threads):
+    """Both executors equal A @ X and agree on write accounting."""
+    x = np.random.default_rng(0).random((matrix.n_cols, 3))
+    schedule = build_schedule(matrix, n_threads)
+    expected = matrix.to_dense() @ x
+    out_ref, acc_ref = execute_reference(schedule, x)
+    out_vec, acc_vec = execute_vectorized(schedule, x)
+    assert np.allclose(out_ref, expected, atol=1e-9)
+    assert np.allclose(out_vec, expected, atol=1e-9)
+    assert acc_ref == acc_vec
+
+
+@given(matrix=csr_matrices(), n_threads=st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_splits_are_monotone_and_exhaustive(matrix, n_threads):
+    """Boundary coordinates are sorted and cover the whole merge path."""
+    diagonals = thread_diagonals(matrix, n_threads)
+    coords = merge_path_splits(matrix, diagonals)
+    assert (np.diff(coords[:, 0]) >= 0).all()
+    assert (np.diff(coords[:, 1]) >= 0).all()
+    assert tuple(coords[0]) == (0, 0)
+    assert tuple(coords[-1]) == (matrix.n_rows, matrix.nnz)
+
+
+@given(matrix=csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_format_round_trips(matrix):
+    """CSR -> COO -> CSR and CSR -> CSC -> CSR preserve the dense matrix."""
+    dense = matrix.to_dense()
+    assert np.allclose(matrix.to_coo().to_csr().to_dense(), dense)
+    assert np.allclose(matrix.to_csc().to_csr().to_dense(), dense)
+    assert np.allclose(matrix.transpose().transpose().to_dense(), dense)
+
+
+@given(matrix=csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_spmm_identity(matrix):
+    """A @ I = dense(A) for every structure."""
+    identity = np.eye(matrix.n_cols)
+    schedule = build_schedule(matrix, 4)
+    output, _ = execute_vectorized(schedule, identity)
+    assert np.allclose(output, matrix.to_dense())
+
+
+@given(
+    lengths=st.lists(st.integers(0, 100), min_size=1, max_size=50)
+)
+@settings(max_examples=100, deadline=None)
+def test_gini_bounds(lengths):
+    """The Gini coefficient always lies in [0, 1)."""
+    g = gini_coefficient(np.array(lengths))
+    assert 0.0 <= g < 1.0
+
+
+@given(matrix=csr_matrices(), cost=st.integers(1, 30))
+@settings(max_examples=60, deadline=None)
+def test_cost_bound_is_respected(matrix, cost):
+    """No thread ever exceeds the merge-path cost."""
+    from repro.core import schedule_for_cost
+
+    schedule = schedule_for_cost(matrix, cost, min_threads=None)
+    assert schedule.per_thread_items().max(initial=0) <= cost
+
+
+@given(matrix=csr_matrices(), n_threads=st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_atomic_rows_have_multiple_or_single_foreign_writers(matrix, n_threads):
+    """A row is regular iff exactly one thread owns all of its non-zeros."""
+    schedule = build_schedule(matrix, n_threads)
+    boundaries = schedule.start_nnzs
+    rp = matrix.row_pointers
+    atomic_rows = set(np.unique(schedule.atomic_row_targets()).tolist())
+    for row in range(matrix.n_rows):
+        lo, hi = rp[row], rp[row + 1]
+        if lo == hi:
+            continue
+        # Threads whose nnz range intersects [lo, hi).
+        owners = {
+            int(np.searchsorted(schedule.end_nnzs, j, side="right"))
+            for j in (lo, hi - 1)
+        }
+        if len(owners) > 1:
+            assert row in atomic_rows

@@ -1,0 +1,122 @@
+"""Additional hypothesis property tests: formats, baselines, reorderings."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import NeighborGroupSchedule, RowSplitSchedule
+from repro.formats import COOMatrix, CSRMatrix, ELLMatrix
+from repro.graphs.reorder import permute_rows_and_columns
+
+
+@st.composite
+def csr_matrices(draw, max_rows=20, max_cols=14, max_row_nnz=10):
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    lengths = draw(
+        st.lists(st.integers(0, max_row_nnz), min_size=n_rows, max_size=n_rows)
+    )
+    row_pointers = np.concatenate(([0], np.cumsum(lengths)))
+    nnz = int(row_pointers[-1])
+    cols = draw(st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz))
+    values = draw(
+        st.lists(
+            st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return CSRMatrix(
+        n_rows=n_rows, n_cols=n_cols, row_pointers=row_pointers,
+        column_indices=np.array(cols, dtype=np.int64),
+        values=np.array(values),
+    )
+
+
+@st.composite
+def square_csr(draw, max_n=16, max_row_nnz=8):
+    n = draw(st.integers(1, max_n))
+    lengths = draw(st.lists(st.integers(0, max_row_nnz), min_size=n, max_size=n))
+    row_pointers = np.concatenate(([0], np.cumsum(lengths)))
+    nnz = int(row_pointers[-1])
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    return CSRMatrix.from_arrays(row_pointers, np.array(cols, dtype=np.int64))
+
+
+@given(matrix=csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_ell_round_trip(matrix):
+    """ELL <-> CSR preserves the dense matrix for any structure."""
+    ell = ELLMatrix.from_csr(matrix)
+    assert np.allclose(ell.to_csr().to_dense(), matrix.to_dense())
+    assert ell.nnz == matrix.nnz
+
+
+@given(matrix=csr_matrices())
+@settings(max_examples=40, deadline=None)
+def test_ell_spmm_matches_csr(matrix):
+    x = np.random.default_rng(0).random((matrix.n_cols, 3))
+    ell = ELLMatrix.from_csr(matrix)
+    assert np.allclose(ell.multiply_dense(x), matrix.multiply_dense(x))
+
+
+@given(matrix=csr_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_deduplicate_preserves_dense(matrix):
+    coo = matrix.to_coo()
+    deduped = coo.deduplicate()
+    assert np.allclose(deduped.to_dense(), coo.to_dense())
+    # After dedup all coordinates are unique.
+    keys = deduped.rows * deduped.n_cols + deduped.cols
+    assert len(np.unique(keys)) == len(keys)
+
+
+@given(matrix=csr_matrices(), group_size=st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_neighbor_groups_tile_rows(matrix, group_size):
+    """Every group is within one row; groups tile all non-zeros."""
+    schedule = NeighborGroupSchedule.build(matrix, group_size)
+    assert schedule.group_lengths.sum() == matrix.nnz
+    assert (schedule.group_lengths >= 1).all() or schedule.n_groups == 0
+    assert (schedule.group_lengths <= group_size).all()
+    rp = matrix.row_pointers
+    rows = schedule.group_rows
+    assert (schedule.group_starts >= rp[rows]).all()
+    assert (schedule.group_ends <= rp[rows + 1]).all()
+
+
+@given(matrix=csr_matrices(), n_threads=st.integers(1, 30))
+@settings(max_examples=60, deadline=None)
+def test_row_split_covers_rows(matrix, n_threads):
+    schedule = RowSplitSchedule.build(matrix, n_threads)
+    assert schedule.per_thread_rows.sum() == matrix.n_rows
+    assert schedule.per_thread_nnz.sum() == matrix.nnz
+
+
+@given(matrix=square_csr(), seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_permutation_involution(matrix, seed):
+    """Applying a permutation then its inverse restores the matrix."""
+    rng = np.random.default_rng(seed)
+    order = np.arange(matrix.n_rows)
+    rng.shuffle(order)
+    permuted = permute_rows_and_columns(matrix, order)
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+    # permuted[new] corresponds to original[order[new]]; applying the
+    # permutation that places `inverse` restores the original labels.
+    restored = permute_rows_and_columns(permuted, inverse)
+    assert np.allclose(restored.to_dense(), matrix.to_dense())
+
+
+@given(matrix=square_csr())
+@settings(max_examples=40, deadline=None)
+def test_spmv_equals_column_sum_identity(matrix):
+    """A @ ones = row sums, for any structure (SpMV sanity)."""
+    from repro.core import merge_path_spmm
+
+    ones = np.ones((matrix.n_cols, 1))
+    result = merge_path_spmm(matrix, ones, n_threads=3)
+    row_sums = np.array(
+        [matrix.values[matrix.row_pointers[r]: matrix.row_pointers[r + 1]].sum()
+         for r in range(matrix.n_rows)]
+    )
+    assert np.allclose(result.output[:, 0], row_sums)

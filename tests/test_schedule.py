@@ -1,0 +1,141 @@
+"""Unit tests for MergePathSchedule classification and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_schedule, schedule_for_cost
+from repro.formats import CSRMatrix
+
+
+class TestPaperExample:
+    def test_thread2_assignment(self, paper_example):
+        schedule = build_schedule(paper_example, 4)
+        a = schedule.assignment(1)
+        assert a.start_row == 1 and a.start_nz == 6  # partial start
+        assert a.end_row == 3 and a.end_nz == 0  # complete end
+        assert a.nnz_range == (6, 11)
+        assert a.n_nonzeros == 5
+
+    def test_thread1_has_partial_end(self, paper_example):
+        schedule = build_schedule(paper_example, 4)
+        a = schedule.assignment(0)
+        assert a.start_nz == 0  # starts at the beginning
+        assert a.end_nz == 6  # row 1 continues into thread 2
+
+    def test_validate_passes(self, paper_example):
+        for n_threads in (1, 2, 4, 8, 16, 26):
+            schedule = build_schedule(paper_example, n_threads)
+            schedule.validate()
+
+    def test_assignment_out_of_range(self, paper_example):
+        schedule = build_schedule(paper_example, 4)
+        with pytest.raises(IndexError):
+            schedule.assignment(4)
+
+    def test_assignments_list(self, paper_example):
+        schedule = build_schedule(paper_example, 4)
+        assert len(schedule.assignments()) == 4
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("n_threads", [1, 2, 3, 5, 8, 17, 64])
+    def test_random_matrices_validate(self, rng, n_threads):
+        for _ in range(5):
+            n = int(rng.integers(1, 40))
+            dense = (rng.random((n, n)) < 0.25) * 1.0
+            schedule = build_schedule(CSRMatrix.from_dense(dense), n_threads)
+            schedule.validate()
+
+    def test_nnz_ranges_tile(self, small_power_law):
+        schedule = build_schedule(small_power_law, 37)
+        nnz = schedule.per_thread_nnz()
+        assert nnz.sum() == small_power_law.nnz
+        assert (nnz >= 0).all()
+
+    def test_items_bounded_by_cost(self, small_power_law):
+        schedule = build_schedule(small_power_law, 37)
+        assert schedule.per_thread_items().max() <= schedule.items_per_thread
+
+    def test_single_thread_schedule(self, paper_example):
+        schedule = build_schedule(paper_example, 1)
+        stats = schedule.statistics
+        assert stats.atomic_writes == 0
+        assert stats.regular_writes == paper_example.n_rows
+
+    def test_more_threads_than_items(self, paper_example):
+        schedule = build_schedule(paper_example, 100)
+        schedule.validate()
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0, 0, 0], [])
+        schedule = build_schedule(empty, 4)
+        schedule.validate()
+        assert schedule.statistics.atomic_writes == 0
+
+    def test_evil_row_split_across_many_threads(self):
+        # One row holding everything: every thread gets a chunk of it.
+        matrix = CSRMatrix.from_arrays([0, 64], np.arange(64) % 1, n_cols=1)
+        schedule = build_schedule(matrix, 8)
+        schedule.validate()
+        stats = schedule.statistics
+        assert stats.split_rows == 1
+        assert stats.atomic_writes >= 8 - 1
+        assert stats.single_partial_threads >= 6  # middle chunks
+
+    def test_rejects_zero_threads(self, paper_example):
+        with pytest.raises(ValueError):
+            build_schedule(paper_example, 0)
+
+
+class TestStatistics:
+    def test_write_partition_covers_rows(self, small_power_law):
+        schedule = build_schedule(small_power_law, 53)
+        stats = schedule.statistics
+        assert stats.regular_writes + stats.split_rows == small_power_law.n_rows
+
+    def test_nnz_partition(self, small_power_law):
+        stats = build_schedule(small_power_law, 53).statistics
+        assert stats.atomic_nnz + stats.regular_nnz == small_power_law.nnz
+
+    def test_atomic_fraction_bounds(self, small_power_law):
+        stats = build_schedule(small_power_law, 53).statistics
+        assert 0.0 <= stats.atomic_write_fraction <= 1.0
+        assert 0.0 <= stats.atomic_nnz_fraction <= 1.0
+
+    def test_more_threads_more_atomics(self, small_power_law):
+        few = build_schedule(small_power_law, 8).statistics
+        many = build_schedule(small_power_law, 256).statistics
+        assert many.atomic_writes > few.atomic_writes
+
+    def test_structured_graph_mostly_regular(self, small_structured):
+        stats = schedule_for_cost(small_structured, 20).statistics
+        assert stats.atomic_write_fraction < 0.5
+
+    def test_atomic_row_targets_are_split_rows(self, small_power_law):
+        schedule = build_schedule(small_power_law, 53)
+        targets = schedule.atomic_row_targets()
+        assert len(np.unique(targets)) == schedule.statistics.split_rows
+
+
+class TestScheduleForCost:
+    def test_cost_determines_thread_count(self, small_power_law):
+        schedule = schedule_for_cost(small_power_law, 10, min_threads=None)
+        total = small_power_law.n_rows + small_power_law.nnz
+        assert schedule.n_threads == -(-total // 10)
+
+    def test_min_threads_floor(self, paper_example):
+        schedule = schedule_for_cost(paper_example, 100, min_threads=16)
+        assert schedule.n_threads == 16
+
+    def test_thread_cap_at_merge_items(self, paper_example):
+        schedule = schedule_for_cost(paper_example, 1, min_threads=1000)
+        assert schedule.n_threads <= 26
+
+    def test_rejects_bad_cost(self, paper_example):
+        with pytest.raises(ValueError):
+            schedule_for_cost(paper_example, 0)
+
+    def test_higher_cost_fewer_atomics(self, small_power_law):
+        low = schedule_for_cost(small_power_law, 4, min_threads=None).statistics
+        high = schedule_for_cost(small_power_law, 40, min_threads=None).statistics
+        assert high.atomic_writes < low.atomic_writes

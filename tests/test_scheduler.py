@@ -1,0 +1,59 @@
+"""Unit tests for online/offline schedule caching (Section III-D)."""
+
+import pytest
+
+from repro.core import ScheduleCache, SchedulingMode
+
+
+class TestScheduleCache:
+    def test_offline_computes_once(self, small_power_law):
+        cache = ScheduleCache(mode=SchedulingMode.OFFLINE)
+        first = cache.get(small_power_law, 20)
+        second = cache.get(small_power_law, 20)
+        assert first is second
+        assert cache.schedule_computations == 1
+
+    def test_distinct_costs_distinct_schedules(self, small_power_law):
+        cache = ScheduleCache()
+        a = cache.get(small_power_law, 10)
+        b = cache.get(small_power_law, 40)
+        assert a is not b
+        assert cache.schedule_computations == 2
+
+    def test_distinct_matrices_distinct_entries(
+        self, small_power_law, small_structured
+    ):
+        cache = ScheduleCache()
+        cache.get(small_power_law, 20)
+        cache.get(small_structured, 20)
+        assert cache.schedule_computations == 2
+
+    def test_online_clear_forces_recompute(self, small_power_law):
+        cache = ScheduleCache(mode=SchedulingMode.ONLINE)
+        cache.get(small_power_law, 20)
+        cache.clear()
+        cache.get(small_power_law, 20)
+        assert cache.schedule_computations == 1  # clear also resets counters
+
+    def test_within_inference_reuse(self, small_power_law):
+        # Online mode still reuses the schedule across the two kernel
+        # invocations of one inference (cleared only at boundaries).
+        cache = ScheduleCache(mode=SchedulingMode.ONLINE)
+        first = cache.get(small_power_law, 20)
+        second = cache.get(small_power_law, 20)
+        assert first is second
+
+    def test_wallclock_accounting(self, small_power_law):
+        cache = ScheduleCache()
+        cache.get(small_power_law, 20)
+        assert cache.total_scheduling_seconds > 0.0
+
+    def test_min_threads_part_of_key(self, paper_example):
+        cache = ScheduleCache()
+        a = cache.get(paper_example, 5, min_threads=4)
+        b = cache.get(paper_example, 5, min_threads=20)
+        assert a.n_threads != b.n_threads
+
+    def test_schedule_is_valid(self, small_power_law):
+        cache = ScheduleCache()
+        cache.get(small_power_law, 20).validate()

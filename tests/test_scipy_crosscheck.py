@@ -1,0 +1,76 @@
+"""Cross-validation of the sparse substrate against scipy.sparse.
+
+scipy is a dev-only dependency; these tests independently confirm the
+containers, conversions, and every SpMM implementation against a mature
+external library rather than only against each other.
+"""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+
+from repro.core import merge_path_spmm
+from repro.baselines import gnnadvisor_spmm
+from repro.formats import CSRMatrix, ELLMatrix
+from repro.graphs import load_dataset, power_law_graph
+
+
+def _to_scipy(matrix: CSRMatrix):
+    return scipy_sparse.csr_matrix(
+        (matrix.values, matrix.column_indices, matrix.row_pointers),
+        shape=matrix.shape,
+    )
+
+
+class TestAgainstScipy:
+    def test_dense_round_trip_matches(self, csr_small):
+        assert np.allclose(csr_small.to_dense(), _to_scipy(csr_small).toarray())
+
+    def test_spmm_matches_scipy(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 8)
+        expected = _to_scipy(small_power_law) @ x
+        assert np.allclose(small_power_law.multiply_dense(x), expected)
+        assert np.allclose(
+            merge_path_spmm(small_power_law, x).output, expected
+        )
+        assert np.allclose(gnnadvisor_spmm(small_power_law, x)[0], expected)
+
+    def test_spmm_matches_scipy_on_dataset(self):
+        graph = load_dataset("Citeseer")
+        x = graph.random_features(16, seed=0)
+        expected = _to_scipy(graph.adjacency) @ x
+        assert np.allclose(
+            merge_path_spmm(graph.adjacency, x).output, expected
+        )
+
+    def test_transpose_matches_scipy(self, csr_small):
+        ours = csr_small.transpose().to_dense()
+        theirs = _to_scipy(csr_small).T.toarray()
+        assert np.allclose(ours, theirs)
+
+    def test_csc_matches_scipy(self, csr_small):
+        csc = csr_small.to_csc()
+        theirs = _to_scipy(csr_small).tocsc()
+        assert np.array_equal(csc.col_pointers, theirs.indptr)
+        assert np.allclose(csc.to_dense(), theirs.toarray())
+
+    def test_ell_spmm_matches_scipy(self):
+        matrix = power_law_graph(150, 900, 60, seed=8)
+        x = np.random.default_rng(2).random((150, 4))
+        assert np.allclose(
+            ELLMatrix.from_csr(matrix).multiply_dense(x),
+            _to_scipy(matrix) @ x,
+        )
+
+    def test_normalized_adjacency_matches_scipy_construction(self):
+        from repro.graphs import Graph
+
+        adjacency = power_law_graph(100, 500, 30, seed=1)
+        graph = Graph(name="x", adjacency=adjacency)
+        ours = graph.normalized_adjacency().to_dense()
+        a_hat = _to_scipy(adjacency).toarray() + np.eye(100)
+        degrees = (a_hat != 0).sum(axis=1)
+        d_inv_sqrt = np.diag(1.0 / np.sqrt(degrees))
+        theirs = d_inv_sqrt @ a_hat @ d_inv_sqrt
+        assert np.allclose(ours, theirs)

@@ -1,0 +1,115 @@
+"""Unit tests for SpGEMM and the HyGCN two-engine model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.hygcn import HyGCNConfig, HyGCNModel
+from repro.formats import CSRMatrix
+from repro.formats.spgemm import spgemm, spgemm_flops
+from repro.graphs import power_law_graph, regular_graph
+
+
+class TestSpGEMM:
+    def test_matches_dense_product(self, rng):
+        for _ in range(10):
+            m, k, n = rng.integers(1, 15, size=3)
+            a = (rng.random((m, k)) < 0.3) * rng.random((m, k))
+            b = (rng.random((k, n)) < 0.3) * rng.random((k, n))
+            product = spgemm(CSRMatrix.from_dense(a), CSRMatrix.from_dense(b))
+            assert np.allclose(product.to_dense(), a @ b)
+
+    def test_identity_left(self, csr_small):
+        eye = CSRMatrix.identity(csr_small.n_rows)
+        assert np.allclose(
+            spgemm(eye, csr_small).to_dense(), csr_small.to_dense()
+        )
+
+    def test_identity_right(self, csr_small):
+        eye = CSRMatrix.identity(csr_small.n_cols)
+        assert np.allclose(
+            spgemm(csr_small, eye).to_dense(), csr_small.to_dense()
+        )
+
+    def test_columns_sorted_per_row(self, small_power_law):
+        product = spgemm(small_power_law, small_power_law)
+        rp = product.row_pointers
+        for row in range(min(50, product.n_rows)):
+            cols = product.column_indices[rp[row]: rp[row + 1]]
+            assert (np.diff(cols) > 0).all()
+
+    def test_cancellations_dropped(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0], [-1.0]]))
+        product = spgemm(a, b)
+        assert product.nnz == 0
+
+    def test_dimension_mismatch(self, csr_small):
+        other = CSRMatrix.identity(csr_small.n_cols + 1)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            spgemm(csr_small, other)
+
+    def test_empty_operands(self):
+        empty = CSRMatrix.from_arrays([0, 0, 0], [])
+        product = spgemm(empty, empty)
+        assert product.nnz == 0 and product.shape == (2, 2)
+
+    def test_flops_counts_partial_products(self):
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        b = CSRMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        # Row 0 of a touches b rows 0 (1 nnz) and 1 (2 nnz) = 3; row 1
+        # touches b row 1 = 2.  Total 5 partial products.
+        assert spgemm_flops(a, b) == 5
+
+    def test_flops_mismatch(self, csr_small):
+        with pytest.raises(ValueError):
+            spgemm_flops(csr_small, CSRMatrix.identity(csr_small.n_cols + 2))
+
+
+class TestHyGCN:
+    def _features(self, n, f, density, seed=0):
+        rng = np.random.default_rng(seed)
+        return CSRMatrix.from_dense((rng.random((n, f)) < density) * 1.0)
+
+    def test_pipelined_layer_is_max_of_engines(self, small_power_law):
+        model = HyGCNModel()
+        features = self._features(small_power_law.n_cols, 32, 0.3)
+        timing = model.layer_time(small_power_law, features, out_dim=16)
+        assert timing.layer_seconds == pytest.approx(
+            max(timing.aggregation_seconds, timing.combination_seconds)
+        )
+        assert 0.0 <= timing.idle_fraction < 1.0
+
+    def test_input_dependence_moves_bottleneck(self):
+        """The paper's point: the busy engine depends on the graph."""
+        model = HyGCNModel()
+        sparse_graph = regular_graph(400, 800, 4, seed=1)  # little aggregation
+        dense_graph = power_law_graph(400, 12_000, 300, seed=1)  # heavy agg
+        features = self._features(400, 64, 0.5)
+        light = model.layer_time(sparse_graph, features, out_dim=64)
+        heavy = model.layer_time(dense_graph, features, out_dim=64)
+        assert (
+            heavy.aggregation_seconds / heavy.combination_seconds
+            > light.aggregation_seconds / light.combination_seconds
+        )
+
+    def test_unified_engine_never_slower(self, small_power_law):
+        """No inter-engine idling: unified time <= pipelined time."""
+        model = HyGCNModel()
+        for density in (0.05, 0.3, 0.8):
+            features = self._features(small_power_law.n_cols, 32, density)
+            timing = model.layer_time(small_power_law, features, out_dim=16)
+            unified = model.unified_layer_time(
+                small_power_law, features, out_dim=16
+            )
+            assert unified <= timing.layer_seconds * (1 + 1e-9)
+
+    def test_idle_fraction_grows_with_imbalance(self):
+        model = HyGCNModel(HyGCNConfig(aggregation_macs=64,
+                                       combination_macs=4096))
+        graph = power_law_graph(300, 9_000, 200, seed=2)
+        features = self._features(300, 16, 0.2)
+        timing = model.layer_time(graph, features, out_dim=4)
+        # Tiny aggregation engine + aggregation-heavy input -> the big
+        # combination engine idles most of the time.
+        assert timing.bottleneck == "aggregation"
+        assert timing.idle_fraction > 0.5

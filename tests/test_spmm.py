@@ -1,0 +1,150 @@
+"""Unit tests for the MergePath-SpMM executors (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_schedule,
+    execute_reference,
+    execute_vectorized,
+    merge_path_spmm,
+)
+from repro.core.spmm import write_segments
+from repro.formats import CSRMatrix
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 9, 31])
+    def test_reference_matches_dense(self, dense_small, n_threads, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        schedule = build_schedule(matrix, n_threads)
+        x = features(12, 5)
+        output, _ = execute_reference(schedule, x)
+        assert np.allclose(output, dense_small @ x)
+
+    @pytest.mark.parametrize("n_threads", [1, 2, 4, 9, 31])
+    def test_vectorized_matches_dense(self, dense_small, n_threads, features):
+        matrix = CSRMatrix.from_dense(dense_small)
+        schedule = build_schedule(matrix, n_threads)
+        x = features(12, 5)
+        output, _ = execute_vectorized(schedule, x)
+        assert np.allclose(output, dense_small @ x)
+
+    def test_executors_agree_exactly(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(1, 30))
+            dense = (rng.random((n, n)) < 0.3) * rng.random((n, n))
+            matrix = CSRMatrix.from_dense(dense)
+            x = rng.random((n, 4))
+            for n_threads in (1, 3, 11):
+                schedule = build_schedule(matrix, n_threads)
+                out_ref, acc_ref = execute_reference(schedule, x)
+                out_vec, acc_vec = execute_vectorized(schedule, x)
+                assert np.allclose(out_ref, out_vec)
+                assert acc_ref == acc_vec
+
+    def test_paper_example_execution(self, paper_example, features):
+        x = features(10, 3)
+        schedule = build_schedule(paper_example, 4)
+        output, accounting = execute_reference(schedule, x)
+        assert np.allclose(output, paper_example.to_dense() @ x)
+        # Threads 1 and 2 share row 1: exactly two atomic writes.
+        assert accounting.atomic_writes == 2
+
+    def test_dimension_one(self, paper_example):
+        # SpMV special case.
+        x = np.arange(10, dtype=float).reshape(10, 1)
+        schedule = build_schedule(paper_example, 4)
+        output, _ = execute_vectorized(schedule, x)
+        assert np.allclose(output, paper_example.to_dense() @ x)
+
+    def test_mismatched_operand(self, paper_example):
+        schedule = build_schedule(paper_example, 2)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            execute_vectorized(schedule, np.ones((5, 2)))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            execute_reference(schedule, np.ones((5, 2)))
+
+
+class TestAccountingMatchesSchedule:
+    def test_counts_equal_statistics(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 4)
+        for n_threads in (7, 64, 333):
+            schedule = build_schedule(small_power_law, n_threads)
+            _, accounting = execute_vectorized(schedule, x)
+            stats = schedule.statistics
+            assert accounting.atomic_writes == stats.atomic_writes
+            assert accounting.regular_writes == stats.regular_writes
+            assert accounting.atomic_nnz == stats.atomic_nnz
+            assert accounting.regular_nnz == stats.regular_nnz
+
+    def test_reference_counts_equal_statistics(self, paper_example, features):
+        x = features(10, 2)
+        for n_threads in (1, 2, 4, 13):
+            schedule = build_schedule(paper_example, n_threads)
+            _, accounting = execute_reference(schedule, x)
+            stats = schedule.statistics
+            assert accounting.atomic_writes == stats.atomic_writes
+            assert accounting.regular_writes == stats.regular_writes
+
+
+class TestWriteSegments:
+    def test_segments_tile_nnz(self, small_power_law):
+        schedule = build_schedule(small_power_law, 41)
+        segments = write_segments(schedule)
+        assert segments.lengths.sum() == small_power_law.nnz
+        # Non-empty segments must be contiguous in nnz order.
+        nonempty = segments.lengths > 0
+        starts = segments.starts[nonempty]
+        ends = (segments.starts + segments.lengths)[nonempty]
+        assert starts[0] == 0
+        assert np.array_equal(starts[1:], ends[:-1])
+        assert ends[-1] == small_power_law.nnz
+
+    def test_one_segment_per_row_write(self, small_power_law):
+        schedule = build_schedule(small_power_law, 41)
+        segments = write_segments(schedule)
+        stats = schedule.statistics
+        assert segments.n_segments == stats.total_writes
+
+    def test_empty_rows_get_regular_segments(self, paper_example):
+        schedule = build_schedule(paper_example, 2)
+        segments = write_segments(schedule)
+        empty_rows = {0, 4, 9}
+        seg_rows = set(segments.rows[segments.lengths == 0].tolist())
+        assert empty_rows.issubset(seg_rows)
+
+
+class TestPublicAPI:
+    def test_default_cost_from_dim(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 16)
+        result = merge_path_spmm(small_power_law, x)
+        assert np.allclose(result.output, small_power_law.multiply_dense(x))
+        # dim 16 -> paper cost 20, but the 1024-thread floor binds here.
+        assert result.schedule.n_threads == min(
+            1024, small_power_law.n_rows + small_power_law.nnz
+        )
+
+    def test_explicit_thread_count(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 4)
+        result = merge_path_spmm(small_power_law, x, n_threads=64)
+        assert result.schedule.n_threads == 64
+
+    def test_reference_executor_option(self, paper_example, features):
+        x = features(10, 3)
+        result = merge_path_spmm(paper_example, x, executor="reference",
+                                 n_threads=4)
+        assert np.allclose(result.output, paper_example.to_dense() @ x)
+
+    def test_unknown_executor(self, paper_example, features):
+        with pytest.raises(ValueError, match="unknown executor"):
+            merge_path_spmm(paper_example, features(10, 2), executor="cuda")
+
+    def test_rejects_1d_operand(self, paper_example):
+        with pytest.raises(ValueError, match="2-D"):
+            merge_path_spmm(paper_example, np.ones(10))
+
+    def test_writes_accounting_exposed(self, small_power_law, features):
+        x = features(small_power_law.n_cols, 8)
+        result = merge_path_spmm(small_power_law, x, cost=10, min_threads=64)
+        assert result.writes.atomic_writes == result.schedule.statistics.atomic_writes

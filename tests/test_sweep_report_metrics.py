@@ -1,0 +1,124 @@
+"""Unit tests for multicore sweeps, GPU reports, and GNN metrics."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.metrics import (
+    accuracy,
+    cross_entropy,
+    planted_community_labels,
+    softmax,
+)
+from repro.gpu import kernel_time
+from repro.gpu.report import breakdown_table, compare_kernels, comparison_table
+from repro.multicore.sweep import ScalingCurve, sweep_core_counts
+
+
+class TestScalingSweep:
+    def test_sweep_shapes(self, small_power_law):
+        curve = sweep_core_counts(
+            small_power_law, "mergepath", core_counts=(32, 64, 128)
+        )
+        assert curve.core_counts == (32, 64, 128)
+        assert curve.normalized[0] == pytest.approx(1.0)
+        assert len(curve.completion_cycles) == 3
+
+    def test_total_speedup(self, small_structured):
+        curve = sweep_core_counts(
+            small_structured, "mergepath", core_counts=(32, 128)
+        )
+        assert curve.total_speedup > 1.0
+
+    def test_stall_detection(self):
+        curve = ScalingCurve(
+            kernel="x",
+            core_counts=(64, 128, 256),
+            completion_cycles=np.array([100.0, 50.0, 48.0]),
+            compute_cycles=np.array([10.0, 5.0, 2.5]),
+            memory_cycles=np.array([90.0, 45.0, 45.5]),
+        )
+        assert curve.scaling_stalls_after() == 128
+        assert curve.compute_speedup == pytest.approx(4.0)
+
+    def test_no_stall_reported_when_scaling(self):
+        curve = ScalingCurve(
+            kernel="x",
+            core_counts=(64, 128),
+            completion_cycles=np.array([100.0, 52.0]),
+            compute_cycles=np.array([1.0, 0.5]),
+            memory_cycles=np.array([99.0, 51.5]),
+        )
+        assert curve.scaling_stalls_after() is None
+
+    def test_unknown_kernel(self, small_power_law):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            sweep_core_counts(small_power_law, "magic")
+
+    def test_unsorted_counts(self, small_power_law):
+        with pytest.raises(ValueError, match="ascending"):
+            sweep_core_counts(small_power_law, "mergepath",
+                              core_counts=(128, 64))
+
+
+class TestGPUReport:
+    def test_breakdown_marks_binding_component(self, small_power_law):
+        timing = kernel_time("mergepath", small_power_law, 16)
+        table = breakdown_table(timing)
+        assert "<- binding" in table
+        assert "MergePath-SpMM" in table
+
+    def test_compare_sorted_fastest_first(self, small_power_law):
+        timings = compare_kernels(
+            small_power_law, 16, kernels=("mergepath", "merge-path-serial")
+        )
+        assert timings[0].cycles <= timings[1].cycles
+
+    def test_comparison_table_renders(self, small_power_law):
+        timings = compare_kernels(
+            small_power_law, 16, kernels=("mergepath", "gnnadvisor")
+        )
+        table = comparison_table(timings)
+        assert "vs_fastest" in table
+
+    def test_comparison_table_empty(self):
+        with pytest.raises(ValueError):
+            comparison_table([])
+
+
+class TestMetrics:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(10, 4))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_stability_large_logits(self):
+        probs = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert cross_entropy(logits, np.array([0, 1])) < 1e-6
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((5, 4))
+        assert cross_entropy(logits, np.zeros(5, dtype=int)) == pytest.approx(
+            np.log(4)
+        )
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0], [5.0, 4.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_label_shape_validation(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((3, 2)), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_planted_labels(self):
+        labels = planted_community_labels(100, 7, seed=1)
+        assert labels.shape == (100,)
+        assert labels.min() >= 0 and labels.max() < 7
+        with pytest.raises(ValueError):
+            planted_community_labels(10, 0)

@@ -1,0 +1,98 @@
+"""Unit tests for the Section III-C SIMD thread-mapping policy."""
+
+import pytest
+
+from repro.core import (
+    SIMD_LANES,
+    default_merge_path_cost,
+    determine_thread_count,
+    map_threads_to_simd,
+)
+from repro.core.thread_mapping import DEFAULT_COST_BY_DIM
+from repro.formats import CSRMatrix
+
+
+class TestMapping:
+    def test_dim_equals_lanes(self):
+        m = map_threads_to_simd(32)
+        assert m.threads_per_warp == 1
+        assert m.warps_per_thread == 1
+        assert m.lane_utilization == 1.0
+
+    def test_dim_above_lanes_replicates(self):
+        m = map_threads_to_simd(128)
+        assert m.warps_per_thread == 4
+        assert m.threads_per_warp == 1
+        assert m.lane_utilization == 1.0
+
+    def test_dim_above_lanes_non_multiple(self):
+        m = map_threads_to_simd(48)
+        assert m.warps_per_thread == 2
+        assert m.lane_utilization == pytest.approx(48 / 64)
+
+    def test_dim_below_lanes_packs(self):
+        m = map_threads_to_simd(16)
+        assert m.threads_per_warp == 2
+        assert m.divergent_threads == 2
+
+    def test_extreme_packing(self):
+        m = map_threads_to_simd(2)
+        assert m.threads_per_warp == 16
+
+    def test_warps_for_threads_packed(self):
+        m = map_threads_to_simd(16)
+        assert m.warps_for_threads(1024) == 512
+        assert m.warps_for_threads(1025) == 513
+
+    def test_warps_for_threads_replicated(self):
+        m = map_threads_to_simd(64)
+        assert m.warps_for_threads(100) == 200
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            map_threads_to_simd(0)
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ValueError):
+            map_threads_to_simd(4, simd_lanes=0)
+
+
+class TestDefaultCost:
+    def test_paper_table(self):
+        assert DEFAULT_COST_BY_DIM == {
+            2: 50, 4: 15, 8: 15, 16: 20, 32: 30, 64: 35, 128: 50
+        }
+
+    @pytest.mark.parametrize("dim,expected", [(16, 20), (128, 50), (2, 50)])
+    def test_exact_lookup(self, dim, expected):
+        assert default_merge_path_cost(dim) == expected
+
+    def test_nearest_fallback(self):
+        assert default_merge_path_cost(24) == default_merge_path_cost(32)
+        assert default_merge_path_cost(3) == default_merge_path_cost(4)
+        assert default_merge_path_cost(1000) == 50
+
+
+class TestThreadCount:
+    def test_basic_division(self, small_power_law):
+        total = small_power_law.n_rows + small_power_law.nnz
+        count = determine_thread_count(small_power_law, 10, min_threads=1)
+        assert count == -(-total // 10)
+
+    def test_small_graph_floor(self, paper_example):
+        assert determine_thread_count(paper_example, 5, min_threads=1024) == 26
+
+    def test_floor_applies_before_cap(self):
+        big = CSRMatrix.from_arrays(
+            [0] + list(range(1, 5001)), list(range(5000)), n_cols=5000
+        )
+        count = determine_thread_count(big, 1000, min_threads=1024)
+        assert count == 1024  # 10001/1000 = 11 threads, raised to the floor
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_arrays([0], [], n_cols=0)
+        assert determine_thread_count(empty, 10) == 1
+
+    def test_rejects_bad_cost(self, paper_example):
+        with pytest.raises(ValueError):
+            determine_thread_count(paper_example, 0)

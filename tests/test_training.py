@@ -1,0 +1,143 @@
+"""Unit tests for GCN training: gradient checks, convergence, optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.gnn.training import AdamOptimizer, TrainableGCN
+from repro.graphs import Graph
+from repro.graphs.generators import block_labels, stochastic_block_model
+
+
+@pytest.fixture
+def sbm_task():
+    """A 3-community SBM with label-correlated noisy features."""
+    sizes = [30, 30, 30]
+    adjacency = stochastic_block_model(sizes, p_in=0.25, p_out=0.01, seed=5)
+    graph = Graph(name="sbm", adjacency=adjacency)
+    labels = block_labels(sizes)
+    rng = np.random.default_rng(0)
+    features = np.eye(3)[labels] + 0.5 * rng.normal(size=(90, 3))
+    return graph, features, labels
+
+
+class TestSBMGenerator:
+    def test_sizes_and_labels(self):
+        adjacency = stochastic_block_model([5, 7], 0.5, 0.1, seed=1)
+        assert adjacency.n_rows == 12
+        assert np.array_equal(block_labels([5, 7]),
+                              [0] * 5 + [1] * 7)
+
+    def test_community_structure(self):
+        adjacency = stochastic_block_model([40, 40], 0.3, 0.02, seed=2)
+        dense = adjacency.to_dense()
+        within = dense[:40, :40].mean()
+        between = dense[:40, 40:].mean()
+        assert within > 5 * between
+
+    def test_no_self_loops(self):
+        adjacency = stochastic_block_model([10, 10], 0.9, 0.9, seed=3)
+        assert np.all(adjacency.to_dense().diagonal() == 0)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([5], 0.1, 0.5)
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([], 0.5, 0.1)
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self):
+        """Analytic dW matches finite differences on a tiny problem."""
+        rng = np.random.default_rng(1)
+        dense = (rng.random((8, 8)) < 0.4) * 1.0
+        graph = Graph(name="tiny", adjacency=CSRMatrix.from_dense(dense))
+        adjacency = graph.normalized_adjacency()
+        features = rng.random((8, 3))
+        labels = rng.integers(0, 2, size=8)
+        mask = np.ones(8, dtype=bool)
+        model = TrainableGCN([3, 4, 2], seed=2, backend="reference")
+
+        loss, grads = model.gradients(adjacency, features, labels, mask)
+        epsilon = 1e-6
+        for layer in range(model.n_layers):
+            weight = model.weights[layer]
+            for index in [(0, 0), (1, 1), (weight.shape[0] - 1,
+                                           weight.shape[1] - 1)]:
+                original = weight[index]
+                weight[index] = original + epsilon
+                loss_plus, _ = model.gradients(adjacency, features, labels, mask)
+                weight[index] = original - epsilon
+                loss_minus, _ = model.gradients(adjacency, features, labels, mask)
+                weight[index] = original
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                assert grads[layer][index] == pytest.approx(
+                    numeric, rel=1e-4, abs=1e-7
+                ), (layer, index)
+
+    def test_gradients_backend_invariant(self, sbm_task):
+        graph, features, labels = sbm_task
+        adjacency = graph.normalized_adjacency()
+        mask = np.ones(len(labels), dtype=bool)
+        ref = TrainableGCN([3, 8, 3], seed=4, backend="reference")
+        mp = TrainableGCN([3, 8, 3], seed=4, backend="mergepath")
+        loss_ref, grads_ref = ref.gradients(adjacency, features, labels, mask)
+        loss_mp, grads_mp = mp.gradients(adjacency, features, labels, mask)
+        assert loss_ref == pytest.approx(loss_mp)
+        for a, b in zip(grads_ref, grads_mp):
+            assert np.allclose(a, b)
+
+    def test_empty_mask_rejected(self, sbm_task):
+        graph, features, labels = sbm_task
+        model = TrainableGCN([3, 3], seed=0)
+        with pytest.raises(ValueError, match="no training nodes"):
+            model.gradients(
+                graph.normalized_adjacency(), features, labels,
+                np.zeros(len(labels), dtype=bool),
+            )
+
+
+class TestTraining:
+    def test_loss_decreases(self, sbm_task):
+        graph, features, labels = sbm_task
+        model = TrainableGCN([3, 8, 3], seed=0)
+        report = model.fit(
+            graph, features, labels, epochs=30,
+            optimizer=AdamOptimizer(learning_rate=0.05),
+        )
+        assert report.losses[-1] < 0.5 * report.losses[0]
+
+    def test_learns_planted_communities(self, sbm_task):
+        graph, features, labels = sbm_task
+        model = TrainableGCN([3, 8, 3], seed=0)
+        report = model.fit(graph, features, labels, epochs=60)
+        assert report.train_accuracy > 0.9
+
+    def test_masked_training_only_uses_mask(self, sbm_task):
+        graph, features, labels = sbm_task
+        mask = np.zeros(len(labels), dtype=bool)
+        mask[::2] = True
+        model = TrainableGCN([3, 8, 3], seed=0)
+        report = model.fit(graph, features, labels, mask=mask, epochs=40)
+        assert report.train_accuracy > 0.8
+
+    def test_rejects_short_dims(self):
+        with pytest.raises(ValueError):
+            TrainableGCN([4])
+
+
+class TestAdam:
+    def test_moves_toward_minimum(self):
+        # Minimize f(x) = x^2 elementwise.
+        param = np.array([4.0, -3.0])
+        optimizer = AdamOptimizer(learning_rate=0.2)
+        for _ in range(100):
+            optimizer.step([param], [2 * param])
+        assert np.abs(param).max() < 0.2
+
+    def test_alignment_check(self):
+        optimizer = AdamOptimizer()
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(2)], [])

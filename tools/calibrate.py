@@ -1,0 +1,119 @@
+"""Calibration harness: prints model outputs against the paper's targets.
+
+Not part of the shipped library — a development tool used to fit the
+ModelParams constants (see EXPERIMENTS.md for the record of the fit).
+Run:  python tools/calibrate.py [--full]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.baselines import AWBGCNModel
+from repro.core.schedule import schedule_for_cost
+from repro.core.thread_mapping import DEFAULT_COST_BY_DIM
+from repro.gpu import kernel_time, quadro_rtx_6000, scheduling_time
+from repro.gpu.kernels import mergepath_workload
+from repro.gpu.timing import simulate
+from repro.graphs import load_dataset, power_law_dataset_names, structured_dataset_names
+
+DEV = quadro_rtx_6000()
+
+SUBSET_I = ["Cora", "Citeseer", "Pubmed", "Wiki-Vote", "email-Enron",
+            "email-Euall", "Nell", "PPI", "com-Amazon", "soc-BlogCatalog"]
+SUBSET_II = ["PROTEINS_full", "Twitter-partial", "DD", "Yeast"]
+
+
+def geomean(xs):
+    xs = np.asarray(list(xs), dtype=float)
+    return float(np.exp(np.log(xs).mean()))
+
+
+def fig2():
+    print("=== Fig 2 (us): want AWB best on Cora/Citeseer; GNNA < AWB on Pubmed;"
+          " GNNA ~ AWB/6 on Nell; serial-MP worst on Cora/Citeseer but < AWB on Nell ===")
+    awb = AWBGCNModel()
+    for name, dim in [("Cora", 16), ("Citeseer", 16), ("Pubmed", 16), ("Nell", 64)]:
+        A = load_dataset(name).adjacency
+        row = {"awb": awb.completion_time(A, dim) * 1e6}
+        for k in ["row-splitting", "gnnadvisor", "merge-path-serial", "mergepath"]:
+            row[k] = kernel_time(k, A, dim).microseconds
+        print(f"{name:10s}", {k: round(v, 1) for k, v in row.items()})
+
+
+def fig4(names_i, names_ii):
+    print("=== Fig 4 (speedup over GNNAdvisor, dim16): want geomeans"
+          " MP=1.85 OPT=1.41 MP/OPT=1.31; cuSPARSE worst on I, best/par on II ===")
+    mp, opt, cus = [], [], []
+    for name in names_i + names_ii:
+        A = load_dataset(name).adjacency
+        base = kernel_time("gnnadvisor", A, 16).cycles
+        s_mp = base / kernel_time("mergepath", A, 16).cycles
+        s_opt = base / kernel_time("gnnadvisor-opt", A, 16).cycles
+        s_cu = base / kernel_time("cusparse", A, 16).cycles
+        mp.append(s_mp); opt.append(s_opt); cus.append(s_cu)
+        print(f"{name:16s} cu={s_cu:5.2f} opt={s_opt:5.2f} mp={s_mp:5.2f}")
+    print(f"GEOMEAN  cu={geomean(cus):.2f}  opt={geomean(opt):.2f}  "
+          f"mp={geomean(mp):.2f}  mp/opt={geomean(mp)/geomean(opt):.2f}")
+
+
+def fig6(names):
+    print("=== Fig 6 best cost per dim: want {128:50, 64:35, 32:30, 16:20, 8:15, 4:15, 2:50} ===")
+    costs = [2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+    graphs = {n: load_dataset(n).adjacency for n in names}
+    schedules = {(n, c): schedule_for_cost(graphs[n], c, min_threads=1024)
+                 for n in names for c in costs}
+    for dim in [2, 4, 8, 16, 32, 64, 128]:
+        per_cost = []
+        for c in costs:
+            times = [simulate(mergepath_workload(graphs[n], dim, DEV,
+                                                 schedule=schedules[(n, c)]), DEV).cycles
+                     for n in names]
+            per_cost.append(geomean(times))
+        best = costs[int(np.argmin(per_cost))]
+        norm = per_cost[0] / np.array(per_cost)
+        print(f"dim {dim:3d}: best cost {best:2d}   perf-vs-cost2: "
+              + " ".join(f"{c}:{v:.2f}" for c, v in zip(costs, norm)))
+
+
+def fig7(names):
+    print("=== Fig 7 speedup vs GNNAdvisor@128: want GNNA ~2x@<=32 flat;"
+          " OPT ~9x@2; MP ~27x@2 ===")
+    dims = [128, 64, 32, 16, 8, 4, 2]
+    graphs = {n: load_dataset(n).adjacency for n in names}
+    base = {n: kernel_time("gnnadvisor", graphs[n], 128).cycles for n in names}
+    for kernel in ["gnnadvisor", "gnnadvisor-opt", "mergepath"]:
+        row = []
+        for dim in dims:
+            ratios = [base[n] / kernel_time(kernel, graphs[n], dim).cycles
+                      for n in names]
+            row.append(geomean(ratios))
+        print(f"{kernel:16s} " + " ".join(f"{d}:{v:5.2f}" for d, v in zip(dims, row)))
+
+
+def fig8(names):
+    print("=== Fig 8 online scheduling overhead: want geomean ~2%, Cora ~10%, com-Amazon <1% ===")
+    overheads = []
+    for name in names:
+        A = load_dataset(name).adjacency
+        sch = schedule_for_cost(A, 20, min_threads=1024)
+        t_sched = scheduling_time(sch.n_threads, A.n_rows + A.nnz, DEV)
+        t_kernel = simulate(mergepath_workload(A, 16, DEV, schedule=sch), DEV).cycles
+        ov = t_sched / (t_sched + 2 * t_kernel)
+        overheads.append(ov)
+        print(f"{name:16s} overhead {100*ov:5.1f}%")
+    print(f"GEOMEAN overhead {100*geomean(overheads):.1f}%")
+
+
+if __name__ == "__main__":
+    full = "--full" in sys.argv
+    names_i = power_law_dataset_names() if full else SUBSET_I
+    names_ii = structured_dataset_names() if full else SUBSET_II
+    t0 = time.time()
+    fig2()
+    fig4(names_i, names_ii)
+    fig6(["Cora", "Pubmed", "email-Euall", "Nell"])
+    fig7(["Cora", "Pubmed", "email-Euall", "Nell", "PROTEINS_full"])
+    fig8(names_i)
+    print(f"[{time.time()-t0:.1f}s]")
