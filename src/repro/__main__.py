@@ -1,12 +1,39 @@
-"""Command-line entry point: ``python -m repro [experiment ...]``.
+"""Command-line entry point: ``python -m repro [command | experiment ...]``.
 
-Delegates to :mod:`repro.experiments.harness`; run with ``--list`` to see
-the available experiments and their approximate runtimes.
+Subcommands:
+
+* ``obs-report`` — pretty-print the most recent exported run record
+  (metric summary and kernel cycle breakdowns); see
+  :mod:`repro.obs.report`.
+* anything else delegates to :mod:`repro.experiments.harness`; run with
+  ``--list`` to see the available experiments and their (measured or
+  estimated) runtimes, and with ``--profile``/``--trace-out`` to collect
+  metrics and Chrome traces.
 """
 
 import sys
 
-from repro.experiments.harness import main
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "obs-report":
+        from repro.obs.report import main as report_main
+
+        return report_main(argv[1:])
+    from repro.experiments.harness import main as harness_main
+
+    return harness_main(argv)
+
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``| head``); exit quietly the
+        # way POSIX tools do instead of dumping a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

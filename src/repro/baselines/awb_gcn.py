@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix
 
 
@@ -116,6 +117,7 @@ class AWBGCNModel:
         pool = int(cfg.n_pes * cfg.n_pes / (4 * matrix.n_rows))
         return max(64, min(cfg.n_pes, pool))
 
+    @obs.instrumented(name="baselines.awb_gcn.completion_time")
     def completion_time(self, matrix: CSRMatrix, dim: int) -> float:
         """Modeled kernel completion time (seconds) with the auto-tuner.
 

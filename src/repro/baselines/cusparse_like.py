@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix, row_statistics
 
 
@@ -108,6 +109,7 @@ def select_kernel(matrix: CSRMatrix) -> CuSparsePlan:
     )
 
 
+@obs.instrumented
 def cusparse_like_spmm(
     matrix: CSRMatrix, dense: np.ndarray
 ) -> tuple[np.ndarray, CuSparsePlan]:

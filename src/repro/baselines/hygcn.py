@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.formats import CSRMatrix
 from repro.formats.spgemm import spgemm_flops
 
@@ -65,6 +66,7 @@ class HyGCNModel:
     def __init__(self, config: HyGCNConfig | None = None) -> None:
         self.config = config or HyGCNConfig()
 
+    @obs.instrumented(name="baselines.hygcn.layer_time")
     def layer_time(
         self,
         adjacency: CSRMatrix,
@@ -104,6 +106,7 @@ class HyGCNModel:
             idle_fraction=idle,
         )
 
+    @obs.instrumented(name="baselines.hygcn.unified_layer_time")
     def unified_layer_time(
         self,
         adjacency: CSRMatrix,

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.schedule import MergePathSchedule
 from repro.core.spmm import write_segments
+from repro import obs
 from repro.formats import CSRMatrix
 
 
@@ -94,6 +95,7 @@ class SerialMergePathSchedule:
         return output
 
 
+@obs.instrumented
 def merge_path_serial_spmm(
     matrix: CSRMatrix, dense: np.ndarray, n_threads: int
 ) -> tuple[np.ndarray, SerialMergePathSchedule]:

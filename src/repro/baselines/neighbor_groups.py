@@ -20,6 +20,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix
 
 _CHUNK_NNZ = 1 << 20
@@ -122,6 +123,7 @@ class NeighborGroupSchedule:
         return output
 
 
+@obs.instrumented
 def gnnadvisor_spmm(
     matrix: CSRMatrix,
     dense: np.ndarray,

@@ -15,6 +15,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix
 
 
@@ -73,6 +74,7 @@ class RowSplitSchedule:
         return output
 
 
+@obs.instrumented
 def row_splitting_spmm(
     matrix: CSRMatrix, dense: np.ndarray, n_threads: int
 ) -> tuple[np.ndarray, RowSplitSchedule]:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix
 
 
@@ -78,13 +79,18 @@ def merge_path_search(matrix: CSRMatrix, diagonal: int) -> MergeCoordinate:
     row_pointers = matrix.row_pointers
     lo = max(0, diagonal - matrix.nnz)
     hi = min(diagonal, matrix.n_rows)
+    steps = 0
     while lo < hi:
         mid = (lo + hi) // 2
+        steps += 1
         # Has row mid's end marker been consumed by diagonal `diagonal`?
         if row_pointers[mid + 1] + mid + 1 > diagonal:
             hi = mid
         else:
             lo = mid + 1
+    if obs.enabled():
+        obs.counter("core.merge_path.searches").inc()
+        obs.counter("core.merge_path.search_steps").inc(steps)
     return MergeCoordinate(row=lo, nnz=diagonal - lo)
 
 
@@ -110,6 +116,14 @@ def merge_path_splits(matrix: CSRMatrix, diagonals: np.ndarray) -> np.ndarray:
     # is consumed once the diagonal exceeds that position.
     consumed = matrix.row_pointers[1:] + np.arange(1, matrix.n_rows + 1)
     rows = np.searchsorted(consumed, diagonals, side="right")
+    if obs.enabled():
+        # searchsorted performs one binary search per diagonal, each
+        # ~log2(n_rows + 1) probes — the vectorized equivalent of the
+        # scalar loop's step count.
+        obs.counter("core.merge_path.searches").inc(len(diagonals))
+        obs.counter("core.merge_path.search_steps").inc(
+            int(len(diagonals) * np.ceil(np.log2(matrix.n_rows + 2)))
+        )
     return np.stack([rows, diagonals - rows], axis=1)
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.schedule import MergePathSchedule
 from repro.core.spmm import WriteAccounting, write_segments
 from repro.formats import CSRMatrix
@@ -45,6 +46,7 @@ class ParallelResult:
     n_workers: int
 
 
+@obs.instrumented
 def execute_parallel(
     schedule: MergePathSchedule,
     dense: np.ndarray,

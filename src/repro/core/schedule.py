@@ -26,6 +26,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro import obs
 from repro.core.merge_path import (
     merge_path_length,
     merge_path_splits,
@@ -127,18 +128,21 @@ class MergePathSchedule:
     def __init__(self, matrix: CSRMatrix, n_threads: int) -> None:
         if n_threads < 1:
             raise ValueError(f"n_threads must be >= 1, got {n_threads}")
-        self.matrix = matrix
-        self.n_threads = n_threads
-        self.diagonals = thread_diagonals(matrix, n_threads)
-        total = merge_path_length(matrix)
-        self.items_per_thread = -(-total // n_threads) if total else 0
-        coords = merge_path_splits(matrix, self.diagonals)
-        # Boundary coordinates: thread t spans coords[t] .. coords[t + 1].
-        self.start_rows = coords[:-1, 0]
-        self.start_nnzs = coords[:-1, 1]
-        self.end_rows = coords[1:, 0]
-        self.end_nnzs = coords[1:, 1]
-        self._classify()
+        with obs.span(
+            "core.schedule.build", n_threads=n_threads, nnz=matrix.nnz
+        ):
+            self.matrix = matrix
+            self.n_threads = n_threads
+            self.diagonals = thread_diagonals(matrix, n_threads)
+            total = merge_path_length(matrix)
+            self.items_per_thread = -(-total // n_threads) if total else 0
+            coords = merge_path_splits(matrix, self.diagonals)
+            # Boundary coordinates: thread t spans coords[t] .. coords[t + 1].
+            self.start_rows = coords[:-1, 0]
+            self.start_nnzs = coords[:-1, 1]
+            self.end_rows = coords[1:, 0]
+            self.end_nnzs = coords[1:, 1]
+            self._classify()
 
     # ------------------------------------------------------------------
     # Classification (Section III-B)
@@ -184,6 +188,24 @@ class MergePathSchedule:
         self.atomic_writes_per_thread = (
             self.start_partial.astype(np.int64) + self.end_partial
         )
+        if obs.enabled():
+            obs.counter("core.schedule.built").inc()
+            obs.counter("core.schedule.threads").inc(self.n_threads)
+            obs.counter("core.schedule.atomic_writes").inc(
+                int(self.atomic_writes_per_thread.sum())
+            )
+            obs.counter("core.schedule.regular_writes").inc(
+                int(self.complete_counts.sum())
+            )
+            obs.counter("core.schedule.partial_start_rows").inc(
+                int(self.start_partial.sum())
+            )
+            obs.counter("core.schedule.partial_end_rows").inc(
+                int(self.end_partial.sum())
+            )
+            obs.counter("core.schedule.single_partial_threads").inc(
+                int(self.single_partial.sum())
+            )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -293,11 +315,13 @@ class MergePathSchedule:
         assert stats.atomic_nnz + stats.regular_nnz == self.matrix.nnz
 
 
+@obs.instrumented
 def build_schedule(matrix: CSRMatrix, n_threads: int) -> MergePathSchedule:
     """Decompose ``matrix`` across ``n_threads`` threads (Algorithm 1)."""
     return MergePathSchedule(matrix, n_threads)
 
 
+@obs.instrumented
 def schedule_for_cost(
     matrix: CSRMatrix,
     cost: int,

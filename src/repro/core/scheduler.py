@@ -18,6 +18,7 @@ import enum
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.schedule import MergePathSchedule, schedule_for_cost
 from repro.core.thread_mapping import MIN_THREADS
 from repro.formats import CSRMatrix
@@ -68,7 +69,9 @@ class ScheduleCache:
         """
         key = (id(matrix), cost, min_threads)
         if key in self._cache:
+            obs.counter("core.scheduler.cache_hits").inc()
             return self._cache[key]
+        obs.counter("core.scheduler.cache_misses").inc()
         started = time.perf_counter()
         schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
         self.total_scheduling_seconds += time.perf_counter() - started

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.schedule import (
     MergePathSchedule,
     schedule_for_cost,
@@ -145,9 +146,21 @@ class SpMMResult:
     writes: WriteAccounting
 
 
+def _record_writes(accounting: "WriteAccounting") -> None:
+    """Publish an execution's observed write counts to the obs layer."""
+    if obs.enabled():
+        obs.counter("core.executor.atomic_writes").inc(accounting.atomic_writes)
+        obs.counter("core.executor.regular_writes").inc(
+            accounting.regular_writes
+        )
+        obs.counter("core.executor.atomic_nnz").inc(accounting.atomic_nnz)
+        obs.counter("core.executor.regular_nnz").inc(accounting.regular_nnz)
+
+
 # ----------------------------------------------------------------------
 # Reference executor: literal Algorithm 2
 # ----------------------------------------------------------------------
+@obs.instrumented
 def execute_reference(
     schedule: MergePathSchedule, dense: np.ndarray
 ) -> tuple[np.ndarray, WriteAccounting]:
@@ -216,17 +229,20 @@ def execute_reference(
             regular_writes += 1
             regular_nnz += hi - lo
 
-    return output, WriteAccounting(
+    accounting = WriteAccounting(
         atomic_writes=atomic_writes,
         regular_writes=regular_writes,
         atomic_nnz=atomic_nnz,
         regular_nnz=regular_nnz,
     )
+    _record_writes(accounting)
+    return output, accounting
 
 
 # ----------------------------------------------------------------------
 # Vectorized executor: segment scatter-adds
 # ----------------------------------------------------------------------
+@obs.instrumented
 def execute_vectorized(
     schedule: MergePathSchedule, dense: np.ndarray
 ) -> tuple[np.ndarray, WriteAccounting]:
@@ -272,12 +288,14 @@ def execute_vectorized(
         atomic_nnz=int(segments.lengths[segments.atomic].sum()),
         regular_nnz=int(segments.lengths[regular].sum()),
     )
+    _record_writes(accounting)
     return output, accounting
 
 
 # ----------------------------------------------------------------------
 # Public API
 # ----------------------------------------------------------------------
+@obs.instrumented
 def merge_path_spmm(
     matrix: CSRMatrix,
     dense: np.ndarray,

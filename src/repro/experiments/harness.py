@@ -4,6 +4,13 @@ Runs any subset of the paper's experiments by name and prints (optionally
 saves) their tables.  The benchmarks under ``benchmarks/`` wrap the same
 harnesses with pytest-benchmark and shape assertions; this module is the
 interactive/CI-free way to regenerate results.
+
+With ``--profile`` (or ``--trace-out``) the whole batch runs inside an
+:func:`repro.obs.profiled` session: every experiment gets a wall-clock
+span, a metric summary is printed at the end, and one ``BENCH_<name>.json``
+run record per experiment is exported (see :mod:`repro.obs.export`) so the
+next ``--list`` can show *measured* runtimes instead of the static
+estimates.
 """
 
 from __future__ import annotations
@@ -11,9 +18,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.experiments import (
     end_to_end_gnn,
     engine_balance,
@@ -47,7 +56,8 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "engines": engine_balance.run,
 }
 
-# Rough single-run wall-clock on a 2-core box, to set expectations.
+# Rough single-run wall-clock on a 2-core box — the *fallback* when no
+# measured run record exists (see approx_seconds).
 APPROX_SECONDS = {
     "fig1": 2, "fig2": 5, "fig3": 1, "table1": 1, "table2": 8, "fig4": 15,
     "fig5": 5, "fig6": 10, "fig7": 15, "fig8": 50, "fig9": 200, "e2e": 5,
@@ -55,31 +65,98 @@ APPROX_SECONDS = {
 }
 
 
+def approx_seconds(name: str, bench_dir: "Path | None" = None) -> float:
+    """Expected wall-clock for one experiment, in seconds.
+
+    Prefers the last *measured* run (the ``wall_seconds`` of the newest
+    exported ``BENCH_<name>.json`` record), so the estimate tracks the
+    machine and the code instead of drifting; falls back to the static
+    :data:`APPROX_SECONDS` table when no record exists.
+    """
+    record = obs.latest_record(name=name, directory=bench_dir)
+    if record is not None:
+        measured = record.get("wall_seconds")
+        if isinstance(measured, (int, float)) and measured >= 0:
+            return float(measured)
+    return float(APPROX_SECONDS.get(name, 0))
+
+
+def _failure_result(name: str, exc: BaseException) -> ExperimentResult:
+    """Placeholder result recording a captured experiment failure."""
+    summary = f"{type(exc).__name__}: {exc}"
+    tail = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    return ExperimentResult(
+        title=f"{name} (FAILED)",
+        headers=["error"],
+        rows=[(summary,)],
+        notes=["".join(tail[-2:]).rstrip()],
+        error=summary,
+    )
+
+
 def run_experiments(
-    names: list[str], output_dir: "Path | None" = None
+    names: list[str],
+    output_dir: "Path | None" = None,
+    on_error: str = "raise",
+    bench_dir: "Path | None" = None,
 ) -> dict[str, ExperimentResult]:
     """Run the named experiments; optionally persist tables to a directory.
+
+    Each experiment runs inside an ``experiment.<name>`` trace span and a
+    ``time.experiment`` timer (both no-ops unless an
+    :func:`repro.obs.profiled` session is active).  When metric collection
+    is on, a ``BENCH_<name>.json`` run record holding the experiment's
+    metric *delta* is exported after each experiment.
 
     Args:
         names: Keys of :data:`EXPERIMENTS` (e.g. ``["fig4", "fig5"]``).
         output_dir: When given, each table is written to
             ``<output_dir>/<name>.txt``.
+        on_error: ``"raise"`` propagates the first experiment failure
+            (library default); ``"record"`` captures it as a failed
+            :class:`ExperimentResult` (with the span marked errored) and
+            continues with the rest of the batch.
+        bench_dir: Override directory for exported run records (default:
+            ``$REPRO_BENCH_DIR`` or ``benchmarks/results``).
 
     Returns:
-        Name -> result mapping, in execution order.
+        Name -> result mapping, in execution order.  Failed experiments
+        (``on_error="record"``) appear with ``result.error`` set.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment(s) {unknown}; known: {known}")
     results: dict[str, ExperimentResult] = {}
+    registry = obs.get_registry()
     for name in names:
+        before = registry.snapshot() if registry is not None else []
         started = time.perf_counter()
-        result = EXPERIMENTS[name]()
-        result.notes.append(
-            f"regenerated in {time.perf_counter() - started:.1f}s"
-        )
+        error: "BaseException | None" = None
+        try:
+            with obs.span(f"experiment.{name}", category="experiment"):
+                result = EXPERIMENTS[name]()
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            error = exc
+            result = _failure_result(name, exc)
+        elapsed = time.perf_counter() - started
+        obs.timer("time.experiment", experiment=name).observe(elapsed)
+        if error is None:
+            result.notes.append(f"regenerated in {elapsed:.1f}s")
         results[name] = result
+        if registry is not None:
+            record = obs.run_record(
+                name,
+                metrics=obs.diff_snapshots(before, registry.snapshot()),
+                wall_seconds=elapsed,
+                status="ok" if error is None else "error",
+                error=None if error is None else f"{type(error).__name__}: {error}",
+            )
+            obs.write_run_record(record, directory=bench_dir)
         if output_dir is not None:
             output_dir.mkdir(parents=True, exist_ok=True)
             (output_dir / f"{name}.txt").write_text(result.format() + "\n")
@@ -103,16 +180,56 @@ def main(argv: "list[str] | None" = None) -> int:
         "--output-dir", type=Path, default=None,
         help="also write each table to <dir>/<name>.txt",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="collect metrics; print a summary and export BENCH_*.json "
+             "run records",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write a Chrome trace (chrome://tracing JSON) of the run "
+             "here; implies --profile",
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=None,
+        help="directory for exported run records "
+             "(default: $REPRO_BENCH_DIR or benchmarks/results)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
-            print(f"{name:8s} ~{APPROX_SECONDS[name]}s")
+            print(f"{name:8s} ~{approx_seconds(name, args.bench_dir):.0f}s")
         return 0
     names = args.experiments or list(EXPERIMENTS)
-    results = run_experiments(names, output_dir=args.output_dir)
+    profile = args.profile or args.trace_out is not None
+
+    if profile:
+        with obs.profiled(trace_path=args.trace_out) as session:
+            results = run_experiments(
+                names,
+                output_dir=args.output_dir,
+                on_error="record",
+                bench_dir=args.bench_dir,
+            )
+    else:
+        results = run_experiments(
+            names, output_dir=args.output_dir, on_error="record"
+        )
     for result in results.values():
         print()
         result.show()
+    if profile:
+        print()
+        print(obs.render_text(session.snapshot(), title="profile summary"))
+        if args.trace_out is not None:
+            print(f"\ntrace written to {args.trace_out}")
+    failed = [name for name, result in results.items() if result.failed]
+    if failed:
+        print(
+            f"\n{len(failed)} experiment(s) failed: {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

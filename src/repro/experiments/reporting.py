@@ -52,15 +52,25 @@ class ExperimentResult:
         headers: Column names.
         rows: Data rows, one tuple per printed line.
         notes: Free-form remarks (aggregates, deviations, parameters).
+        error: When the harness captured a failure instead of a table,
+            the ``"ExcType: message"`` string (``None`` on success).
     """
 
     title: str
     headers: list[str]
     rows: list[tuple]
     notes: list[str] = field(default_factory=list)
+    error: "str | None" = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this result records a harness-captured failure."""
+        return self.error is not None
 
     def format(self) -> str:
         parts = [f"=== {self.title} ===", format_table(self.headers, self.rows)]
+        if self.error is not None:
+            parts.append(f"  ! FAILED: {self.error}")
         parts.extend(f"  * {note}" for note in self.notes)
         return "\n".join(parts)
 

@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.cusparse_like import CuSparseKernel, select_kernel
 from repro.baselines.neighbor_groups import NeighborGroupSchedule
 from repro.core.schedule import MergePathSchedule, schedule_for_cost
@@ -53,6 +54,7 @@ def _issue_per_nnz(dim: int, device: GPUDevice) -> float:
 # ----------------------------------------------------------------------
 # MergePath-SpMM
 # ----------------------------------------------------------------------
+@obs.instrumented
 def mergepath_workload(
     matrix: CSRMatrix,
     dim: int,
@@ -144,6 +146,7 @@ def mergepath_workload(
 # ----------------------------------------------------------------------
 # GNNAdvisor and GNNAdvisor-opt
 # ----------------------------------------------------------------------
+@obs.instrumented
 def gnnadvisor_workload(
     matrix: CSRMatrix,
     dim: int,
@@ -204,6 +207,7 @@ def gnnadvisor_workload(
 # ----------------------------------------------------------------------
 # Row-splitting (scalar thread-per-row kernel)
 # ----------------------------------------------------------------------
+@obs.instrumented
 def row_splitting_workload(
     matrix: CSRMatrix, dim: int, device: GPUDevice
 ) -> GPUWorkload:
@@ -241,6 +245,7 @@ def row_splitting_workload(
 # ----------------------------------------------------------------------
 # Merge-path with serial fix-up (Merrill & Garland SpMV strategy)
 # ----------------------------------------------------------------------
+@obs.instrumented
 def merge_path_serial_workload(
     matrix: CSRMatrix,
     dim: int,
@@ -320,6 +325,7 @@ def merge_path_serial_workload(
 # ----------------------------------------------------------------------
 # cuSPARSE-like kernel-selection library
 # ----------------------------------------------------------------------
+@obs.instrumented
 def cusparse_workload(
     matrix: CSRMatrix, dim: int, device: GPUDevice
 ) -> GPUWorkload:
@@ -370,6 +376,7 @@ KERNELS: dict[str, Callable[..., GPUWorkload]] = {
 }
 
 
+@obs.instrumented
 def kernel_time(
     name: str,
     matrix: CSRMatrix,

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.gpu.device import GPUDevice
 from repro.gpu.workload import GPUWorkload
 
@@ -84,6 +85,35 @@ class KernelTiming:
         return max(components, key=components.get)
 
 
+def _record_timing(timing: KernelTiming) -> None:
+    """Publish a kernel's cycle breakdown as labeled metrics.
+
+    One gauge per (kernel, component) — repeated simulations of the same
+    kernel keep the last breakdown — plus a histogram of totals so sweeps
+    retain the distribution.
+    """
+    for component, cycles in (
+        ("total", timing.cycles),
+        ("issue", timing.issue_cycles),
+        ("bandwidth", timing.bandwidth_cycles),
+        ("little", timing.little_cycles),
+        ("span", timing.span_cycles),
+        ("atomic", timing.atomic_cycles),
+        ("hotspot", timing.hotspot_cycles),
+        ("serial", timing.serial_cycles),
+        ("launch", timing.launch_cycles),
+    ):
+        obs.gauge(
+            "gpu.kernel.cycles", kernel=timing.label, component=component
+        ).set(float(cycles))
+    obs.counter("gpu.kernels_simulated").inc()
+    obs.counter("gpu.kernels_simulated_by_label", kernel=timing.label).inc()
+    obs.histogram("gpu.kernel.total_cycles", kernel=timing.label).observe(
+        timing.cycles
+    )
+
+
+@obs.instrumented
 def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
     """Model the execution time of ``workload`` on ``device``."""
     params = device.params
@@ -98,7 +128,7 @@ def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
             + max(atomic, hotspot)
             + workload.serial_cycles
         )
-        return KernelTiming(
+        timing = KernelTiming(
             label=workload.label,
             device_name=device.name,
             cycles=total,
@@ -113,6 +143,9 @@ def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
             n_warps=n_warps,
             microseconds=device.cycles_to_microseconds(total),
         )
+        if obs.enabled():
+            _record_timing(timing)
+        return timing
 
     if n_warps == 0:
         return finish(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
@@ -156,6 +189,7 @@ def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
     return finish(parallel, issue, bandwidth, little, span, atomic, hotspot)
 
 
+@obs.instrumented
 def scheduling_time(
     n_threads: int,
     merge_items: int,

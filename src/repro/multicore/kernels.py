@@ -7,6 +7,7 @@ Table I machine at the requested core count.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.baselines.neighbor_groups import NeighborGroupSchedule
 from repro.baselines.row_splitting import RowSplitSchedule
 from repro.core.schedule import MergePathSchedule
@@ -20,6 +21,7 @@ from repro.multicore.trace import (
 )
 
 
+@obs.instrumented
 def run_mergepath(
     matrix: CSRMatrix,
     dim: int,
@@ -38,6 +40,7 @@ def run_mergepath(
     return MulticoreSystem(machine).run(traces, quantum=quantum)
 
 
+@obs.instrumented
 def run_row_splitting(
     matrix: CSRMatrix,
     dim: int,
@@ -56,6 +59,7 @@ def run_row_splitting(
     return MulticoreSystem(machine).run(traces, quantum=quantum)
 
 
+@obs.instrumented
 def run_gnnadvisor(
     matrix: CSRMatrix,
     dim: int,

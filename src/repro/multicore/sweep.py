@@ -13,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.formats import CSRMatrix
 from repro.multicore.kernels import run_gnnadvisor, run_mergepath
 from repro.multicore.system import SimulationResult
@@ -73,6 +74,7 @@ class ScalingCurve:
         return None
 
 
+@obs.instrumented
 def sweep_core_counts(
     matrix: CSRMatrix,
     kernel: str,

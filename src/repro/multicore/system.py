@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.multicore.cache import SetAssociativeCache
 from repro.multicore.config import MachineConfig
 from repro.multicore.directory import Directory, DirectoryStats
@@ -92,6 +93,37 @@ class MulticoreSystem:
         return line % self.machine.n_cores
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _event_totals(self) -> dict:
+        """Cumulative cache/coherence/DRAM event counts for this system."""
+        stats = self.directory.stats
+        return {
+            "l1_hits": sum(c.stats.hits for c in self.l1s),
+            "l1_accesses": sum(c.stats.accesses for c in self.l1s),
+            "l2_hits": sum(c.stats.hits for c in self.l2_slices),
+            "l2_accesses": sum(c.stats.accesses for c in self.l2_slices),
+            "dram_accesses": self.dram.accesses,
+            "invalidations": stats.invalidations_sent,
+            "downgrades": stats.downgrades,
+            "pointer_evictions": stats.pointer_evictions,
+        }
+
+    def _record_run(
+        self, prior: dict, per_core: np.ndarray, flit_hops: float
+    ) -> None:
+        """Publish one run's cache/NoC/DRAM deltas and per-core work."""
+        totals = self._event_totals()
+        for key, value in totals.items():
+            obs.counter(f"multicore.{key}").inc(max(0, value - prior[key]))
+        obs.counter("multicore.noc_flit_hops").inc(int(flit_hops))
+        obs.counter("multicore.runs").inc()
+        core_cycles = obs.histogram("multicore.core_cycles")
+        for cycles in per_core:
+            core_cycles.observe(float(cycles))
+
+    # ------------------------------------------------------------------
+    @obs.instrumented(name="multicore.system.run")
     def run(self, traces: list[ThreadTrace], quantum: int = 256) -> SimulationResult:
         """Execute one trace per core and return timing + statistics.
 
@@ -116,6 +148,12 @@ class MulticoreSystem:
         header_flits = 1
         line_flits = 1 + line_bytes * 8 // machine.noc.flit_bits
 
+        collect = obs.enabled()
+        if collect:
+            # Caches, directory and DRAM accumulate across run() calls on
+            # the same system; snapshot so the metrics report this run's
+            # contribution only.
+            prior_events = self._event_totals()
         mem_cycles = np.zeros(n_cores)
         positions = [0] * n_cores
         l1s = self.l1s
@@ -234,6 +272,8 @@ class MulticoreSystem:
         l1_total = sum(c.stats.accesses for c in l1s)
         l2_hits = sum(c.stats.hits for c in l2s)
         l2_total = sum(c.stats.accesses for c in l2s)
+        if collect:
+            self._record_run(prior_events, per_core, flit_hops_total)
         return SimulationResult(
             completion_cycles=float(per_core.max(initial=0.0)),
             compute_cycles=float(compute[slowest]) if n_cores else 0.0,

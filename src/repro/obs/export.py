@@ -1,0 +1,152 @@
+"""Exported run records: ``BENCH_<name>.json`` files.
+
+One record per experiment run, written next to the regenerated tables in
+``benchmarks/results/`` (override with ``$REPRO_BENCH_DIR`` or the
+``directory=`` argument).  A record is self-describing JSON::
+
+    {
+      "schema": "repro.obs.run/1",
+      "name": "fig5",
+      "timestamp": 1754500000.0,        # unix seconds
+      "iso_time": "2026-08-06T12:00:00",
+      "wall_seconds": 5.1,
+      "status": "ok" | "error",
+      "error": null | "ValueError: ...",
+      "metrics": [...],                  # MetricRegistry.snapshot() form
+      "kernel_cycles": {kernel: {component: cycles}},
+    }
+
+Records give every figure a machine-readable provenance trail: the
+harness uses the last recorded ``wall_seconds`` for its time estimates,
+``python -m repro obs-report`` renders them, and future PRs can diff the
+``metrics`` field for perf regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime
+from pathlib import Path
+
+SCHEMA = "repro.obs.run/1"
+RECORD_PREFIX = "BENCH_"
+_ENV_DIR = "REPRO_BENCH_DIR"
+_DEFAULT_DIR = Path("benchmarks") / "results"
+
+
+def records_dir(directory: "Path | str | None" = None) -> Path:
+    """Resolve the run-record directory (arg > ``$REPRO_BENCH_DIR`` > default)."""
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get(_ENV_DIR)
+    return Path(env) if env else _DEFAULT_DIR
+
+
+def diff_snapshots(before: list[dict], after: list[dict]) -> list[dict]:
+    """Per-run metric deltas between two registry snapshots.
+
+    Counters and histogram/timer aggregates subtract; gauges (last-write
+    semantics) keep their ``after`` value.  Metrics absent from
+    ``before`` pass through unchanged, and metrics whose delta is zero
+    are dropped, so the result is "what this run contributed".
+    """
+    def key(entry: dict) -> tuple:
+        return (entry["name"], tuple(sorted(entry.get("labels", {}).items())))
+
+    prior = {key(e): e for e in before}
+    deltas: list[dict] = []
+    for entry in after:
+        old = prior.get(key(entry))
+        if old is None:
+            deltas.append(entry)
+            continue
+        kind = entry.get("kind")
+        if kind == "counter":
+            value = entry["value"] - old["value"]
+            if value:
+                deltas.append({**entry, "value": value})
+        elif kind in ("histogram", "timer"):
+            count = entry["count"] - old["count"]
+            if count:
+                total = entry["total"] - old["total"]
+                deltas.append(
+                    {
+                        **entry,
+                        "count": count,
+                        "total": total,
+                        "mean": total / count,
+                        # min/max/percentiles are not decomposable over a
+                        # window; keep the cumulative values.
+                    }
+                )
+        else:
+            deltas.append(entry)
+    return deltas
+
+
+def run_record(
+    name: str,
+    metrics: "list[dict] | None" = None,
+    wall_seconds: "float | None" = None,
+    status: str = "ok",
+    error: "str | None" = None,
+    extra: "dict | None" = None,
+) -> dict:
+    """Assemble a schema-conforming run record dict."""
+    from repro.obs.report import kernel_breakdowns
+
+    now = time.time()
+    record = {
+        "schema": SCHEMA,
+        "name": name,
+        "timestamp": now,
+        "iso_time": datetime.fromtimestamp(now).isoformat(timespec="seconds"),
+        "wall_seconds": wall_seconds,
+        "status": status,
+        "error": error,
+        "metrics": metrics or [],
+        "kernel_cycles": kernel_breakdowns(metrics or []),
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+def write_run_record(
+    record: dict, directory: "Path | str | None" = None
+) -> Path:
+    """Write ``record`` to ``<dir>/BENCH_<name>.json`` and return the path."""
+    directory = records_dir(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{RECORD_PREFIX}{record['name']}.json"
+    path.write_text(json.dumps(record, indent=1) + "\n")
+    return path
+
+
+def read_records(directory: "Path | str | None" = None) -> list[dict]:
+    """All parseable run records in the directory, oldest first."""
+    directory = records_dir(directory)
+    if not directory.is_dir():
+        return []
+    records = []
+    for path in sorted(directory.glob(f"{RECORD_PREFIX}*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and record.get("schema") == SCHEMA:
+            records.append(record)
+    records.sort(key=lambda r: r.get("timestamp") or 0.0)
+    return records
+
+
+def latest_record(
+    name: "str | None" = None, directory: "Path | str | None" = None
+) -> "dict | None":
+    """Most recent run record, optionally restricted to one experiment."""
+    records = read_records(directory)
+    if name is not None:
+        records = [r for r in records if r.get("name") == name]
+    return records[-1] if records else None

@@ -1,0 +1,365 @@
+"""Thread-safe metric primitives and the process-global registry.
+
+Four primitives cover everything the reproduction needs to observe:
+
+* :class:`Counter` — monotonically increasing event count (binary-search
+  steps, atomic writes issued, DRAM accesses);
+* :class:`Gauge` — last-written value (the current kernel's issue-cycle
+  component);
+* :class:`Histogram` — distribution of observations (per-core cycles,
+  per-kernel totals);
+* :class:`Timer` — a histogram of elapsed seconds with a context-manager
+  front end.
+
+Metrics live in a :class:`MetricRegistry` keyed by ``(name, labels)``.
+Instrumentation never talks to a registry directly; it calls the
+module-level accessors (:func:`counter`, :func:`gauge`, :func:`histogram`,
+:func:`timer`), which resolve against the *active* registry.  When no
+registry is active — the default — the accessors hand back shared null
+singletons whose mutators are ``pass``, so instrumented code paths run
+uninstrumented at the cost of one global load.  Hot loops should guard
+with :func:`enabled` and skip even that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterator
+
+# Histograms keep raw observations for percentile estimates, but only up
+# to this many; past the cap only the running aggregates update.
+_RESERVOIR_CAP = 65536
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> "int | float":
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+
+class Gauge:
+    """A value that can go up or down; keeps the last write."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+
+class Histogram:
+    """A distribution of observations with running aggregates.
+
+    Raw observations are retained (up to a cap) so snapshots can report
+    percentiles; ``count``/``total``/``min``/``max`` are exact regardless.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "_lock", "_count", "_total", "_min",
+                 "_max", "_values")
+
+    def __init__(self, name: str, labels: "dict | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._values) < _RESERVOIR_CAP:
+                self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``q`` in [0, 100])."""
+        with self._lock:
+            if not self._values:
+                return 0.0
+            ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            count = self._count
+            total = self._total
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+class Timer(Histogram):
+    """A histogram of elapsed wall-clock seconds.
+
+    Use as a context manager::
+
+        with registry.timer("core.schedule.seconds"):
+            build_schedule(matrix, 1024)
+    """
+
+    kind = "timer"
+    __slots__ = ("_started",)
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.observe(time.perf_counter() - self._started)
+
+
+class _NullMetric:
+    """Shared do-nothing stand-in used when no registry is active."""
+
+    kind = "null"
+    name = ""
+    labels: dict = {}
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def add(self, amount) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def percentile(self, q) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricRegistry:
+    """A collection of metrics keyed by ``(name, sorted labels)``.
+
+    Get-or-create accessors are thread-safe; two threads asking for the
+    same ``(name, labels)`` receive the same object.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: dict):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    metric = cls(name, labels)
+                    self._metrics[key] = metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._get(Timer, name, labels)
+
+    def __iter__(self) -> Iterator:
+        return iter(list(self._metrics.values()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> list[dict]:
+        """All metrics as plain dicts, sorted by name then labels."""
+        entries = [m.snapshot() for m in self]
+        entries.sort(key=lambda e: (e["name"], _label_key(e["labels"])))
+        return entries
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# Active-registry plumbing
+# ----------------------------------------------------------------------
+_active_registry: "MetricRegistry | None" = None
+
+
+def enabled() -> bool:
+    """Whether a metric registry is currently collecting."""
+    return _active_registry is not None
+
+
+def get_registry() -> "MetricRegistry | None":
+    """The active registry, or ``None`` when collection is disabled."""
+    return _active_registry
+
+
+def set_registry(registry: "MetricRegistry | None") -> "MetricRegistry | None":
+    """Install ``registry`` as the active one; returns the previous one."""
+    global _active_registry
+    previous = _active_registry
+    _active_registry = registry
+    return previous
+
+
+def enable() -> MetricRegistry:
+    """Start collecting into a fresh registry (replacing any active one)."""
+    registry = MetricRegistry()
+    set_registry(registry)
+    return registry
+
+
+def disable() -> "MetricRegistry | None":
+    """Stop collecting; returns the registry that was active."""
+    return set_registry(None)
+
+
+def counter(name: str, **labels):
+    """Active registry's counter, or a null metric when disabled."""
+    registry = _active_registry
+    return (
+        registry.counter(name, **labels)
+        if registry is not None
+        else NULL_METRIC
+    )
+
+
+def gauge(name: str, **labels):
+    """Active registry's gauge, or a null metric when disabled."""
+    registry = _active_registry
+    return (
+        registry.gauge(name, **labels)
+        if registry is not None
+        else NULL_METRIC
+    )
+
+
+def histogram(name: str, **labels):
+    """Active registry's histogram, or a null metric when disabled."""
+    registry = _active_registry
+    return (
+        registry.histogram(name, **labels)
+        if registry is not None
+        else NULL_METRIC
+    )
+
+
+def timer(name: str, **labels):
+    """Active registry's timer, or a null metric when disabled."""
+    registry = _active_registry
+    return (
+        registry.timer(name, **labels)
+        if registry is not None
+        else NULL_METRIC
+    )

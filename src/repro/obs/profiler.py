@@ -1,0 +1,137 @@
+"""Profiled runs and the ``@instrumented`` entry-point decorator.
+
+:func:`profiled` turns collection on for a scope: it installs a fresh
+:class:`~repro.obs.metrics.MetricRegistry` and
+:class:`~repro.obs.trace.TraceRecorder`, yields a
+:class:`ProfileSession`, and restores the previous state (writing the
+trace file if asked) on exit.  Sessions nest: an inner ``profiled()``
+shadows the outer one and puts it back afterwards.
+
+:func:`instrumented` marks a public kernel/executor entry point.  When
+nothing is collecting, the wrapper is two global loads and a branch —
+uninstrumented runs pay essentially nothing (enforced by
+``tools/check_instrumentation.py``'s companion tests).  When a session is
+active, each call becomes a trace span plus a ``time.<span>`` timer
+observation and a ``calls.<span>`` counter increment.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+
+class ProfileSession:
+    """Handle on one profiled scope's registry and trace recorder."""
+
+    def __init__(
+        self,
+        registry: _metrics.MetricRegistry,
+        recorder: _trace.TraceRecorder,
+        trace_path: "str | Path | None" = None,
+    ) -> None:
+        self.registry = registry
+        self.trace = recorder
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.started_at = time.time()
+        self.wall_seconds: "float | None" = None
+
+    def snapshot(self) -> list[dict]:
+        """Current metric snapshot (see ``MetricRegistry.snapshot``)."""
+        return self.registry.snapshot()
+
+    def summary(self) -> str:
+        """Human-readable metric summary for this session so far."""
+        from repro.obs.report import render_text
+
+        return render_text(self.snapshot())
+
+
+@contextmanager
+def profiled(
+    trace_path: "str | Path | None" = None,
+    process_name: str = "repro",
+) -> Iterator[ProfileSession]:
+    """Collect metrics and trace events for the scope of the ``with``.
+
+    Args:
+        trace_path: When given, the Chrome trace JSON is written there on
+            exit (even if the body raises).
+        process_name: Trace metadata process name.
+
+    Yields:
+        The live :class:`ProfileSession`.
+    """
+    registry = _metrics.MetricRegistry()
+    recorder = _trace.TraceRecorder(process_name=process_name)
+    session = ProfileSession(registry, recorder, trace_path=trace_path)
+    previous_registry = _metrics.set_registry(registry)
+    previous_recorder = _trace.set_recorder(recorder)
+    started = time.perf_counter()
+    try:
+        yield session
+    finally:
+        session.wall_seconds = time.perf_counter() - started
+        _metrics.set_registry(previous_registry)
+        _trace.set_recorder(previous_recorder)
+        if session.trace_path is not None:
+            recorder.write(session.trace_path)
+
+
+def collecting() -> bool:
+    """Whether any collection (metrics or tracing) is currently active."""
+    return (
+        _metrics._active_registry is not None
+        or _trace._active_recorder is not None
+    )
+
+
+def instrumented(
+    fn: "Callable | None" = None,
+    *,
+    name: "str | None" = None,
+    category: str = "repro",
+) -> Callable:
+    """Mark an entry point for span + timer instrumentation.
+
+    Usable bare (``@instrumented``) or configured
+    (``@instrumented(name="gpu.kernel_time")``).  The span name defaults
+    to ``<module tail>.<qualname>`` (e.g. ``core.spmm.merge_path_spmm``).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name
+        if span_name is None:
+            module_tail = func.__module__.split(".", 1)[-1]
+            span_name = f"{module_tail}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            # Fast path: nothing collecting, call straight through.
+            if (
+                _metrics._active_registry is None
+                and _trace._active_recorder is None
+            ):
+                return func(*args, **kwargs)
+            _metrics.counter(f"calls.{span_name}").inc()
+            started = time.perf_counter()
+            with _trace.span(span_name, category=category):
+                result = func(*args, **kwargs)
+            _metrics.timer(f"time.{span_name}").observe(
+                time.perf_counter() - started
+            )
+            return result
+
+        wrapper.__instrumented__ = True
+        wrapper.__instrumented_span__ = span_name
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

@@ -1,0 +1,229 @@
+"""Rendering metric snapshots as text or JSON, plus ``obs-report``.
+
+A *snapshot* is the plain-dict list produced by
+``MetricRegistry.snapshot()`` (and stored verbatim in the ``metrics``
+field of exported run records).  :func:`render_text` turns one into the
+aligned tables the harness prints under ``--profile``;
+:func:`kernel_breakdowns` extracts the per-kernel cycle components the
+GPU timing model publishes so reports and run records can show the
+paper's issue/bandwidth/little/span/atomic/launch split directly.
+
+``python -m repro obs-report`` (see :func:`main`) pretty-prints the most
+recent exported run record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+# Cycle components in presentation order, matching the timing model's
+# ``total = launch + max(bandwidth, little, span) + issue + atomic + serial``.
+CYCLE_COMPONENTS = (
+    "total", "issue", "bandwidth", "little", "span", "atomic", "hotspot",
+    "serial", "launch",
+)
+KERNEL_CYCLES_METRIC = "gpu.kernel.cycles"
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return lines
+
+
+def kernel_breakdowns(snapshot: list[dict]) -> dict[str, dict[str, float]]:
+    """Per-kernel cycle components from the snapshot's timing gauges.
+
+    Returns ``{kernel label: {component: cycles}}`` for every gauge named
+    :data:`KERNEL_CYCLES_METRIC` carrying ``kernel``/``component`` labels.
+    """
+    breakdowns: dict[str, dict[str, float]] = {}
+    for entry in snapshot:
+        if entry.get("name") != KERNEL_CYCLES_METRIC:
+            continue
+        labels = entry.get("labels", {})
+        kernel = labels.get("kernel")
+        component = labels.get("component")
+        if kernel is None or component is None:
+            continue
+        breakdowns.setdefault(kernel, {})[component] = entry.get("value", 0.0)
+    return breakdowns
+
+
+def render_text(snapshot: list[dict], title: "str | None" = None) -> str:
+    """Render a snapshot as aligned text tables, grouped by metric kind."""
+    lines: list[str] = []
+    if title:
+        lines += [f"=== {title} ===", ""]
+
+    counters = [e for e in snapshot if e.get("kind") == "counter"]
+    gauges = [
+        e for e in snapshot
+        if e.get("kind") == "gauge" and e.get("name") != KERNEL_CYCLES_METRIC
+    ]
+    dists = [e for e in snapshot if e.get("kind") in ("histogram", "timer")]
+
+    if counters:
+        lines.append("Counters")
+        lines += _table(
+            ["name", "value"],
+            [
+                [e["name"] + _label_suffix(e.get("labels", {})),
+                 _format_number(e["value"])]
+                for e in counters
+            ],
+        )
+        lines.append("")
+    if gauges:
+        lines.append("Gauges")
+        lines += _table(
+            ["name", "value"],
+            [
+                [e["name"] + _label_suffix(e.get("labels", {})),
+                 _format_number(e["value"])]
+                for e in gauges
+            ],
+        )
+        lines.append("")
+    if dists:
+        lines.append("Timers / histograms")
+        lines += _table(
+            ["name", "count", "total", "mean", "max"],
+            [
+                [
+                    e["name"] + _label_suffix(e.get("labels", {})),
+                    _format_number(e.get("count", 0)),
+                    _format_number(e.get("total", 0.0)),
+                    _format_number(e.get("mean", 0.0)),
+                    _format_number(e.get("max", 0.0)),
+                ]
+                for e in dists
+            ],
+        )
+        lines.append("")
+
+    breakdowns = kernel_breakdowns(snapshot)
+    if breakdowns:
+        lines.append("Kernel cycle breakdown (last simulated, cycles)")
+        components = [
+            c for c in CYCLE_COMPONENTS
+            if any(c in b for b in breakdowns.values())
+        ]
+        lines += _table(
+            ["kernel"] + list(components),
+            [
+                [kernel] + [
+                    _format_number(parts.get(c, 0.0)) for c in components
+                ]
+                for kernel, parts in sorted(breakdowns.items())
+            ],
+        )
+        lines.append("")
+    if not (counters or gauges or dists or breakdowns):
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines).rstrip("\n")
+
+
+def render_json(snapshot: list[dict], indent: int = 1) -> str:
+    """Snapshot as a JSON document string."""
+    return json.dumps(
+        {"metrics": snapshot, "kernel_cycles": kernel_breakdowns(snapshot)},
+        indent=indent,
+    )
+
+
+def render_record(record: dict) -> str:
+    """Render one exported run record (see :mod:`repro.obs.export`)."""
+    lines = [f"=== run record: {record.get('name', '?')} ==="]
+    for key in ("iso_time", "wall_seconds", "status", "error"):
+        if record.get(key) is not None:
+            lines.append(f"  {key}: {_format_number(record[key])}")
+    lines.append("")
+    lines.append(render_text(record.get("metrics", [])))
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI for ``python -m repro obs-report``."""
+    from repro.obs.export import latest_record, read_records, records_dir
+
+    parser = argparse.ArgumentParser(
+        prog="repro obs-report",
+        description="Pretty-print the most recent exported run record.",
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="experiment name to report on (default: most recent run)",
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=None,
+        help="directory holding BENCH_*.json records "
+             "(default: $REPRO_BENCH_DIR or benchmarks/results)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the raw record as JSON"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="list every record, newest last"
+    )
+    args = parser.parse_args(argv)
+
+    if args.all:
+        records = read_records(directory=args.bench_dir)
+        if not records:
+            print(f"no run records under {records_dir(args.bench_dir)}")
+            return 1
+        for record in records:
+            print(
+                f"{record.get('name', '?'):12s} "
+                f"{record.get('iso_time', '?'):26s} "
+                f"{record.get('wall_seconds', 0.0):8.2f}s "
+                f"{record.get('status', '?')}"
+            )
+        return 0
+
+    record = latest_record(name=args.name, directory=args.bench_dir)
+    if record is None:
+        print(
+            f"no run records under {records_dir(args.bench_dir)}; "
+            "run an experiment with --profile first, e.g. "
+            "`python -m repro fig5 --profile`"
+        )
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=1))
+    else:
+        print(render_record(record))
+    return 0

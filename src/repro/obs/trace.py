@@ -1,0 +1,167 @@
+"""Chrome-trace event recording (``chrome://tracing`` / Perfetto JSON).
+
+A :class:`TraceRecorder` collects *complete* events (``"ph": "X"``) with
+microsecond timestamps and durations.  Chrome/Perfetto reconstruct span
+nesting from time containment on the same ``pid``/``tid``, so nested
+``span()`` context managers render as a flame graph with no extra
+bookkeeping; each event also carries its stack ``depth`` for consumers
+that want the nesting without replaying timestamps.
+
+Like :mod:`repro.obs.metrics`, the module keeps one *active* recorder;
+the module-level :func:`span` no-ops (a bare ``yield``) when none is
+installed, so instrumented code needs no conditionals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+
+def _jsonable(value):
+    """Coerce span args to something ``json.dump`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class TraceRecorder:
+    """Collects Chrome-trace events for one profiled run."""
+
+    def __init__(self, process_name: str = "repro") -> None:
+        self.process_name = process_name
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._origin = time.perf_counter()
+        self._depth = threading.local()
+        self._pid = os.getpid()
+        self._emit_metadata()
+
+    def _emit_metadata(self) -> None:
+        self._events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": self._pid,
+                "tid": 0,
+                "args": {"name": self.process_name},
+            }
+        )
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    @property
+    def events(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def n_spans(self) -> int:
+        with self._lock:
+            return sum(1 for e in self._events if e.get("ph") == "X")
+
+    @contextmanager
+    def span(self, name: str, category: str = "repro", **args) -> Iterator[dict]:
+        """Record a complete event covering the ``with`` body.
+
+        Yields the (mutable) args dict so callers can attach results;
+        an escaping exception marks the span with ``error``.
+        """
+        depth = getattr(self._depth, "value", 0)
+        self._depth.value = depth + 1
+        span_args = {k: _jsonable(v) for k, v in args.items()}
+        span_args["depth"] = depth
+        start = self._now_us()
+        try:
+            yield span_args
+        except BaseException as exc:
+            span_args["error"] = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            end = self._now_us()
+            self._depth.value = depth
+            event = {
+                "ph": "X",
+                "name": name,
+                "cat": category,
+                "ts": start,
+                "dur": max(0.0, end - start),
+                "pid": self._pid,
+                "tid": threading.get_ident(),
+                "args": span_args,
+            }
+            with self._lock:
+                self._events.append(event)
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record a zero-duration instant event."""
+        event = {
+            "ph": "i",
+            "name": name,
+            "cat": category,
+            "ts": self._now_us(),
+            "pid": self._pid,
+            "tid": threading.get_ident(),
+            "s": "t",
+            "args": {k: _jsonable(v) for k, v in args.items()},
+        }
+        with self._lock:
+            self._events.append(event)
+
+    def to_dict(self) -> dict:
+        """The complete trace document (``traceEvents`` container form)."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs"},
+        }
+
+    def write(self, path: "str | Path") -> Path:
+        """Serialize the trace to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=1))
+        return path
+
+
+# ----------------------------------------------------------------------
+# Active-recorder plumbing
+# ----------------------------------------------------------------------
+_active_recorder: "TraceRecorder | None" = None
+
+
+def get_recorder() -> "TraceRecorder | None":
+    """The active recorder, or ``None`` when tracing is disabled."""
+    return _active_recorder
+
+
+def set_recorder(recorder: "TraceRecorder | None") -> "TraceRecorder | None":
+    """Install ``recorder`` as the active one; returns the previous one."""
+    global _active_recorder
+    previous = _active_recorder
+    _active_recorder = recorder
+    return previous
+
+
+@contextmanager
+def span(name: str, category: str = "repro", **args) -> Iterator["dict | None"]:
+    """Span on the active recorder; a plain passthrough when disabled."""
+    recorder = _active_recorder
+    if recorder is None:
+        yield None
+        return
+    with recorder.span(name, category=category, **args) as span_args:
+        yield span_args
+
+
+def instant(name: str, category: str = "repro", **args) -> None:
+    """Instant event on the active recorder; no-op when disabled."""
+    recorder = _active_recorder
+    if recorder is not None:
+        recorder.instant(name, category=category, **args)

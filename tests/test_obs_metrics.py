@@ -1,0 +1,160 @@
+"""Unit tests for the metric primitives and registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import NULL_METRIC, MetricRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """No test leaks an active registry into the rest of the suite."""
+    yield
+    obs.set_registry(None)
+    obs.set_recorder(None)
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MetricRegistry().counter("c").inc(-1)
+
+    def test_labels_distinguish_series(self):
+        registry = MetricRegistry()
+        registry.counter("c", kind="a").inc(1)
+        registry.counter("c", kind="b").inc(2)
+        assert registry.counter("c", kind="a").value == 1
+        assert registry.counter("c", kind="b").value == 2
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("c", x=1) is registry.counter("c", x=1)
+
+    def test_thread_safety(self):
+        registry = MetricRegistry()
+        counter = registry.counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        histogram = MetricRegistry().histogram("h")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["total"] == 10.0
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+
+    def test_percentiles(self):
+        histogram = MetricRegistry().histogram("h")
+        for value in range(101):
+            histogram.observe(float(value))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(95) == 95.0
+
+    def test_empty_snapshot(self):
+        snap = MetricRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+
+
+class TestTimer:
+    def test_context_manager_observes_elapsed(self):
+        timer = MetricRegistry().timer("t")
+        with timer:
+            pass
+        assert timer.count == 1
+        assert timer.total >= 0.0
+
+    def test_kind(self):
+        assert MetricRegistry().timer("t").kind == "timer"
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        registry = MetricRegistry()
+        registry.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("m")
+
+    def test_snapshot_sorted_and_complete(self):
+        registry = MetricRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(1.0)
+        names = [entry["name"] for entry in registry.snapshot()]
+        assert names == sorted(names)
+        assert len(registry) == 2
+
+    def test_reset(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestNoOpMode:
+    def test_disabled_accessors_return_null(self):
+        obs.set_registry(None)
+        assert not obs.enabled()
+        assert obs.counter("x") is NULL_METRIC
+        assert obs.gauge("x") is NULL_METRIC
+        assert obs.histogram("x") is NULL_METRIC
+        assert obs.timer("x") is NULL_METRIC
+
+    def test_null_metric_absorbs_everything(self):
+        NULL_METRIC.inc(3)
+        NULL_METRIC.set(1.0)
+        NULL_METRIC.observe(2.0)
+        with NULL_METRIC:
+            pass
+        assert NULL_METRIC.snapshot() == {}
+
+    def test_empty_registry_is_still_active(self):
+        # Regression guard: an empty registry is falsy via __len__, but
+        # must still collect (`is not None`, not truthiness).
+        registry = obs.enable()
+        try:
+            assert len(registry) == 0
+            obs.counter("c").inc()
+            assert registry.counter("c").value == 1
+        finally:
+            obs.disable()
+
+    def test_enable_disable_round_trip(self):
+        registry = obs.enable()
+        assert obs.enabled() and obs.get_registry() is registry
+        returned = obs.disable()
+        assert returned is registry
+        assert not obs.enabled()

@@ -1,0 +1,201 @@
+"""Profiled sessions, @instrumented semantics, reports and run records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.report import kernel_breakdowns, render_text
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    obs.set_registry(None)
+    obs.set_recorder(None)
+
+
+class TestProfiled:
+    def test_installs_and_restores(self):
+        assert not obs.enabled()
+        with obs.profiled() as session:
+            assert obs.enabled()
+            assert obs.get_registry() is session.registry
+            assert obs.get_recorder() is session.trace
+        assert not obs.enabled()
+        assert obs.get_recorder() is None
+        assert session.wall_seconds is not None
+
+    def test_nested_sessions_shadow(self):
+        with obs.profiled() as outer:
+            obs.counter("c").inc()
+            with obs.profiled() as inner:
+                obs.counter("c").inc(10)
+            assert obs.get_registry() is outer.registry
+        assert outer.registry.counter("c").value == 1
+        assert inner.registry.counter("c").value == 10
+
+    def test_writes_trace_file_even_on_error(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with pytest.raises(RuntimeError):
+            with obs.profiled(trace_path=path):
+                with obs.span("doomed"):
+                    raise RuntimeError("x")
+        document = json.loads(path.read_text())
+        (event,) = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert "error" in event["args"]
+
+
+class TestInstrumented:
+    def test_works_with_collection_disabled(self):
+        @obs.instrumented
+        def f(x):
+            return x + 1
+
+        assert not obs.collecting()
+        assert f(1) == 2  # plain passthrough, no registry required
+
+    def test_preserves_metadata_and_marker(self):
+        @obs.instrumented
+        def documented():
+            """Doc."""
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Doc."
+        assert documented.__instrumented__ is True
+
+    def test_records_span_call_and_timer(self):
+        @obs.instrumented(name="unit.f")
+        def f():
+            return 42
+
+        with obs.profiled() as session:
+            assert f() == 42
+            assert f() == 42
+        snapshot = {e["name"]: e for e in session.snapshot()}
+        assert snapshot["calls.unit.f"]["value"] == 2
+        assert snapshot["time.unit.f"]["count"] == 2
+        assert session.trace.n_spans == 2
+
+    def test_exception_propagates_and_marks_span(self):
+        @obs.instrumented(name="unit.bad")
+        def bad():
+            raise KeyError("nope")
+
+        with obs.profiled() as session:
+            with pytest.raises(KeyError):
+                bad()
+        (event,) = [e for e in session.trace.events if e["ph"] == "X"]
+        assert "KeyError" in event["args"]["error"]
+
+    def test_default_span_name_drops_package_prefix(self):
+        @obs.instrumented
+        def f():
+            pass
+
+        span_name = f.__instrumented_span__
+        assert span_name.startswith("test_obs_profiler.")
+        assert span_name.endswith(".f")
+
+    def test_noop_overhead_is_small(self):
+        import time
+
+        def plain():
+            return 1
+
+        @obs.instrumented
+        def wrapped():
+            return 1
+
+        n = 50_000
+        started = time.perf_counter()
+        for _ in range(n):
+            plain()
+        base = time.perf_counter() - started
+        started = time.perf_counter()
+        for _ in range(n):
+            wrapped()
+        instrumented = time.perf_counter() - started
+        # The disabled wrapper is two global loads and a branch; allow a
+        # generous CI-noise margin but catch accidental always-on paths.
+        assert instrumented < base * 10 + 0.05
+
+
+class TestReport:
+    def test_render_text_sections(self):
+        with obs.profiled() as session:
+            obs.counter("c", graph="x").inc(3)
+            obs.gauge("g").set(1.5)
+            obs.timer("t").observe(0.25)
+        text = render_text(session.snapshot())
+        assert "Counters" in text and "c{graph=x}" in text and "3" in text
+        assert "Gauges" in text
+        assert "Timers / histograms" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in render_text([])
+
+    def test_kernel_breakdowns(self):
+        with obs.profiled() as session:
+            obs.gauge(
+                "gpu.kernel.cycles", kernel="k", component="issue"
+            ).set(10.0)
+            obs.gauge(
+                "gpu.kernel.cycles", kernel="k", component="total"
+            ).set(25.0)
+        breakdowns = kernel_breakdowns(session.snapshot())
+        assert breakdowns == {"k": {"issue": 10.0, "total": 25.0}}
+        assert "Kernel cycle breakdown" in render_text(session.snapshot())
+
+
+class TestExport:
+    def test_write_and_read_round_trip(self, tmp_path):
+        record = obs.run_record("unit", metrics=[], wall_seconds=1.5)
+        path = obs.write_run_record(record, directory=tmp_path)
+        assert path.name == "BENCH_unit.json"
+        loaded = obs.latest_record(directory=tmp_path)
+        assert loaded["name"] == "unit"
+        assert loaded["wall_seconds"] == 1.5
+        assert loaded["status"] == "ok"
+
+    def test_latest_by_name_and_missing(self, tmp_path):
+        obs.write_run_record(obs.run_record("a"), directory=tmp_path)
+        obs.write_run_record(obs.run_record("b"), directory=tmp_path)
+        assert obs.latest_record(name="a", directory=tmp_path)["name"] == "a"
+        assert obs.latest_record(name="zz", directory=tmp_path) is None
+        assert obs.latest_record(directory=tmp_path / "nope") is None
+
+    def test_corrupt_records_skipped(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        obs.write_run_record(obs.run_record("ok"), directory=tmp_path)
+        assert [r["name"] for r in obs.read_records(tmp_path)] == ["ok"]
+
+    def test_env_var_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert obs.records_dir() == tmp_path
+
+    def test_diff_snapshots(self):
+        before = [
+            {"name": "c", "kind": "counter", "labels": {}, "value": 5},
+            {"name": "t", "kind": "timer", "labels": {}, "count": 2,
+             "total": 4.0, "mean": 2.0},
+            {"name": "g", "kind": "gauge", "labels": {}, "value": 1.0},
+        ]
+        after = [
+            {"name": "c", "kind": "counter", "labels": {}, "value": 9},
+            {"name": "t", "kind": "timer", "labels": {}, "count": 3,
+             "total": 7.0, "mean": 7 / 3},
+            {"name": "g", "kind": "gauge", "labels": {}, "value": 3.0},
+            {"name": "new", "kind": "counter", "labels": {}, "value": 1},
+        ]
+        delta = {e["name"]: e for e in obs.diff_snapshots(before, after)}
+        assert delta["c"]["value"] == 4
+        assert delta["t"]["count"] == 1 and delta["t"]["total"] == 3.0
+        assert delta["g"]["value"] == 3.0  # gauges keep the after value
+        assert delta["new"]["value"] == 1
+
+    def test_diff_drops_untouched_counters(self):
+        entry = {"name": "c", "kind": "counter", "labels": {}, "value": 5}
+        assert obs.diff_snapshots([entry], [dict(entry)]) == []

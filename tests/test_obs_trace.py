@@ -1,0 +1,102 @@
+"""Chrome-trace recorder tests: JSON schema validity and span nesting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    yield
+    obs.set_registry(None)
+    obs.set_recorder(None)
+
+
+REQUIRED_COMPLETE_EVENT_KEYS = {"ph", "name", "cat", "ts", "dur", "pid", "tid"}
+
+
+class TestTraceSchema:
+    def test_document_shape(self, tmp_path):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            pass
+        path = recorder.write(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert isinstance(document["traceEvents"], list)
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_complete_events_carry_required_keys(self):
+        recorder = TraceRecorder()
+        with recorder.span("s", category="test", nnz=5):
+            pass
+        (event,) = [e for e in recorder.events if e["ph"] == "X"]
+        assert REQUIRED_COMPLETE_EVENT_KEYS <= set(event)
+        assert event["name"] == "s"
+        assert event["cat"] == "test"
+        assert event["dur"] >= 0.0
+        assert event["args"]["nnz"] == 5
+
+    def test_args_coerced_to_jsonable(self, tmp_path):
+        recorder = TraceRecorder()
+        with recorder.span("s", matrix=object()):
+            pass
+        # Must not raise on serialization.
+        recorder.write(tmp_path / "trace.json")
+
+    def test_instant_event(self):
+        recorder = TraceRecorder()
+        recorder.instant("tick", step=1)
+        (event,) = [e for e in recorder.events if e["ph"] == "i"]
+        assert event["args"]["step"] == 1
+
+
+class TestNesting:
+    def test_nested_spans_contained_and_depth_tagged(self):
+        recorder = TraceRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        spans = {e["name"]: e for e in recorder.events if e["ph"] == "X"}
+        outer, inner = spans["outer"], spans["inner"]
+        assert outer["args"]["depth"] == 0
+        assert inner["args"]["depth"] == 1
+        # Chrome reconstructs nesting from time containment on one tid.
+        assert outer["tid"] == inner["tid"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_exception_marks_span_errored(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("failing"):
+                raise ValueError("boom")
+        (event,) = [e for e in recorder.events if e["ph"] == "X"]
+        assert event["args"]["error"] == "ValueError: boom"
+
+    def test_n_spans(self):
+        recorder = TraceRecorder()
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        assert recorder.n_spans == 2
+
+
+class TestModuleLevelSpan:
+    def test_noop_without_recorder(self):
+        assert obs.get_recorder() is None
+        with obs.span("anything") as args:
+            assert args is None
+
+    def test_records_with_active_recorder(self):
+        recorder = TraceRecorder()
+        obs.set_recorder(recorder)
+        with obs.span("working", x=1):
+            obs.instant("mid")
+        assert recorder.n_spans == 1
+        assert any(e["ph"] == "i" for e in recorder.events)

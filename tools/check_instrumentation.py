@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Lint: public kernel/executor entry points must carry ``@instrumented``.
+
+Walks ``src/repro/{core,gpu,multicore}`` and checks, via the AST (no
+imports), that every *entry point* is decorated with
+``repro.obs.instrumented`` (bare, called, or attribute form).  An entry
+point is:
+
+* a public top-level function whose name starts with ``run_``,
+  ``execute_`` or ``simulate``, or appears in :data:`REQUIRED_FUNCTIONS`;
+* a ``run`` method of a class whose name ends in ``System``.
+
+This is the contract that keeps ``--profile`` runs complete: a new
+scheduler/executor/simulator added without a span silently disappears
+from traces and run records.  Opt-outs (e.g. trivial dispatchers) go in
+:data:`EXEMPT` with a reason.
+
+Exit status 0 when clean; 1 with a listing of violations otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGES = ("core", "gpu", "multicore")
+
+ENTRY_PREFIXES = ("run_", "execute_", "simulate")
+REQUIRED_FUNCTIONS = {
+    "kernel_time",
+    "build_schedule",
+    "schedule_for_cost",
+    "merge_path_spmm",
+    "scheduling_time",
+    "sweep_core_counts",
+}
+# (module-relative path, qualified name) -> reason for exemption.
+EXEMPT: dict[tuple[str, str], str] = {}
+
+
+def _decorator_names(node: ast.AST) -> set[str]:
+    names = set()
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _is_entry_point(name: str) -> bool:
+    if name.startswith("_"):
+        return False
+    return name.startswith(ENTRY_PREFIXES) or name in REQUIRED_FUNCTIONS
+
+
+def check_file(path: Path) -> list[str]:
+    """Violation messages for one source file."""
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+
+    def missing(node, qualname: str) -> None:
+        if (str(rel), qualname) in EXEMPT:
+            return
+        if "instrumented" not in _decorator_names(node):
+            violations.append(
+                f"{rel}:{node.lineno}: {qualname} is a public entry point "
+                "but lacks @obs.instrumented"
+            )
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_entry_point(node.name):
+                missing(node, node.name)
+        elif isinstance(node, ast.ClassDef) and node.name.endswith("System"):
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "run"
+                ):
+                    missing(item, f"{node.name}.run")
+    return violations
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    del argv
+    violations: list[str] = []
+    checked = 0
+    for package in PACKAGES:
+        package_dir = REPO_ROOT / "src" / "repro" / package
+        for path in sorted(package_dir.rglob("*.py")):
+            violations.extend(check_file(path))
+            checked += 1
+    if violations:
+        print("\n".join(violations))
+        print(f"\n{len(violations)} uninstrumented entry point(s) "
+              f"across {checked} files")
+        return 1
+    print(f"instrumentation lint: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
