@@ -5,6 +5,9 @@ Subcommands:
 * ``obs-report`` — pretty-print the most recent exported run record
   (metric summary and kernel cycle breakdowns); see
   :mod:`repro.obs.report`.
+* ``chaos`` — run the fault-injection matrix and report detection
+  coverage (exit 1 on any silent failure); see
+  :mod:`repro.resilience.chaos` and ``docs/ROBUSTNESS.md``.
 * anything else delegates to :mod:`repro.experiments.harness`; run with
   ``--list`` to see the available experiments and their (measured or
   estimated) runtimes, and with ``--profile``/``--trace-out`` to collect
@@ -20,6 +23,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.obs.report import main as report_main
 
         return report_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.resilience.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     from repro.experiments.harness import main as harness_main
 
     return harness_main(argv)

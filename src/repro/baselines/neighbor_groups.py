@@ -66,7 +66,11 @@ class NeighborGroupSchedule:
         rows = np.repeat(np.arange(matrix.n_rows, dtype=np.int64), groups_per_row)
         # Offset of each group within its row: 0, g, 2g, ... via a running
         # index reset at row boundaries.
-        first_group = np.concatenate(([0], np.cumsum(groups_per_row)[:-1]))
+        first_group = (
+            np.concatenate(([0], np.cumsum(groups_per_row)[:-1]))
+            if len(groups_per_row)
+            else np.empty(0, dtype=np.int64)
+        )
         within = np.arange(total) - np.repeat(first_group, groups_per_row)
         starts = matrix.row_pointers[rows] + within * group_size
         ends = np.minimum(starts + group_size, matrix.row_pointers[rows + 1])

@@ -31,6 +31,7 @@ from repro.core.schedule import (
 )
 from repro.core.thread_mapping import default_merge_path_cost
 from repro.formats import CSRMatrix
+from repro.resilience import faults
 
 # Non-zeros processed per scatter chunk; bounds peak temporary memory at
 # roughly ``chunk * dim * 8`` bytes regardless of matrix size.
@@ -146,6 +147,41 @@ class SpMMResult:
     writes: WriteAccounting
 
 
+def _inject_segment_faults(
+    plan: "faults.FaultPlan",
+    seg_sums: np.ndarray,
+    segments: WriteSegments,
+) -> np.ndarray:
+    """Apply the active fault plan to per-segment accumulators.
+
+    Mutates ``seg_sums`` in place (failed unit zeroed, accumulator bits
+    flipped) and returns the mask of atomic segments whose application is
+    dropped.  Injections are only counted when they actually change the
+    output (a dropped all-zero update is unobservable by construction).
+    """
+    dropped = np.zeros(segments.n_segments, dtype=bool)
+    if segments.n_segments == 0:
+        return dropped
+    if plan.fail_unit is not None:
+        idx = plan.fail_unit % segments.n_segments
+        if np.any(seg_sums[idx]):
+            seg_sums[idx] = 0.0
+            plan.note_injected("fail_unit")
+    if plan.bitflip > 0.0:
+        for i in range(segments.n_segments):
+            if plan.rng.random() < plan.bitflip:
+                nz = np.flatnonzero(seg_sums[i])
+                if len(nz):
+                    faults.flip_mantissa_bit(seg_sums[i], int(nz[0]))
+                    plan.note_injected("bitflip")
+    if plan.drop_atomic > 0.0:
+        for i in np.flatnonzero(segments.atomic):
+            if plan.rng.random() < plan.drop_atomic and np.any(seg_sums[i]):
+                dropped[i] = True
+                plan.note_injected("drop_atomic")
+    return dropped
+
+
 def _record_writes(accounting: "WriteAccounting") -> None:
     """Publish an execution's observed write counts to the obs layer."""
     if obs.enabled():
@@ -186,10 +222,32 @@ def execute_reference(
     rp, cp, values = matrix.row_pointers, matrix.column_indices, matrix.values
     output = np.zeros((matrix.n_rows, dense.shape[1]), dtype=np.float64)
     atomic_writes = regular_writes = atomic_nnz = regular_nnz = 0
+    plan = faults.active_plan()
+    fail_thread = (
+        plan.fail_unit % schedule.n_threads
+        if plan is not None and plan.fail_unit is not None
+        else None
+    )
 
     def row_product(lo: int, hi: int) -> np.ndarray:
         """Sum of ``A[row, CP[j]] * XW[CP[j], :]`` over ``j`` in [lo, hi)."""
-        return values[lo:hi] @ dense[cp[lo:hi]]
+        product = values[lo:hi] @ dense[cp[lo:hi]]
+        if plan is not None and plan.bitflip > 0.0:
+            if plan.rng.random() < plan.bitflip:
+                nz = np.flatnonzero(product)
+                if len(nz):
+                    faults.flip_mantissa_bit(product, int(nz[0]))
+                    plan.note_injected("bitflip")
+        return product
+
+    def atomic_dropped(product: np.ndarray) -> bool:
+        """Whether the fault plan swallows this atomic update."""
+        if plan is None or plan.drop_atomic <= 0.0:
+            return False
+        if plan.rng.random() < plan.drop_atomic and np.any(product):
+            plan.note_injected("drop_atomic")
+            return True
+        return False
 
     for t in range(schedule.n_threads):
         start_row = int(schedule.start_rows[t])
@@ -197,19 +255,30 @@ def execute_reference(
         start_nz = int(schedule.start_nnzs[t])
         end_nz = int(schedule.end_nnzs[t])
 
+        if t == fail_thread and end_nz > start_nz:
+            # This unit halted before doing any work; its output
+            # contribution silently vanishes (self-checks must catch it).
+            if np.any(values[start_nz:end_nz]):
+                plan.note_injected("fail_unit")
+                continue
+
         if start_row < matrix.n_rows and start_nz > rp[start_row]:
             # Partial start row (Algorithm 2, line 2).
             if start_row == end_row:
                 # The whole assignment is one partial row (lines 3-6).
                 if end_nz > start_nz:
-                    output[start_row] += row_product(start_nz, end_nz)  # atomic
+                    product = row_product(start_nz, end_nz)
+                    if not atomic_dropped(product):
+                        output[start_row] += product  # atomic
                     atomic_writes += 1
                     atomic_nnz += end_nz - start_nz
                 continue
             # Finish the partial start row, then move on (lines 8-10).
             segment_end = int(rp[start_row + 1])
             if segment_end > start_nz:
-                output[start_row] += row_product(start_nz, segment_end)  # atomic
+                product = row_product(start_nz, segment_end)
+                if not atomic_dropped(product):
+                    output[start_row] += product  # atomic
                 atomic_writes += 1
                 atomic_nnz += segment_end - start_nz
             start_row += 1
@@ -218,7 +287,9 @@ def execute_reference(
             # Partial end row (lines 11-13).
             segment_start = max(int(rp[end_row]), start_nz)
             if end_nz > segment_start:
-                output[end_row] += row_product(segment_start, end_nz)  # atomic
+                product = row_product(segment_start, end_nz)
+                if not atomic_dropped(product):
+                    output[end_row] += product  # atomic
                 atomic_writes += 1
                 atomic_nnz += end_nz - segment_start
 
@@ -275,12 +346,18 @@ def execute_vectorized(
         partial = values[lo:hi, None] * dense[cp[lo:hi]]
         np.add.at(seg_sums, seg_ids[lo:hi], partial)
 
+    plan = faults.active_plan()
+    atomic_applied = segments.atomic
+    if plan is not None:
+        dropped = _inject_segment_faults(plan, seg_sums, segments)
+        atomic_applied = segments.atomic & ~dropped
+
     output = np.zeros((matrix.n_rows, dim), dtype=np.float64)
     regular = ~segments.atomic
     # Complete rows are owned by exactly one segment: direct store.
     output[segments.rows[regular]] = seg_sums[regular]
     # Partial rows accumulate from multiple segments: atomic adds.
-    np.add.at(output, segments.rows[segments.atomic], seg_sums[segments.atomic])
+    np.add.at(output, segments.rows[atomic_applied], seg_sums[atomic_applied])
 
     accounting = WriteAccounting(
         atomic_writes=int(segments.atomic.sum()),

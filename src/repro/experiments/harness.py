@@ -81,8 +81,17 @@ def approx_seconds(name: str, bench_dir: "Path | None" = None) -> float:
     return float(APPROX_SECONDS.get(name, 0))
 
 
-def _failure_result(name: str, exc: BaseException) -> ExperimentResult:
-    """Placeholder result recording a captured experiment failure."""
+def _failure_result(
+    name: str,
+    exc: BaseException,
+    partial_metrics: "list | None" = None,
+) -> ExperimentResult:
+    """Placeholder result recording a captured experiment failure.
+
+    Keeps the full traceback and whatever metrics the experiment emitted
+    before dying, so a failed batch entry is debuggable from its record
+    alone.
+    """
     summary = f"{type(exc).__name__}: {exc}"
     tail = traceback.format_exception(type(exc), exc, exc.__traceback__)
     return ExperimentResult(
@@ -91,6 +100,8 @@ def _failure_result(name: str, exc: BaseException) -> ExperimentResult:
         rows=[(summary,)],
         notes=["".join(tail[-2:]).rstrip()],
         error=summary,
+        traceback="".join(tail),
+        partial_metrics=list(partial_metrics or []),
     )
 
 
@@ -99,6 +110,10 @@ def run_experiments(
     output_dir: "Path | None" = None,
     on_error: str = "raise",
     bench_dir: "Path | None" = None,
+    timeout: "float | None" = None,
+    retries: int = 0,
+    checkpoint_path: "Path | str | None" = None,
+    resume: bool = False,
 ) -> dict[str, ExperimentResult]:
     """Run the named experiments; optionally persist tables to a directory.
 
@@ -114,10 +129,22 @@ def run_experiments(
             ``<output_dir>/<name>.txt``.
         on_error: ``"raise"`` propagates the first experiment failure
             (library default); ``"record"`` captures it as a failed
-            :class:`ExperimentResult` (with the span marked errored) and
-            continues with the rest of the batch.
+            :class:`ExperimentResult` — full traceback and the metrics it
+            emitted before dying included — and continues with the rest
+            of the batch.
         bench_dir: Override directory for exported run records (default:
             ``$REPRO_BENCH_DIR`` or ``benchmarks/results``).
+        timeout: Per-experiment wall-clock budget in seconds; an
+            experiment that exceeds it fails with
+            :class:`~repro.resilience.runtime.ExperimentTimeoutError`
+            (and is retried/recorded like any other failure).
+        retries: Extra attempts per failing experiment, with exponential
+            backoff between attempts.
+        checkpoint_path: When given, a
+            :class:`~repro.resilience.checkpoint.BatchCheckpoint` at this
+            path is updated (atomically) after every experiment.
+        resume: Load ``checkpoint_path`` and skip experiments it already
+            holds, rehydrating their stored results.
 
     Returns:
         Name -> result mapping, in execution order.  Failed experiments
@@ -129,25 +156,64 @@ def run_experiments(
     if unknown:
         known = ", ".join(EXPERIMENTS)
         raise KeyError(f"unknown experiment(s) {unknown}; known: {known}")
+
+    checkpoint = None
+    if checkpoint_path is not None:
+        from repro.resilience.checkpoint import BatchCheckpoint
+
+        checkpoint = BatchCheckpoint.open(checkpoint_path, names, resume=resume)
+    elif resume:
+        raise ValueError("resume=True requires checkpoint_path")
+
     results: dict[str, ExperimentResult] = {}
     registry = obs.get_registry()
     for name in names:
+        if checkpoint is not None:
+            stored = checkpoint.result_for(name)
+            if stored is not None:
+                stored.notes.append("resumed from checkpoint")
+                results[name] = stored
+                continue
         before = registry.snapshot() if registry is not None else []
         started = time.perf_counter()
         error: "BaseException | None" = None
-        try:
+
+        def run_once(name: str = name) -> ExperimentResult:
             with obs.span(f"experiment.{name}", category="experiment"):
-                result = EXPERIMENTS[name]()
+                return EXPERIMENTS[name]()
+
+        attempt = run_once
+        if timeout is not None or retries:
+            from repro.resilience import runtime
+
+            if timeout is not None:
+                attempt = lambda fn=attempt: runtime.call_with_timeout(
+                    fn, timeout
+                )
+            if retries:
+                attempt = lambda fn=attempt: runtime.retry_with_backoff(
+                    fn, attempts=retries + 1
+                )
+        try:
+            result = attempt()
         except Exception as exc:
             if on_error == "raise":
                 raise
             error = exc
-            result = _failure_result(name, exc)
+            partial = (
+                obs.diff_snapshots(before, registry.snapshot())
+                if registry is not None
+                else []
+            )
+            result = _failure_result(name, exc, partial_metrics=partial)
         elapsed = time.perf_counter() - started
         obs.timer("time.experiment", experiment=name).observe(elapsed)
         if error is None:
             result.notes.append(f"regenerated in {elapsed:.1f}s")
         results[name] = result
+        if checkpoint is not None and error is None:
+            # Failures are not checkpointed: a resumed batch re-runs them.
+            checkpoint.record(name, result)
         if registry is not None:
             record = obs.run_record(
                 name,
@@ -195,6 +261,27 @@ def main(argv: "list[str] | None" = None) -> int:
         help="directory for exported run records "
              "(default: $REPRO_BENCH_DIR or benchmarks/results)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-experiment wall-clock budget; an experiment exceeding "
+             "it is recorded as failed and the batch continues",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failing experiment up to N times with "
+             "exponential backoff",
+    )
+    parser.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="PATH",
+        help="batch checkpoint file, updated atomically after every "
+             "completed experiment "
+             "(default with --resume: <bench-dir>/harness_checkpoint.json)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="load the checkpoint and run only the experiments it does "
+             "not already hold",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -203,18 +290,25 @@ def main(argv: "list[str] | None" = None) -> int:
     names = args.experiments or list(EXPERIMENTS)
     profile = args.profile or args.trace_out is not None
 
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and args.resume:
+        checkpoint_path = (
+            obs.records_dir(args.bench_dir) / "harness_checkpoint.json"
+        )
+    run_kwargs = dict(
+        output_dir=args.output_dir,
+        on_error="record",
+        bench_dir=args.bench_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint_path=checkpoint_path,
+        resume=args.resume,
+    )
     if profile:
         with obs.profiled(trace_path=args.trace_out) as session:
-            results = run_experiments(
-                names,
-                output_dir=args.output_dir,
-                on_error="record",
-                bench_dir=args.bench_dir,
-            )
+            results = run_experiments(names, **run_kwargs)
     else:
-        results = run_experiments(
-            names, output_dir=args.output_dir, on_error="record"
-        )
+        results = run_experiments(names, **run_kwargs)
     for result in results.values():
         print()
         result.show()

@@ -54,6 +54,11 @@ class ExperimentResult:
         notes: Free-form remarks (aggregates, deviations, parameters).
         error: When the harness captured a failure instead of a table,
             the ``"ExcType: message"`` string (``None`` on success).
+        traceback: Full traceback of a harness-captured failure
+            (``None`` on success).
+        partial_metrics: Obs metric deltas accumulated before a captured
+            failure (empty on success or when collection was off) — the
+            experiment's partial progress, for post-mortems.
     """
 
     title: str
@@ -61,11 +66,38 @@ class ExperimentResult:
     rows: list[tuple]
     notes: list[str] = field(default_factory=list)
     error: "str | None" = None
+    traceback: "str | None" = None
+    partial_metrics: list = field(default_factory=list)
 
     @property
     def failed(self) -> bool:
         """Whether this result records a harness-captured failure."""
         return self.error is not None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (checkpoint files, run records)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "error": self.error,
+            "traceback": self.traceback,
+            "partial_metrics": list(self.partial_metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rehydrate a result serialized with :meth:`to_dict`."""
+        return cls(
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[tuple(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+            error=data.get("error"),
+            traceback=data.get("traceback"),
+            partial_metrics=list(data.get("partial_metrics", [])),
+        )
 
     def format(self) -> str:
         parts = [f"=== {self.title} ===", format_table(self.headers, self.rows)]

@@ -17,6 +17,7 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.ell import ELLMatrix
 from repro.formats.io import (
     MatrixMarketError,
+    atomic_write_text,
     read_edge_list,
     read_matrix_market,
     write_matrix_market,
@@ -32,6 +33,7 @@ __all__ = [
     "ELLMatrix",
     "MatrixMarketError",
     "RowStatistics",
+    "atomic_write_text",
     "SparseFormatError",
     "read_edge_list",
     "read_matrix_market",

@@ -123,6 +123,19 @@ class CSRMatrix:
             values=np.ones(n, dtype=VALUE_DTYPE),
         )
 
+    def validate(self, *, strict: bool = False) -> None:
+        """Re-run validation; ``strict=True`` adds the duplicate/unsorted/
+        finite checks (see :func:`repro.formats.validation.validate_csr`).
+        """
+        validate_csr(
+            self.row_pointers,
+            self.column_indices,
+            self.values,
+            self.n_rows,
+            self.n_cols,
+            strict=strict,
+        )
+
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------

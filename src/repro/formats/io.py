@@ -11,6 +11,9 @@ synthetic stand-ins.
 
 from __future__ import annotations
 
+import io
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -26,6 +29,36 @@ class MatrixMarketError(ValueError):
 
 _SUPPORTED_FIELDS = {"real", "integer", "pattern"}
 _SUPPORTED_SYMMETRY = {"general", "symmetric"}
+
+
+def atomic_write_text(
+    path: "str | Path", text: str, encoding: str = "ascii"
+) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The content lands in a temporary file in the destination directory
+    and is renamed over the target only after a successful write, so an
+    interrupted save (crash, kill, full disk) never leaves a truncated or
+    corrupt artifact behind — the previous file, if any, survives intact.
+
+    Returns:
+        The destination path.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _parse_header(line: str) -> tuple[str, str]:
@@ -122,14 +155,18 @@ def write_matrix_market(
 ) -> None:
     """Write a CSR matrix as ``matrix coordinate real general``.
 
+    Path destinations are written atomically (temp file + ``os.replace``),
+    so an interrupted save never leaves a truncated ``.mtx`` on disk.
+
     Args:
         matrix: Matrix to serialize.
         destination: Path or open text stream.
         comment: Optional comment line embedded after the header.
     """
     if isinstance(destination, (str, Path)):
-        with open(destination, "w", encoding="ascii") as handle:
-            write_matrix_market(matrix, handle, comment=comment)
+        buffer = io.StringIO()
+        write_matrix_market(matrix, buffer, comment=comment)
+        atomic_write_text(destination, buffer.getvalue())
         return
     destination.write("%%MatrixMarket matrix coordinate real general\n")
     if comment:

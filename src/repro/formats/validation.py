@@ -20,6 +20,8 @@ def validate_csr(
     values: np.ndarray,
     n_rows: int,
     n_cols: int,
+    *,
+    strict: bool = False,
 ) -> None:
     """Check the CSR invariants; raise :class:`SparseFormatError` on failure.
 
@@ -30,6 +32,18 @@ def validate_csr(
     * ``row_pointers`` is non-decreasing
     * every column index is in ``[0, n_cols)``
     * ``column_indices`` and ``values`` have the same length
+
+    With ``strict=True``, three further checks reject inputs that are
+    structurally legal but semantically hazardous for aggregation:
+
+    * no duplicate column index within a row (duplicates double-count
+      edges in ``A @ XW``)
+    * column indices sorted within every row
+    * all stored values finite (no NaN/Inf)
+
+    Strict mode is opt-in because real pipelines legitimately produce
+    unsorted CSR, and the executors handle it; enable it at trust
+    boundaries (file loads, network inputs, fault audits).
     """
     if n_rows < 0 or n_cols < 0:
         raise SparseFormatError(
@@ -65,6 +79,49 @@ def validate_csr(
             f"column indices must lie in [0, {n_cols}), got range "
             f"[{column_indices.min()}, {column_indices.max()}]"
         )
+    if strict:
+        _validate_csr_strict(row_pointers, column_indices, values, n_cols)
+
+
+def _validate_csr_strict(
+    row_pointers: np.ndarray,
+    column_indices: np.ndarray,
+    values: np.ndarray,
+    n_cols: int,
+) -> None:
+    """The opt-in strict checks (assumes the basic invariants hold)."""
+    nnz = len(column_indices)
+    if nnz and not np.isfinite(np.asarray(values, dtype=np.float64)).all():
+        bad = int(np.count_nonzero(
+            ~np.isfinite(np.asarray(values, dtype=np.float64))
+        ))
+        raise SparseFormatError(
+            f"strict: {bad} stored value(s) are NaN/Inf"
+        )
+    if nnz == 0:
+        return
+    row_ids = np.repeat(
+        np.arange(len(row_pointers) - 1, dtype=np.int64),
+        np.diff(row_pointers),
+    )
+    keys = row_ids * np.int64(max(n_cols, 1)) + column_indices
+    if len(np.unique(keys)) != nnz:
+        raise SparseFormatError(
+            "strict: duplicate column index within a row (the duplicate "
+            "edge would be double-counted in aggregation)"
+        )
+    if nnz > 1:
+        # A negative step inside a row means unsorted; steps that cross a
+        # row boundary (positions row_pointers[1:-1] - 1) are exempt.
+        steps = np.diff(column_indices)
+        boundaries = row_pointers[1:-1]
+        interior = np.ones(nnz - 1, dtype=bool)
+        inside = boundaries[(boundaries > 0) & (boundaries < nnz)]
+        interior[inside - 1] = False
+        if np.any((steps < 0) & interior):
+            raise SparseFormatError(
+                "strict: column indices are not sorted within a row"
+            )
 
 
 def validate_coo(

@@ -42,6 +42,7 @@ import numpy as np
 from repro import obs
 from repro.gpu.device import GPUDevice
 from repro.gpu.workload import GPUWorkload
+from repro.resilience import faults
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,32 @@ class KernelTiming:
             "serial": self.serial_cycles,
         }
         return max(components, key=components.get)
+
+
+def _self_check(timing: KernelTiming) -> None:
+    """Reject non-physical kernel times (the model's self-check).
+
+    A halted warp (injected or real) makes its dependent chain — and the
+    modeled total — unbounded; corrupt workloads produce NaN or negative
+    components.  Either way the timing is evidence of an execution fault,
+    not a measurement, so it must never flow into a figure silently.
+    """
+    for component, cycles in (
+        ("total", timing.cycles),
+        ("issue", timing.issue_cycles),
+        ("bandwidth", timing.bandwidth_cycles),
+        ("little", timing.little_cycles),
+        ("span", timing.span_cycles),
+        ("atomic", timing.atomic_cycles),
+        ("hotspot", timing.hotspot_cycles),
+        ("serial", timing.serial_cycles),
+    ):
+        if not np.isfinite(cycles) or cycles < 0:
+            faults.detected_externally("gpu-timing")
+            raise faults.ExecutionFaultError(
+                f"kernel {timing.label!r}: {component} component is "
+                f"{cycles} cycles — a warp halted or the workload is corrupt"
+            )
 
 
 def _record_timing(timing: KernelTiming) -> None:
@@ -143,6 +170,7 @@ def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
             n_warps=n_warps,
             microseconds=device.cycles_to_microseconds(total),
         )
+        _self_check(timing)
         if obs.enabled():
             _record_timing(timing)
         return timing
@@ -171,6 +199,12 @@ def simulate(workload: GPUWorkload, device: GPUDevice) -> KernelTiming:
         + workload.warp_atomic_ops * per_tx
     )
     span = float(spans.max(initial=0.0))
+    plan = faults.active_plan()
+    if plan is not None and plan.fail_unit is not None:
+        # Injected fault: warp fail_unit % n_warps halts — its dependent
+        # chain, and therefore the kernel, never completes.
+        plan.note_injected("halted_warp")
+        span = float("inf")
 
     # 5. Atomic path: RMW throughput plus same-row serialization.
     atomic_bytes = workload.total_atomic_ops * workload.atomic_bytes_per_op

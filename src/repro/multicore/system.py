@@ -33,6 +33,7 @@ from repro.multicore.directory import Directory, DirectoryStats
 from repro.multicore.dram import DramModel
 from repro.multicore.noc import MeshNetwork
 from repro.multicore.trace import ATOMIC, ThreadTrace
+from repro.resilience import faults
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,14 @@ class MulticoreSystem:
         rmw_service = 2.0 * (l2_cycles + 2.0 * hop_cycles * avg_hops)
 
         active = [c for c in range(len(traces)) if traces[c].n_accesses]
+        plan = faults.active_plan()
+        halt_core = halt_at = None
+        if plan is not None and plan.fail_unit is not None and active:
+            # Injected fault: one core dies halfway through its trace and
+            # never completes; the post-run self-check must notice.
+            halt_core = active[plan.fail_unit % len(active)]
+            halt_at = traces[halt_core].n_accesses // 2
+            plan.note_injected("halted_core")
         while active:
             still_active = []
             for core in active:
@@ -180,6 +189,10 @@ class MulticoreSystem:
                 kinds = trace.kinds
                 pos = positions[core]
                 end = min(pos + quantum, len(lines))
+                if core == halt_core:
+                    end = min(end, halt_at)
+                    if end <= pos:
+                        continue  # the core is dead; it never resumes
                 latency_acc = 0.0
                 l1 = l1s[core]
                 cx, cy = core % width, core // width
@@ -244,9 +257,20 @@ class MulticoreSystem:
                     latency_acc += latency
                 mem_cycles[core] += latency_acc
                 positions[core] = end
-                if end < len(lines):
+                if end < len(lines) and (core != halt_core or end < halt_at):
                     still_active.append(core)
             active = still_active
+
+        # Completion self-check: every trace must have been fully
+        # consumed, or the "parallel completion time" below would quietly
+        # describe a kernel that never finished.
+        for core, trace in enumerate(traces):
+            if trace.n_accesses and positions[core] != trace.n_accesses:
+                faults.detected_externally("multicore-completion")
+                raise faults.ExecutionFaultError(
+                    f"core {core} halted after {positions[core]} of "
+                    f"{trace.n_accesses} accesses — simulation incomplete"
+                )
 
         compute = np.zeros(n_cores)
         for core, trace in enumerate(traces):

@@ -1,0 +1,400 @@
+"""The chaos matrix behind ``python -m repro chaos``.
+
+Runs every adversarial case the resilience layer claims to handle and
+reports *detection coverage* — the fraction of injected corruptions and
+execution faults that were rejected, detected, or recovered rather than
+silently producing a wrong answer:
+
+* every :data:`~repro.resilience.corruption.CORRUPTIONS` class against
+  its declared detection layer (plain validation, strict validation, or
+  the output oracle via :func:`~repro.resilience.oracles.verified_spmm`);
+* execution faults (dropped atomics, bit-flipped accumulators, a failing
+  unit) injected into both SpMM executors, the GPU timing model and the
+  multicore simulator, which must all end in oracle detection and
+  fallback recovery or an :class:`ExecutionFaultError`;
+* every :data:`~repro.resilience.corruption.DEGENERATES` graph through
+  the verified executor and all baselines, which must simply agree with
+  the independent reference.
+
+Exit status 0 requires 100% detection coverage *and* all degenerate
+cases passing — anything less means a silent-wrong-output path exists.
+The run also writes a ``BENCH_chaos.json`` run record so robustness
+regressions show up next to performance regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.formats.validation import validate_csr
+from repro.graphs.generators import power_law_graph
+from repro.resilience import corruption, faults, oracles
+
+# Case outcomes, from best to worst.
+REJECTED = "rejected"      # validation refused the input
+DETECTED = "detected"      # an oracle/self-check raised, no recovery asked
+RECOVERED = "recovered"    # detected, then the serial fallback recovered
+OK = "ok"                  # valid input handled correctly (degenerates)
+SILENT = "SILENT"          # adversarial input produced output unchallenged
+
+_DIM = 8
+
+
+@dataclass
+class ChaosCase:
+    """One adversarial (or degenerate) scenario and its observed outcome."""
+
+    name: str
+    kind: str                # "corruption" | "execution" | "degenerate"
+    expected_layer: str      # declared detection layer, or "oracle"/"valid"
+    outcome: str
+    detail: str = ""
+
+    @property
+    def caught(self) -> bool:
+        return self.outcome in (REJECTED, DETECTED, RECOVERED, OK)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "expected_layer": self.expected_layer,
+            "outcome": self.outcome,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate result of one chaos-matrix run."""
+
+    seed: int
+    cases: list[ChaosCase] = field(default_factory=list)
+
+    @property
+    def adversarial(self) -> list[ChaosCase]:
+        return [c for c in self.cases if c.kind != "degenerate"]
+
+    @property
+    def silent(self) -> list[ChaosCase]:
+        return [c for c in self.cases if not c.caught]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of adversarial cases that did not slip through."""
+        adversarial = self.adversarial
+        if not adversarial:
+            return 1.0
+        caught = sum(1 for c in adversarial if c.caught)
+        return caught / len(adversarial)
+
+    @property
+    def passed(self) -> bool:
+        return not self.silent
+
+    def to_dict(self) -> dict:
+        outcomes: dict[str, int] = {}
+        for case in self.cases:
+            outcomes[case.outcome] = outcomes.get(case.outcome, 0) + 1
+        return {
+            "seed": self.seed,
+            "n_cases": len(self.cases),
+            "coverage": self.coverage,
+            "passed": self.passed,
+            "outcomes": outcomes,
+            "cases": [c.to_dict() for c in self.cases],
+        }
+
+    def render(self) -> str:
+        lines = [f"chaos matrix (seed={self.seed}): {len(self.cases)} cases"]
+        width = max(len(c.name) for c in self.cases) if self.cases else 0
+        for case in self.cases:
+            lines.append(
+                f"  {case.name:<{width}}  {case.kind:<10} "
+                f"[{case.expected_layer:<8}] -> {case.outcome}"
+                + (f"  ({case.detail})" if case.detail and not case.caught else "")
+            )
+        lines.append(
+            f"detection coverage: {self.coverage:.0%} "
+            f"({len(self.adversarial) - len(self.silent)}"
+            f"/{len(self.adversarial)} adversarial cases caught)"
+        )
+        if self.silent:
+            lines.append(
+                "SILENT failures: " + ", ".join(c.name for c in self.silent)
+            )
+        return "\n".join(lines)
+
+
+def _base_matrix(seed: int) -> CSRMatrix:
+    """A mid-size power-law graph with plenty of partial rows."""
+    return power_law_graph(n_nodes=60, nnz=360, max_degree=16, seed=seed)
+
+
+def _run_corruption_case(
+    name: str, make, layer: str, seed: int, rng: np.random.Generator
+) -> ChaosCase:
+    """Push one corrupted input through its declared detection layer."""
+    corrupted = make(_base_matrix(seed), rng)
+    # Oracle-layer corruptions skip strict validation (which would also
+    # reject them) so the chaos matrix exercises the last line of defence.
+    strict = layer == corruption.STRICT
+    try:
+        validate_csr(
+            corrupted.row_pointers,
+            corrupted.column_indices,
+            corrupted.values,
+            corrupted.n_rows,
+            corrupted.n_cols,
+            strict=strict,
+        )
+    except (ValueError, TypeError) as exc:
+        return ChaosCase(name, "corruption", layer, REJECTED, str(exc))
+    if layer in (corruption.VALIDATE, corruption.STRICT):
+        return ChaosCase(
+            name, "corruption", layer, SILENT,
+            f"validate_csr(strict={strict}) accepted: {corrupted.description}",
+        )
+    # Oracle-layer corruption: constructible, so it must be caught at run
+    # time.  (Strict validation also rejects NaN/Inf, but the chaos matrix
+    # exercises the last line of defence here.)
+    try:
+        matrix = corrupted.as_matrix()
+    except (ValueError, TypeError) as exc:
+        return ChaosCase(name, "corruption", layer, REJECTED, str(exc))
+    dense = rng.standard_normal((matrix.n_cols, _DIM))
+    try:
+        result = oracles.verified_spmm(matrix, dense, n_threads=16)
+    except oracles.OracleError as exc:
+        return ChaosCase(name, "corruption", layer, DETECTED, str(exc))
+    if result.fallback_used:
+        return ChaosCase(
+            name, "corruption", layer, RECOVERED, result.detected or ""
+        )
+    return ChaosCase(
+        name, "corruption", layer, SILENT,
+        f"oracles accepted output for: {corrupted.description}",
+    )
+
+
+def _run_executor_fault_case(
+    executor: str, fault_kind: str, plan_kwargs: dict, seed: int,
+    rng: np.random.Generator,
+) -> ChaosCase:
+    """Inject an execution fault into one SpMM executor; expect recovery."""
+    name = f"{fault_kind}/{executor}"
+    matrix = power_law_graph(n_nodes=200, nnz=1200, max_degree=60, seed=seed)
+    dense = rng.standard_normal((matrix.n_cols, _DIM))
+    reference = oracles.reference_spmm(matrix, dense)
+    with faults.inject(seed=seed, **plan_kwargs) as plan:
+        try:
+            result = oracles.verified_spmm(
+                matrix, dense, n_threads=37, executor=executor
+            )
+        except oracles.OracleError as exc:
+            return ChaosCase(name, "execution", "oracle", DETECTED, str(exc))
+    if plan.total_injected == 0:
+        return ChaosCase(
+            name, "execution", "oracle", SILENT,
+            "fault plan injected nothing — the case tested no fault",
+        )
+    if not result.fallback_used:
+        return ChaosCase(
+            name, "execution", "oracle", SILENT,
+            f"{plan.total_injected} faults injected, output accepted",
+        )
+    if not np.allclose(result.output, reference, rtol=1e-9, atol=1e-9):
+        return ChaosCase(
+            name, "execution", "oracle", SILENT,
+            "fallback output disagrees with the reference",
+        )
+    return ChaosCase(
+        name, "execution", "oracle", RECOVERED,
+        f"{plan.total_injected} injected, fallback verified",
+    )
+
+
+def _run_gpu_fault_case(seed: int) -> ChaosCase:
+    """A halted warp must trip the GPU timing model's self-check."""
+    from repro.gpu.device import quadro_rtx_6000
+    from repro.gpu.kernels import mergepath_workload
+    from repro.gpu.timing import simulate
+
+    name = "halted-warp/gpu-timing"
+    matrix = _base_matrix(seed)
+    device = quadro_rtx_6000()
+    with faults.inject(seed=seed, fail_unit=3) as plan:
+        workload = mergepath_workload(matrix, 16, device)
+        try:
+            simulate(workload, device)
+        except faults.ExecutionFaultError as exc:
+            return ChaosCase(name, "execution", "self-check", DETECTED, str(exc))
+    detail = (
+        f"{plan.total_injected} injected, timing accepted"
+        if plan.total_injected
+        else "fault plan injected nothing"
+    )
+    return ChaosCase(name, "execution", "self-check", SILENT, detail)
+
+
+def _run_multicore_fault_case(seed: int) -> ChaosCase:
+    """A halted core must trip the simulator's completion self-check."""
+    from repro.multicore.kernels import run_mergepath
+
+    name = "halted-core/multicore"
+    matrix = _base_matrix(seed)
+    with faults.inject(seed=seed, fail_unit=2) as plan:
+        try:
+            run_mergepath(matrix, 8, n_cores=16)
+        except faults.ExecutionFaultError as exc:
+            return ChaosCase(name, "execution", "self-check", DETECTED, str(exc))
+    detail = (
+        f"{plan.total_injected} injected, simulation accepted"
+        if plan.total_injected
+        else "fault plan injected nothing"
+    )
+    return ChaosCase(name, "execution", "self-check", SILENT, detail)
+
+
+def _baseline_runs(matrix: CSRMatrix, dense: np.ndarray) -> dict:
+    from repro.baselines import (
+        cusparse_like_spmm,
+        gnnadvisor_spmm,
+        merge_path_serial_spmm,
+        row_splitting_spmm,
+    )
+
+    return {
+        "merge-path-serial": lambda: merge_path_serial_spmm(matrix, dense, 4)[0],
+        "row-splitting": lambda: row_splitting_spmm(matrix, dense, 4)[0],
+        "gnnadvisor": lambda: gnnadvisor_spmm(matrix, dense)[0],
+        "cusparse-like": lambda: cusparse_like_spmm(matrix, dense)[0],
+    }
+
+
+def _run_degenerate_case(
+    name: str, factory, rng: np.random.Generator
+) -> ChaosCase:
+    """Every executor and baseline must agree on a valid-but-extreme graph."""
+    matrix = factory()
+    dense = rng.standard_normal((matrix.n_cols, _DIM))
+    reference = oracles.reference_spmm(matrix, dense)
+    failures = []
+    for executor in ("vectorized", "reference"):
+        try:
+            result = oracles.verified_spmm(
+                matrix, dense, n_threads=4, executor=executor, fallback=False
+            )
+            if not np.allclose(result.output, reference, rtol=1e-9, atol=1e-9):
+                failures.append(f"{executor}: disagrees with reference")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the matrix
+            failures.append(f"{executor}: {type(exc).__name__}: {exc}")
+    for label, run in _baseline_runs(matrix, dense).items():
+        try:
+            output = run()
+            if not np.allclose(output, reference, rtol=1e-9, atol=1e-9):
+                failures.append(f"{label}: disagrees with reference")
+        except Exception as exc:  # noqa: BLE001
+            failures.append(f"{label}: {type(exc).__name__}: {exc}")
+    if failures:
+        return ChaosCase(
+            name, "degenerate", "valid", SILENT, "; ".join(failures)
+        )
+    return ChaosCase(name, "degenerate", "valid", OK)
+
+
+def run_chaos_matrix(seed: int = 0) -> ChaosReport:
+    """Run every chaos case with a deterministic seed and collect outcomes."""
+    report = ChaosReport(seed=seed)
+    rng = np.random.default_rng(seed)
+
+    for name, (make, layer) in corruption.CORRUPTIONS.items():
+        report.cases.append(_run_corruption_case(name, make, layer, seed, rng))
+
+    fault_kinds = {
+        "dropped-atomic": {"drop_atomic": 1.0},
+        "bitflip": {"bitflip": 0.6},
+        "failing-unit": {"fail_unit": 5},
+    }
+    for fault_kind, plan_kwargs in fault_kinds.items():
+        for executor in ("vectorized", "reference"):
+            report.cases.append(
+                _run_executor_fault_case(
+                    executor, fault_kind, plan_kwargs, seed, rng
+                )
+            )
+    report.cases.append(_run_gpu_fault_case(seed))
+    report.cases.append(_run_multicore_fault_case(seed))
+
+    for name, factory in corruption.DEGENERATES.items():
+        report.cases.append(_run_degenerate_case(name, factory, rng))
+
+    obs.counter("resilience.chaos.runs").inc()
+    obs.gauge("resilience.chaos.coverage").set(report.coverage)
+    obs.counter("resilience.chaos.silent_cases").inc(len(report.silent))
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point for ``python -m repro chaos``."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description=(
+            "Run the fault-injection matrix and report detection coverage."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (default: 0)"
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="run-record directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the full report as JSON to this path",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing the BENCH_chaos.json run record",
+    )
+    args = parser.parse_args(argv)
+
+    with obs.profiled() as session:
+        report = run_chaos_matrix(seed=args.seed)
+    print(report.render())
+
+    if not args.no_record:
+        record = obs.run_record(
+            "chaos",
+            metrics=session.snapshot(),
+            wall_seconds=session.wall_seconds,
+            status="ok" if report.passed else "silent-failures",
+            extra={"chaos": report.to_dict()},
+        )
+        path = obs.write_run_record(record, args.bench_dir)
+        print(f"run record: {path}")
+    if args.json_out:
+        from repro.formats.io import atomic_write_text
+
+        atomic_write_text(
+            args.json_out,
+            json.dumps(report.to_dict(), indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report: {args.json_out}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""JSON checkpoint/resume for experiment batches.
+
+A :class:`BatchCheckpoint` records, after every completed experiment, the
+batch's spec and each finished :class:`ExperimentResult`.  A killed batch
+re-invoked with ``--resume`` rehydrates the completed results and runs
+only what remains, producing the same result set as an uninterrupted run.
+
+The file is a single self-describing JSON document::
+
+    {
+      "schema": "repro.resilience.checkpoint/1",
+      "names": ["fig1", "fig2", ...],          # the batch spec
+      "completed": {"fig1": {<ExperimentResult.to_dict()>}, ...},
+      "updated": "2026-08-06T12:00:00"
+    }
+
+Every update is written atomically (:func:`repro.formats.io.atomic_write_text`),
+so a kill mid-save leaves the previous checkpoint intact rather than a
+truncated file.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from pathlib import Path
+
+from repro import obs
+from repro.experiments.reporting import ExperimentResult
+from repro.formats.io import atomic_write_text
+
+SCHEMA = "repro.resilience.checkpoint/1"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is unreadable or inconsistent with the batch."""
+
+
+class BatchCheckpoint:
+    """Durable progress record for one experiment batch.
+
+    Build with :meth:`open`; call :meth:`record` after each experiment
+    and :meth:`result_for` before running one.
+    """
+
+    def __init__(self, path: Path, names: list[str]) -> None:
+        self.path = Path(path)
+        self.names = list(names)
+        self.completed: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls, path: "Path | str", names: list[str], resume: bool = False
+    ) -> "BatchCheckpoint":
+        """Open (or create) a checkpoint for a batch.
+
+        Args:
+            path: Checkpoint file location.
+            names: The batch's experiment names, in order.
+            resume: When ``True`` and the file exists, load completed
+                results (the stored batch spec must match ``names``);
+                otherwise start fresh, overwriting any stale file.
+
+        Raises:
+            CheckpointError: On an unreadable file or a batch mismatch.
+        """
+        checkpoint = cls(Path(path), names)
+        if resume and checkpoint.path.exists():
+            checkpoint._load()
+        else:
+            checkpoint._write()
+        return checkpoint
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+            raise CheckpointError(
+                f"{self.path} is not a {SCHEMA} checkpoint"
+            )
+        stored = data.get("names", [])
+        if stored != self.names:
+            raise CheckpointError(
+                f"checkpoint batch {stored} does not match requested batch "
+                f"{self.names}; pass the same experiment list or start fresh"
+            )
+        completed = data.get("completed", {})
+        unknown = sorted(set(completed) - set(self.names))
+        if unknown:
+            raise CheckpointError(
+                f"checkpoint holds results for unknown experiments {unknown}"
+            )
+        self.completed = dict(completed)
+        obs.counter("resilience.checkpoint.resumed_experiments").inc(
+            len(self.completed)
+        )
+
+    def _write(self) -> None:
+        document = {
+            "schema": SCHEMA,
+            "names": self.names,
+            "completed": self.completed,
+            "updated": datetime.now().isoformat(timespec="seconds"),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            self.path, json.dumps(document, indent=1) + "\n", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, result: ExperimentResult) -> None:
+        """Persist one completed experiment's result (atomic write)."""
+        if name not in self.names:
+            raise CheckpointError(f"{name!r} is not part of this batch")
+        self.completed[name] = result.to_dict()
+        self._write()
+        obs.counter("resilience.checkpoint.writes").inc()
+
+    def result_for(self, name: str) -> "ExperimentResult | None":
+        """The stored result for ``name``, or ``None`` if not completed."""
+        data = self.completed.get(name)
+        return None if data is None else ExperimentResult.from_dict(data)
+
+    @property
+    def remaining(self) -> list[str]:
+        """Batch experiments not yet completed, in batch order."""
+        return [n for n in self.names if n not in self.completed]
+
+    @property
+    def done(self) -> bool:
+        return not self.remaining

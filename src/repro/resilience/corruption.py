@@ -1,0 +1,267 @@
+"""Adversarial input generators (`repro.resilience.corruption`).
+
+Two registries drive the chaos matrix (:mod:`repro.resilience.chaos`):
+
+* :data:`CORRUPTIONS` — functions that take a well-formed CSR matrix and
+  return *raw arrays with one invariant deliberately broken* (truncated
+  arrays, out-of-range or negative column indices, non-monotonic row
+  pointers, NaN/Inf values, duplicate or unsorted column indices).  Each
+  declares the layer expected to stop it: plain construction-time
+  validation, opt-in strict validation, or the output oracle.
+* :data:`DEGENERATES` — *valid but extreme* graphs (empty matrices,
+  isolated nodes, self-loop-only graphs, a power-law graph whose evil row
+  touches every column) that every executor and baseline must handle and
+  agree on.
+
+Corruptions return raw arrays rather than :class:`CSRMatrix` instances
+because a well-behaved container refuses to hold them — which is exactly
+the first line of defence under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.formats import CSRMatrix
+from repro.graphs.generators import power_law_graph
+
+# Detection layer each corruption class must not get past:
+#   "validate" — rejected by plain (constructor) validation;
+#   "strict"   — rejected only by validate_csr(..., strict=True);
+#   "oracle"   — constructible, caught by the output oracle at run time.
+VALIDATE, STRICT, ORACLE = "validate", "strict", "oracle"
+
+
+@dataclass
+class CorruptedArrays:
+    """Raw CSR arrays with one invariant deliberately violated."""
+
+    n_rows: int
+    n_cols: int
+    row_pointers: np.ndarray
+    column_indices: np.ndarray
+    values: np.ndarray
+    description: str
+
+    def as_matrix(self) -> CSRMatrix:
+        """Attempt construction (validation may rightfully refuse)."""
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=self.row_pointers,
+            column_indices=self.column_indices,
+            values=self.values,
+        )
+
+
+def _arrays(matrix: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        matrix.row_pointers.copy(),
+        matrix.column_indices.copy(),
+        matrix.values.copy(),
+    )
+
+
+def _corrupted(
+    matrix: CSRMatrix,
+    rp: np.ndarray,
+    ci: np.ndarray,
+    vals: np.ndarray,
+    description: str,
+) -> CorruptedArrays:
+    return CorruptedArrays(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        row_pointers=rp,
+        column_indices=ci,
+        values=vals,
+        description=description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural corruptions (plain validation must reject)
+# ----------------------------------------------------------------------
+def truncated_arrays(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    """Drop trailing non-zeros, as an interrupted save would."""
+    rp, ci, vals = _arrays(matrix)
+    keep = int(rng.integers(0, max(1, matrix.nnz)))
+    return _corrupted(
+        matrix, rp, ci[:keep], vals[:keep],
+        f"column_indices/values truncated to {keep}/{matrix.nnz} entries",
+    )
+
+
+def length_mismatch(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    """values array shorter than column_indices."""
+    rp, ci, vals = _arrays(matrix)
+    return _corrupted(
+        matrix, rp, ci, vals[:-1] if len(vals) else np.array([1.0]),
+        "values and column_indices lengths differ",
+    )
+
+
+def negative_column_index(
+    matrix: CSRMatrix, rng: np.random.Generator
+) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    if len(ci):
+        ci[int(rng.integers(0, len(ci)))] = -1
+    else:
+        ci = np.array([-1], dtype=np.int64)
+        vals = np.array([1.0])
+    return _corrupted(matrix, rp, ci, vals, "a column index is negative")
+
+
+def out_of_range_column_index(
+    matrix: CSRMatrix, rng: np.random.Generator
+) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    if len(ci):
+        ci[int(rng.integers(0, len(ci)))] = matrix.n_cols
+    return _corrupted(matrix, rp, ci, vals, "a column index is >= n_cols")
+
+
+def decreasing_row_pointers(
+    matrix: CSRMatrix, rng: np.random.Generator
+) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    if len(rp) > 2:
+        mid = int(rng.integers(1, len(rp) - 1))
+        rp[mid] = rp[mid - 1] + rp[-1]  # forces a later decrease
+    return _corrupted(matrix, rp, ci, vals, "row_pointers not non-decreasing")
+
+
+def bad_first_pointer(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    rp[0] = 1
+    return _corrupted(matrix, rp, ci, vals, "row_pointers[0] != 0")
+
+
+def bad_last_pointer(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    rp[-1] = len(ci) + 3
+    return _corrupted(matrix, rp, ci, vals, "row_pointers[-1] != nnz")
+
+
+# ----------------------------------------------------------------------
+# Value corruptions (strict validation rejects; output oracle also catches)
+# ----------------------------------------------------------------------
+def nan_values(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    if len(vals):
+        vals[int(rng.integers(0, len(vals)))] = np.nan
+    return _corrupted(matrix, rp, ci, vals, "a stored value is NaN")
+
+
+def inf_values(matrix: CSRMatrix, rng: np.random.Generator) -> CorruptedArrays:
+    rp, ci, vals = _arrays(matrix)
+    if len(vals):
+        vals[int(rng.integers(0, len(vals)))] = np.inf
+    return _corrupted(matrix, rp, ci, vals, "a stored value is infinite")
+
+
+# ----------------------------------------------------------------------
+# Index-discipline corruptions (strict validation must reject)
+# ----------------------------------------------------------------------
+def duplicate_column_indices(
+    matrix: CSRMatrix, rng: np.random.Generator
+) -> CorruptedArrays:
+    """Duplicate an edge inside a row — double-counts it in aggregation."""
+    rp, ci, vals = _arrays(matrix)
+    lengths = np.diff(rp)
+    rows = np.flatnonzero(lengths >= 2)
+    if len(rows):
+        row = int(rng.choice(rows))
+        lo = int(rp[row])
+        ci[lo + 1] = ci[lo]
+    return _corrupted(
+        matrix, rp, ci, vals, "a row stores the same column index twice"
+    )
+
+
+def unsorted_column_indices(
+    matrix: CSRMatrix, rng: np.random.Generator
+) -> CorruptedArrays:
+    """Swap two column indices within a row out of order."""
+    rp, ci, vals = _arrays(matrix)
+    lengths = np.diff(rp)
+    rows = np.flatnonzero(lengths >= 2)
+    for row in rng.permutation(rows):
+        lo, hi = int(rp[row]), int(rp[row + 1])
+        segment = ci[lo:hi]
+        if segment.min() != segment.max():
+            order = np.argsort(segment)
+            ci[lo:hi] = segment[order][::-1]  # strictly decreasing somewhere
+            vals[lo:hi] = vals[lo:hi][order][::-1]
+            break
+    return _corrupted(
+        matrix, rp, ci, vals, "a row's column indices are out of order"
+    )
+
+
+CORRUPTIONS: dict[str, tuple[Callable, str]] = {
+    "truncated-arrays": (truncated_arrays, VALIDATE),
+    "length-mismatch": (length_mismatch, VALIDATE),
+    "negative-column-index": (negative_column_index, VALIDATE),
+    "oob-column-index": (out_of_range_column_index, VALIDATE),
+    "decreasing-row-pointers": (decreasing_row_pointers, VALIDATE),
+    "bad-first-pointer": (bad_first_pointer, VALIDATE),
+    "bad-last-pointer": (bad_last_pointer, VALIDATE),
+    "nan-values": (nan_values, ORACLE),
+    "inf-values": (inf_values, ORACLE),
+    "duplicate-column-indices": (duplicate_column_indices, STRICT),
+    "unsorted-column-indices": (unsorted_column_indices, STRICT),
+}
+
+
+# ----------------------------------------------------------------------
+# Degenerate (valid but extreme) graphs
+# ----------------------------------------------------------------------
+def empty_matrix(seed: int = 0) -> CSRMatrix:
+    """A 0 x 0 matrix: no rows, no columns, no non-zeros."""
+    return CSRMatrix(
+        n_rows=0,
+        n_cols=0,
+        row_pointers=np.zeros(1, dtype=np.int64),
+        column_indices=np.empty(0, dtype=np.int64),
+        values=np.empty(0, dtype=np.float64),
+    )
+
+
+def single_node(seed: int = 0) -> CSRMatrix:
+    """One node with a single self-loop."""
+    return CSRMatrix.from_arrays([0, 1], [0])
+
+
+def all_isolated(seed: int = 0, n_nodes: int = 13) -> CSRMatrix:
+    """Every node isolated: nnz = 0 with nonzero shape (all rows empty)."""
+    return CSRMatrix.from_arrays(
+        np.zeros(n_nodes + 1, dtype=np.int64), np.empty(0, dtype=np.int64)
+    )
+
+
+def self_loops_only(seed: int = 0, n_nodes: int = 9) -> CSRMatrix:
+    """The identity pattern — each node's only neighbour is itself."""
+    return CSRMatrix.identity(n_nodes)
+
+
+def max_degree_row(seed: int = 0, n_nodes: int = 40) -> CSRMatrix:
+    """A power-law graph plus one evil row adjacent to *every* node."""
+    base = power_law_graph(
+        n_nodes=n_nodes, nnz=4 * n_nodes, max_degree=n_nodes // 2, seed=seed
+    ).to_dense()
+    base[0, :] = 1.0  # row 0 touches every column
+    return CSRMatrix.from_dense(base)
+
+
+DEGENERATES: dict[str, Callable[..., CSRMatrix]] = {
+    "empty-matrix": empty_matrix,
+    "single-node": single_node,
+    "all-isolated": all_isolated,
+    "self-loops-only": self_loops_only,
+    "max-degree-row": max_degree_row,
+}

@@ -1,0 +1,161 @@
+"""Seedable execution-fault injection (`repro.resilience.faults`).
+
+A :class:`FaultPlan` describes simulated hardware misbehaviour — dropped
+atomic updates, bit-flipped accumulators, a parallel unit (thread, warp or
+core, interpreted per executor) that halts mid-run.  Executors and timing
+models consult the process-global *active* plan through seedable hooks:
+
+* :mod:`repro.core.spmm` drops atomic segment applications, flips
+  accumulator bits and zeroes a failing unit's contribution;
+* :mod:`repro.gpu.timing` halts a warp (its dependent chain never
+  finishes), which the model's finiteness self-check turns into an
+  :class:`ExecutionFaultError`;
+* :mod:`repro.multicore.system` halts a core mid-trace, which the
+  simulator's completion self-check detects the same way.
+
+With no plan active — the default — every hook is a single global load,
+so production paths pay nothing.  Plans are deterministic: the same seed
+injects the same faults, which is what lets ``python -m repro chaos``
+assert 100% detection coverage.
+
+Every injection/detection/recovery is double-counted: on the plan itself
+(so tests can assert without an obs registry) and on the
+``resilience.faults.*`` counters when collection is on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro import obs
+
+
+class ExecutionFaultError(RuntimeError):
+    """An executor's self-check found evidence of a mid-run execution fault."""
+
+
+class FaultPlan:
+    """A deterministic description of the faults to inject.
+
+    Args:
+        seed: Seed for the plan's private RNG (probabilistic faults draw
+            from it in execution order, so a seed pins the fault set).
+        drop_atomic: Probability that each atomic output update is
+            silently dropped.
+        bitflip: Probability that each accumulated write segment has one
+            high mantissa bit of one accumulator entry flipped.
+        fail_unit: Index of a parallel unit that halts: the executors
+            zero that unit's contribution, the GPU model halts that warp,
+            the multicore simulator halts that core mid-trace.  ``None``
+            disables the fault.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_atomic: float = 0.0,
+        bitflip: float = 0.0,
+        fail_unit: "int | None" = None,
+    ) -> None:
+        for name, prob in (("drop_atomic", drop_atomic), ("bitflip", bitflip)):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {prob}")
+        self.seed = seed
+        self.drop_atomic = drop_atomic
+        self.bitflip = bitflip
+        self.fail_unit = fail_unit
+        self.rng = np.random.default_rng(seed)
+        self.injected: dict[str, int] = {}
+        self.detected: dict[str, int] = {}
+        self.recovered: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note_injected(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` injected faults of ``kind``."""
+        if count <= 0:
+            return
+        self.injected[kind] = self.injected.get(kind, 0) + count
+        obs.counter("resilience.faults.injected", fault=kind).inc(count)
+
+    def note_detected(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` detected faults of ``kind``."""
+        if count <= 0:
+            return
+        self.detected[kind] = self.detected.get(kind, 0) + count
+        obs.counter("resilience.faults.detected", fault=kind).inc(count)
+
+    def note_recovered(self, kind: str, count: int = 1) -> None:
+        """Record ``count`` recovered faults of ``kind``."""
+        if count <= 0:
+            return
+        self.recovered[kind] = self.recovered.get(kind, 0) + count
+        obs.counter("resilience.faults.recovered", fault=kind).inc(count)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(seed={self.seed}, drop_atomic={self.drop_atomic}, "
+            f"bitflip={self.bitflip}, fail_unit={self.fail_unit})"
+        )
+
+
+_active_plan: "FaultPlan | None" = None
+
+
+def active_plan() -> "FaultPlan | None":
+    """The currently injected :class:`FaultPlan`, or ``None`` (the default)."""
+    return _active_plan
+
+
+@contextmanager
+def inject(
+    plan: "FaultPlan | None" = None, **kwargs
+) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the scope of the ``with`` block.
+
+    Pass an explicit :class:`FaultPlan` or keyword arguments to build one.
+    Plans nest; the previous plan is restored on exit.
+    """
+    global _active_plan
+    if plan is None:
+        plan = FaultPlan(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a FaultPlan or keyword arguments, not both")
+    previous = _active_plan
+    _active_plan = plan
+    try:
+        yield plan
+    finally:
+        _active_plan = previous
+
+
+def detected_externally(kind: str) -> None:
+    """Credit a detection to the active plan (no-op without one).
+
+    Called by self-checks (oracles, simulator completion checks) that
+    catch a fault they did not inject themselves.
+    """
+    plan = _active_plan
+    if plan is not None:
+        plan.note_detected(kind)
+    obs.counter("resilience.checks.detections", check=kind).inc()
+
+
+def flip_mantissa_bit(array: np.ndarray, flat_index: int, bit: int = 51) -> None:
+    """Flip one mantissa bit of a float64 array entry, in place.
+
+    Bit 51 is the top mantissa bit: flipping it perturbs a nonzero value
+    by a factor of ~1.5, large enough for any tolerance oracle to see.
+    """
+    if array.dtype != np.float64:
+        raise TypeError(f"expected float64 array, got {array.dtype}")
+    raw = array.reshape(-1).view(np.uint64)
+    raw[flat_index] ^= np.uint64(1) << np.uint64(bit)

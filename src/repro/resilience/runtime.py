@@ -1,0 +1,98 @@
+"""Timeouts and bounded retries for the experiment harness.
+
+Pure-Python building blocks with injectable clocks so tests run in
+milliseconds:
+
+* :func:`call_with_timeout` — run a callable with a wall-clock budget,
+  raising :class:`ExperimentTimeoutError` when it is exhausted;
+* :func:`retry_with_backoff` — bounded retry with exponential backoff.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from typing import Callable, TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+
+class ExperimentTimeoutError(TimeoutError):
+    """A harness-managed call exceeded its wall-clock budget."""
+
+
+def call_with_timeout(
+    fn: Callable[[], T], timeout: "float | None"
+) -> T:
+    """Call ``fn()`` with a wall-clock timeout.
+
+    The call runs in a worker thread; on timeout the caller gets
+    :class:`ExperimentTimeoutError` immediately.  Python threads cannot
+    be killed, so the abandoned worker may keep running in the background
+    until its current experiment finishes — the harness records the
+    timeout and moves on, which is the graceful-degradation contract.
+
+    Args:
+        fn: Zero-argument callable.
+        timeout: Budget in seconds; ``None`` calls ``fn`` directly.
+    """
+    if timeout is None:
+        return fn()
+    if timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
+    with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(fn)
+        try:
+            return future.result(timeout=timeout)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            obs.counter("resilience.harness.timeouts").inc()
+            raise ExperimentTimeoutError(
+                f"call exceeded its {timeout:g}s wall-clock budget"
+            ) from None
+        finally:
+            # Don't block harness shutdown on an abandoned worker.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.5,
+    factor: float = 2.0,
+    retry_on: tuple = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: "Callable[[int, BaseException], None] | None" = None,
+) -> T:
+    """Call ``fn()`` up to ``attempts`` times with exponential backoff.
+
+    Args:
+        fn: Zero-argument callable.
+        attempts: Total attempts (>= 1); the last failure propagates.
+        base_delay: Sleep before the first retry, in seconds.
+        factor: Backoff multiplier per retry (delay = base * factor^k).
+        retry_on: Exception types worth retrying; anything else
+            propagates immediately.
+        sleep: Clock injection point for tests.
+        on_retry: Optional callback ``(attempt_index, exception)`` fired
+            before each retry sleep.
+
+    Returns:
+        The first successful ``fn()`` result.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            obs.counter("resilience.harness.retries").inc()
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(base_delay * factor**attempt)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -162,3 +162,67 @@ class TestValidationOnConstruction:
         with pytest.raises(SparseFormatError, match="equal length"):
             CSRMatrix(n_rows=1, n_cols=2, row_pointers=np.array([0, 1]),
                       column_indices=np.array([0]), values=np.array([1.0, 2.0]))
+
+
+class TestStrictValidation:
+    """Opt-in strict checks: duplicates, order, finiteness."""
+
+    def _arrays(self):
+        # Two rows: row 0 -> cols {0, 2}, row 1 -> col 1.
+        return (
+            np.array([0, 2, 3]),
+            np.array([0, 2, 1]),
+            np.array([1.0, 2.0, 3.0]),
+        )
+
+    def test_plain_validation_accepts_duplicates(self):
+        rp, ci, vals = self._arrays()
+        ci[1] = 0  # duplicate within row 0
+        from repro.formats.validation import validate_csr
+
+        validate_csr(rp, ci, vals, 2, 3)  # structurally legal
+
+    def test_strict_rejects_duplicates(self):
+        rp, ci, vals = self._arrays()
+        ci[1] = 0
+        from repro.formats.validation import validate_csr
+
+        with pytest.raises(SparseFormatError, match="duplicate"):
+            validate_csr(rp, ci, vals, 2, 3, strict=True)
+
+    def test_strict_rejects_unsorted_rows(self):
+        rp, ci, vals = self._arrays()
+        ci[0], ci[1] = 2, 0  # row 0 decreasing
+        from repro.formats.validation import validate_csr
+
+        with pytest.raises(SparseFormatError, match="sorted"):
+            validate_csr(rp, ci, vals, 2, 3, strict=True)
+
+    def test_strict_allows_row_boundary_decrease(self):
+        # col sequence 0,2 | 1 decreases across the row boundary: legal.
+        rp, ci, vals = self._arrays()
+        from repro.formats.validation import validate_csr
+
+        validate_csr(rp, ci, vals, 2, 3, strict=True)
+
+    def test_strict_rejects_non_finite_values(self):
+        rp, ci, vals = self._arrays()
+        vals[2] = np.inf
+        from repro.formats.validation import validate_csr
+
+        with pytest.raises(SparseFormatError, match="NaN/Inf"):
+            validate_csr(rp, ci, vals, 2, 3, strict=True)
+
+    def test_matrix_validate_method(self, csr_small):
+        csr_small.validate()
+        csr_small.validate(strict=True)
+
+    def test_strict_empty_matrix(self):
+        from repro.formats.validation import validate_csr
+
+        validate_csr(
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            0, 0, strict=True,
+        )

@@ -122,3 +122,50 @@ class TestEdgeList:
         path.write_text("# comment\n0 2\n1 0\n")
         matrix = read_edge_list(path)
         assert matrix.nnz == 2
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        from repro.formats import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        returned = atomic_write_text(path, "hello\n", encoding="utf-8")
+        assert returned == path
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        from repro.formats import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new", encoding="utf-8")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        from repro.formats import atomic_write_text
+
+        atomic_write_text(tmp_path / "out.txt", "data", encoding="utf-8")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.formats import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(path, "partial", encoding="utf-8")
+        assert path.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_matrix_market_path_write_is_atomic(self, tmp_path, csr_small):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(csr_small, path)
+        # Only the destination remains — the temp file was renamed over it.
+        assert [p.name for p in tmp_path.iterdir()] == ["matrix.mtx"]

@@ -1,0 +1,82 @@
+"""Tests for the chaos matrix (`python -m repro chaos`).
+
+The acceptance bar: with a fixed seed, every corruption class is rejected
+by validation or caught by an oracle — zero silent wrong outputs — and
+every degenerate graph is handled correctly by every executor.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience.chaos import ChaosReport, main, run_chaos_matrix
+from repro.resilience.corruption import CORRUPTIONS, DEGENERATES
+
+
+@pytest.fixture(scope="module")
+def report() -> ChaosReport:
+    return run_chaos_matrix(seed=0)
+
+
+class TestChaosMatrix:
+    def test_full_detection_coverage(self, report):
+        assert report.coverage == 1.0
+        assert report.passed
+        assert report.silent == []
+
+    def test_every_corruption_class_covered(self, report):
+        names = {c.name for c in report.cases if c.kind == "corruption"}
+        assert names == set(CORRUPTIONS)
+
+    def test_every_degenerate_graph_covered(self, report):
+        cases = {
+            c.name: c for c in report.cases if c.kind == "degenerate"
+        }
+        assert set(cases) == set(DEGENERATES)
+        assert all(c.outcome == "ok" for c in cases.values())
+
+    def test_both_executors_and_both_simulators_faulted(self, report):
+        names = {c.name for c in report.cases if c.kind == "execution"}
+        for fault in ("dropped-atomic", "bitflip", "failing-unit"):
+            assert f"{fault}/vectorized" in names
+            assert f"{fault}/reference" in names
+        assert "halted-warp/gpu-timing" in names
+        assert "halted-core/multicore" in names
+
+    def test_deterministic_for_fixed_seed(self, report):
+        again = run_chaos_matrix(seed=0)
+        assert [c.to_dict() for c in again.cases] == [
+            c.to_dict() for c in report.cases
+        ]
+
+    def test_report_serializes(self, report):
+        data = report.to_dict()
+        assert data["coverage"] == 1.0
+        assert data["n_cases"] == len(report.cases)
+        json.dumps(data)  # JSON-safe
+        rendered = report.render()
+        assert "detection coverage: 100%" in rendered
+
+
+class TestChaosCli:
+    def test_exit_zero_and_record(self, tmp_path, capsys):
+        json_out = tmp_path / "chaos.json"
+        code = main(
+            [
+                "--seed", "0",
+                "--bench-dir", str(tmp_path),
+                "--json-out", str(json_out),
+            ]
+        )
+        assert code == 0
+        record = json.loads((tmp_path / "BENCH_chaos.json").read_text())
+        assert record["status"] == "ok"
+        assert record["chaos"]["coverage"] == 1.0
+        side = json.loads(json_out.read_text())
+        assert side["passed"] is True
+        assert "100%" in capsys.readouterr().out
+
+    def test_no_record_flag(self, tmp_path):
+        code = main(["--no-record", "--bench-dir", str(tmp_path)])
+        assert code == 0
+        assert not (tmp_path / "BENCH_chaos.json").exists()

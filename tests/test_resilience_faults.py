@@ -1,0 +1,135 @@
+"""Unit tests for the fault-injection layer (`repro.resilience.faults`)."""
+
+import numpy as np
+import pytest
+
+from repro.core.spmm import merge_path_spmm
+from repro.graphs import power_law_graph
+from repro.resilience import faults
+from repro.resilience.faults import ExecutionFaultError, FaultPlan
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(n_nodes=120, nnz=720, max_degree=40, seed=3)
+
+
+class TestFaultPlan:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_atomic=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(bitflip=-0.1)
+
+    def test_accounting(self):
+        plan = FaultPlan()
+        plan.note_injected("bitflip", 3)
+        plan.note_injected("bitflip")
+        plan.note_detected("bitflip", 2)
+        plan.note_recovered("fallback")
+        assert plan.injected == {"bitflip": 4}
+        assert plan.detected == {"bitflip": 2}
+        assert plan.recovered == {"fallback": 1}
+        assert plan.total_injected == 4
+
+    def test_nonpositive_counts_ignored(self):
+        plan = FaultPlan()
+        plan.note_injected("x", 0)
+        plan.note_injected("x", -2)
+        assert plan.total_injected == 0
+
+    def test_same_seed_same_draws(self):
+        a, b = FaultPlan(seed=9), FaultPlan(seed=9)
+        assert a.rng.random(5).tolist() == b.rng.random(5).tolist()
+
+
+class TestInjectContext:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+
+    def test_inject_activates_and_restores(self):
+        with faults.inject(seed=1, bitflip=0.5) as plan:
+            assert faults.active_plan() is plan
+            assert plan.bitflip == 0.5
+        assert faults.active_plan() is None
+
+    def test_plans_nest(self):
+        with faults.inject(seed=1) as outer:
+            with faults.inject(seed=2) as inner:
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+
+    def test_plan_and_kwargs_conflict(self):
+        with pytest.raises(TypeError):
+            with faults.inject(FaultPlan(), seed=3):
+                pass  # pragma: no cover
+
+    def test_detected_externally_credits_active_plan(self):
+        with faults.inject() as plan:
+            faults.detected_externally("some-check")
+        assert plan.detected == {"some-check": 1}
+        faults.detected_externally("no-plan-active")  # must not raise
+
+
+class TestFlipMantissaBit:
+    def test_perturbs_value_reversibly(self):
+        arr = np.array([1.0, 2.0, 3.0])
+        faults.flip_mantissa_bit(arr, 1)
+        assert arr[1] != 2.0 and np.isfinite(arr[1])
+        faults.flip_mantissa_bit(arr, 1)
+        assert arr[1] == 2.0
+
+    def test_rejects_non_float64(self):
+        with pytest.raises(TypeError):
+            faults.flip_mantissa_bit(np.array([1.0], dtype=np.float32), 0)
+
+
+class TestExecutorInjection:
+    """Injected executor faults must corrupt the output (so oracles can see)."""
+
+    @pytest.mark.parametrize("executor", ["vectorized", "reference"])
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"drop_atomic": 1.0}, {"bitflip": 0.7}, {"fail_unit": 5}],
+        ids=["drop-atomic", "bitflip", "fail-unit"],
+    )
+    def test_fault_changes_output(self, graph, executor, kwargs):
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((graph.n_cols, 6))
+        clean = merge_path_spmm(graph, dense, n_threads=31, executor=executor)
+        with faults.inject(seed=0, **kwargs) as plan:
+            faulty = merge_path_spmm(
+                graph, dense, n_threads=31, executor=executor
+            )
+        assert plan.total_injected > 0
+        assert not np.allclose(faulty.output, clean.output)
+
+    def test_no_plan_output_is_clean(self, graph, csr_small, dense_small):
+        rng = np.random.default_rng(1)
+        dense = rng.standard_normal((graph.n_cols, 4))
+        result = merge_path_spmm(graph, dense, n_threads=17)
+        assert np.allclose(result.output, graph.multiply_dense(dense))
+
+
+class TestTimingModelInjection:
+    def test_gpu_halted_warp_detected(self, graph):
+        from repro.gpu.device import quadro_rtx_6000
+        from repro.gpu.kernels import mergepath_workload
+        from repro.gpu.timing import simulate
+
+        device = quadro_rtx_6000()
+        workload = mergepath_workload(graph, 16, device)
+        simulate(workload, device)  # clean run passes the self-check
+        with faults.inject(fail_unit=2) as plan:
+            with pytest.raises(ExecutionFaultError, match="halted"):
+                simulate(workload, device)
+        assert plan.injected.get("halted_warp") == 1
+
+    def test_multicore_halted_core_detected(self, graph):
+        from repro.multicore.kernels import run_mergepath
+
+        run_mergepath(graph, 8, n_cores=16)  # clean run completes
+        with faults.inject(fail_unit=1) as plan:
+            with pytest.raises(ExecutionFaultError, match="halted"):
+                run_mergepath(graph, 8, n_cores=16)
+        assert plan.injected.get("halted_core") == 1

@@ -1,0 +1,261 @@
+"""Graceful-degradation tests: timeouts, retries, checkpoint/resume."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.reporting import ExperimentResult
+from repro.resilience.checkpoint import BatchCheckpoint, CheckpointError
+from repro.resilience.runtime import (
+    ExperimentTimeoutError,
+    call_with_timeout,
+    retry_with_backoff,
+)
+
+
+def _result(title="t") -> ExperimentResult:
+    return ExperimentResult(title=title, headers=["x"], rows=[(1,)])
+
+
+class TestCallWithTimeout:
+    def test_passthrough_without_timeout(self):
+        assert call_with_timeout(lambda: 42, None) == 42
+
+    def test_fast_call_returns(self):
+        assert call_with_timeout(lambda: "ok", 5.0) == "ok"
+
+    def test_slow_call_times_out(self):
+        with pytest.raises(ExperimentTimeoutError, match="wall-clock"):
+            call_with_timeout(lambda: time.sleep(5), 0.05)
+
+    def test_exception_propagates(self):
+        with pytest.raises(KeyError):
+            call_with_timeout(lambda: {}["missing"], 5.0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            call_with_timeout(lambda: None, 0)
+
+
+class TestRetryWithBackoff:
+    def test_first_success_no_retry(self):
+        sleeps = []
+        assert retry_with_backoff(lambda: 7, sleep=sleeps.append) == 7
+        assert sleeps == []
+
+    def test_flaky_call_recovers_with_backoff(self):
+        attempts = []
+        sleeps = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("flake")
+            return "done"
+
+        out = retry_with_backoff(
+            flaky, attempts=4, base_delay=0.1, factor=2.0, sleep=sleeps.append
+        )
+        assert out == "done"
+        assert sleeps == [0.1, 0.2]  # exponential
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always():
+            raise RuntimeError("still broken")
+
+        with pytest.raises(RuntimeError, match="still broken"):
+            retry_with_backoff(always, attempts=3, sleep=lambda s: None)
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            retry_with_backoff(
+                boom, attempts=5, retry_on=(ValueError,), sleep=lambda s: None
+            )
+        assert len(calls) == 1
+
+    def test_on_retry_callback(self):
+        seen = []
+
+        def flaky():
+            if not seen:
+                raise ValueError("x")
+            return 1
+
+        retry_with_backoff(
+            flaky,
+            attempts=2,
+            sleep=lambda s: None,
+            on_retry=lambda i, exc: seen.append((i, type(exc).__name__)),
+        )
+        assert seen == [(0, "ValueError")]
+
+
+class TestBatchCheckpoint:
+    def test_fresh_open_writes_file(self, tmp_path):
+        path = tmp_path / "cp.json"
+        cp = BatchCheckpoint.open(path, ["a", "b"])
+        assert path.exists()
+        assert cp.remaining == ["a", "b"]
+        assert not cp.done
+
+    def test_record_and_resume_round_trip(self, tmp_path):
+        path = tmp_path / "cp.json"
+        cp = BatchCheckpoint.open(path, ["a", "b"])
+        cp.record("a", _result("a"))
+        resumed = BatchCheckpoint.open(path, ["a", "b"], resume=True)
+        assert resumed.remaining == ["b"]
+        stored = resumed.result_for("a")
+        assert stored is not None and stored.rows == [(1,)]
+        assert resumed.result_for("b") is None
+
+    def test_resume_false_discards_progress(self, tmp_path):
+        path = tmp_path / "cp.json"
+        cp = BatchCheckpoint.open(path, ["a"])
+        cp.record("a", _result())
+        fresh = BatchCheckpoint.open(path, ["a"], resume=False)
+        assert fresh.remaining == ["a"]
+
+    def test_batch_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        BatchCheckpoint.open(path, ["a", "b"]).record("a", _result())
+        with pytest.raises(CheckpointError, match="does not match"):
+            BatchCheckpoint.open(path, ["a", "c"], resume=True)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            BatchCheckpoint.open(path, ["a"], resume=True)
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.resilience.checkpoint/1",
+                    "names": ["a"],
+                    "completed": {"zzz": {}},
+                }
+            )
+        )
+        with pytest.raises(CheckpointError, match="does not match"):
+            BatchCheckpoint.open(path, ["a", "zzz"], resume=True)
+
+    def test_record_outside_batch_rejected(self, tmp_path):
+        cp = BatchCheckpoint.open(tmp_path / "cp.json", ["a"])
+        with pytest.raises(CheckpointError, match="not part"):
+            cp.record("other", _result())
+
+
+@pytest.fixture
+def fake_experiments(monkeypatch):
+    """Replace the experiment registry with fast, controllable fakes."""
+    calls = []
+
+    def make(name, fail_times=0, sleep=0.0):
+        state = {"failures": 0}
+
+        def run():
+            calls.append(name)
+            if sleep:
+                time.sleep(sleep)
+            if state["failures"] < fail_times:
+                state["failures"] += 1
+                raise RuntimeError(f"{name} transient failure")
+            return _result(name)
+
+        return run
+
+    registry = {
+        "ok1": make("ok1"),
+        "ok2": make("ok2"),
+        "flaky": make("flaky", fail_times=1),
+        "broken": make("broken", fail_times=99),
+        "slow": make("slow", sleep=5.0),
+    }
+    monkeypatch.setattr(harness, "EXPERIMENTS", registry)
+    return calls
+
+
+class TestRunExperimentsDegradation:
+    def test_on_error_record_captures_traceback_and_metrics(
+        self, fake_experiments
+    ):
+        results = harness.run_experiments(
+            ["ok1", "broken", "ok2"], on_error="record"
+        )
+        failed = results["broken"]
+        assert failed.failed
+        assert "transient failure" in failed.error
+        assert "RuntimeError" in failed.traceback
+        assert "Traceback" in failed.traceback
+        assert isinstance(failed.partial_metrics, list)
+        assert not results["ok1"].failed and not results["ok2"].failed
+
+    def test_timeout_recorded_and_batch_continues(self, fake_experiments):
+        results = harness.run_experiments(
+            ["slow", "ok1"], on_error="record", timeout=0.1
+        )
+        assert results["slow"].failed
+        assert "ExperimentTimeoutError" in results["slow"].error
+        assert not results["ok1"].failed
+
+    def test_retries_recover_flaky_experiment(
+        self, fake_experiments, monkeypatch
+    ):
+        monkeypatch.setattr(time, "sleep", lambda s: None)
+        results = harness.run_experiments(["flaky"], retries=2)
+        assert not results["flaky"].failed
+        assert fake_experiments.count("flaky") == 2
+
+    def test_checkpoint_resume_skips_completed(
+        self, fake_experiments, tmp_path
+    ):
+        cp = tmp_path / "cp.json"
+        batch = ["ok1", "broken", "ok2"]
+        first = harness.run_experiments(
+            batch, on_error="record", checkpoint_path=cp
+        )
+        assert first["broken"].failed
+        calls_after_first = list(fake_experiments)
+        resumed = harness.run_experiments(
+            batch, on_error="record", checkpoint_path=cp, resume=True
+        )
+        new_calls = fake_experiments[len(calls_after_first):]
+        # Completed experiments are not re-run; failures are retried.
+        assert "ok1" not in new_calls and "ok2" not in new_calls
+        assert "broken" in new_calls
+        assert resumed["ok1"].rows == first["ok1"].rows
+        assert "resumed from checkpoint" in resumed["ok1"].notes
+
+    def test_resume_requires_checkpoint(self, fake_experiments):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            harness.run_experiments(["ok1"], resume=True)
+
+    def test_cli_flags_parse(self, fake_experiments, tmp_path, capsys):
+        cp = tmp_path / "cp.json"
+        code = harness.main(
+            [
+                "ok1", "ok2",
+                "--timeout", "30",
+                "--retries", "1",
+                "--checkpoint", str(cp),
+            ]
+        )
+        assert code == 0
+        assert cp.exists()
+        code = harness.main(
+            ["ok1", "ok2", "--checkpoint", str(cp), "--resume"]
+        )
+        assert code == 0
+        # resumed run re-ran nothing
+        assert fake_experiments.count("ok1") == 1
+        capsys.readouterr()

@@ -1,0 +1,122 @@
+"""Unit tests for the invariant oracles and the self-checking executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_schedule
+from repro.formats import CSRMatrix
+from repro.graphs import power_law_graph
+from repro.resilience import faults
+from repro.resilience.oracles import (
+    OutputOracleError,
+    ScheduleOracleError,
+    check_output,
+    check_schedule,
+    reference_spmm,
+    verified_spmm,
+)
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(n_nodes=90, nnz=540, max_degree=30, seed=5)
+
+
+@pytest.fixture
+def dense(graph):
+    return np.random.default_rng(2).standard_normal((graph.n_cols, 5))
+
+
+class TestReferenceSpmm:
+    def test_matches_serial_reference(self, graph, dense):
+        assert np.allclose(
+            reference_spmm(graph, dense), graph.multiply_dense(dense)
+        )
+
+    def test_empty_matrix(self):
+        empty = CSRMatrix.from_dense(np.zeros((0, 0)))
+        out = reference_spmm(empty, np.zeros((0, 3)))
+        assert out.shape == (0, 3)
+
+
+class TestScheduleOracle:
+    @pytest.mark.parametrize("n_threads", [1, 4, 37, 4096])
+    def test_valid_schedules_pass(self, graph, n_threads):
+        check_schedule(build_schedule(graph, n_threads))
+
+    def test_empty_matrix_schedule_passes(self):
+        empty = CSRMatrix.from_dense(np.zeros((0, 0)))
+        check_schedule(build_schedule(empty, 4))
+
+    def test_tampered_accounting_detected(self, graph):
+        schedule = build_schedule(graph, 16)
+        stats = schedule.statistics
+        object.__setattr__(stats, "atomic_nnz", stats.atomic_nnz + 1)
+        with pytest.raises(ScheduleOracleError, match="accounting"):
+            check_schedule(schedule)
+
+
+class TestOutputOracle:
+    def test_correct_output_passes(self, graph, dense):
+        check_output(graph, dense, graph.multiply_dense(dense))
+
+    def test_shape_mismatch(self, graph, dense):
+        with pytest.raises(OutputOracleError, match="shape"):
+            check_output(graph, dense, np.zeros((graph.n_rows + 1, 5)))
+
+    def test_non_finite_output(self, graph, dense):
+        output = graph.multiply_dense(dense)
+        output[0, 0] = np.nan
+        with pytest.raises(OutputOracleError, match="non-finite"):
+            check_output(graph, dense, output)
+
+    def test_wrong_values(self, graph, dense):
+        output = graph.multiply_dense(dense)
+        output[1, 1] += 0.5
+        with pytest.raises(OutputOracleError, match="disagrees"):
+            check_output(graph, dense, output)
+
+    def test_precomputed_reference_used(self, graph, dense):
+        reference = graph.multiply_dense(dense)
+        check_output(graph, dense, reference, reference=reference)
+
+
+class TestVerifiedSpmm:
+    def test_clean_run_no_fallback(self, graph, dense):
+        result = verified_spmm(graph, dense, n_threads=23)
+        assert not result.fallback_used
+        assert result.detected is None
+        assert result.result is not None
+        assert np.allclose(result.output, graph.multiply_dense(dense))
+
+    @pytest.mark.parametrize("executor", ["vectorized", "reference"])
+    def test_injected_fault_recovers_via_fallback(self, graph, dense, executor):
+        with faults.inject(seed=0, drop_atomic=1.0) as plan:
+            result = verified_spmm(
+                graph, dense, n_threads=23, executor=executor
+            )
+        assert plan.total_injected > 0
+        assert result.fallback_used
+        assert result.detected is not None
+        assert plan.recovered.get("fallback") == 1
+        assert np.allclose(result.output, graph.multiply_dense(dense))
+
+    def test_fallback_disabled_raises(self, graph, dense):
+        with faults.inject(seed=0, bitflip=1.0):
+            with pytest.raises(
+                (OutputOracleError, faults.ExecutionFaultError)
+            ):
+                verified_spmm(graph, dense, n_threads=23, fallback=False)
+
+    def test_corrupt_input_is_unrecoverable(self, graph, dense):
+        values = graph.values.copy()
+        values[0] = np.nan
+        corrupt = CSRMatrix(
+            n_rows=graph.n_rows,
+            n_cols=graph.n_cols,
+            row_pointers=graph.row_pointers,
+            column_indices=graph.column_indices,
+            values=values,
+        )
+        with pytest.raises(OutputOracleError, match="corrupt"):
+            verified_spmm(corrupt, dense, n_threads=23)

@@ -1,0 +1,170 @@
+"""Property tests: degenerate graphs and corrupted inputs vs the oracles.
+
+Every executor and baseline must agree with the independent reference on
+valid-but-extreme graphs, and every corruption class must be stopped by
+its declared detection layer — over arbitrary generated structures, not
+just the fixed chaos-matrix seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    cusparse_like_spmm,
+    gnnadvisor_spmm,
+    merge_path_serial_spmm,
+    row_splitting_spmm,
+)
+from repro.formats import CSRMatrix
+from repro.formats.validation import validate_csr
+from repro.resilience.corruption import (
+    CORRUPTIONS,
+    DEGENERATES,
+    STRICT,
+    VALIDATE,
+)
+from repro.resilience.oracles import (
+    OracleError,
+    reference_spmm,
+    verified_spmm,
+)
+
+
+@st.composite
+def csr_matrices(draw, max_rows=20, max_cols=14, max_row_nnz=10):
+    """Arbitrary small CSR matrices with sorted, unique column indices."""
+    n_rows = draw(st.integers(0, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    columns = []
+    pointers = [0]
+    for _ in range(n_rows):
+        length = draw(st.integers(0, min(max_row_nnz, n_cols)))
+        row_cols = draw(
+            st.lists(
+                st.integers(0, n_cols - 1),
+                min_size=length,
+                max_size=length,
+                unique=True,
+            )
+        )
+        columns.extend(sorted(row_cols))
+        pointers.append(len(columns))
+    values = draw(
+        st.lists(
+            st.floats(-8.0, 8.0, allow_nan=False),
+            min_size=len(columns),
+            max_size=len(columns),
+        )
+    )
+    return CSRMatrix(
+        n_rows=n_rows,
+        n_cols=n_cols,
+        row_pointers=np.asarray(pointers, dtype=np.int64),
+        column_indices=np.asarray(columns, dtype=np.int64),
+        values=np.asarray(values, dtype=np.float64),
+    )
+
+
+BASELINES = {
+    "merge-path-serial": lambda m, d: merge_path_serial_spmm(m, d, 4)[0],
+    "row-splitting": lambda m, d: row_splitting_spmm(m, d, 4)[0],
+    "gnnadvisor": lambda m, d: gnnadvisor_spmm(m, d)[0],
+    "cusparse-like": lambda m, d: cusparse_like_spmm(m, d)[0],
+}
+
+
+class TestArbitraryGraphsAgree:
+    @settings(max_examples=40, deadline=None)
+    @given(matrix=csr_matrices(), n_threads=st.integers(1, 40))
+    def test_verified_spmm_never_needs_fallback(self, matrix, n_threads):
+        dense = np.random.default_rng(0).standard_normal((matrix.n_cols, 4))
+        for executor in ("vectorized", "reference"):
+            result = verified_spmm(
+                matrix,
+                dense,
+                n_threads=n_threads,
+                executor=executor,
+                fallback=False,
+            )
+            assert not result.fallback_used
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrix=csr_matrices())
+    def test_baselines_match_reference(self, matrix):
+        dense = np.random.default_rng(1).standard_normal((matrix.n_cols, 3))
+        reference = reference_spmm(matrix, dense)
+        for name, run in BASELINES.items():
+            output = run(matrix, dense)
+            assert np.allclose(output, reference, atol=1e-9), name
+
+    @settings(max_examples=25, deadline=None)
+    @given(matrix=csr_matrices())
+    def test_strict_validation_accepts_canonical_matrices(self, matrix):
+        validate_csr(
+            matrix.row_pointers,
+            matrix.column_indices,
+            matrix.values,
+            matrix.n_rows,
+            matrix.n_cols,
+            strict=True,
+        )
+
+
+class TestDegenerateGraphs:
+    """The fixed registry of extreme-but-valid graphs (chaos matrix set)."""
+
+    @pytest.mark.parametrize("name", sorted(DEGENERATES))
+    @pytest.mark.parametrize("executor", ["vectorized", "reference"])
+    def test_executors_agree(self, name, executor):
+        matrix = DEGENERATES[name]()
+        dense = np.random.default_rng(2).standard_normal((matrix.n_cols, 4))
+        result = verified_spmm(
+            matrix, dense, n_threads=4, executor=executor, fallback=False
+        )
+        assert np.allclose(result.output, reference_spmm(matrix, dense))
+
+    @pytest.mark.parametrize("name", sorted(DEGENERATES))
+    @pytest.mark.parametrize("baseline", sorted(BASELINES))
+    def test_baselines_agree(self, name, baseline):
+        matrix = DEGENERATES[name]()
+        dense = np.random.default_rng(3).standard_normal((matrix.n_cols, 4))
+        output = BASELINES[baseline](matrix, dense)
+        assert np.allclose(output, reference_spmm(matrix, dense))
+
+
+class TestCorruptionClasses:
+    """Every corruption class is stopped by its declared layer."""
+
+    @pytest.mark.parametrize("name", sorted(CORRUPTIONS))
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_never_silent(self, name, seed):
+        from repro.graphs import power_law_graph
+
+        make, layer = CORRUPTIONS[name]
+        base = power_law_graph(n_nodes=50, nnz=300, max_degree=14, seed=seed)
+        corrupted = make(base, np.random.default_rng(seed))
+        must_reject = layer in (VALIDATE, STRICT)
+        try:
+            validate_csr(
+                corrupted.row_pointers,
+                corrupted.column_indices,
+                corrupted.values,
+                corrupted.n_rows,
+                corrupted.n_cols,
+                strict=layer == STRICT,
+            )
+        except (ValueError, TypeError):
+            return  # rejected by the declared validation layer
+        assert not must_reject, f"{name} slipped past validation"
+        # Oracle-layer corruption: must be detected (or recovered) at run
+        # time, never silently accepted as a clean merge-path result.
+        matrix = corrupted.as_matrix()
+        dense = np.random.default_rng(seed).standard_normal(
+            (matrix.n_cols, 4)
+        )
+        try:
+            result = verified_spmm(matrix, dense, n_threads=16)
+        except OracleError:
+            return
+        assert result.fallback_used, f"{name} produced silent output"
