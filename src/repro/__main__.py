@@ -8,6 +8,10 @@ Subcommands:
 * ``chaos`` — run the fault-injection matrix and report detection
   coverage (exit 1 on any silent failure); see
   :mod:`repro.resilience.chaos` and ``docs/ROBUSTNESS.md``.
+* ``serve-bench`` — drive synthetic Zipf/Poisson traffic through the
+  serving layer and record throughput, latency percentiles, plan-cache
+  and load-shedding statistics; see :mod:`repro.serve.loadgen` and
+  ``docs/SERVING.md``.
 * anything else delegates to :mod:`repro.experiments.harness`; run with
   ``--list`` to see the available experiments and their (measured or
   estimated) runtimes, and with ``--profile``/``--trace-out`` to collect
@@ -27,6 +31,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.resilience.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from repro.serve.loadgen import main as serve_main
+
+        return serve_main(argv[1:])
     from repro.experiments.harness import main as harness_main
 
     return harness_main(argv)

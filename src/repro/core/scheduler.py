@@ -10,12 +10,19 @@ quantifies in Figure 8.
 :class:`ScheduleCache` implements both modes and records wall-clock
 scheduling time; the *modeled* (GPU-cycle) scheduling overhead used by the
 Figure 8 harness is produced by :func:`repro.gpu.timing.scheduling_cycles`.
+Entries are keyed on :meth:`CSRMatrix.fingerprint` — a content hash of the
+CSR structure — so identical graphs loaded twice share one schedule and a
+garbage-collected matrix can never alias a live one, and the cache is
+safe to hit from the serving layer's concurrent workers
+(:mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -36,22 +43,39 @@ class ScheduleCache:
     """Schedule provider implementing the paper's two execution models.
 
     In ``OFFLINE`` mode, schedules are computed once per
-    ``(matrix identity, cost, min_threads)`` and reused; in ``ONLINE``
+    ``(matrix fingerprint, cost, min_threads)`` and reused; in ``ONLINE``
     mode every request recomputes the schedule, as required when the
     adjacency matrix changes between inferences.
 
+    The cache is thread-safe (schedule builds run under the cache lock,
+    so a key is computed at most once even under concurrent access) and
+    LRU-bounded by ``max_entries``.
+
     Attributes:
         mode: Scheduling mode.
+        max_entries: LRU capacity; ``None`` means unbounded.
         schedule_computations: Number of schedule builds performed.
         total_scheduling_seconds: Wall-clock time spent building schedules.
+        evictions: Entries dropped to honor ``max_entries``.
     """
 
     mode: SchedulingMode = SchedulingMode.OFFLINE
+    max_entries: "int | None" = 256
     schedule_computations: int = 0
     total_scheduling_seconds: float = 0.0
-    _cache: dict[tuple[int, int, int], MergePathSchedule] = field(
-        default_factory=dict, repr=False
+    evictions: int = 0
+    _cache: "OrderedDict[tuple[str, int, int], MergePathSchedule]" = field(
+        default_factory=OrderedDict, repr=False, compare=False
     )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {self.max_entries}"
+            )
 
     def get(
         self,
@@ -67,20 +91,38 @@ class ScheduleCache:
         kernel invocations); offline callers never clear, so the schedule
         survives across inferences.
         """
-        key = (id(matrix), cost, min_threads)
-        if key in self._cache:
-            obs.counter("core.scheduler.cache_hits").inc()
-            return self._cache[key]
-        obs.counter("core.scheduler.cache_misses").inc()
-        started = time.perf_counter()
-        schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
-        self.total_scheduling_seconds += time.perf_counter() - started
-        self.schedule_computations += 1
-        self._cache[key] = schedule
-        return schedule
+        key = (matrix.fingerprint(), cost, min_threads)
+        with self._lock:
+            schedule = self._cache.get(key)
+            if schedule is not None:
+                self._cache.move_to_end(key)
+                obs.counter("core.scheduler.cache_hits").inc()
+                return schedule
+            obs.counter("core.scheduler.cache_misses").inc()
+            started = time.perf_counter()
+            schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
+            self.total_scheduling_seconds += time.perf_counter() - started
+            self.schedule_computations += 1
+            self._cache[key] = schedule
+            while (
+                self.max_entries is not None
+                and len(self._cache) > self.max_entries
+            ):
+                self._cache.popitem(last=False)
+                self.evictions += 1
+                obs.counter("core.scheduler.cache_evictions").inc()
+            return schedule
+
+    @property
+    def entries(self) -> int:
+        """Number of schedules currently cached."""
+        with self._lock:
+            return len(self._cache)
 
     def clear(self) -> None:
         """Drop all cached schedules and reset counters."""
-        self._cache.clear()
-        self.schedule_computations = 0
-        self.total_scheduling_seconds = 0.0
+        with self._lock:
+            self._cache.clear()
+            self.schedule_computations = 0
+            self.total_scheduling_seconds = 0.0
+            self.evictions = 0

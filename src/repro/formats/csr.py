@@ -8,6 +8,7 @@ as in the paper: the ``row_pointers`` array (the paper's *RP*) has length
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -135,6 +136,39 @@ class CSRMatrix:
             self.n_cols,
             strict=strict,
         )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self, *, include_values: bool = False) -> str:
+        """Stable content hash of this matrix's structure (cached).
+
+        Hashes the shape, row pointers, and column indices with BLAKE2b,
+        so two matrices with identical structure share a fingerprint no
+        matter when or how they were constructed — unlike ``id()``, which
+        aliases after garbage collection reuses an address and never
+        matches across separate loads of the same graph.  Merge-path
+        schedules depend only on structure, so this is the key every
+        schedule/plan cache uses.
+
+        Args:
+            include_values: Also hash the non-zero values, producing a
+                full content key (used by the serving layer to decide
+                which requests may share one batched execution).
+        """
+        attr = "_fingerprint_values" if include_values else "_fingerprint"
+        cached = self.__dict__.get(attr)
+        if cached is not None:
+            return cached
+        hasher = hashlib.blake2b(digest_size=16)
+        hasher.update(f"csr:{self.n_rows}:{self.n_cols}:".encode())
+        hasher.update(self.row_pointers.tobytes())
+        hasher.update(self.column_indices.tobytes())
+        if include_values:
+            hasher.update(self.values.tobytes())
+        digest = hasher.hexdigest()
+        object.__setattr__(self, attr, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # Properties

@@ -1,0 +1,56 @@
+"""``repro.serve`` — the batching, plan-caching GNN inference serving layer.
+
+The ROADMAP's request path on top of the one-shot experiment harness:
+
+* :mod:`repro.serve.service` — :class:`InferenceService`: bounded
+  admission with explicit load shedding, dynamic micro-batching by graph
+  content fingerprint, a multi-worker execution pool, per-batch
+  timeouts.
+* :mod:`repro.serve.plancache` — :class:`PlanCache`: a process-wide,
+  thread-safe, LRU-bounded cache of :class:`CompiledPlan` objects keyed
+  by CSR content fingerprints.
+* :mod:`repro.serve.dispatch` — :class:`AdaptiveDispatcher`: modeled
+  kernel cycles as the prior, epsilon-greedy refinement from measured
+  latencies, forced fallback to the verified executor on any oracle
+  failure.
+* :mod:`repro.serve.loadgen` — open/closed-loop synthetic traffic and
+  the ``python -m repro serve-bench`` subcommand.
+
+See ``docs/SERVING.md`` for the architecture tour.
+"""
+
+from repro.serve.dispatch import (
+    AdaptiveDispatcher,
+    Backend,
+    DispatchResult,
+    default_backends,
+)
+from repro.serve.plancache import (
+    CompiledPlan,
+    PlanCache,
+    PlanCacheStats,
+    compile_plan,
+    get_plan_cache,
+    set_plan_cache,
+)
+from repro.serve.service import (
+    InferenceService,
+    ServeConfig,
+    ServeResponse,
+)
+
+__all__ = [
+    "AdaptiveDispatcher",
+    "Backend",
+    "CompiledPlan",
+    "DispatchResult",
+    "InferenceService",
+    "PlanCache",
+    "PlanCacheStats",
+    "ServeConfig",
+    "ServeResponse",
+    "compile_plan",
+    "default_backends",
+    "get_plan_cache",
+    "set_plan_cache",
+]

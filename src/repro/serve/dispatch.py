@@ -1,0 +1,358 @@
+"""Adaptive SpMM backend dispatch: modeled prior + epsilon-greedy online.
+
+The repo ships six executors with wildly different sweet spots (the point
+of the paper's Figure 4, and of GE-SpMM/HC-SpMM-style kernel selection):
+the vectorized and threaded merge-path executors, row-splitting,
+serial-fix-up merge-path, GNNAdvisor neighbor grouping, and the
+cuSPARSE-like selection library.  :class:`AdaptiveDispatcher` picks one
+per ``(graph structure, feature dim)`` workload:
+
+* the **prior** ranks backends by modeled kernel cycles from
+  :func:`repro.gpu.kernels.kernel_time` — available before a single
+  request has been served;
+* **online refinement** is epsilon-greedy over measured per-backend
+  latencies (EWMA), calibrated against the prior so never-measured
+  backends compete on a common scale;
+* any backend exception or output-oracle failure triggers a forced
+  fallback to :func:`repro.resilience.oracles.verified_spmm`, so a
+  dispatched request always returns a verified product.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.baselines import (
+    cusparse_like_spmm,
+    gnnadvisor_spmm,
+    merge_path_serial_spmm,
+    row_splitting_spmm,
+)
+from repro.core.parallel import execute_parallel
+from repro.formats import CSRMatrix
+from repro.resilience.oracles import check_output, verified_spmm
+from repro.serve.plancache import PlanCache, get_plan_cache
+
+BackendFn = Callable[[CSRMatrix, np.ndarray, PlanCache, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One dispatchable SpMM executor.
+
+    Attributes:
+        name: Registry name (stable across runs; used in metrics).
+        run: ``(matrix, dense, plan_cache, plan_dim) -> output`` executor.
+            ``plan_dim`` is the *per-request* feature dimension, which may
+            be narrower than ``dense`` when requests were batched
+            column-wise — plans are keyed on it so batch size never
+            fragments the plan cache.
+        kernel: Timing-model kernel name used for the modeled prior
+            (see :data:`repro.gpu.kernels.KERNELS`); ``None`` disables
+            the prior for this backend.
+    """
+
+    name: str
+    run: BackendFn = field(repr=False)
+    kernel: "str | None" = None
+
+
+def _run_vectorized(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    return plans.get(matrix, dim=plan_dim).execute(dense)
+
+
+def _run_threaded(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    plan = plans.get(matrix, dim=plan_dim)
+    return execute_parallel(plan.schedule, dense, n_workers=4).output
+
+
+def _baseline_threads(matrix: CSRMatrix) -> int:
+    return max(1, min(256, matrix.n_rows))
+
+
+def _run_row_splitting(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    return row_splitting_spmm(matrix, dense, _baseline_threads(matrix))[0]
+
+
+def _run_merge_path_serial(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    return merge_path_serial_spmm(matrix, dense, _baseline_threads(matrix))[0]
+
+
+def _run_gnnadvisor(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    return gnnadvisor_spmm(matrix, dense)[0]
+
+
+def _run_cusparse_like(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    return cusparse_like_spmm(matrix, dense)[0]
+
+
+def default_backends() -> tuple[Backend, ...]:
+    """The six stock backends, in registration (tie-break) order."""
+    return (
+        Backend("vectorized", _run_vectorized, kernel="mergepath"),
+        Backend("threaded", _run_threaded, kernel="mergepath"),
+        Backend("row-splitting", _run_row_splitting, kernel="row-splitting"),
+        Backend(
+            "merge-path-serial",
+            _run_merge_path_serial,
+            kernel="merge-path-serial",
+        ),
+        Backend("gnnadvisor", _run_gnnadvisor, kernel="gnnadvisor"),
+        Backend("cusparse-like", _run_cusparse_like, kernel="cusparse"),
+    )
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of one dispatched SpMM.
+
+    Attributes:
+        output: The product (verified-fallback output when
+            ``fallback_used``).
+        backend: Name of the backend the dispatcher chose.
+        fallback_used: Whether :func:`verified_spmm` produced the output.
+        detected: Oracle/exception description that forced the fallback.
+        latency_seconds: Measured wall time, including any fallback.
+        explored: Whether this choice was an epsilon exploration.
+    """
+
+    output: np.ndarray
+    backend: str
+    fallback_used: bool
+    detected: "str | None"
+    latency_seconds: float
+    explored: bool
+
+
+class _ArmStats:
+    __slots__ = ("count", "ewma")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.ewma = 0.0
+
+
+class AdaptiveDispatcher:
+    """Epsilon-greedy backend selection seeded by the GPU timing model.
+
+    Args:
+        backends: Dispatchable executors; defaults to
+            :func:`default_backends`.
+        plan_cache: Shared plan cache handed to backends; defaults to the
+            process-wide cache.
+        epsilon: Exploration probability per choice.
+        ewma_alpha: Weight of the newest latency sample in the running
+            estimate.
+        seed: Seed for the exploration RNG (pins the choice sequence).
+        device: Modeled GPU for the prior; defaults to the paper's
+            Quadro RTX 6000.
+
+    All state is guarded by one lock; `choose`/`record`/`execute` are
+    safe to call from concurrent serve workers.
+    """
+
+    def __init__(
+        self,
+        backends: "tuple[Backend, ...] | list[Backend] | None" = None,
+        *,
+        plan_cache: "PlanCache | None" = None,
+        epsilon: float = 0.1,
+        ewma_alpha: float = 0.3,
+        seed: int = 0,
+        device=None,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.backends = (
+            tuple(backends) if backends is not None else default_backends()
+        )
+        if not self.backends:
+            raise ValueError("at least one backend is required")
+        names = [b.name for b in self.backends]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate backend names: {names}")
+        self.plan_cache = plan_cache if plan_cache is not None else get_plan_cache()
+        self.epsilon = epsilon
+        self.ewma_alpha = ewma_alpha
+        self._rng = np.random.default_rng(seed)
+        self._device = device
+        self._lock = threading.RLock()
+        self._arms: dict[tuple[str, int, str], _ArmStats] = {}
+        self._priors: dict[tuple[str, int, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Prior: modeled kernel cycles
+    # ------------------------------------------------------------------
+    def modeled_microseconds(
+        self, matrix: CSRMatrix, dim: int, backend: Backend
+    ) -> float:
+        """Modeled latency prior for one backend (``inf`` when unmodeled).
+
+        Memoized per ``(structure fingerprint, dim, backend)`` so the
+        timing model runs once per workload, not once per request.
+        """
+        key = (matrix.fingerprint(), dim, backend.name)
+        with self._lock:
+            cached = self._priors.get(key)
+        if cached is not None:
+            return cached
+        if backend.kernel is None:
+            prior = float("inf")
+        else:
+            from repro.gpu.kernels import kernel_time
+
+            try:
+                prior = kernel_time(
+                    backend.kernel, matrix, dim, device=self._device
+                ).microseconds
+            except Exception:
+                prior = float("inf")
+        with self._lock:
+            self._priors[key] = prior
+        return prior
+
+    # ------------------------------------------------------------------
+    # Online estimates
+    # ------------------------------------------------------------------
+    def record(
+        self, matrix: CSRMatrix, dim: int, backend_name: str, seconds: float
+    ) -> None:
+        """Fold one measured latency into the backend's running estimate."""
+        key = (matrix.fingerprint(), dim, backend_name)
+        with self._lock:
+            arm = self._arms.setdefault(key, _ArmStats())
+            if arm.count == 0:
+                arm.ewma = seconds
+            else:
+                arm.ewma += self.ewma_alpha * (seconds - arm.ewma)
+            arm.count += 1
+        obs.histogram("serve.dispatch.latency_seconds", backend=backend_name).observe(
+            seconds
+        )
+
+    def _scores(self, matrix: CSRMatrix, dim: int) -> list[float]:
+        """Comparable per-backend scores (seconds-equivalent, lower wins).
+
+        Measured backends score their latency EWMA.  Unmeasured backends
+        score their modeled prior scaled by the median measured-over-
+        modeled ratio of the already-measured backends, so model error
+        cancels once any real sample exists; before any sample, the raw
+        prior ranks (all scores share the modeled unit).
+        """
+        fp = matrix.fingerprint()
+        priors = [self.modeled_microseconds(matrix, dim, b) for b in self.backends]
+        with self._lock:
+            arms = [self._arms.get((fp, dim, b.name)) for b in self.backends]
+            ratios = [
+                arm.ewma / prior
+                for arm, prior in zip(arms, priors)
+                if arm is not None
+                and arm.count > 0
+                and np.isfinite(prior)
+                and prior > 0
+            ]
+            scale = float(np.median(ratios)) if ratios else 1.0
+            return [
+                arm.ewma
+                if arm is not None and arm.count > 0
+                else prior * scale
+                for arm, prior in zip(arms, priors)
+            ]
+
+    def best(self, matrix: CSRMatrix, dim: int) -> Backend:
+        """The current exploitation choice (no exploration roll)."""
+        scores = self._scores(matrix, dim)
+        finite = [s for s in scores if np.isfinite(s)]
+        if not finite:
+            return self.backends[0]
+        return self.backends[int(np.argmin(scores))]
+
+    def choose(self, matrix: CSRMatrix, dim: int) -> "tuple[Backend, bool]":
+        """Pick a backend; returns ``(backend, explored)``."""
+        with self._lock:
+            explore = self._rng.random() < self.epsilon
+            if explore:
+                backend = self.backends[
+                    int(self._rng.integers(len(self.backends)))
+                ]
+                return backend, True
+        return self.best(matrix, dim), False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        *,
+        plan_dim: "int | None" = None,
+        verify: bool = False,
+        rtol: float = 1e-9,
+        atol: float = 1e-9,
+    ) -> DispatchResult:
+        """Dispatch one SpMM, guaranteeing a verified result on failure.
+
+        Args:
+            matrix: Sparse input.
+            dense: Dense operand ``XW`` (possibly a column-wise batch).
+            plan_dim: Per-request feature dimension used as the plan and
+                bandit workload key; defaults to ``dense``'s width.
+                Passing the request dim keeps one plan per workload no
+                matter how requests were batched.
+            verify: Cross-check the chosen backend's output against the
+                independent reference before accepting it (the serving
+                layer's paranoid mode; failures degrade to the verified
+                fallback rather than propagate).
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        dim = plan_dim if plan_dim is not None else dense.shape[1]
+        backend, explored = self.choose(matrix, dim)
+        obs.counter("serve.dispatch.requests", backend=backend.name).inc()
+        detected: "str | None" = None
+        fallback_used = False
+        started = time.perf_counter()
+        try:
+            with obs.span("serve.dispatch.execute", backend=backend.name):
+                output = backend.run(matrix, dense, self.plan_cache, dim)
+            if verify:
+                check_output(matrix, dense, output, rtol=rtol, atol=atol)
+        except Exception as exc:
+            # Oracle failure, executor self-check, or a crashed backend:
+            # forced fallback to the self-checking executor.
+            detected = f"{type(exc).__name__}: {exc}"
+            fallback_used = True
+            obs.counter("serve.dispatch.fallbacks", backend=backend.name).inc()
+            output = verified_spmm(matrix, dense, rtol=rtol, atol=atol).output
+        seconds = time.perf_counter() - started
+        # Fallback latency is charged to the chosen arm on purpose: a
+        # misbehaving backend must look expensive to the bandit.
+        self.record(matrix, dim, backend.name, seconds)
+        return DispatchResult(
+            output=output,
+            backend=backend.name,
+            fallback_used=fallback_used,
+            detected=detected,
+            latency_seconds=seconds,
+            explored=explored,
+        )

@@ -1,0 +1,473 @@
+"""Synthetic traffic generation and the ``serve-bench`` subcommand.
+
+Two load patterns against :class:`~repro.serve.service.InferenceService`:
+
+* **Open loop** — Poisson arrivals at a configured offered rate; the
+  generator never waits for responses, so queueing and load shedding are
+  exercised exactly as an external client population would.
+* **Closed loop** — a fixed population of synchronous clients, each
+  issuing its next request when the previous one completes.
+
+Graph popularity is Zipf-distributed over a set of Table II stand-ins
+(:mod:`repro.graphs.datasets`), which is what makes the serving plan
+cache earn its keep: a handful of hot graphs absorb most of the traffic.
+
+The bench runs a *steady* scenario (throughput, p50/p95/p99 latency,
+plan-cache and backend statistics, with every accepted response verified
+against the independent SciPy oracle) and an *overload* scenario (a
+burst into a deliberately tiny queue, proving admission control sheds
+load instead of growing without bound), then writes a
+``BENCH_serve.json`` run record.  Measured wall-clock latencies are
+reported next to *modeled* latencies from the GPU timing model; the
+modeled percentiles are a deterministic function of the seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.graphs.datasets import load_dataset
+from repro.resilience.oracles import reference_spmm
+from repro.serve.dispatch import AdaptiveDispatcher
+from repro.serve.plancache import PlanCache
+from repro.serve.service import InferenceService, ServeConfig
+
+DEFAULT_DATASETS = ("Cora", "Citeseer", "Wiki-Vote", "Oregon-1")
+
+# Bound on un-harvested in-flight futures during open-loop generation,
+# keeping operand memory flat regardless of the request count.
+_HARVEST_WINDOW = 128
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Tunables of one ``serve-bench`` run."""
+
+    requests: int = 1000
+    seed: int = 0
+    mode: str = "open"
+    rate: float = 400.0
+    concurrency: int = 8
+    dim: int = 16
+    datasets: tuple[str, ...] = DEFAULT_DATASETS
+    scale: float = 0.25
+    zipf_s: float = 1.1
+    epsilon: float = 0.1
+    verify: bool = True
+    overload_requests: int = 64
+    service: ServeConfig = field(default_factory=ServeConfig)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {self.mode}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if not self.datasets:
+            raise ValueError("at least one dataset is required")
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf popularity over ``n`` ranks (rank 1 hottest)."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def load_traffic_matrices(config: BenchConfig) -> list[CSRMatrix]:
+    """The adjacency matrices traffic is drawn from, hottest first."""
+    return [
+        load_dataset(name, seed=config.seed, scale=config.scale).adjacency
+        for name in config.datasets
+    ]
+
+
+def percentiles_ms(seconds: "list[float]") -> dict:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    if not seconds:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    values = np.asarray(seconds) * 1e3
+    p50, p95, p99 = np.percentile(values, [50, 95, 99])
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+    }
+
+
+class _Verifier:
+    """Checks accepted responses against the independent SciPy oracle."""
+
+    def __init__(self) -> None:
+        self.verified = 0
+        self.mismatches = 0
+
+    def check(
+        self, matrix: CSRMatrix, dense: np.ndarray, output: np.ndarray
+    ) -> None:
+        reference = reference_spmm(matrix, dense)
+        self.verified += 1
+        if not np.allclose(output, reference, rtol=1e-9, atol=1e-9):
+            self.mismatches += 1
+            obs.counter("serve.loadgen.mismatches").inc()
+
+
+@dataclass
+class _ScenarioTally:
+    """Accumulated per-scenario outcome counts and samples."""
+
+    requests: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    errors: int = 0
+    fallbacks: int = 0
+    latencies: "list[float]" = field(default_factory=list)
+    batch_sizes: "list[int]" = field(default_factory=list)
+    backends: "dict[str, int]" = field(default_factory=dict)
+
+    def absorb(self, response) -> None:
+        self.requests += 1
+        if response.rejected:
+            self.rejected += 1
+            return
+        if not response.ok:
+            self.errors += 1
+            return
+        self.accepted += 1
+        self.latencies.append(response.queue_seconds + response.service_seconds)
+        self.batch_sizes.append(response.batch_size)
+        if response.backend:
+            self.backends[response.backend] = (
+                self.backends.get(response.backend, 0) + 1
+            )
+        if response.fallback_used:
+            self.fallbacks += 1
+
+
+def _modeled_microseconds(matrix: CSRMatrix, dim: int, cache: dict) -> float:
+    """Deterministic modeled latency of the paper's kernel on one request."""
+    key = (matrix.fingerprint(), dim)
+    if key not in cache:
+        from repro.gpu.kernels import kernel_time
+
+        cache[key] = kernel_time("mergepath", matrix, dim).microseconds
+    return cache[key]
+
+
+@obs.instrumented
+def run_steady(
+    config: BenchConfig, service: InferenceService
+) -> "tuple[_ScenarioTally, _Verifier, dict]":
+    """Drive the steady scenario; returns tally, verifier, modeled block."""
+    rng = np.random.default_rng(config.seed)
+    matrices = load_traffic_matrices(config)
+    weights = zipf_weights(len(matrices), config.zipf_s)
+    choices = rng.choice(len(matrices), size=config.requests, p=weights)
+    tally = _ScenarioTally()
+    verifier = _Verifier()
+    modeled_cache: dict = {}
+    modeled_us = [
+        _modeled_microseconds(matrices[int(i)], config.dim, modeled_cache)
+        for i in choices
+    ]
+
+    def harvest(entry) -> None:
+        matrix, dense, future = entry
+        response = future.result()
+        tally.absorb(response)
+        if response.ok and config.verify:
+            verifier.check(matrix, dense, response.output)
+
+    started = time.perf_counter()
+    if config.mode == "open":
+        inflight: list = []
+        for idx in choices:
+            matrix = matrices[int(idx)]
+            dense = rng.random((matrix.n_cols, config.dim))
+            inflight.append((matrix, dense, service.submit(matrix, dense)))
+            if len(inflight) >= _HARVEST_WINDOW:
+                harvest(inflight.pop(0))
+            time.sleep(rng.exponential(1.0 / config.rate))
+        for entry in inflight:
+            harvest(entry)
+    else:
+        per_client = np.array_split(choices, config.concurrency)
+
+        def client(client_id: int, assigned: np.ndarray) -> None:
+            client_rng = np.random.default_rng(
+                (config.seed, client_id)
+            )
+            for idx in assigned:
+                matrix = matrices[int(idx)]
+                dense = client_rng.random((matrix.n_cols, config.dim))
+                harvest((matrix, dense, service.submit(matrix, dense)))
+
+        with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+            futures = [
+                pool.submit(client, i, assigned)
+                for i, assigned in enumerate(per_client)
+            ]
+            for future in futures:
+                future.result()
+    elapsed = time.perf_counter() - started
+
+    p50, p95, p99 = np.percentile(modeled_us, [50, 95, 99])
+    modeled = {
+        "p50_us": float(p50),
+        "p95_us": float(p95),
+        "p99_us": float(p99),
+        "mean_us": float(np.mean(modeled_us)),
+    }
+    throughput = tally.accepted / elapsed if elapsed > 0 else 0.0
+    extra = {
+        "elapsed_seconds": elapsed,
+        "throughput_rps": throughput,
+        "modeled": modeled,
+    }
+    return tally, verifier, extra
+
+
+@obs.instrumented
+def run_overload(config: BenchConfig) -> "tuple[_ScenarioTally, _Verifier]":
+    """Burst into a tiny queue; proves admission control sheds load."""
+    rng = np.random.default_rng(config.seed + 1)
+    matrix = load_traffic_matrices(config)[0]
+    plan_cache = PlanCache(capacity=16)
+    dispatcher = AdaptiveDispatcher(
+        plan_cache=plan_cache, epsilon=config.epsilon, seed=config.seed
+    )
+    overload_cfg = ServeConfig(
+        max_queue=4,
+        max_batch=8,
+        max_wait_ms=50.0,
+        n_workers=1,
+        request_timeout=config.service.request_timeout,
+    )
+    tally = _ScenarioTally()
+    verifier = _Verifier()
+    with InferenceService(dispatcher, overload_cfg) as service:
+        inflight = []
+        for _ in range(config.overload_requests):
+            dense = rng.random((matrix.n_cols, config.dim))
+            inflight.append((matrix, dense, service.submit(matrix, dense)))
+        for entry_matrix, dense, future in inflight:
+            response = future.result()
+            tally.absorb(response)
+            if response.ok and config.verify:
+                verifier.check(entry_matrix, dense, response.output)
+    return tally, verifier
+
+
+@obs.instrumented
+def run_bench(config: BenchConfig) -> dict:
+    """Run both scenarios and assemble the ``BENCH_serve.json`` payload."""
+    plan_cache = PlanCache(capacity=64)
+    dispatcher = AdaptiveDispatcher(
+        plan_cache=plan_cache, epsilon=config.epsilon, seed=config.seed
+    )
+    with InferenceService(dispatcher, config.service) as service:
+        with obs.span("serve.loadgen.steady", requests=config.requests):
+            steady, steady_verifier, extra = run_steady(config, service)
+    cache_stats = plan_cache.stats()
+
+    with obs.span("serve.loadgen.overload", requests=config.overload_requests):
+        overload, overload_verifier = run_overload(config)
+
+    silent_failures = steady_verifier.mismatches + overload_verifier.mismatches
+    return {
+        "seed": config.seed,
+        "config": {
+            "requests": config.requests,
+            "mode": config.mode,
+            "rate_rps": config.rate,
+            "concurrency": config.concurrency,
+            "dim": config.dim,
+            "datasets": list(config.datasets),
+            "scale": config.scale,
+            "zipf_s": config.zipf_s,
+            "epsilon": config.epsilon,
+            "max_queue": config.service.max_queue,
+            "max_batch": config.service.max_batch,
+            "max_wait_ms": config.service.max_wait_ms,
+            "n_workers": config.service.n_workers,
+        },
+        "steady": {
+            "mode": config.mode,
+            "requests": steady.requests,
+            "accepted": steady.accepted,
+            "rejected": steady.rejected,
+            "errors": steady.errors,
+            "fallbacks": steady.fallbacks,
+            "verified": steady_verifier.verified,
+            "mismatches": steady_verifier.mismatches,
+            "throughput_rps": extra["throughput_rps"],
+            "offered_rps": config.rate if config.mode == "open" else None,
+            "elapsed_seconds": extra["elapsed_seconds"],
+            "latency_ms": percentiles_ms(steady.latencies),
+            "modeled": extra["modeled"],
+            "batch_size_mean": (
+                float(np.mean(steady.batch_sizes))
+                if steady.batch_sizes
+                else 0.0
+            ),
+            "backends": steady.backends,
+            "plan_cache": cache_stats.to_dict(),
+        },
+        "overload": {
+            "requests": overload.requests,
+            "accepted": overload.accepted,
+            "rejected": overload.rejected,
+            "errors": overload.errors,
+            "verified": overload_verifier.verified,
+            "mismatches": overload_verifier.mismatches,
+        },
+        "silent_failures": silent_failures,
+    }
+
+
+def render_summary(report: dict) -> str:
+    """Human-readable one-screen summary of a bench report."""
+    steady = report["steady"]
+    overload = report["overload"]
+    latency = steady["latency_ms"]
+    cache = steady["plan_cache"]
+    backends = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(
+            steady["backends"].items(), key=lambda kv: -kv[1]
+        )
+    )
+    lines = [
+        "serve-bench",
+        f"  steady    : {steady['accepted']}/{steady['requests']} accepted, "
+        f"{steady['rejected']} shed, {steady['errors']} errors, "
+        f"{steady['throughput_rps']:.0f} req/s",
+        f"  latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
+        f"p99={latency['p99']:.2f} max={latency['max']:.2f}",
+        f"  modeled us: p50={steady['modeled']['p50_us']:.1f} "
+        f"p95={steady['modeled']['p95_us']:.1f} "
+        f"p99={steady['modeled']['p99_us']:.1f}",
+        f"  plan cache: hit_rate={cache['hit_rate']:.1%} "
+        f"({cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['bytes'] / 1024:.0f} KiB)",
+        f"  backends  : {backends or 'none'}",
+        f"  batching  : mean batch {steady['batch_size_mean']:.2f}",
+        f"  overload  : {overload['rejected']}/{overload['requests']} shed "
+        f"(bounded queue), {overload['accepted']} served",
+        f"  verified  : {steady['verified'] + overload['verified']} responses, "
+        f"{report['silent_failures']} silent failures",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point for ``python -m repro serve-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description=(
+            "Drive synthetic Zipf/Poisson traffic through the serving "
+            "layer and record throughput, latency percentiles, plan-cache "
+            "and load-shedding statistics."
+        ),
+    )
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode", choices=("open", "closed"), default="open",
+        help="open-loop Poisson arrivals or closed-loop clients",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=400.0,
+        help="open-loop offered load in requests/second",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop client population",
+    )
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument(
+        "--datasets", default=",".join(DEFAULT_DATASETS),
+        help="comma-separated Table II dataset names",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="dataset downscale factor in (0, 1]",
+    )
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument("--epsilon", type=float, default=0.1)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=64)
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-batch wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-response SciPy oracle cross-check",
+    )
+    parser.add_argument(
+        "--bench-dir", default=None,
+        help="run-record directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true",
+        help="skip writing the BENCH_serve.json run record",
+    )
+    args = parser.parse_args(argv)
+
+    config = BenchConfig(
+        requests=args.requests,
+        seed=args.seed,
+        mode=args.mode,
+        rate=args.rate,
+        concurrency=args.concurrency,
+        dim=args.dim,
+        datasets=tuple(
+            name.strip() for name in args.datasets.split(",") if name.strip()
+        ),
+        scale=args.scale,
+        zipf_s=args.zipf_s,
+        epsilon=args.epsilon,
+        verify=not args.no_verify,
+        service=ServeConfig(
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            n_workers=args.workers,
+            request_timeout=args.timeout,
+        ),
+    )
+
+    with obs.profiled() as session:
+        report = run_bench(config)
+    print(render_summary(report))
+
+    passed = report["silent_failures"] == 0
+    if not args.no_record:
+        record = obs.run_record(
+            "serve",
+            metrics=session.snapshot(),
+            wall_seconds=session.wall_seconds,
+            status="ok" if passed else "silent-failures",
+            extra={"serve": report},
+        )
+        path = obs.write_run_record(record, args.bench_dir)
+        print(f"run record: {path}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

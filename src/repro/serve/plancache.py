@@ -1,0 +1,305 @@
+"""Process-wide, content-addressed merge-path plan cache.
+
+Serving amortizes scheduling the way the paper's *offline* mode does
+(Section III-D), but across requests from many clients: the first request
+against a graph pays for scheduling, every later request — from any
+worker thread — reuses the plan.  Keys are content fingerprints of the
+CSR structure (:meth:`CSRMatrix.fingerprint`), never ``id()``, so two
+loads of the same graph share one plan and a recycled object address can
+never alias a different matrix.
+
+A cached entry is a :class:`CompiledPlan`, not just a schedule: the
+schedule's write segments and per-non-zero segment ids are materialized
+once at build time, so the cached execution path skips both the
+binary-search scheduling *and* the segment flattening that
+:func:`repro.core.spmm.execute_vectorized` redoes per call.
+
+The cache is thread-safe and LRU-bounded both by entry count and by the
+approximate bytes its plans pin, and it publishes hit/miss/eviction
+counters plus entry/byte gauges on ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.core.schedule import MergePathSchedule, schedule_for_cost
+from repro.core.spmm import (
+    _CHUNK_NNZ,
+    _inject_segment_faults,
+    WriteSegments,
+    write_segments,
+)
+from repro.core.thread_mapping import MIN_THREADS, default_merge_path_cost
+from repro.formats import CSRMatrix
+from repro.resilience import faults
+
+
+def _arrays_nbytes(obj) -> int:
+    """Summed ``nbytes`` of every ndarray attribute of ``obj``."""
+    return sum(
+        value.nbytes
+        for value in vars(obj).values()
+        if isinstance(value, np.ndarray)
+    )
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A merge-path schedule compiled for repeated serving execution.
+
+    Attributes:
+        schedule: The merge-path decomposition (reused by the threaded
+            backend and the oracles).
+        segments: The schedule's flattened write segments.
+        segment_ids: Segment id of every non-zero (length ``nnz``).
+        cost: Merge-path cost the plan was built for.
+        min_threads: Small-graph thread floor the plan was built for.
+    """
+
+    schedule: MergePathSchedule
+    segments: WriteSegments = field(repr=False)
+    segment_ids: np.ndarray = field(repr=False)
+    cost: int = 0
+    min_threads: int = MIN_THREADS
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        return self.schedule.matrix
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes (excluding the matrix itself)."""
+        return (
+            _arrays_nbytes(self.schedule)
+            + _arrays_nbytes(self.segments)
+            + self.segment_ids.nbytes
+        )
+
+    def execute(self, dense: np.ndarray) -> np.ndarray:
+        """The cached fast path: segment scatter-adds, no re-scheduling.
+
+        Semantically identical to
+        :func:`repro.core.spmm.execute_vectorized` (including honoring an
+        active :class:`repro.resilience.faults.FaultPlan`), but reuses
+        the precomputed segments and segment ids.
+        """
+        matrix = self.matrix
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+            )
+        segments = self.segments
+        dim = dense.shape[1]
+        seg_sums = np.zeros((segments.n_segments, dim), dtype=np.float64)
+        cp, values = matrix.column_indices, matrix.values
+        for lo in range(0, matrix.nnz, _CHUNK_NNZ):
+            hi = min(lo + _CHUNK_NNZ, matrix.nnz)
+            partial = values[lo:hi, None] * dense[cp[lo:hi]]
+            np.add.at(seg_sums, self.segment_ids[lo:hi], partial)
+
+        plan = faults.active_plan()
+        atomic_applied = segments.atomic
+        if plan is not None:
+            dropped = _inject_segment_faults(plan, seg_sums, segments)
+            atomic_applied = segments.atomic & ~dropped
+
+        output = np.zeros((matrix.n_rows, dim), dtype=np.float64)
+        regular = ~segments.atomic
+        output[segments.rows[regular]] = seg_sums[regular]
+        np.add.at(
+            output, segments.rows[atomic_applied], seg_sums[atomic_applied]
+        )
+        return output
+
+
+def compile_plan(
+    matrix: CSRMatrix, cost: int, min_threads: int = MIN_THREADS
+) -> CompiledPlan:
+    """Build and compile a merge-path plan for ``matrix``."""
+    schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
+    segments = write_segments(schedule)
+    segment_ids = np.repeat(
+        np.arange(segments.n_segments), segments.lengths
+    )
+    return CompiledPlan(
+        schedule=schedule,
+        segments=segments,
+        segment_ids=segment_ids,
+        cost=cost,
+        min_threads=min_threads,
+    )
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """A point-in-time snapshot of plan-cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 when the cache was never hit)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled plans keyed by content.
+
+    Args:
+        capacity: Maximum cached plans; least-recently-used entries are
+            evicted beyond it.
+        max_bytes: Optional bound on the summed :attr:`CompiledPlan.nbytes`
+            of resident plans; eviction drops LRU entries until the
+            budget holds (the most recent plan is always kept).
+
+    A plan build runs under the cache lock, so concurrent workers
+    requesting the same key perform exactly one build and share the
+    resulting plan object.
+    """
+
+    def __init__(
+        self, capacity: int = 256, max_bytes: "int | None" = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[tuple[str, int, int], CompiledPlan]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        matrix: CSRMatrix,
+        cost: "int | None" = None,
+        *,
+        dim: "int | None" = None,
+        min_threads: int = MIN_THREADS,
+    ) -> CompiledPlan:
+        """Return the cached plan for ``matrix``, building it on miss.
+
+        Args:
+            matrix: Sparse input whose structure keys the plan.
+            cost: Merge-path cost (merge items per thread); when omitted
+                it defaults to the paper's tuned value for ``dim``.
+            dim: Dense-operand width used to derive the default cost;
+                required when ``cost`` is omitted.
+            min_threads: Small-graph thread floor (Section III-C).
+        """
+        if cost is None:
+            if dim is None:
+                raise ValueError("pass either cost= or dim=")
+            cost = default_merge_path_cost(dim)
+        key = (matrix.fingerprint(), cost, min_threads)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self._hits += 1
+                obs.counter("serve.plancache.hits").inc()
+                return plan
+            self._misses += 1
+            obs.counter("serve.plancache.misses").inc()
+            with obs.span("serve.plancache.build", cost=cost, nnz=matrix.nnz):
+                plan = compile_plan(matrix, cost, min_threads=min_threads)
+            self._plans[key] = plan
+            self._bytes += plan.nbytes
+            self._evict_locked()
+            self._publish_locked()
+            return plan
+
+    def _evict_locked(self) -> None:
+        while len(self._plans) > self.capacity or (
+            self.max_bytes is not None
+            and self._bytes > self.max_bytes
+            and len(self._plans) > 1
+        ):
+            _, evicted = self._plans.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self._evictions += 1
+            obs.counter("serve.plancache.evictions").inc()
+
+    def _publish_locked(self) -> None:
+        if obs.enabled():
+            obs.gauge("serve.plancache.entries").set(float(len(self._plans)))
+            obs.gauge("serve.plancache.bytes").set(float(self._bytes))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> PlanCacheStats:
+        """Snapshot the cache's hit/miss/eviction/occupancy counters."""
+        with self._lock:
+            return PlanCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._plans),
+                bytes=self._bytes,
+            )
+
+    def clear(self) -> None:
+        """Drop all plans and reset counters."""
+        with self._lock:
+            self._plans.clear()
+            self._bytes = 0
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._publish_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+# ----------------------------------------------------------------------
+# Process-wide default instance
+# ----------------------------------------------------------------------
+_default_cache = PlanCache()
+_default_lock = threading.Lock()
+
+
+def get_plan_cache() -> PlanCache:
+    """The process-wide plan cache shared by serving components."""
+    return _default_cache
+
+
+def set_plan_cache(cache: PlanCache) -> PlanCache:
+    """Install a new process-wide plan cache; returns the previous one."""
+    global _default_cache
+    with _default_lock:
+        previous, _default_cache = _default_cache, cache
+    return previous

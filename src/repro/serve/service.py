@@ -1,0 +1,394 @@
+"""The inference service: bounded queue, micro-batching, load shedding.
+
+:class:`InferenceService` is the request path the ROADMAP's serving story
+needs on top of the one-shot experiment harness:
+
+* **Bounded admission.**  ``submit`` enqueues into a bounded queue; when
+  it is full the request is *rejected immediately* with a ``503``-style
+  :data:`REJECTED` response instead of growing memory without bound.
+* **Dynamic micro-batching.**  Worker threads group queued requests by
+  the full content fingerprint of their adjacency matrix and flush a
+  batch when it reaches ``max_batch`` or the oldest member has waited
+  ``max_wait_ms``.  A batch executes as *one* SpMM — the dense operands
+  are concatenated column-wise (``A @ [X1 | X2 | ...]``), which is
+  exactly how GNN serving amortizes aggregation across users of the same
+  graph — then split back per request.
+* **Adaptive dispatch.**  Each batch runs through an
+  :class:`~repro.serve.dispatch.AdaptiveDispatcher`, so backend choice
+  improves as traffic flows, and any oracle failure degrades to the
+  verified fallback rather than returning a corrupt product.
+* **Timeouts.**  A per-batch wall-clock budget is enforced with
+  :func:`repro.resilience.runtime.call_with_timeout`.
+
+Every stage emits ``repro.obs`` counters and spans (``serve.service.*``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
+from repro.serve.dispatch import AdaptiveDispatcher
+from repro.serve.plancache import PlanCache
+
+OK = "ok"
+REJECTED = "rejected"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one :class:`InferenceService`.
+
+    Attributes:
+        max_queue: Admission bound; requests beyond it are shed.
+        max_batch: Micro-batch flush size.
+        max_wait_ms: Micro-batch flush deadline, measured from the oldest
+            batched request's enqueue time.
+        n_workers: Batch-executing worker threads.
+        request_timeout: Per-batch wall-clock budget in seconds
+            (``None`` disables; see :mod:`repro.resilience.runtime`).
+        verify: Cross-check every batch output against the independent
+            reference before replying (failures degrade to the verified
+            fallback inside the dispatcher).
+    """
+
+    max_queue: int = 64
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+    n_workers: int = 2
+    request_timeout: "float | None" = None
+    verify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """Reply to one inference request.
+
+    Attributes:
+        request_id: Monotonic id assigned at submission.
+        status: ``"ok"``, ``"rejected"`` (load shed at admission), or
+            ``"error"`` (batch timeout or unexpected executor failure).
+        output: The product for this request's operand (``None`` unless
+            ``ok``).
+        backend: Dispatcher backend that served the batch.
+        fallback_used: Whether the verified fallback produced the output.
+        batch_size: Number of requests that shared the execution.
+        queue_seconds: Admission-to-execution wait.
+        service_seconds: Batch execution wall time.
+        error: Failure description for non-``ok`` statuses.
+    """
+
+    request_id: int
+    status: str
+    output: "np.ndarray | None" = field(default=None, repr=False)
+    backend: "str | None" = None
+    fallback_used: bool = False
+    batch_size: int = 0
+    queue_seconds: float = 0.0
+    service_seconds: float = 0.0
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def rejected(self) -> bool:
+        return self.status == REJECTED
+
+
+@dataclass
+class _Pending:
+    request_id: int
+    matrix: CSRMatrix
+    dense: np.ndarray
+    key: str
+    enqueued_at: float
+    future: "Future[ServeResponse]"
+
+
+class InferenceService:
+    """A multi-worker, micro-batching GNN aggregation service.
+
+    Args:
+        dispatcher: Backend dispatcher; a default
+            :class:`AdaptiveDispatcher` is built when omitted.
+        config: Queueing/batching tunables.
+        plan_cache: Plan cache handed to a default dispatcher.
+
+    Use as a context manager (``with InferenceService() as svc``) or call
+    :meth:`start`/:meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        dispatcher: "AdaptiveDispatcher | None" = None,
+        config: "ServeConfig | None" = None,
+        *,
+        plan_cache: "PlanCache | None" = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.dispatcher = dispatcher or AdaptiveDispatcher(
+            plan_cache=plan_cache
+        )
+        self._cond = threading.Condition()
+        self._queue: "deque[_Pending]" = deque()
+        self._workers: list[threading.Thread] = []
+        self._closed = False
+        self._started = False
+        self._ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        """Spawn the worker pool (idempotent)."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._started:
+                return self
+            self._started = True
+        for i in range(self.config.n_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, matrix: CSRMatrix, dense: np.ndarray
+    ) -> "Future[ServeResponse]":
+        """Enqueue one aggregation request ``matrix @ dense``.
+
+        Returns a future that resolves to a :class:`ServeResponse`.  When
+        the bounded queue is full the future resolves *immediately* with
+        a ``rejected`` response — explicit load shedding, never unbounded
+        growth.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError(
+                f"dense operand must be 2-D, got shape {dense.shape}"
+            )
+        if dense.shape[0] != matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+            )
+        request_id = next(self._ids)
+        future: "Future[ServeResponse]" = Future()
+        obs.counter("serve.service.submitted").inc()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if not self._started:
+                raise RuntimeError("service is not started")
+            if len(self._queue) >= self.config.max_queue:
+                obs.counter("serve.service.rejected").inc()
+                future.set_result(
+                    ServeResponse(
+                        request_id=request_id,
+                        status=REJECTED,
+                        error=(
+                            f"queue full ({len(self._queue)} pending, "
+                            f"bound {self.config.max_queue})"
+                        ),
+                    )
+                )
+                return future
+            pending = _Pending(
+                request_id=request_id,
+                matrix=matrix,
+                dense=dense,
+                key=matrix.fingerprint(include_values=True),
+                enqueued_at=time.monotonic(),
+                future=future,
+            )
+            self._queue.append(pending)
+            obs.counter("serve.service.accepted").inc()
+            self._cond.notify()
+        return future
+
+    def infer(
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        timeout: "float | None" = None,
+    ) -> ServeResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(matrix, dense).result(timeout=timeout)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._gather_batch()
+            if batch is None:
+                return
+            self._execute_batch(batch)
+
+    def _gather_batch(self) -> "list[_Pending] | None":
+        """Collect one fingerprint-homogeneous batch (or ``None`` to exit).
+
+        Takes the oldest queued request as the batch head, then keeps
+        pulling same-key requests until the batch is full or the head has
+        waited ``max_wait_ms``; the condition variable is released while
+        waiting so other workers keep draining other keys.
+        """
+        max_wait = self.config.max_wait_ms / 1000.0
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait(timeout=0.1)
+            head = self._queue.popleft()
+            batch = [head]
+            deadline = head.enqueued_at + max_wait
+            while len(batch) < self.config.max_batch:
+                self._take_matching(batch)
+                if len(batch) >= self.config.max_batch:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(timeout=min(remaining, 0.01))
+            return batch
+
+    def _take_matching(self, batch: "list[_Pending]") -> None:
+        """Move queued requests with the batch head's key into ``batch``."""
+        key = batch[0].key
+        kept: "deque[_Pending]" = deque()
+        while self._queue:
+            pending = self._queue.popleft()
+            if pending.key == key and len(batch) < self.config.max_batch:
+                batch.append(pending)
+            else:
+                kept.append(pending)
+        self._queue.extend(kept)
+
+    def _execute_batch(self, batch: "list[_Pending]") -> None:
+        matrix = batch[0].matrix
+        started = time.monotonic()
+        queue_waits = [started - p.enqueued_at for p in batch]
+        widths = [p.dense.shape[1] for p in batch]
+        stacked = (
+            np.hstack([p.dense for p in batch])
+            if len(batch) > 1
+            else batch[0].dense
+        )
+        obs.counter("serve.service.batches").inc()
+        obs.histogram("serve.service.batch_size").observe(float(len(batch)))
+        try:
+            with obs.span(
+                "serve.service.batch",
+                batch_size=len(batch),
+                nnz=matrix.nnz,
+                dim=int(stacked.shape[1]),
+            ):
+                result = call_with_timeout(
+                    lambda: self.dispatcher.execute(
+                        matrix,
+                        stacked,
+                        # Key plans/bandit arms by the per-request width so
+                        # batch size never fragments the plan cache.
+                        plan_dim=widths[0],
+                        verify=self.config.verify,
+                    ),
+                    self.config.request_timeout,
+                )
+        except ExperimentTimeoutError as exc:
+            self._fail_batch(batch, queue_waits, started, f"timeout: {exc}")
+            return
+        except Exception as exc:  # dispatcher already absorbed backend faults
+            self._fail_batch(
+                batch, queue_waits, started, f"{type(exc).__name__}: {exc}"
+            )
+            return
+        service_seconds = time.monotonic() - started
+        obs.histogram("serve.service.latency_seconds").observe(service_seconds)
+        offset = 0
+        for pending, wait, width in zip(batch, queue_waits, widths):
+            output = result.output[:, offset : offset + width]
+            offset += width
+            obs.counter("serve.service.completed").inc()
+            pending.future.set_result(
+                ServeResponse(
+                    request_id=pending.request_id,
+                    status=OK,
+                    output=output,
+                    backend=result.backend,
+                    fallback_used=result.fallback_used,
+                    batch_size=len(batch),
+                    queue_seconds=wait,
+                    service_seconds=service_seconds,
+                )
+            )
+
+    def _fail_batch(
+        self,
+        batch: "list[_Pending]",
+        queue_waits: "list[float]",
+        started: float,
+        error: str,
+    ) -> None:
+        service_seconds = time.monotonic() - started
+        obs.counter("serve.service.errors").inc(len(batch))
+        for pending, wait in zip(batch, queue_waits):
+            pending.future.set_result(
+                ServeResponse(
+                    request_id=pending.request_id,
+                    status=ERROR,
+                    batch_size=len(batch),
+                    queue_seconds=wait,
+                    service_seconds=service_seconds,
+                    error=error,
+                )
+            )

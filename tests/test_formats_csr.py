@@ -226,3 +226,43 @@ class TestStrictValidation:
             np.empty(0, dtype=np.float64),
             0, 0, strict=True,
         )
+
+
+class TestFingerprint:
+    def test_identical_structure_identical_fingerprint(self, dense_small):
+        a = CSRMatrix.from_dense(dense_small)
+        b = CSRMatrix.from_dense(dense_small.copy())
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_structure_different_fingerprint(self, csr_small):
+        other = CSRMatrix.from_dense(np.eye(csr_small.n_rows))
+        assert csr_small.fingerprint() != other.fingerprint()
+
+    def test_shape_is_part_of_the_key(self):
+        # Same (empty) arrays, different logical shapes.
+        a = CSRMatrix.from_dense(np.zeros((2, 3)))
+        b = CSRMatrix.from_dense(np.zeros((2, 4)))
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_values_excluded_by_default(self, dense_small):
+        a = CSRMatrix.from_dense(dense_small)
+        scaled = CSRMatrix.from_dense(dense_small * 2.0)
+        assert a.fingerprint() == scaled.fingerprint()
+        assert a.fingerprint(include_values=True) != scaled.fingerprint(
+            include_values=True
+        )
+
+    def test_include_values_matches_for_equal_values(self, dense_small):
+        a = CSRMatrix.from_dense(dense_small)
+        b = CSRMatrix.from_dense(dense_small.copy())
+        assert a.fingerprint(include_values=True) == b.fingerprint(
+            include_values=True
+        )
+
+    def test_fingerprint_is_cached(self, csr_small):
+        first = csr_small.fingerprint()
+        assert csr_small.fingerprint() is first
+        valued = csr_small.fingerprint(include_values=True)
+        assert csr_small.fingerprint(include_values=True) is valued
+        assert valued != first

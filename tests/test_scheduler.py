@@ -1,8 +1,11 @@
 """Unit tests for online/offline schedule caching (Section III-D)."""
 
+import threading
+
 import pytest
 
 from repro.core import ScheduleCache, SchedulingMode
+from repro.formats import CSRMatrix
 
 
 class TestScheduleCache:
@@ -57,3 +60,61 @@ class TestScheduleCache:
     def test_schedule_is_valid(self, small_power_law):
         cache = ScheduleCache()
         cache.get(small_power_law, 20).validate()
+
+    def test_content_keying_shares_across_objects(self, small_power_law):
+        # Two distinct objects with identical structure must share one
+        # schedule — keys are content fingerprints, never id().
+        clone = CSRMatrix(
+            n_rows=small_power_law.n_rows,
+            n_cols=small_power_law.n_cols,
+            row_pointers=small_power_law.row_pointers.copy(),
+            column_indices=small_power_law.column_indices.copy(),
+            values=small_power_law.values.copy(),
+        )
+        cache = ScheduleCache()
+        first = cache.get(small_power_law, 20)
+        second = cache.get(clone, 20)
+        assert first is second
+        assert cache.schedule_computations == 1
+
+    def test_lru_bound_evicts_oldest(self, small_power_law):
+        cache = ScheduleCache(max_entries=2)
+        cache.get(small_power_law, 10)
+        cache.get(small_power_law, 20)
+        cache.get(small_power_law, 40)
+        assert cache.entries == 2
+        assert cache.evictions == 1
+        # The evicted cost-10 schedule must be recomputed on next get.
+        cache.get(small_power_law, 10)
+        assert cache.schedule_computations == 4
+
+    def test_unbounded_when_max_entries_none(self, small_power_law):
+        cache = ScheduleCache(max_entries=None)
+        for cost in (5, 10, 20, 40, 80):
+            cache.get(small_power_law, cost)
+        assert cache.entries == 5
+        assert cache.evictions == 0
+
+    def test_concurrent_gets_compute_once(self, small_power_law):
+        # Regression: racing workers must not duplicate the scheduling
+        # work or observe distinct schedule objects for one key.
+        cache = ScheduleCache()
+        schedules, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    schedules.append(cache.get(small_power_law, 20))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.schedule_computations == 1
+        assert all(schedule is schedules[0] for schedule in schedules)

@@ -1,0 +1,223 @@
+"""Unit tests for adaptive backend dispatch (bandit + verified fallback)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience import faults
+from repro.serve.dispatch import (
+    AdaptiveDispatcher,
+    Backend,
+    default_backends,
+)
+from repro.serve.plancache import PlanCache
+
+
+def _correct_backend(name, delay=0.0):
+    def run(matrix, dense, plans, plan_dim):
+        if delay:
+            time.sleep(delay)
+        return matrix.multiply_dense(dense)
+
+    return Backend(name, run)
+
+
+def _crashing_backend(name):
+    def run(matrix, dense, plans, plan_dim):
+        raise RuntimeError("backend exploded")
+
+    return Backend(name, run)
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate backend names"):
+            AdaptiveDispatcher(
+                [_correct_backend("a"), _correct_backend("a")],
+                plan_cache=PlanCache(),
+            )
+
+    def test_epsilon_range(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            AdaptiveDispatcher(plan_cache=PlanCache(), epsilon=1.5)
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(ValueError, match="at least one backend"):
+            AdaptiveDispatcher([], plan_cache=PlanCache())
+
+
+class TestModeledPrior:
+    def test_finite_for_modeled_kernel(self, small_power_law):
+        dispatcher = AdaptiveDispatcher(plan_cache=PlanCache())
+        vectorized = dispatcher.backends[0]
+        prior = dispatcher.modeled_microseconds(small_power_law, 16, vectorized)
+        assert np.isfinite(prior) and prior > 0
+
+    def test_infinite_without_kernel(self, small_power_law):
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("unmodeled")], plan_cache=PlanCache()
+        )
+        prior = dispatcher.modeled_microseconds(
+            small_power_law, 16, dispatcher.backends[0]
+        )
+        assert prior == float("inf")
+
+    def test_prior_ranks_before_any_measurement(self, small_power_law):
+        dispatcher = AdaptiveDispatcher(plan_cache=PlanCache(), epsilon=0.0)
+        best = dispatcher.best(small_power_law, 16)
+        priors = [
+            dispatcher.modeled_microseconds(small_power_law, 16, b)
+            for b in dispatcher.backends
+        ]
+        assert best.name == dispatcher.backends[int(np.argmin(priors))].name
+
+
+class TestRiggedLatencies:
+    def test_best_tracks_rigged_table(self, small_power_law):
+        """With a rigged measured-latency table the greedy arm is exact."""
+        backends = [
+            _correct_backend("slow"),
+            _correct_backend("fastest"),
+            _correct_backend("medium"),
+        ]
+        dispatcher = AdaptiveDispatcher(
+            backends, plan_cache=PlanCache(), epsilon=0.0
+        )
+        rigged = {"slow": 0.5, "fastest": 0.001, "medium": 0.05}
+        for name, seconds in rigged.items():
+            dispatcher.record(small_power_law, 8, name, seconds)
+        assert dispatcher.best(small_power_law, 8).name == "fastest"
+        # The table is per (structure, dim): a different dim is unmeasured.
+        rigged_32 = {"slow": 0.001, "fastest": 0.5, "medium": 0.05}
+        for name, seconds in rigged_32.items():
+            dispatcher.record(small_power_law, 32, name, seconds)
+        assert dispatcher.best(small_power_law, 32).name == "slow"
+        assert dispatcher.best(small_power_law, 8).name == "fastest"
+
+    def test_epsilon_greedy_converges_to_fastest(self, small_power_law, rng):
+        """Exploration discovers, then exploitation locks onto, the fast arm."""
+        backends = [
+            _correct_backend("slow", delay=0.004),
+            _correct_backend("fast", delay=0.0),
+        ]
+        dispatcher = AdaptiveDispatcher(
+            backends, plan_cache=PlanCache(), epsilon=0.3, seed=7
+        )
+        dense = rng.random((small_power_law.n_cols, 8))
+        for _ in range(40):
+            result = dispatcher.execute(small_power_law, dense)
+            assert np.allclose(
+                result.output, small_power_law.multiply_dense(dense)
+            )
+        assert dispatcher.best(small_power_law, 8).name == "fast"
+        # Exploitation now serves the fast arm.
+        tail = [
+            dispatcher.execute(small_power_law, dense) for _ in range(10)
+        ]
+        exploited = [r.backend for r in tail if not r.explored]
+        assert exploited and all(name == "fast" for name in exploited)
+
+    def test_ewma_prefers_recent_samples(self, small_power_law):
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("only")], plan_cache=PlanCache(), ewma_alpha=0.5
+        )
+        dispatcher.record(small_power_law, 8, "only", 1.0)
+        dispatcher.record(small_power_law, 8, "only", 0.0)
+        # 1.0 then 0.0 at alpha=0.5 -> 0.5, not the mean-of-history 0.5...
+        # a third fast sample keeps pulling the estimate down.
+        dispatcher.record(small_power_law, 8, "only", 0.0)
+        scores = dispatcher._scores(small_power_law, 8)
+        assert scores[0] == pytest.approx(0.25)
+
+
+class TestExploration:
+    def test_epsilon_one_always_explores(self, small_power_law, rng):
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("a"), _correct_backend("b")],
+            plan_cache=PlanCache(),
+            epsilon=1.0,
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        assert all(
+            dispatcher.execute(small_power_law, dense).explored
+            for _ in range(5)
+        )
+
+    def test_epsilon_zero_never_explores(self, small_power_law, rng):
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("a"), _correct_backend("b")],
+            plan_cache=PlanCache(),
+            epsilon=0.0,
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        assert not any(
+            dispatcher.execute(small_power_law, dense).explored
+            for _ in range(5)
+        )
+
+
+class TestVerifiedFallback:
+    def test_crashing_backend_degrades_to_verified(self, small_power_law, rng):
+        dispatcher = AdaptiveDispatcher(
+            [_crashing_backend("bad")], plan_cache=PlanCache(), epsilon=0.0
+        )
+        dense = rng.random((small_power_law.n_cols, 8))
+        result = dispatcher.execute(small_power_law, dense)
+        assert result.fallback_used
+        assert "backend exploded" in result.detected
+        assert np.allclose(
+            result.output, small_power_law.multiply_dense(dense)
+        )
+
+    def test_fault_injection_still_returns_correct_result(
+        self, small_power_law, rng
+    ):
+        """A FaultPlan corrupting the cached plan path must not escape.
+
+        With ``verify=True`` the output oracle catches the bit flips and
+        the dispatcher degrades to the verified fallback, so the caller
+        still receives the correct product.
+        """
+        vectorized = default_backends()[0]
+        dispatcher = AdaptiveDispatcher(
+            [vectorized], plan_cache=PlanCache(), epsilon=0.0
+        )
+        dense = rng.random((small_power_law.n_cols, 8))
+        reference = small_power_law.multiply_dense(dense)
+        with faults.inject(bitflip=1.0) as plan:
+            result = dispatcher.execute(small_power_law, dense, verify=True)
+        assert plan.total_injected > 0
+        assert result.fallback_used
+        assert result.detected is not None
+        assert np.allclose(result.output, reference)
+
+    def test_fallback_latency_charged_to_arm(self, small_power_law, rng):
+        dispatcher = AdaptiveDispatcher(
+            [_crashing_backend("bad")], plan_cache=PlanCache(), epsilon=0.0
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        dispatcher.execute(small_power_law, dense)
+        scores = dispatcher._scores(small_power_law, 4)
+        assert np.isfinite(scores[0]) and scores[0] > 0
+
+
+class TestStockBackends:
+    def test_all_stock_backends_agree(self, small_power_law, rng):
+        dense = rng.random((small_power_law.n_cols, 8))
+        reference = small_power_law.multiply_dense(dense)
+        plans = PlanCache()
+        for backend in default_backends():
+            output = backend.run(small_power_law, dense, plans, 8)
+            assert np.allclose(output, reference), backend.name
+
+    def test_plan_dim_keys_plan_not_batch_width(self, small_power_law, rng):
+        """Batched widths reuse the plan keyed on the per-request dim."""
+        plans = PlanCache()
+        vectorized = default_backends()[0]
+        single = rng.random((small_power_law.n_cols, 8))
+        batched = rng.random((small_power_law.n_cols, 24))
+        vectorized.run(small_power_law, single, plans, 8)
+        vectorized.run(small_power_law, batched, plans, 8)
+        stats = plans.stats()
+        assert (stats.hits, stats.misses) == (1, 1)

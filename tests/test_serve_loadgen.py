@@ -1,0 +1,180 @@
+"""Tests for the serving load generator and ``serve-bench`` CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import (
+    BenchConfig,
+    main,
+    percentiles_ms,
+    render_summary,
+    run_bench,
+    zipf_weights,
+)
+from repro.serve.service import ServeConfig
+
+
+def _tiny_config(**overrides):
+    defaults = dict(
+        requests=30,
+        seed=0,
+        mode="open",
+        rate=2000.0,
+        dim=8,
+        datasets=("Cora", "Citeseer"),
+        scale=0.1,
+        overload_requests=16,
+        service=ServeConfig(max_queue=64, max_batch=4, max_wait_ms=1.0),
+    )
+    defaults.update(overrides)
+    return BenchConfig(**defaults)
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(6, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_skew_increases_head_mass(self):
+        assert zipf_weights(4, 2.0)[0] > zipf_weights(4, 0.5)[0]
+
+
+class TestPercentiles:
+    def test_empty_sample(self):
+        stats = percentiles_ms([])
+        assert stats == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+        }
+
+    def test_ordering(self):
+        stats = percentiles_ms([0.001 * i for i in range(1, 101)])
+        assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]
+        assert stats["p50"] == pytest.approx(50.5)
+
+
+class TestBenchConfig:
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            _tiny_config(mode="sideways")
+
+    def test_rejects_empty_datasets(self):
+        with pytest.raises(ValueError, match="dataset"):
+            _tiny_config(datasets=())
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(_tiny_config())
+
+    def test_counts_balance(self, report):
+        steady = report["steady"]
+        assert steady["requests"] == 30
+        assert (
+            steady["accepted"] + steady["rejected"] + steady["errors"] == 30
+        )
+        assert steady["errors"] == 0
+
+    def test_no_silent_failures(self, report):
+        assert report["silent_failures"] == 0
+        assert report["steady"]["mismatches"] == 0
+        assert report["overload"]["mismatches"] == 0
+        # Verification actually ran for every accepted response.
+        assert report["steady"]["verified"] == report["steady"]["accepted"]
+
+    def test_overload_sheds(self, report):
+        overload = report["overload"]
+        assert overload["requests"] == 16
+        assert overload["rejected"] >= 1
+        assert overload["accepted"] + overload["rejected"] + overload[
+            "errors"
+        ] == 16
+
+    def test_plan_cache_consistent(self, report):
+        # At most one plan per graph structure (cost is fixed by dim);
+        # whether the cache sees traffic depends on which backends the
+        # bandit picked, so only consistency is asserted here.
+        cache = report["steady"]["plan_cache"]
+        assert cache["misses"] <= 2
+        assert cache["entries"] == cache["misses"] - cache["evictions"]
+
+    def test_plan_cache_exercised_under_exploration(self):
+        # epsilon=1.0 forces pure exploration, so the plan-backed
+        # backends (vectorized, threaded) are guaranteed traffic and the
+        # repeated Zipf-hot structures must hit the cache.
+        report = run_bench(
+            _tiny_config(
+                epsilon=1.0,
+                service=ServeConfig(
+                    max_queue=64, max_batch=1, max_wait_ms=0.0
+                ),
+            )
+        )
+        cache = report["steady"]["plan_cache"]
+        assert cache["hits"] > 0
+        assert 0 < cache["misses"] <= 2
+        assert report["silent_failures"] == 0
+
+    def test_modeled_percentiles_deterministic(self, report):
+        modeled = run_bench(_tiny_config())["steady"]["modeled"]
+        assert modeled == report["steady"]["modeled"]
+        assert (
+            modeled["p50_us"] <= modeled["p95_us"] <= modeled["p99_us"]
+        )
+
+    def test_render_summary_mentions_key_stats(self, report):
+        text = render_summary(report)
+        assert "plan cache" in text
+        assert "silent failures" in text
+
+    def test_closed_loop_mode(self):
+        report = run_bench(_tiny_config(mode="closed", concurrency=4))
+        steady = report["steady"]
+        assert steady["accepted"] == 30
+        assert steady["rejected"] == 0
+        assert report["silent_failures"] == 0
+
+
+class TestCli:
+    def test_main_writes_run_record(self, tmp_path):
+        bench_dir = tmp_path / "records"
+        code = main(
+            [
+                "--requests", "20",
+                "--seed", "0",
+                "--rate", "2000",
+                "--dim", "8",
+                "--datasets", "Cora,Citeseer",
+                "--scale", "0.1",
+                "--max-wait-ms", "1.0",
+                "--bench-dir", str(bench_dir),
+            ]
+        )
+        assert code == 0
+        records = list(bench_dir.glob("BENCH_serve.json"))
+        assert len(records) == 1
+        payload = json.loads(records[0].read_text())
+        assert payload["schema"] == "repro.obs.run/1"
+        assert payload["status"] == "ok"
+        serve = payload["serve"]
+        assert serve["silent_failures"] == 0
+        assert serve["overload"]["rejected"] >= 1
+
+    def test_main_no_record(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "--requests", "5",
+                "--rate", "2000",
+                "--dim", "8",
+                "--datasets", "Cora",
+                "--scale", "0.1",
+                "--no-record",
+                "--no-verify",
+            ]
+        )
+        assert code == 0
+        assert not list(tmp_path.rglob("BENCH_serve.json"))

@@ -1,0 +1,139 @@
+"""Unit tests for the serving plan cache (content keys, LRU, threads)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.serve.plancache import (
+    PlanCache,
+    compile_plan,
+    get_plan_cache,
+    set_plan_cache,
+)
+
+
+def _clone(matrix: CSRMatrix) -> CSRMatrix:
+    """A structurally identical matrix in fresh arrays (distinct id)."""
+    return CSRMatrix(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        row_pointers=matrix.row_pointers.copy(),
+        column_indices=matrix.column_indices.copy(),
+        values=matrix.values.copy(),
+    )
+
+
+class TestCompiledPlan:
+    def test_execute_matches_reference(self, small_power_law, rng):
+        dense = rng.random((small_power_law.n_cols, 8))
+        plan = compile_plan(small_power_law, cost=20)
+        assert np.allclose(
+            plan.execute(dense), small_power_law.multiply_dense(dense)
+        )
+
+    def test_dimension_mismatch_rejected(self, small_power_law):
+        plan = compile_plan(small_power_law, cost=20)
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            plan.execute(np.zeros((small_power_law.n_cols + 1, 4)))
+
+    def test_nbytes_positive(self, small_power_law):
+        assert compile_plan(small_power_law, cost=20).nbytes > 0
+
+
+class TestPlanCache:
+    def test_content_keyed_hit(self, small_power_law):
+        cache = PlanCache(capacity=8)
+        first = cache.get(small_power_law, cost=20)
+        second = cache.get(_clone(small_power_law), cost=20)
+        assert first is second
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_default_cost_from_dim(self, small_power_law):
+        cache = PlanCache(capacity=8)
+        assert cache.get(small_power_law, dim=16) is cache.get(
+            small_power_law, dim=16
+        )
+
+    def test_requires_cost_or_dim(self, small_power_law):
+        with pytest.raises(ValueError, match="cost= or dim="):
+            PlanCache().get(small_power_law)
+
+    def test_lru_eviction_by_capacity(self, small_power_law):
+        cache = PlanCache(capacity=2)
+        cache.get(small_power_law, cost=10)
+        cache.get(small_power_law, cost=20)
+        cache.get(small_power_law, cost=40)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.evictions == 1
+        # The oldest entry (cost 10) was evicted; re-fetching it misses.
+        cache.get(small_power_law, cost=10)
+        assert cache.stats().misses == 4
+
+    def test_byte_bound_eviction(self, small_power_law):
+        cache = PlanCache(capacity=64, max_bytes=1)
+        cache.get(small_power_law, cost=10)
+        cache.get(small_power_law, cost=20)
+        stats = cache.stats()
+        # The newest plan is always retained even over budget.
+        assert stats.entries == 1
+        assert stats.evictions == 1
+
+    def test_byte_accounting_balances(self, small_power_law):
+        cache = PlanCache(capacity=1)
+        cache.get(small_power_law, cost=10)
+        cache.get(small_power_law, cost=20)
+        plan = cache.get(small_power_law, cost=20)
+        assert cache.stats().bytes == plan.nbytes
+
+    def test_clear_resets(self, small_power_law):
+        cache = PlanCache()
+        cache.get(small_power_law, cost=20)
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.entries, stats.bytes) == (
+            0, 0, 0, 0,
+        )
+
+    def test_hit_rate(self, small_power_law):
+        cache = PlanCache()
+        cache.get(small_power_law, cost=20)
+        cache.get(small_power_law, cost=20)
+        cache.get(small_power_law, cost=20)
+        assert cache.stats().hit_rate == pytest.approx(2 / 3)
+
+    def test_concurrent_access_single_build(self, small_power_law):
+        cache = PlanCache(capacity=8)
+        plans, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    plans.append(cache.get(small_power_law, cost=20))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert cache.stats().misses == 1
+        assert all(plan is plans[0] for plan in plans)
+
+
+class TestProcessWideCache:
+    def test_set_and_restore(self):
+        replacement = PlanCache(capacity=4)
+        previous = set_plan_cache(replacement)
+        try:
+            assert get_plan_cache() is replacement
+        finally:
+            set_plan_cache(previous)
+        assert get_plan_cache() is previous

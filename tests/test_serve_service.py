@@ -1,0 +1,232 @@
+"""Unit tests for the batching inference service (queueing, shedding)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.dispatch import AdaptiveDispatcher, Backend
+from repro.serve.plancache import PlanCache
+from repro.serve.service import InferenceService, ServeConfig
+
+
+def _service(config=None, backends=None, **dispatcher_kwargs):
+    dispatcher = AdaptiveDispatcher(
+        backends,
+        plan_cache=PlanCache(),
+        epsilon=0.0,
+        **dispatcher_kwargs,
+    )
+    return InferenceService(dispatcher, config)
+
+
+def _slow_backend(delay):
+    def run(matrix, dense, plans, plan_dim):
+        time.sleep(delay)
+        return matrix.multiply_dense(dense)
+
+    return Backend("slow", run)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue": 0},
+            {"max_batch": 0},
+            {"max_wait_ms": -1.0},
+            {"n_workers": 0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+
+class TestRequestPath:
+    def test_infer_matches_reference(self, small_power_law, rng):
+        dense = rng.random((small_power_law.n_cols, 8))
+        with _service() as service:
+            response = service.infer(small_power_law, dense, timeout=10.0)
+        assert response.ok
+        assert response.backend is not None
+        assert response.batch_size >= 1
+        assert np.allclose(
+            response.output, small_power_law.multiply_dense(dense)
+        )
+
+    def test_many_requests_all_correct(
+        self, small_power_law, small_structured, rng
+    ):
+        graphs = [small_power_law, small_structured]
+        requests = [
+            (graphs[i % 2], rng.random((graphs[i % 2].n_cols, 4)))
+            for i in range(24)
+        ]
+        with _service() as service:
+            futures = [service.submit(m, d) for m, d in requests]
+            responses = [f.result(timeout=10.0) for f in futures]
+        for (matrix, dense), response in zip(requests, responses):
+            assert response.ok
+            assert np.allclose(response.output, matrix.multiply_dense(dense))
+
+    def test_rejects_bad_operand_shapes(self, small_power_law):
+        with _service() as service:
+            with pytest.raises(ValueError, match="2-D"):
+                service.submit(
+                    small_power_law, np.zeros(small_power_law.n_cols)
+                )
+            with pytest.raises(ValueError, match="dimension mismatch"):
+                service.submit(
+                    small_power_law,
+                    np.zeros((small_power_law.n_cols + 3, 4)),
+                )
+
+
+class TestBatching:
+    def test_same_graph_requests_share_a_batch(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=64, max_batch=4, max_wait_ms=100.0, n_workers=1
+        )
+        operands = [rng.random((small_power_law.n_cols, 4)) for _ in range(4)]
+        with _service(config) as service:
+            futures = [
+                service.submit(small_power_law, dense) for dense in operands
+            ]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert all(r.ok for r in responses)
+        # All four were queued before the worker's first flush deadline,
+        # so at least one flush served multiple requests.
+        assert max(r.batch_size for r in responses) >= 2
+        # Distinct operands must come back unscrambled after the split.
+        for dense, response in zip(operands, responses):
+            assert np.allclose(
+                response.output, small_power_law.multiply_dense(dense)
+            )
+
+    def test_distinct_graphs_never_share_a_batch(
+        self, small_power_law, small_structured, rng
+    ):
+        config = ServeConfig(
+            max_queue=64, max_batch=8, max_wait_ms=100.0, n_workers=1
+        )
+        with _service(config) as service:
+            futures = [
+                service.submit(
+                    matrix, rng.random((matrix.n_cols, 4))
+                )
+                for matrix in (small_power_law, small_structured) * 3
+            ]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert all(r.ok for r in responses)
+        assert max(r.batch_size for r in responses) <= 3
+
+    def test_max_batch_bounds_flush(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=64, max_batch=2, max_wait_ms=200.0, n_workers=1
+        )
+        with _service(config) as service:
+            futures = [
+                service.submit(
+                    small_power_law, rng.random((small_power_law.n_cols, 4))
+                )
+                for _ in range(6)
+            ]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert all(r.ok for r in responses)
+        assert max(r.batch_size for r in responses) <= 2
+
+
+class TestLoadShedding:
+    def test_overload_sheds_with_rejected_status(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=1, max_batch=1, max_wait_ms=0.0, n_workers=1
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service(config, backends=[_slow_backend(0.05)]) as service:
+            futures = [
+                service.submit(small_power_law, dense) for _ in range(16)
+            ]
+            responses = [f.result(timeout=30.0) for f in futures]
+        rejected = [r for r in responses if r.rejected]
+        accepted = [r for r in responses if r.ok]
+        assert rejected, "burst past the bound must shed"
+        assert accepted, "shedding must not starve accepted work"
+        for response in rejected:
+            assert "queue full" in response.error
+            assert response.output is None
+        for response in accepted:
+            assert np.allclose(
+                response.output, small_power_law.multiply_dense(dense)
+            )
+
+    def test_rejected_future_resolves_immediately(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=1, max_batch=1, max_wait_ms=0.0, n_workers=1
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service(config, backends=[_slow_backend(0.2)]) as service:
+            futures = [
+                service.submit(small_power_law, dense) for _ in range(8)
+            ]
+            shed = [f for f in futures if f.done()]
+            # At least one rejection resolved synchronously at submit time.
+            assert any(f.result().rejected for f in shed)
+            for future in futures:
+                future.result(timeout=30.0)
+
+
+class TestTimeouts:
+    def test_slow_batch_times_out_as_error(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=8, max_batch=1, max_wait_ms=0.0, n_workers=1,
+            request_timeout=0.05,
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service(config, backends=[_slow_backend(1.0)]) as service:
+            response = service.infer(small_power_law, dense, timeout=30.0)
+        assert response.status == "error"
+        assert "timeout" in response.error
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self, small_power_law, rng):
+        service = _service()
+        with pytest.raises(RuntimeError, match="not started"):
+            service.submit(
+                small_power_law, rng.random((small_power_law.n_cols, 4))
+            )
+
+    def test_submit_after_close_raises(self, small_power_law, rng):
+        service = _service().start()
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(
+                small_power_law, rng.random((small_power_law.n_cols, 4))
+            )
+
+    def test_close_drains_pending_requests(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=64, max_batch=2, max_wait_ms=0.0, n_workers=1
+        )
+        service = _service(config, backends=[_slow_backend(0.01)]).start()
+        futures = [
+            service.submit(
+                small_power_law, rng.random((small_power_law.n_cols, 4))
+            )
+            for _ in range(6)
+        ]
+        service.close()
+        responses = [f.result(timeout=0.0) for f in futures]
+        assert all(r.ok for r in responses)
+        assert service.queue_depth == 0
+
+    def test_start_is_idempotent(self, small_power_law, rng):
+        with _service() as service:
+            service.start()
+            response = service.infer(
+                small_power_law,
+                rng.random((small_power_law.n_cols, 4)),
+                timeout=10.0,
+            )
+        assert response.ok
