@@ -14,7 +14,10 @@ Entries are keyed on :meth:`CSRMatrix.fingerprint` — a content hash of the
 CSR structure — so identical graphs loaded twice share one schedule and a
 garbage-collected matrix can never alias a live one, and the cache is
 safe to hit from the serving layer's concurrent workers
-(:mod:`repro.serve`).
+(:mod:`repro.serve`).  A hit from a same-structure matrix with
+*different values* is rebound to the requesting matrix
+(:meth:`MergePathSchedule.rebind`), so executors always compute with the
+caller's values while the schedule arrays stay shared.
 """
 
 from __future__ import annotations
@@ -97,7 +100,10 @@ class ScheduleCache:
             if schedule is not None:
                 self._cache.move_to_end(key)
                 obs.counter("core.scheduler.cache_hits").inc()
-                return schedule
+                # The cached schedule may have been built from a
+                # same-structure matrix with different values; rebind so
+                # executors compute with the *caller's* values.
+                return schedule.rebind(matrix)
             obs.counter("core.scheduler.cache_misses").inc()
             started = time.perf_counter()
             schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -164,6 +165,12 @@ class AdaptiveDispatcher:
         seed: Seed for the exploration RNG (pins the choice sequence).
         device: Modeled GPU for the prior; defaults to the paper's
             Quadro RTX 6000.
+        max_entries: LRU bound on retained per-``(structure fingerprint,
+            dim, backend)`` bandit arms and modeled priors.  A
+            long-running service seeing an unbounded stream of distinct
+            graphs would otherwise grow these maps without limit even
+            though the plan cache itself is bounded; evicted workloads
+            simply re-measure on their next appearance.
 
     All state is guarded by one lock; `choose`/`record`/`execute` are
     safe to call from concurrent serve workers.
@@ -178,11 +185,14 @@ class AdaptiveDispatcher:
         ewma_alpha: float = 0.3,
         seed: int = 0,
         device=None,
+        max_entries: int = 4096,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.backends = (
             tuple(backends) if backends is not None else default_backends()
         )
@@ -194,11 +204,16 @@ class AdaptiveDispatcher:
         self.plan_cache = plan_cache if plan_cache is not None else get_plan_cache()
         self.epsilon = epsilon
         self.ewma_alpha = ewma_alpha
+        self.max_entries = max_entries
         self._rng = np.random.default_rng(seed)
         self._device = device
         self._lock = threading.RLock()
-        self._arms: dict[tuple[str, int, str], _ArmStats] = {}
-        self._priors: dict[tuple[str, int, str], float] = {}
+        self._arms: "OrderedDict[tuple[str, int, str], _ArmStats]" = (
+            OrderedDict()
+        )
+        self._priors: "OrderedDict[tuple[str, int, str], float]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Prior: modeled kernel cycles
@@ -214,8 +229,9 @@ class AdaptiveDispatcher:
         key = (matrix.fingerprint(), dim, backend.name)
         with self._lock:
             cached = self._priors.get(key)
-        if cached is not None:
-            return cached
+            if cached is not None:
+                self._priors.move_to_end(key)
+                return cached
         if backend.kernel is None:
             prior = float("inf")
         else:
@@ -229,6 +245,9 @@ class AdaptiveDispatcher:
                 prior = float("inf")
         with self._lock:
             self._priors[key] = prior
+            self._priors.move_to_end(key)
+            while len(self._priors) > self.max_entries:
+                self._priors.popitem(last=False)
         return prior
 
     # ------------------------------------------------------------------
@@ -240,12 +259,18 @@ class AdaptiveDispatcher:
         """Fold one measured latency into the backend's running estimate."""
         key = (matrix.fingerprint(), dim, backend_name)
         with self._lock:
-            arm = self._arms.setdefault(key, _ArmStats())
+            arm = self._arms.get(key)
+            if arm is None:
+                arm = self._arms[key] = _ArmStats()
+            else:
+                self._arms.move_to_end(key)
             if arm.count == 0:
                 arm.ewma = seconds
             else:
                 arm.ewma += self.ewma_alpha * (seconds - arm.ewma)
             arm.count += 1
+            while len(self._arms) > self.max_entries:
+                self._arms.popitem(last=False)
         obs.histogram("serve.dispatch.latency_seconds", backend=backend_name).observe(
             seconds
         )

@@ -6,7 +6,10 @@ against a graph pays for scheduling, every later request — from any
 worker thread — reuses the plan.  Keys are content fingerprints of the
 CSR structure (:meth:`CSRMatrix.fingerprint`), never ``id()``, so two
 loads of the same graph share one plan and a recycled object address can
-never alias a different matrix.
+never alias a different matrix.  A hit from a same-structure matrix with
+*different values* is rebound to the requesting matrix
+(:meth:`CompiledPlan.rebind`) before it is returned, so a cached plan
+never computes with another matrix's values.
 
 A cached entry is a :class:`CompiledPlan`, not just a schedule: the
 schedule's write segments and per-non-zero segment ids are materialized
@@ -23,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -80,6 +83,20 @@ class CompiledPlan:
             + _arrays_nbytes(self.segments)
             + self.segment_ids.nbytes
         )
+
+    def rebind(self, matrix: CSRMatrix) -> "CompiledPlan":
+        """This plan bound to ``matrix``'s values.
+
+        Plans are shared structurally, but :meth:`execute` computes with
+        ``self.matrix.values``; rebinding swaps in the caller's matrix
+        (sharing every precomputed array) so a cached plan never computes
+        with another same-structure matrix's values.  Returns ``self``
+        when ``matrix`` already carries the same values.
+        """
+        schedule = self.schedule.rebind(matrix)
+        if schedule is self.schedule:
+            return self
+        return replace(self, schedule=schedule)
 
     def execute(self, dense: np.ndarray) -> np.ndarray:
         """The cached fast path: segment scatter-adds, no re-scheduling.
@@ -229,7 +246,10 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 self._hits += 1
                 obs.counter("serve.plancache.hits").inc()
-                return plan
+                # A structural hit may come from a same-structure matrix
+                # with different values; rebind so the plan executes with
+                # the *caller's* values.
+                return plan.rebind(matrix)
             self._misses += 1
             obs.counter("serve.plancache.misses").inc()
             with obs.span("serve.plancache.build", cost=cost, nnz=matrix.nnz):

@@ -7,12 +7,14 @@ needs on top of the one-shot experiment harness:
   it is full the request is *rejected immediately* with a ``503``-style
   :data:`REJECTED` response instead of growing memory without bound.
 * **Dynamic micro-batching.**  Worker threads group queued requests by
-  the full content fingerprint of their adjacency matrix and flush a
-  batch when it reaches ``max_batch`` or the oldest member has waited
-  ``max_wait_ms``.  A batch executes as *one* SpMM — the dense operands
-  are concatenated column-wise (``A @ [X1 | X2 | ...]``), which is
-  exactly how GNN serving amortizes aggregation across users of the same
-  graph — then split back per request.
+  the full content fingerprint of their adjacency matrix *and* their
+  feature width, and flush a batch when it reaches ``max_batch`` or the
+  oldest member has waited ``max_wait_ms``.  A batch executes as *one*
+  SpMM — the dense operands are concatenated column-wise
+  (``A @ [X1 | X2 | ...]``), which is exactly how GNN serving amortizes
+  aggregation across users of the same graph — then split back per
+  request (each reply owns its output; nothing aliases the shared batch
+  result).
 * **Adaptive dispatch.**  Each batch runs through an
   :class:`~repro.serve.dispatch.AdaptiveDispatcher`, so backend choice
   improves as traffic flows, and any oracle failure degrades to the
@@ -124,7 +126,9 @@ class _Pending:
     request_id: int
     matrix: CSRMatrix
     dense: np.ndarray
-    key: str
+    # (full content fingerprint, feature width): only requests that share
+    # both the matrix values and the dense width may batch together.
+    key: "tuple[str, int]"
     enqueued_at: float
     future: "Future[ServeResponse]"
 
@@ -242,7 +246,7 @@ class InferenceService:
                 request_id=request_id,
                 matrix=matrix,
                 dense=dense,
-                key=matrix.fingerprint(include_values=True),
+                key=(matrix.fingerprint(include_values=True), dense.shape[1]),
                 enqueued_at=time.monotonic(),
                 future=future,
             )
@@ -318,7 +322,9 @@ class InferenceService:
         matrix = batch[0].matrix
         started = time.monotonic()
         queue_waits = [started - p.enqueued_at for p in batch]
-        widths = [p.dense.shape[1] for p in batch]
+        # The batching key includes the feature width, so every member
+        # shares one width and the stacked result splits evenly.
+        width = batch[0].dense.shape[1]
         stacked = (
             np.hstack([p.dense for p in batch])
             if len(batch) > 1
@@ -339,7 +345,7 @@ class InferenceService:
                         stacked,
                         # Key plans/bandit arms by the per-request width so
                         # batch size never fragments the plan cache.
-                        plan_dim=widths[0],
+                        plan_dim=width,
                         verify=self.config.verify,
                     ),
                     self.config.request_timeout,
@@ -354,10 +360,15 @@ class InferenceService:
             return
         service_seconds = time.monotonic() - started
         obs.histogram("serve.service.latency_seconds").observe(service_seconds)
-        offset = 0
-        for pending, wait, width in zip(batch, queue_waits, widths):
-            output = result.output[:, offset : offset + width]
-            offset += width
+        for i, (pending, wait) in enumerate(zip(batch, queue_waits)):
+            if len(batch) == 1:
+                # The whole result belongs to this request — no copy.
+                output = result.output
+            else:
+                # Copy the slice: a view into the stacked batch result
+                # would let one client's mutation corrupt another's reply
+                # and pin the full batch array for every response.
+                output = result.output[:, i * width : (i + 1) * width].copy()
             obs.counter("serve.service.completed").inc()
             pending.future.set_result(
                 ServeResponse(

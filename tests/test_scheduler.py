@@ -2,10 +2,23 @@
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.core import ScheduleCache, SchedulingMode
+from repro.core.spmm import execute_vectorized
 from repro.formats import CSRMatrix
+
+
+def _with_values(matrix: CSRMatrix, values: np.ndarray) -> CSRMatrix:
+    """Same structure as ``matrix``, different non-zero values."""
+    return CSRMatrix(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        row_pointers=matrix.row_pointers.copy(),
+        column_indices=matrix.column_indices.copy(),
+        values=values,
+    )
 
 
 class TestScheduleCache:
@@ -76,6 +89,28 @@ class TestScheduleCache:
         second = cache.get(clone, 20)
         assert first is second
         assert cache.schedule_computations == 1
+
+    def test_hit_rebinds_to_callers_values(self, small_power_law, rng):
+        # Regression: a structural hit from a same-structure matrix with
+        # *different* values must execute with the caller's values, not
+        # the build-time matrix's.
+        doubled = _with_values(small_power_law, small_power_law.values * 2.0)
+        cache = ScheduleCache()
+        cache.get(small_power_law, 20)
+        schedule = cache.get(doubled, 20)
+        assert cache.schedule_computations == 1  # still shared structurally
+        assert schedule.matrix is doubled
+        dense = rng.random((doubled.n_cols, 4))
+        output, _ = execute_vectorized(schedule, dense)
+        assert np.allclose(output, doubled.multiply_dense(dense))
+
+    def test_rebind_rejects_structural_mismatch(
+        self, small_power_law, small_structured
+    ):
+        cache = ScheduleCache()
+        schedule = cache.get(small_power_law, 20)
+        with pytest.raises(ValueError, match="structurally different"):
+            schedule.rebind(small_structured)
 
     def test_lru_bound_evicts_oldest(self, small_power_law):
         cache = ScheduleCache(max_entries=2)

@@ -46,6 +46,40 @@ class TestValidation:
         with pytest.raises(ValueError, match="at least one backend"):
             AdaptiveDispatcher([], plan_cache=PlanCache())
 
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            AdaptiveDispatcher(plan_cache=PlanCache(), max_entries=0)
+
+
+class TestStateBounds:
+    def test_arms_lru_bounded(self, small_power_law):
+        # Regression: a long-running service seeing many distinct
+        # workloads must not grow bandit state without bound.
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("only")], plan_cache=PlanCache(), max_entries=4
+        )
+        for dim in range(1, 21):
+            dispatcher.record(small_power_law, dim, "only", 0.01)
+        assert len(dispatcher._arms) == 4
+
+    def test_priors_lru_bounded(self, small_power_law):
+        dispatcher = AdaptiveDispatcher(plan_cache=PlanCache(), max_entries=4)
+        vectorized = dispatcher.backends[0]
+        for dim in range(1, 21):
+            dispatcher.modeled_microseconds(small_power_law, dim, vectorized)
+        assert len(dispatcher._priors) == 4
+
+    def test_eviction_only_drops_oldest_estimates(self, small_power_law):
+        # The most recently touched arm survives eviction pressure.
+        dispatcher = AdaptiveDispatcher(
+            [_correct_backend("only")], plan_cache=PlanCache(), max_entries=2
+        )
+        dispatcher.record(small_power_law, 8, "only", 0.5)
+        for dim in (16, 32, 64):
+            dispatcher.record(small_power_law, dim, "only", 0.01)
+            dispatcher.record(small_power_law, 8, "only", 0.5)
+        assert (small_power_law.fingerprint(), 8, "only") in dispatcher._arms
+
 
 class TestModeledPrior:
     def test_finite_for_modeled_kernel(self, small_power_law):

@@ -51,6 +51,30 @@ class TestPlanCache:
         stats = cache.stats()
         assert (stats.hits, stats.misses) == (1, 1)
 
+    def test_hit_rebinds_to_callers_values(self, small_power_law, rng):
+        # Regression: PlanCache keys on structure, but a cached plan must
+        # never execute with another same-structure matrix's values.
+        doubled = CSRMatrix(
+            n_rows=small_power_law.n_rows,
+            n_cols=small_power_law.n_cols,
+            row_pointers=small_power_law.row_pointers.copy(),
+            column_indices=small_power_law.column_indices.copy(),
+            values=small_power_law.values * 2.0,
+        )
+        cache = PlanCache(capacity=8)
+        cache.get(small_power_law, cost=20)
+        plan = cache.get(doubled, cost=20)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)  # structural hit
+        assert plan.matrix is doubled
+        dense = rng.random((doubled.n_cols, 8))
+        assert np.allclose(plan.execute(dense), doubled.multiply_dense(dense))
+        # The original matrix's plan is unaffected by the rebind.
+        original = cache.get(small_power_law, cost=20)
+        assert np.allclose(
+            original.execute(dense), small_power_law.multiply_dense(dense)
+        )
+
     def test_default_cost_from_dim(self, small_power_law):
         cache = PlanCache(capacity=8)
         assert cache.get(small_power_law, dim=16) is cache.get(

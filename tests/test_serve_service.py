@@ -121,6 +121,52 @@ class TestBatching:
         assert all(r.ok for r in responses)
         assert max(r.batch_size for r in responses) <= 3
 
+    def test_distinct_widths_never_share_a_batch(self, small_power_law, rng):
+        # Regression: batching must key on the feature width too — mixing
+        # widths in one batch keys the plan and bandit arm on an
+        # arbitrary member's width and skews the latency stats.
+        config = ServeConfig(
+            max_queue=64, max_batch=8, max_wait_ms=100.0, n_workers=1
+        )
+        operands = [
+            rng.random((small_power_law.n_cols, width))
+            for width in (4, 8, 4, 8)
+        ]
+        with _service(config) as service:
+            futures = [
+                service.submit(small_power_law, dense) for dense in operands
+            ]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert all(r.ok for r in responses)
+        # Two requests of each width: a batch can hold at most both
+        # same-width requests, never a mixed pair.
+        assert max(r.batch_size for r in responses) <= 2
+        for dense, response in zip(operands, responses):
+            assert response.output.shape[1] == dense.shape[1]
+            assert np.allclose(
+                response.output, small_power_law.multiply_dense(dense)
+            )
+
+    def test_batched_outputs_are_isolated(self, small_power_law, rng):
+        # Regression: split outputs must own their data — a view into the
+        # shared stacked batch result lets one client's in-place mutation
+        # corrupt another client's reply.
+        config = ServeConfig(
+            max_queue=64, max_batch=4, max_wait_ms=100.0, n_workers=1
+        )
+        operands = [rng.random((small_power_law.n_cols, 4)) for _ in range(4)]
+        with _service(config) as service:
+            futures = [
+                service.submit(small_power_law, dense) for dense in operands
+            ]
+            responses = [f.result(timeout=10.0) for f in futures]
+        assert max(r.batch_size for r in responses) >= 2
+        responses[0].output[:] = 0.0
+        for dense, response in zip(operands[1:], responses[1:]):
+            assert np.allclose(
+                response.output, small_power_law.multiply_dense(dense)
+            )
+
     def test_max_batch_bounds_flush(self, small_power_law, rng):
         config = ServeConfig(
             max_queue=64, max_batch=2, max_wait_ms=200.0, n_workers=1
