@@ -8,6 +8,11 @@ Subcommands:
 * ``chaos`` — run the fault-injection matrix and report detection
   coverage (exit 1 on any silent failure); see
   :mod:`repro.resilience.chaos` and ``docs/ROBUSTNESS.md``.
+* ``chaos-serve`` — inject faults (persistent backend exceptions,
+  worker-thread crashes, bit-flipped accumulators, corrupted request
+  matrices, expired deadlines) into a live serving stack under Poisson
+  load and verify the failure-domain guards catch every one; see
+  :mod:`repro.resilience.chaos_serve`.
 * ``serve-bench`` — drive synthetic Zipf/Poisson traffic through the
   serving layer and record throughput, latency percentiles, plan-cache
   and load-shedding statistics; see :mod:`repro.serve.loadgen` and
@@ -31,6 +36,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.resilience.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "chaos-serve":
+        from repro.resilience.chaos_serve import main as chaos_serve_main
+
+        return chaos_serve_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         from repro.serve.loadgen import main as serve_main
 

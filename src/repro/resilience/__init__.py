@@ -16,7 +16,12 @@ The safety net the reproduction's correctness claims rest on:
 * :mod:`repro.resilience.checkpoint` — JSON checkpoint/resume for
   experiment batches;
 * :mod:`repro.resilience.chaos` — the full injection matrix behind
-  ``python -m repro chaos``, reporting detection coverage.
+  ``python -m repro chaos``, reporting detection coverage;
+* :mod:`repro.resilience.chaos_serve` — the *serving* chaos matrix
+  behind ``python -m repro chaos-serve``: faults injected into a live
+  :class:`~repro.serve.service.InferenceService` under Poisson load,
+  exercising circuit breakers, worker supervision, deadlines and the
+  health surface.
 
 Submodules are imported lazily so that hot paths (the executors consult
 :func:`faults.active_plan` on every run) pull in only the fault-hook
@@ -56,10 +61,14 @@ _EXPORTS = {
     # chaos
     "ChaosReport": "repro.resilience.chaos",
     "run_chaos_matrix": "repro.resilience.chaos",
+    # chaos_serve
+    "ServeChaosReport": "repro.resilience.chaos_serve",
+    "run_serve_chaos": "repro.resilience.chaos_serve",
 }
 
 __all__ = sorted(_EXPORTS) + [
-    "chaos", "checkpoint", "corruption", "faults", "oracles", "runtime",
+    "chaos", "chaos_serve", "checkpoint", "corruption", "faults",
+    "oracles", "runtime",
 ]
 
 

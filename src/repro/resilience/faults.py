@@ -51,6 +51,11 @@ class FaultPlan:
             zero that unit's contribution, the GPU model halts that warp,
             the multicore simulator halts that core mid-trace.  ``None``
             disables the fault.
+        crash_worker: Probability that a serving worker thread is killed
+            outright before executing its gathered batch (consulted by
+            :class:`~repro.serve.service.InferenceService`'s worker
+            loop, *outside* the per-batch error handler, so the crash
+            exercises the supervisor's restart path).
     """
 
     def __init__(
@@ -59,14 +64,20 @@ class FaultPlan:
         drop_atomic: float = 0.0,
         bitflip: float = 0.0,
         fail_unit: "int | None" = None,
+        crash_worker: float = 0.0,
     ) -> None:
-        for name, prob in (("drop_atomic", drop_atomic), ("bitflip", bitflip)):
+        for name, prob in (
+            ("drop_atomic", drop_atomic),
+            ("bitflip", bitflip),
+            ("crash_worker", crash_worker),
+        ):
             if not 0.0 <= prob <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {prob}")
         self.seed = seed
         self.drop_atomic = drop_atomic
         self.bitflip = bitflip
         self.fail_unit = fail_unit
+        self.crash_worker = crash_worker
         self.rng = np.random.default_rng(seed)
         self.injected: dict[str, int] = {}
         self.detected: dict[str, int] = {}
@@ -100,10 +111,20 @@ class FaultPlan:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def should_crash_worker(self) -> bool:
+        """Roll the worker-crash fault (and account for it when it fires)."""
+        if self.crash_worker <= 0.0:
+            return False
+        if self.rng.random() >= self.crash_worker:
+            return False
+        self.note_injected("worker-crash")
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultPlan(seed={self.seed}, drop_atomic={self.drop_atomic}, "
-            f"bitflip={self.bitflip}, fail_unit={self.fail_unit})"
+            f"bitflip={self.bitflip}, fail_unit={self.fail_unit}, "
+            f"crash_worker={self.crash_worker})"
         )
 
 

@@ -4,13 +4,17 @@ Pure-Python building blocks with injectable clocks so tests run in
 milliseconds:
 
 * :func:`call_with_timeout` — run a callable with a wall-clock budget,
-  raising :class:`ExperimentTimeoutError` when it is exhausted;
-* :func:`retry_with_backoff` — bounded retry with exponential backoff.
+  raising :class:`ExperimentTimeoutError` when it is exhausted; workers
+  abandoned past the budget stay visible through the
+  ``resilience.harness.abandoned_workers`` gauge;
+* :func:`retry_with_backoff` — bounded retry with exponential backoff
+  and optional deterministic jitter.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import threading
 import time
 from typing import Callable, TypeVar
 
@@ -33,6 +37,10 @@ def call_with_timeout(
     be killed, so the abandoned worker may keep running in the background
     until its current experiment finishes — the harness records the
     timeout and moves on, which is the graceful-degradation contract.
+    Every abandonment increments the
+    ``resilience.harness.abandoned_workers`` gauge, and the gauge drops
+    back when the abandoned call eventually finishes, so a leak of
+    stuck workers is visible in ``obs-report`` instead of silent.
 
     Args:
         fn: Zero-argument callable.
@@ -42,19 +50,37 @@ def call_with_timeout(
         return fn()
     if timeout <= 0:
         raise ValueError(f"timeout must be positive, got {timeout}")
-    with concurrent.futures.ThreadPoolExecutor(max_workers=1) as pool:
-        future = pool.submit(fn)
+    state_lock = threading.Lock()
+    state = {"abandoned": False, "finished": False}
+
+    def tracked() -> T:
         try:
-            return future.result(timeout=timeout)
-        except concurrent.futures.TimeoutError:
-            future.cancel()
-            obs.counter("resilience.harness.timeouts").inc()
-            raise ExperimentTimeoutError(
-                f"call exceeded its {timeout:g}s wall-clock budget"
-            ) from None
+            return fn()
         finally:
-            # Don't block harness shutdown on an abandoned worker.
-            pool.shutdown(wait=False, cancel_futures=True)
+            with state_lock:
+                state["finished"] = True
+                if state["abandoned"]:
+                    obs.gauge("resilience.harness.abandoned_workers").add(-1)
+
+    # No ``with``: the context manager's exit joins worker threads, which
+    # would block the caller on the very worker it just abandoned.
+    pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    future = pool.submit(tracked)
+    try:
+        return future.result(timeout=timeout)
+    except concurrent.futures.TimeoutError:
+        future.cancel()
+        with state_lock:
+            if not state["finished"]:
+                state["abandoned"] = True
+                obs.gauge("resilience.harness.abandoned_workers").add(1)
+        obs.counter("resilience.harness.timeouts").inc()
+        raise ExperimentTimeoutError(
+            f"call exceeded its {timeout:g}s wall-clock budget"
+        ) from None
+    finally:
+        # Don't block harness shutdown on an abandoned worker.
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def retry_with_backoff(
@@ -63,6 +89,8 @@ def retry_with_backoff(
     attempts: int = 3,
     base_delay: float = 0.5,
     factor: float = 2.0,
+    jitter: float = 0.0,
+    rng: "Callable[[], float] | None" = None,
     retry_on: tuple = (Exception,),
     sleep: Callable[[float], None] = time.sleep,
     on_retry: "Callable[[int, BaseException], None] | None" = None,
@@ -74,6 +102,16 @@ def retry_with_backoff(
         attempts: Total attempts (>= 1); the last failure propagates.
         base_delay: Sleep before the first retry, in seconds.
         factor: Backoff multiplier per retry (delay = base * factor^k).
+        jitter: Fractional jitter applied to each delay: a draw ``u``
+            from ``rng`` scales the delay by ``1 + jitter * (2u - 1)``,
+            i.e. uniformly within ``±jitter``.  Desynchronizes workers
+            that fail simultaneously so they don't retry in lockstep.
+            The default ``0.0`` keeps delays bit-identical to the
+            un-jittered schedule.
+        rng: Uniform ``[0, 1)`` sampler used for jitter; defaults to a
+            private seeded generator so retry schedules stay
+            deterministic (inject your own for shared or test-pinned
+            sequences).
         retry_on: Exception types worth retrying; anything else
             propagates immediately.
         sleep: Clock injection point for tests.
@@ -85,6 +123,12 @@ def retry_with_backoff(
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+    if jitter and rng is None:
+        import random
+
+        rng = random.Random(0).random
     for attempt in range(attempts):
         try:
             return fn()
@@ -94,5 +138,8 @@ def retry_with_backoff(
             obs.counter("resilience.harness.retries").inc()
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(base_delay * factor**attempt)
+            delay = base_delay * factor**attempt
+            if jitter:
+                delay *= 1.0 + jitter * (2.0 * rng() - 1.0)
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

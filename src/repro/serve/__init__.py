@@ -4,26 +4,49 @@ The ROADMAP's request path on top of the one-shot experiment harness:
 
 * :mod:`repro.serve.service` — :class:`InferenceService`: bounded
   admission with explicit load shedding, dynamic micro-batching by graph
-  content fingerprint, a multi-worker execution pool, per-batch
-  timeouts.
+  content fingerprint, a supervised multi-worker execution pool,
+  per-request deadlines and per-batch timeouts, and a
+  ``HEALTHY/DEGRADED/UNHEALTHY`` health surface.
 * :mod:`repro.serve.plancache` — :class:`PlanCache`: a process-wide,
   thread-safe, LRU-bounded cache of :class:`CompiledPlan` objects keyed
   by CSR content fingerprints.
 * :mod:`repro.serve.dispatch` — :class:`AdaptiveDispatcher`: modeled
   kernel cycles as the prior, epsilon-greedy refinement from measured
-  latencies, forced fallback to the verified executor on any oracle
-  failure.
+  latencies, per-backend circuit breakers, forced fallback to the
+  verified executor on any oracle failure (the ``verified-floor`` when
+  every breaker is open).
+* :mod:`repro.serve.guard` — :class:`CircuitBreaker` and
+  :class:`WorkerSupervisor`, the failure-domain guards.
+* :mod:`repro.serve.health` — the pure health-evaluation rules behind
+  :meth:`InferenceService.health`.
 * :mod:`repro.serve.loadgen` — open/closed-loop synthetic traffic and
   the ``python -m repro serve-bench`` subcommand.
 
-See ``docs/SERVING.md`` for the architecture tour.
+See ``docs/SERVING.md`` for the architecture tour and
+``docs/ROBUSTNESS.md`` for the failure-domain model.
 """
 
 from repro.serve.dispatch import (
+    FLOOR_BACKEND,
     AdaptiveDispatcher,
     Backend,
     DispatchResult,
     default_backends,
+)
+from repro.serve.guard import (
+    BreakerConfig,
+    CircuitBreaker,
+    WorkerPoolExhausted,
+    WorkerSupervisor,
+)
+from repro.serve.health import (
+    DEGRADED,
+    HEALTHY,
+    UNHEALTHY,
+    HealthCause,
+    HealthPolicy,
+    HealthReport,
+    evaluate_health,
 )
 from repro.serve.plancache import (
     CompiledPlan,
@@ -42,15 +65,27 @@ from repro.serve.service import (
 __all__ = [
     "AdaptiveDispatcher",
     "Backend",
+    "BreakerConfig",
+    "CircuitBreaker",
     "CompiledPlan",
+    "DEGRADED",
     "DispatchResult",
+    "FLOOR_BACKEND",
+    "HEALTHY",
+    "HealthCause",
+    "HealthPolicy",
+    "HealthReport",
     "InferenceService",
     "PlanCache",
     "PlanCacheStats",
     "ServeConfig",
     "ServeResponse",
+    "UNHEALTHY",
+    "WorkerPoolExhausted",
+    "WorkerSupervisor",
     "compile_plan",
     "default_backends",
+    "evaluate_health",
     "get_plan_cache",
     "set_plan_cache",
 ]

@@ -15,7 +15,15 @@ per ``(graph structure, feature dim)`` workload:
   backends compete on a common scale;
 * any backend exception or output-oracle failure triggers a forced
   fallback to :func:`repro.resilience.oracles.verified_spmm`, so a
-  dispatched request always returns a verified product.
+  dispatched request always returns a verified product;
+* each backend sits behind a per-backend
+  :class:`~repro.serve.guard.CircuitBreaker`: a backend that fails
+  persistently is *tripped* out of the bandit arm set entirely (no
+  request reaches it while its breaker is open), probed again after a
+  cooldown, and re-admitted once the probes succeed.  When every breaker
+  is open the dispatcher serves from the always-available
+  **verified floor** (:func:`verified_spmm` under the name
+  ``verified-floor``).
 """
 
 from __future__ import annotations
@@ -38,9 +46,14 @@ from repro.baselines import (
 from repro.core.parallel import execute_parallel
 from repro.formats import CSRMatrix
 from repro.resilience.oracles import check_output, verified_spmm
+from repro.serve.guard import BreakerConfig, CircuitBreaker
 from repro.serve.plancache import PlanCache, get_plan_cache
 
 BackendFn = Callable[[CSRMatrix, np.ndarray, PlanCache, int], np.ndarray]
+
+# Reported as the backend name when every breaker is open and the
+# verified fallback is the only executor left standing.
+FLOOR_BACKEND = "verified-floor"
 
 
 @dataclass(frozen=True)
@@ -171,6 +184,10 @@ class AdaptiveDispatcher:
             graphs would otherwise grow these maps without limit even
             though the plan cache itself is bounded; evicted workloads
             simply re-measure on their next appearance.
+        breaker_config: Per-backend circuit-breaker thresholds; defaults
+            to :class:`~repro.serve.guard.BreakerConfig`.
+        breaker_clock: Monotonic clock handed to the breakers (test
+            injection point for cooldown control).
 
     All state is guarded by one lock; `choose`/`record`/`execute` are
     safe to call from concurrent serve workers.
@@ -186,6 +203,8 @@ class AdaptiveDispatcher:
         seed: int = 0,
         device=None,
         max_entries: int = 4096,
+        breaker_config: "BreakerConfig | None" = None,
+        breaker_clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
@@ -214,6 +233,30 @@ class AdaptiveDispatcher:
         self._priors: "OrderedDict[tuple[str, int, str], float]" = (
             OrderedDict()
         )
+        self.breaker_config = breaker_config or BreakerConfig()
+        self._breakers = {
+            backend.name: CircuitBreaker(
+                backend.name, self.breaker_config, clock=breaker_clock
+            )
+            for backend in self.backends
+        }
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def breaker(self, backend_name: str) -> CircuitBreaker:
+        """The breaker guarding one backend (KeyError for unknown names)."""
+        return self._breakers[backend_name]
+
+    def breaker_states(self) -> "dict[str, str]":
+        """Backend name -> breaker state, for health reports."""
+        return {name: b.state for name, b in self._breakers.items()}
+
+    def open_breakers(self) -> "list[str]":
+        """Backends currently tripped out of the arm set."""
+        return [
+            name for name, b in self._breakers.items() if b.state == "open"
+        ]
 
     # ------------------------------------------------------------------
     # Prior: modeled kernel cycles
@@ -275,7 +318,12 @@ class AdaptiveDispatcher:
             seconds
         )
 
-    def _scores(self, matrix: CSRMatrix, dim: int) -> list[float]:
+    def _scores(
+        self,
+        matrix: CSRMatrix,
+        dim: int,
+        backends: "tuple[Backend, ...] | list[Backend] | None" = None,
+    ) -> list[float]:
         """Comparable per-backend scores (seconds-equivalent, lower wins).
 
         Measured backends score their latency EWMA.  Unmeasured backends
@@ -284,10 +332,12 @@ class AdaptiveDispatcher:
         cancels once any real sample exists; before any sample, the raw
         prior ranks (all scores share the modeled unit).
         """
+        if backends is None:
+            backends = self.backends
         fp = matrix.fingerprint()
-        priors = [self.modeled_microseconds(matrix, dim, b) for b in self.backends]
+        priors = [self.modeled_microseconds(matrix, dim, b) for b in backends]
         with self._lock:
-            arms = [self._arms.get((fp, dim, b.name)) for b in self.backends]
+            arms = [self._arms.get((fp, dim, b.name)) for b in backends]
             ratios = [
                 arm.ewma / prior
                 for arm, prior in zip(arms, priors)
@@ -304,24 +354,48 @@ class AdaptiveDispatcher:
                 for arm, prior in zip(arms, priors)
             ]
 
-    def best(self, matrix: CSRMatrix, dim: int) -> Backend:
+    def best(
+        self,
+        matrix: CSRMatrix,
+        dim: int,
+        backends: "list[Backend] | None" = None,
+    ) -> Backend:
         """The current exploitation choice (no exploration roll)."""
-        scores = self._scores(matrix, dim)
+        candidates = list(backends) if backends is not None else list(self.backends)
+        scores = self._scores(matrix, dim, candidates)
         finite = [s for s in scores if np.isfinite(s)]
         if not finite:
-            return self.backends[0]
-        return self.backends[int(np.argmin(scores))]
+            return candidates[0]
+        return candidates[int(np.argmin(scores))]
 
-    def choose(self, matrix: CSRMatrix, dim: int) -> "tuple[Backend, bool]":
-        """Pick a backend; returns ``(backend, explored)``."""
-        with self._lock:
-            explore = self._rng.random() < self.epsilon
-            if explore:
-                backend = self.backends[
-                    int(self._rng.integers(len(self.backends)))
-                ]
-                return backend, True
-        return self.best(matrix, dim), False
+    def choose(
+        self, matrix: CSRMatrix, dim: int
+    ) -> "tuple[Backend | None, bool]":
+        """Pick a backend; returns ``(backend, explored)``.
+
+        Backends whose breaker is open are removed from the arm set;
+        half-open backends compete for their limited probe slots.
+        Returns ``(None, False)`` when no backend is admissible — the
+        caller must serve from the verified floor.
+        """
+        candidates = [
+            b for b in self.backends if self._breakers[b.name].available()
+        ]
+        while candidates:
+            with self._lock:
+                explore = self._rng.random() < self.epsilon
+                if explore:
+                    backend = candidates[
+                        int(self._rng.integers(len(candidates)))
+                    ]
+            if not explore:
+                backend = self.best(matrix, dim, candidates)
+            # allow() consumes a half-open probe slot; a candidate that
+            # lost the probe race drops out and the choice reruns.
+            if self._breakers[backend.name].allow():
+                return backend, explore
+            candidates.remove(backend)
+        return None, False
 
     # ------------------------------------------------------------------
     # Execution
@@ -353,6 +427,22 @@ class AdaptiveDispatcher:
         dense = np.asarray(dense, dtype=np.float64)
         dim = plan_dim if plan_dim is not None else dense.shape[1]
         backend, explored = self.choose(matrix, dim)
+        if backend is None:
+            # Every breaker is open: serve from the verified floor.  The
+            # floor is never tripped — it IS the recovery path.
+            obs.counter("serve.dispatch.floor").inc()
+            started = time.perf_counter()
+            output = verified_spmm(matrix, dense, rtol=rtol, atol=atol).output
+            seconds = time.perf_counter() - started
+            return DispatchResult(
+                output=output,
+                backend=FLOOR_BACKEND,
+                fallback_used=True,
+                detected="all circuit breakers open",
+                latency_seconds=seconds,
+                explored=False,
+            )
+        breaker = self._breakers[backend.name]
         obs.counter("serve.dispatch.requests", backend=backend.name).inc()
         detected: "str | None" = None
         fallback_used = False
@@ -368,7 +458,10 @@ class AdaptiveDispatcher:
             detected = f"{type(exc).__name__}: {exc}"
             fallback_used = True
             obs.counter("serve.dispatch.fallbacks", backend=backend.name).inc()
+            breaker.record_failure()
             output = verified_spmm(matrix, dense, rtol=rtol, atol=atol).output
+        else:
+            breaker.record_success()
         seconds = time.perf_counter() - started
         # Fallback latency is charged to the chosen arm on purpose: a
         # misbehaving backend must look expensive to the bandit.

@@ -1,0 +1,252 @@
+"""Service health states: ``HEALTHY`` / ``DEGRADED`` / ``UNHEALTHY``.
+
+:func:`evaluate_health` is a *pure* function from a service snapshot
+(queue depth, supervisor state, breaker states, deadline-miss window) to
+a :class:`HealthReport` with machine-readable :class:`HealthCause`
+entries, so the rules are unit-testable without threads.  The service
+itself exposes it as :meth:`InferenceService.health
+<repro.serve.service.InferenceService.health>`, and the load generator
+and ``serve-bench``/``chaos-serve`` reports embed the result.
+
+Severity model:
+
+* **UNHEALTHY** — the service cannot do real work: it is closed, the
+  worker pool is dead or its restart budget is exhausted, or *every*
+  dispatch backend's breaker is open (only the verified floor remains).
+* **DEGRADED** — serving, but impaired: some (not all) breakers open or
+  probing, recent worker crashes/restarts, queue near saturation, or a
+  deadline-miss rate above threshold.
+* **HEALTHY** — none of the above.
+
+Each evaluation sets the ``serve.health.severity`` gauge
+(0 = healthy, 1 = degraded, 2 = unhealthy) and bumps
+``serve.health.checks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+UNHEALTHY = "unhealthy"
+
+_SEVERITY = {HEALTHY: 0, DEGRADED: 1, UNHEALTHY: 2}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds that turn raw service state into health causes.
+
+    Attributes:
+        queue_saturation: Queue-depth fraction of ``max_queue`` at which
+            the service is considered saturated.
+        deadline_miss_rate: Fraction of recent requests shed or timed
+            out past their deadline that degrades the service.
+        min_miss_window: Minimum recent-request sample before the miss
+            rate is judged at all (a single early miss is not a trend).
+        crash_recent_seconds: A worker crash within this trailing window
+            degrades the service; older crashes are history, not state,
+            so a supervised service can *recover* to ``HEALTHY``.
+    """
+
+    queue_saturation: float = 0.8
+    deadline_miss_rate: float = 0.1
+    min_miss_window: int = 8
+    crash_recent_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.queue_saturation <= 1.0:
+            raise ValueError(
+                f"queue_saturation must be in (0, 1], got {self.queue_saturation}"
+            )
+        if not 0.0 < self.deadline_miss_rate <= 1.0:
+            raise ValueError(
+                "deadline_miss_rate must be in (0, 1], "
+                f"got {self.deadline_miss_rate}"
+            )
+        if self.min_miss_window < 1:
+            raise ValueError(
+                f"min_miss_window must be >= 1, got {self.min_miss_window}"
+            )
+        if self.crash_recent_seconds < 0:
+            raise ValueError(
+                "crash_recent_seconds must be >= 0, "
+                f"got {self.crash_recent_seconds}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthCause:
+    """One machine-readable reason the service is not fully healthy.
+
+    Attributes:
+        kind: Stable cause identifier (``breaker-open``,
+            ``worker-crash-recent``, ``queue-saturated``, ...).
+        severity: The state this cause implies on its own
+            (``degraded`` or ``unhealthy``).
+        detail: Human-readable explanation.
+    """
+
+    kind: str
+    severity: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Aggregate health verdict plus its contributing causes."""
+
+    status: str
+    causes: "tuple[HealthCause, ...]" = ()
+    snapshot: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def healthy(self) -> bool:
+        return self.status == HEALTHY
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "causes": [cause.to_dict() for cause in self.causes],
+            "snapshot": self.snapshot,
+        }
+
+    def render(self) -> str:
+        if not self.causes:
+            return f"health: {self.status}"
+        reasons = "; ".join(
+            f"{c.kind} ({c.detail})" if c.detail else c.kind
+            for c in self.causes
+        )
+        return f"health: {self.status} — {reasons}"
+
+
+def evaluate_health(
+    snapshot: dict, policy: "HealthPolicy | None" = None
+) -> HealthReport:
+    """Turn one service snapshot into a :class:`HealthReport`.
+
+    Args:
+        snapshot: Service state with keys ``closed``, ``started``,
+            ``queue_depth``, ``max_queue``, ``supervisor`` (a
+            :meth:`WorkerSupervisor.snapshot
+            <repro.serve.guard.WorkerSupervisor.snapshot>` dict plus
+            ``recent_crashes``), ``breakers`` (backend name -> state),
+            and ``deadline`` (``misses``/``window`` recent counts).
+            Missing keys are treated as "feature not in play".
+        policy: Thresholds; defaults to :class:`HealthPolicy`.
+    """
+    policy = policy or HealthPolicy()
+    causes: "list[HealthCause]" = []
+
+    if snapshot.get("closed"):
+        causes.append(
+            HealthCause("service-closed", UNHEALTHY, "service is closed")
+        )
+    elif not snapshot.get("started", True):
+        causes.append(
+            HealthCause("service-not-started", UNHEALTHY, "start() not called")
+        )
+
+    supervisor = snapshot.get("supervisor") or {}
+    if supervisor:
+        if supervisor.get("exhausted"):
+            causes.append(
+                HealthCause(
+                    "worker-pool-exhausted",
+                    UNHEALTHY,
+                    f"restart budget {supervisor.get('restart_budget')} spent "
+                    f"after {supervisor.get('crashes')} crashes",
+                )
+            )
+        elif supervisor.get("alive", 1) == 0 and not snapshot.get("closed"):
+            causes.append(
+                HealthCause(
+                    "no-live-workers", UNHEALTHY, "every worker thread is dead"
+                )
+            )
+        recent = supervisor.get("recent_crashes", 0)
+        if recent and not supervisor.get("exhausted"):
+            causes.append(
+                HealthCause(
+                    "worker-crash-recent",
+                    DEGRADED,
+                    f"{recent} crash(es) in the last "
+                    f"{policy.crash_recent_seconds:g}s "
+                    f"({supervisor.get('restarts', 0)} restart(s) total)",
+                )
+            )
+
+    breakers: dict = snapshot.get("breakers") or {}
+    if breakers:
+        not_closed = {
+            name: state for name, state in breakers.items() if state != "closed"
+        }
+        open_only = [n for n, s in not_closed.items() if s == "open"]
+        if open_only and len(open_only) == len(breakers):
+            causes.append(
+                HealthCause(
+                    "all-breakers-open",
+                    UNHEALTHY,
+                    "every backend breaker is open; only the verified "
+                    "floor is serving",
+                )
+            )
+        else:
+            for name, state in sorted(not_closed.items()):
+                causes.append(
+                    HealthCause(
+                        "breaker-open" if state == "open" else "breaker-probing",
+                        DEGRADED,
+                        f"backend {name!r} breaker is {state}",
+                    )
+                )
+
+    max_queue = snapshot.get("max_queue", 0)
+    depth = snapshot.get("queue_depth", 0)
+    if max_queue and depth >= policy.queue_saturation * max_queue:
+        causes.append(
+            HealthCause(
+                "queue-saturated",
+                DEGRADED,
+                f"queue depth {depth}/{max_queue} at or past "
+                f"{policy.queue_saturation:.0%} saturation",
+            )
+        )
+
+    deadline = snapshot.get("deadline") or {}
+    window = deadline.get("window", 0)
+    misses = deadline.get("misses", 0)
+    if window >= policy.min_miss_window:
+        rate = misses / window
+        if rate >= policy.deadline_miss_rate:
+            causes.append(
+                HealthCause(
+                    "deadline-misses",
+                    DEGRADED,
+                    f"{misses}/{window} recent requests missed their "
+                    f"deadline ({rate:.0%})",
+                )
+            )
+
+    if any(cause.severity == UNHEALTHY for cause in causes):
+        status = UNHEALTHY
+    elif causes:
+        status = DEGRADED
+    else:
+        status = HEALTHY
+
+    obs.counter("serve.health.checks").inc()
+    obs.gauge("serve.health.severity").set(float(_SEVERITY[status]))
+    report = HealthReport(status=status, causes=tuple(causes), snapshot=snapshot)
+    return report

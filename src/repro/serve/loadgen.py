@@ -62,6 +62,7 @@ class BenchConfig:
     zipf_s: float = 1.1
     epsilon: float = 0.1
     verify: bool = True
+    deadline_ms: "float | None" = None
     overload_requests: int = 64
     service: ServeConfig = field(default_factory=ServeConfig)
 
@@ -72,6 +73,10 @@ class BenchConfig:
             raise ValueError(f"mode must be 'open' or 'closed', got {self.mode}")
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
         if not self.datasets:
             raise ValueError("at least one dataset is required")
 
@@ -131,6 +136,7 @@ class _ScenarioTally:
     accepted: int = 0
     rejected: int = 0
     errors: int = 0
+    deadline_misses: int = 0
     fallbacks: int = 0
     latencies: "list[float]" = field(default_factory=list)
     batch_sizes: "list[int]" = field(default_factory=list)
@@ -140,6 +146,9 @@ class _ScenarioTally:
         self.requests += 1
         if response.rejected:
             self.rejected += 1
+            return
+        if response.deadline_exceeded:
+            self.deadline_misses += 1
             return
         if not response.ok:
             self.errors += 1
@@ -195,7 +204,15 @@ def run_steady(
         for idx in choices:
             matrix = matrices[int(idx)]
             dense = rng.random((matrix.n_cols, config.dim))
-            inflight.append((matrix, dense, service.submit(matrix, dense)))
+            inflight.append(
+                (
+                    matrix,
+                    dense,
+                    service.submit(
+                        matrix, dense, deadline_ms=config.deadline_ms
+                    ),
+                )
+            )
             if len(inflight) >= _HARVEST_WINDOW:
                 harvest(inflight.pop(0))
             time.sleep(rng.exponential(1.0 / config.rate))
@@ -211,7 +228,15 @@ def run_steady(
             for idx in assigned:
                 matrix = matrices[int(idx)]
                 dense = client_rng.random((matrix.n_cols, config.dim))
-                harvest((matrix, dense, service.submit(matrix, dense)))
+                harvest(
+                    (
+                        matrix,
+                        dense,
+                        service.submit(
+                            matrix, dense, deadline_ms=config.deadline_ms
+                        ),
+                    )
+                )
 
         with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
             futures = [
@@ -279,6 +304,7 @@ def run_bench(config: BenchConfig) -> dict:
     with InferenceService(dispatcher, config.service) as service:
         with obs.span("serve.loadgen.steady", requests=config.requests):
             steady, steady_verifier, extra = run_steady(config, service)
+        health = service.health()
     cache_stats = plan_cache.stats()
 
     with obs.span("serve.loadgen.overload", requests=config.overload_requests):
@@ -301,6 +327,7 @@ def run_bench(config: BenchConfig) -> dict:
             "max_batch": config.service.max_batch,
             "max_wait_ms": config.service.max_wait_ms,
             "n_workers": config.service.n_workers,
+            "deadline_ms": config.deadline_ms,
         },
         "steady": {
             "mode": config.mode,
@@ -308,6 +335,7 @@ def run_bench(config: BenchConfig) -> dict:
             "accepted": steady.accepted,
             "rejected": steady.rejected,
             "errors": steady.errors,
+            "deadline_misses": steady.deadline_misses,
             "fallbacks": steady.fallbacks,
             "verified": steady_verifier.verified,
             "mismatches": steady_verifier.mismatches,
@@ -332,6 +360,7 @@ def run_bench(config: BenchConfig) -> dict:
             "verified": overload_verifier.verified,
             "mismatches": overload_verifier.mismatches,
         },
+        "health": health.to_dict(),
         "silent_failures": silent_failures,
     }
 
@@ -368,6 +397,18 @@ def render_summary(report: dict) -> str:
         f"  verified  : {steady['verified'] + overload['verified']} responses, "
         f"{report['silent_failures']} silent failures",
     ]
+    if steady.get("deadline_misses"):
+        lines.insert(
+            2,
+            f"  deadlines : {steady['deadline_misses']}/{steady['requests']} "
+            "missed and shed",
+        )
+    health = report.get("health")
+    if health is not None:
+        causes = ", ".join(c["kind"] for c in health["causes"]) or "none"
+        lines.append(
+            f"  health    : {health['status']} (causes: {causes})"
+        )
     return "\n".join(lines)
 
 
@@ -415,6 +456,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="per-batch wall-clock budget in seconds",
     )
     parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help=(
+            "per-request deadline in milliseconds; requests that expire "
+            "in the queue are shed with deadline_exceeded before execution"
+        ),
+    )
+    parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the per-response SciPy oracle cross-check",
     )
@@ -442,6 +490,7 @@ def main(argv: "list[str] | None" = None) -> int:
         zipf_s=args.zipf_s,
         epsilon=args.epsilon,
         verify=not args.no_verify,
+        deadline_ms=args.deadline_ms,
         service=ServeConfig(
             max_queue=args.max_queue,
             max_batch=args.max_batch,

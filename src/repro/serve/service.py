@@ -19,8 +19,22 @@ needs on top of the one-shot experiment harness:
   :class:`~repro.serve.dispatch.AdaptiveDispatcher`, so backend choice
   improves as traffic flows, and any oracle failure degrades to the
   verified fallback rather than returning a corrupt product.
-* **Timeouts.**  A per-batch wall-clock budget is enforced with
+* **Deadlines.**  ``submit(deadline_ms=...)`` stamps a request with a
+  wall-clock budget.  Requests already past their deadline are *shed
+  before execution* with a :data:`DEADLINE_EXCEEDED` response, and a
+  batch runs under the minimum remaining deadline of its members
+  (combined with the per-batch ``request_timeout``) via
   :func:`repro.resilience.runtime.call_with_timeout`.
+* **Worker supervision.**  A
+  :class:`~repro.serve.guard.WorkerSupervisor` owns the worker pool: a
+  worker that dies of an uncaught exception has its in-flight batch
+  failed cleanly (never hung) and is respawned up to a restart budget;
+  past the budget the pool is *exhausted*, queued work is failed, and
+  new submissions are rejected.
+* **Health.**  :meth:`InferenceService.health` reports
+  ``HEALTHY / DEGRADED / UNHEALTHY`` with machine-readable causes (open
+  breakers, recent crashes, queue saturation, deadline-miss rate); see
+  :mod:`repro.serve.health`.
 
 Every stage emits ``repro.obs`` counters and spans (``serve.service.*``).
 """
@@ -38,13 +52,21 @@ import numpy as np
 
 from repro import obs
 from repro.formats import CSRMatrix
+from repro.resilience import faults
 from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
 from repro.serve.dispatch import AdaptiveDispatcher
+from repro.serve.guard import WorkerSupervisor
+from repro.serve.health import HealthPolicy, HealthReport, evaluate_health
 from repro.serve.plancache import PlanCache
 
 OK = "ok"
 REJECTED = "rejected"
 ERROR = "error"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+
+# Sliding window of recent request outcomes backing the health surface's
+# deadline-miss rate.
+_MISS_WINDOW = 256
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,9 @@ class ServeConfig:
         n_workers: Batch-executing worker threads.
         request_timeout: Per-batch wall-clock budget in seconds
             (``None`` disables; see :mod:`repro.resilience.runtime`).
+            Request deadlines tighten this further per batch.
+        restart_budget: Total worker respawns the supervisor allows over
+            the service's lifetime before declaring the pool exhausted.
         verify: Cross-check every batch output against the independent
             reference before replying (failures degrade to the verified
             fallback inside the dispatcher).
@@ -69,6 +94,7 @@ class ServeConfig:
     max_wait_ms: float = 2.0
     n_workers: int = 2
     request_timeout: "float | None" = None
+    restart_budget: int = 3
     verify: bool = False
 
     def __post_init__(self) -> None:
@@ -82,6 +108,10 @@ class ServeConfig:
             )
         if self.n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
 
 
 @dataclass(frozen=True)
@@ -90,8 +120,10 @@ class ServeResponse:
 
     Attributes:
         request_id: Monotonic id assigned at submission.
-        status: ``"ok"``, ``"rejected"`` (load shed at admission), or
-            ``"error"`` (batch timeout or unexpected executor failure).
+        status: ``"ok"``, ``"rejected"`` (load shed at admission),
+            ``"deadline_exceeded"`` (shed or cut off past its deadline),
+            or ``"error"`` (batch timeout, worker crash, or unexpected
+            executor failure).
         output: The product for this request's operand (``None`` unless
             ``ok``).
         backend: Dispatcher backend that served the batch.
@@ -120,6 +152,10 @@ class ServeResponse:
     def rejected(self) -> bool:
         return self.status == REJECTED
 
+    @property
+    def deadline_exceeded(self) -> bool:
+        return self.status == DEADLINE_EXCEEDED
+
 
 @dataclass
 class _Pending:
@@ -131,6 +167,8 @@ class _Pending:
     key: "tuple[str, int]"
     enqueued_at: float
     future: "Future[ServeResponse]"
+    # Absolute monotonic deadline; None = no deadline.
+    deadline: "float | None" = None
 
 
 class InferenceService:
@@ -159,28 +197,35 @@ class InferenceService:
         )
         self._cond = threading.Condition()
         self._queue: "deque[_Pending]" = deque()
-        self._workers: list[threading.Thread] = []
         self._closed = False
         self._started = False
         self._ids = itertools.count()
+        self._supervisor: "WorkerSupervisor | None" = None
+        # Per-worker in-flight batch; each slot is touched only by its
+        # owning worker thread (and its crash handler, same thread).
+        self._inflight: "dict[int, list[_Pending]]" = {}
+        self._miss_lock = threading.Lock()
+        self._recent_misses: "deque[bool]" = deque(maxlen=_MISS_WINDOW)
+        self._deadline_misses = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "InferenceService":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the supervised worker pool (idempotent)."""
         with self._cond:
             if self._closed:
                 raise RuntimeError("service is closed")
             if self._started:
                 return self
             self._started = True
-        for i in range(self.config.n_workers):
-            worker = threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
-            )
-            worker.start()
-            self._workers.append(worker)
+        self._supervisor = WorkerSupervisor(
+            self._spawn_worker,
+            self.config.n_workers,
+            restart_budget=self.config.restart_budget,
+            on_exhausted=self._on_pool_exhausted,
+        )
+        self._supervisor.start()
         return self
 
     def close(self) -> None:
@@ -190,8 +235,11 @@ class InferenceService:
                 return
             self._closed = True
             self._cond.notify_all()
-        for worker in self._workers:
-            worker.join()
+        if self._supervisor is not None:
+            self._supervisor.join()
+        # If the pool died mid-drain (budget exhausted), whatever is
+        # still queued must fail, never hang.
+        self._abandon_queue("service closed with no live workers")
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -203,14 +251,27 @@ class InferenceService:
     # Request path
     # ------------------------------------------------------------------
     def submit(
-        self, matrix: CSRMatrix, dense: np.ndarray
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        *,
+        deadline_ms: "float | None" = None,
     ) -> "Future[ServeResponse]":
         """Enqueue one aggregation request ``matrix @ dense``.
 
+        Args:
+            matrix: Sparse adjacency operand.
+            dense: Dense feature operand.
+            deadline_ms: Wall-clock budget for the whole request
+                (queueing + execution).  A request still queued past its
+                deadline is shed with a :data:`DEADLINE_EXCEEDED`
+                response *before* execution, and batch execution is cut
+                off at the batch's minimum remaining deadline.
+
         Returns a future that resolves to a :class:`ServeResponse`.  When
-        the bounded queue is full the future resolves *immediately* with
-        a ``rejected`` response — explicit load shedding, never unbounded
-        growth.
+        the bounded queue is full (or the worker pool is exhausted) the
+        future resolves *immediately* with a ``rejected`` response —
+        explicit load shedding, never unbounded growth.
         """
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
@@ -221,34 +282,55 @@ class InferenceService:
             raise ValueError(
                 f"dimension mismatch: {matrix.shape} @ {dense.shape}"
             )
-        request_id = next(self._ids)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive, got {deadline_ms}"
+            )
         future: "Future[ServeResponse]" = Future()
-        obs.counter("serve.service.submitted").inc()
         with self._cond:
+            # Admission checks come before any id/metric allocation so
+            # the submitted counter only ever counts requests that were
+            # actually admitted or explicitly shed.
             if self._closed:
                 raise RuntimeError("service is closed")
             if not self._started:
                 raise RuntimeError("service is not started")
-            if len(self._queue) >= self.config.max_queue:
+            request_id = next(self._ids)
+            obs.counter("serve.service.submitted").inc()
+            exhausted = (
+                self._supervisor is not None and self._supervisor.exhausted
+            )
+            if exhausted or len(self._queue) >= self.config.max_queue:
                 obs.counter("serve.service.rejected").inc()
+                error = (
+                    "worker pool exhausted (restart budget spent)"
+                    if exhausted
+                    else (
+                        f"queue full ({len(self._queue)} pending, "
+                        f"bound {self.config.max_queue})"
+                    )
+                )
                 future.set_result(
                     ServeResponse(
                         request_id=request_id,
                         status=REJECTED,
-                        error=(
-                            f"queue full ({len(self._queue)} pending, "
-                            f"bound {self.config.max_queue})"
-                        ),
+                        error=error,
                     )
                 )
                 return future
+            now = time.monotonic()
             pending = _Pending(
                 request_id=request_id,
                 matrix=matrix,
                 dense=dense,
                 key=(matrix.fingerprint(include_values=True), dense.shape[1]),
-                enqueued_at=time.monotonic(),
+                enqueued_at=now,
                 future=future,
+                deadline=(
+                    now + deadline_ms / 1000.0
+                    if deadline_ms is not None
+                    else None
+                ),
             )
             self._queue.append(pending)
             obs.counter("serve.service.accepted").inc()
@@ -260,9 +342,13 @@ class InferenceService:
         matrix: CSRMatrix,
         dense: np.ndarray,
         timeout: "float | None" = None,
+        *,
+        deadline_ms: "float | None" = None,
     ) -> ServeResponse:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(matrix, dense).result(timeout=timeout)
+        return self.submit(matrix, dense, deadline_ms=deadline_ms).result(
+            timeout=timeout
+        )
 
     @property
     def queue_depth(self) -> int:
@@ -270,30 +356,123 @@ class InferenceService:
             return len(self._queue)
 
     # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self, policy: "HealthPolicy | None" = None) -> HealthReport:
+        """Evaluate the service's failure domains into one health state.
+
+        See :mod:`repro.serve.health` for the severity model.  The
+        snapshot embedded in the report carries the raw inputs (queue
+        depth, supervisor and breaker state, deadline-miss window) for
+        dashboards and run records.
+        """
+        policy = policy or HealthPolicy()
+        with self._cond:
+            depth = len(self._queue)
+            closed = self._closed
+            started = self._started
+        supervisor_snapshot = None
+        if self._supervisor is not None:
+            supervisor_snapshot = self._supervisor.snapshot()
+            supervisor_snapshot["recent_crashes"] = (
+                self._supervisor.recent_crashes(policy.crash_recent_seconds)
+            )
+        breaker_states: dict = {}
+        states_fn = getattr(self.dispatcher, "breaker_states", None)
+        if callable(states_fn):
+            breaker_states = states_fn()
+        with self._miss_lock:
+            window = len(self._recent_misses)
+            misses = sum(self._recent_misses)
+        snapshot = {
+            "closed": closed,
+            "started": started,
+            "queue_depth": depth,
+            "max_queue": self.config.max_queue,
+            "supervisor": supervisor_snapshot,
+            "breakers": breaker_states,
+            "deadline": {
+                "window": window,
+                "misses": misses,
+                "total_misses": self._deadline_misses,
+            },
+        }
+        return evaluate_health(snapshot, policy)
+
+    # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _spawn_worker(self, worker_id: int) -> threading.Thread:
+        return threading.Thread(
+            target=self._worker_main,
+            args=(worker_id,),
+            name=f"serve-worker-{worker_id}",
+            daemon=True,
+        )
+
+    def _worker_main(self, worker_id: int) -> None:
+        """Supervision wrapper: fail the in-flight batch, report the crash."""
+        try:
+            self._worker_loop(worker_id)
+        except Exception as exc:  # noqa: BLE001 - supervisor boundary
+            batch = self._inflight.pop(worker_id, None)
+            if batch:
+                now = time.monotonic()
+                self._fail_batch(
+                    batch,
+                    [now - p.enqueued_at for p in batch],
+                    now,
+                    f"worker crashed: {type(exc).__name__}: {exc}",
+                )
+            assert self._supervisor is not None
+            self._supervisor.note_crash(worker_id, exc)
+        else:
+            assert self._supervisor is not None
+            self._supervisor.note_exit(worker_id)
+
+    def _worker_loop(self, worker_id: int) -> None:
         while True:
             batch = self._gather_batch()
             if batch is None:
                 return
+            self._inflight[worker_id] = batch
+            self._maybe_crash()
             self._execute_batch(batch)
+            self._inflight.pop(worker_id, None)
+
+    @staticmethod
+    def _maybe_crash() -> None:
+        """Fault hook: an active plan may kill this worker thread."""
+        plan = faults.active_plan()
+        if plan is not None and plan.should_crash_worker():
+            raise faults.ExecutionFaultError("injected worker-thread crash")
 
     def _gather_batch(self) -> "list[_Pending] | None":
         """Collect one fingerprint-homogeneous batch (or ``None`` to exit).
 
-        Takes the oldest queued request as the batch head, then keeps
-        pulling same-key requests until the batch is full or the head has
-        waited ``max_wait_ms``; the condition variable is released while
+        Requests already past their deadline are shed with a
+        :data:`DEADLINE_EXCEEDED` response the moment they surface,
+        before any execution cost is paid.  Otherwise takes the oldest
+        queued request as the batch head, then keeps pulling same-key
+        requests until the batch is full or the head has waited
+        ``max_wait_ms``; the condition variable is released while
         waiting so other workers keep draining other keys.
         """
         max_wait = self.config.max_wait_ms / 1000.0
         with self._cond:
-            while not self._queue:
-                if self._closed:
-                    return None
-                self._cond.wait(timeout=0.1)
-            head = self._queue.popleft()
+            while True:
+                while not self._queue:
+                    if self._closed:
+                        return None
+                    self._cond.wait(timeout=0.1)
+                head = self._queue.popleft()
+                if (
+                    head.deadline is not None
+                    and time.monotonic() >= head.deadline
+                ):
+                    self._shed_expired(head)
+                    continue
+                break
             batch = [head]
             deadline = head.enqueued_at + max_wait
             while len(batch) < self.config.max_batch:
@@ -318,9 +497,55 @@ class InferenceService:
                 kept.append(pending)
         self._queue.extend(kept)
 
+    def _shed_expired(self, pending: _Pending, now: "float | None" = None) -> None:
+        """Resolve one expired request with ``DEADLINE_EXCEEDED``, unexecuted."""
+        now = time.monotonic() if now is None else now
+        obs.counter("serve.service.deadline_shed").inc()
+        self._record_miss(True)
+        pending.future.set_result(
+            ServeResponse(
+                request_id=pending.request_id,
+                status=DEADLINE_EXCEEDED,
+                queue_seconds=now - pending.enqueued_at,
+                error=(
+                    "deadline exceeded before execution "
+                    f"(waited {(now - pending.enqueued_at) * 1e3:.1f} ms)"
+                ),
+            )
+        )
+
+    def _record_miss(self, missed: bool) -> None:
+        with self._miss_lock:
+            self._recent_misses.append(missed)
+            if missed:
+                self._deadline_misses += 1
+
+    def _batch_timeout(
+        self, batch: "list[_Pending]", started: float
+    ) -> "float | None":
+        """The batch budget: ``request_timeout`` ∧ min remaining deadline."""
+        budgets = []
+        if self.config.request_timeout is not None:
+            budgets.append(self.config.request_timeout)
+        for pending in batch:
+            if pending.deadline is not None:
+                budgets.append(pending.deadline - started)
+        return min(budgets) if budgets else None
+
     def _execute_batch(self, batch: "list[_Pending]") -> None:
-        matrix = batch[0].matrix
         started = time.monotonic()
+        # Final deadline sweep: members may have expired while the batch
+        # was forming.  Nothing expired ever reaches a backend.
+        live = []
+        for pending in batch:
+            if pending.deadline is not None and started >= pending.deadline:
+                self._shed_expired(pending, started)
+            else:
+                live.append(pending)
+        if not live:
+            return
+        batch = live
+        matrix = batch[0].matrix
         queue_waits = [started - p.enqueued_at for p in batch]
         # The batching key includes the feature width, so every member
         # shares one width and the stacked result splits evenly.
@@ -348,10 +573,10 @@ class InferenceService:
                         plan_dim=width,
                         verify=self.config.verify,
                     ),
-                    self.config.request_timeout,
+                    self._batch_timeout(batch, started),
                 )
         except ExperimentTimeoutError as exc:
-            self._fail_batch(batch, queue_waits, started, f"timeout: {exc}")
+            self._fail_timed_out_batch(batch, queue_waits, started, exc)
             return
         except Exception as exc:  # dispatcher already absorbed backend faults
             self._fail_batch(
@@ -370,6 +595,7 @@ class InferenceService:
                 # and pin the full batch array for every response.
                 output = result.output[:, i * width : (i + 1) * width].copy()
             obs.counter("serve.service.completed").inc()
+            self._record_miss(False)
             pending.future.set_result(
                 ServeResponse(
                     request_id=pending.request_id,
@@ -383,6 +609,44 @@ class InferenceService:
                 )
             )
 
+    def _fail_timed_out_batch(
+        self,
+        batch: "list[_Pending]",
+        queue_waits: "list[float]",
+        started: float,
+        exc: ExperimentTimeoutError,
+    ) -> None:
+        """Classify a timed-out batch: deadline members vs. budget members."""
+        now = time.monotonic()
+        service_seconds = now - started
+        for pending, wait in zip(batch, queue_waits):
+            if pending.deadline is not None and now >= pending.deadline:
+                obs.counter("serve.service.deadline_cutoff").inc()
+                self._record_miss(True)
+                pending.future.set_result(
+                    ServeResponse(
+                        request_id=pending.request_id,
+                        status=DEADLINE_EXCEEDED,
+                        batch_size=len(batch),
+                        queue_seconds=wait,
+                        service_seconds=service_seconds,
+                        error=f"deadline exceeded during execution: {exc}",
+                    )
+                )
+            else:
+                obs.counter("serve.service.errors").inc()
+                self._record_miss(False)
+                pending.future.set_result(
+                    ServeResponse(
+                        request_id=pending.request_id,
+                        status=ERROR,
+                        batch_size=len(batch),
+                        queue_seconds=wait,
+                        service_seconds=service_seconds,
+                        error=f"timeout: {exc}",
+                    )
+                )
+
     def _fail_batch(
         self,
         batch: "list[_Pending]",
@@ -393,6 +657,7 @@ class InferenceService:
         service_seconds = time.monotonic() - started
         obs.counter("serve.service.errors").inc(len(batch))
         for pending, wait in zip(batch, queue_waits):
+            self._record_miss(False)
             pending.future.set_result(
                 ServeResponse(
                     request_id=pending.request_id,
@@ -403,3 +668,20 @@ class InferenceService:
                     error=error,
                 )
             )
+
+    def _on_pool_exhausted(self) -> None:
+        """Supervisor callback: the restart budget is spent."""
+        obs.counter("serve.service.pool_exhausted").inc()
+        self._abandon_queue("worker pool exhausted (restart budget spent)")
+
+    def _abandon_queue(self, error: str) -> None:
+        """Fail everything still queued; bounded failure, never a hang."""
+        with self._cond:
+            abandoned = list(self._queue)
+            self._queue.clear()
+        if not abandoned:
+            return
+        now = time.monotonic()
+        self._fail_batch(
+            abandoned, [now - p.enqueued_at for p in abandoned], now, error
+        )

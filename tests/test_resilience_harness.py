@@ -1,6 +1,7 @@
 """Graceful-degradation tests: timeouts, retries, checkpoint/resume."""
 
 import json
+import threading
 import time
 
 import pytest
@@ -96,6 +97,97 @@ class TestRetryWithBackoff:
             on_retry=lambda i, exc: seen.append((i, type(exc).__name__)),
         )
         assert seen == [(0, "ValueError")]
+
+
+class TestRetryJitter:
+    @staticmethod
+    def _always_flaky(countdown):
+        state = [countdown]
+
+        def fn():
+            if state[0] > 0:
+                state[0] -= 1
+                raise RuntimeError("flake")
+            return "done"
+
+        return fn
+
+    def test_default_schedule_is_bit_identical(self):
+        # jitter=0.0 (the default) must not perturb delays at all.
+        sleeps = []
+        retry_with_backoff(
+            self._always_flaky(2), attempts=3, base_delay=0.1, factor=2.0,
+            sleep=sleeps.append,
+        )
+        assert sleeps == [0.1, 0.2]
+
+    def test_jitter_scales_delays_within_bounds(self):
+        draws = iter([0.0, 1.0])  # extremes of the uniform draw
+        sleeps = []
+        retry_with_backoff(
+            self._always_flaky(2), attempts=3, base_delay=0.1, factor=2.0,
+            jitter=0.5, rng=lambda: next(draws), sleep=sleeps.append,
+        )
+        # delay * (1 + 0.5*(2u-1)): u=0 halves, u=1 multiplies by 1.5.
+        assert sleeps == pytest.approx([0.05, 0.3])
+
+    def test_jitter_is_deterministic_without_injected_rng(self):
+        runs = []
+        for _ in range(2):
+            sleeps = []
+            retry_with_backoff(
+                self._always_flaky(3), attempts=4, base_delay=0.1,
+                jitter=0.25, sleep=sleeps.append,
+            )
+            runs.append(sleeps)
+        assert runs[0] == runs[1]
+        # Jittered delays stay inside the +/-25% envelope.
+        for delay, nominal in zip(runs[0], [0.1, 0.2, 0.4]):
+            assert 0.75 * nominal <= delay <= 1.25 * nominal
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError, match="jitter"):
+            retry_with_backoff(lambda: 1, jitter=1.5)
+
+
+class TestAbandonedWorkersGauge:
+    def test_timeout_increments_and_completion_decrements(self):
+        from repro import obs
+
+        release = threading.Event()
+
+        def stuck():
+            release.wait(timeout=10.0)
+            return "late"
+
+        registry = obs.enable()
+        try:
+            with pytest.raises(ExperimentTimeoutError):
+                call_with_timeout(stuck, 0.05)
+            gauge = registry.gauge("resilience.harness.abandoned_workers")
+            assert gauge.value == 1.0
+            release.set()
+            deadline = time.monotonic() + 5.0
+            while gauge.value != 0.0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gauge.value == 0.0
+        finally:
+            obs.disable()
+            release.set()
+
+    def test_fast_call_never_touches_the_gauge(self):
+        from repro import obs
+
+        registry = obs.enable()
+        try:
+            assert call_with_timeout(lambda: 5, 5.0) == 5
+            snapshots = [
+                s for s in registry.snapshot()
+                if s["name"] == "resilience.harness.abandoned_workers"
+            ]
+            assert snapshots == []
+        finally:
+            obs.disable()
 
 
 class TestBatchCheckpoint:

@@ -255,3 +255,142 @@ class TestStockBackends:
         vectorized.run(small_power_law, batched, plans, 8)
         stats = plans.stats()
         assert (stats.hits, stats.misses) == (1, 1)
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _switchable_backend(name):
+    state = {"failing": True, "calls": 0}
+
+    def run(matrix, dense, plans, plan_dim):
+        state["calls"] += 1
+        if state["failing"]:
+            raise RuntimeError("persistent fault")
+        return matrix.multiply_dense(dense)
+
+    return Backend(name, run), state
+
+
+class TestCircuitBreakers:
+    def _dispatcher(self, backends, clock, **breaker_kwargs):
+        from repro.serve.guard import BreakerConfig
+
+        defaults = dict(
+            consecutive_failures=2,
+            cooldown_seconds=5.0,
+            half_open_probes=1,
+            half_open_successes=1,
+        )
+        defaults.update(breaker_kwargs)
+        return AdaptiveDispatcher(
+            backends,
+            plan_cache=PlanCache(),
+            epsilon=0.0,
+            breaker_config=BreakerConfig(**defaults),
+            breaker_clock=clock,
+        )
+
+    def test_persistent_failure_trips_breaker(self, small_power_law, rng):
+        clock = _FakeClock()
+        backend, state = _switchable_backend("flaky")
+        dispatcher = self._dispatcher([backend], clock)
+        dense = rng.random((small_power_law.n_cols, 4))
+        reference = small_power_law.multiply_dense(dense)
+        for _ in range(2):
+            result = dispatcher.execute(small_power_law, dense)
+            # Failures degrade to the verified fallback, never an error.
+            assert result.fallback_used
+            assert np.allclose(result.output, reference)
+        assert dispatcher.breaker("flaky").state == "open"
+        assert dispatcher.open_breakers() == ["flaky"]
+
+    def test_open_breaker_serves_floor_without_calling_backend(
+        self, small_power_law, rng
+    ):
+        from repro.serve.dispatch import FLOOR_BACKEND
+
+        clock = _FakeClock()
+        backend, state = _switchable_backend("flaky")
+        dispatcher = self._dispatcher([backend], clock)
+        dense = rng.random((small_power_law.n_cols, 4))
+        for _ in range(2):
+            dispatcher.execute(small_power_law, dense)
+        calls_at_trip = state["calls"]
+        result = dispatcher.execute(small_power_law, dense)
+        assert result.backend == FLOOR_BACKEND
+        assert result.fallback_used
+        assert result.detected == "all circuit breakers open"
+        assert state["calls"] == calls_at_trip
+        assert np.allclose(
+            result.output, small_power_law.multiply_dense(dense)
+        )
+        chosen, explored = dispatcher.choose(small_power_law, 4)
+        assert chosen is None and explored is False
+
+    def test_half_open_probe_closes_breaker(self, small_power_law, rng):
+        clock = _FakeClock()
+        backend, state = _switchable_backend("flaky")
+        dispatcher = self._dispatcher([backend], clock)
+        dense = rng.random((small_power_law.n_cols, 4))
+        for _ in range(2):
+            dispatcher.execute(small_power_law, dense)
+        assert dispatcher.breaker("flaky").state == "open"
+        state["failing"] = False
+        clock.advance(5.1)
+        result = dispatcher.execute(small_power_law, dense)
+        assert result.backend == "flaky"
+        assert not result.fallback_used
+        assert dispatcher.breaker("flaky").state == "closed"
+
+    def test_failed_probe_reopens_breaker(self, small_power_law, rng):
+        clock = _FakeClock()
+        backend, state = _switchable_backend("flaky")
+        dispatcher = self._dispatcher([backend], clock)
+        dense = rng.random((small_power_law.n_cols, 4))
+        for _ in range(2):
+            dispatcher.execute(small_power_law, dense)
+        clock.advance(5.1)
+        # Still failing: the probe runs (verified fallback serves the
+        # request) and the breaker snaps back open.
+        result = dispatcher.execute(small_power_law, dense)
+        assert result.fallback_used
+        assert dispatcher.breaker("flaky").state == "open"
+
+    def test_tripped_backend_removed_from_arm_set(self, small_power_law, rng):
+        clock = _FakeClock()
+        flaky, state = _switchable_backend("flaky")
+        good = _correct_backend("good")
+        dispatcher = self._dispatcher([flaky, good], clock)
+        dense = rng.random((small_power_law.n_cols, 4))
+        # Force the flaky arm until its breaker trips.
+        for _ in range(4):
+            dispatcher.execute(small_power_law, dense)
+            if dispatcher.breaker("flaky").state == "open":
+                break
+        assert dispatcher.breaker("flaky").state == "open"
+        calls_at_trip = state["calls"]
+        for _ in range(4):
+            chosen, _ = dispatcher.choose(small_power_law, 4)
+            assert chosen is not None and chosen.name == "good"
+        result = dispatcher.execute(small_power_law, dense)
+        assert result.backend == "good"
+        assert state["calls"] == calls_at_trip
+
+    def test_breaker_states_surface(self, small_power_law, rng):
+        clock = _FakeClock()
+        backend, _ = _switchable_backend("flaky")
+        dispatcher = self._dispatcher([backend], clock)
+        assert dispatcher.breaker_states() == {"flaky": "closed"}
+        dense = rng.random((small_power_law.n_cols, 4))
+        for _ in range(2):
+            dispatcher.execute(small_power_law, dense)
+        assert dispatcher.breaker_states() == {"flaky": "open"}

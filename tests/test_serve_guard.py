@@ -1,0 +1,308 @@
+"""Unit tests for the failure-domain guards (breakers, supervision)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.guard import (
+    BreakerConfig,
+    CircuitBreaker,
+    WorkerSupervisor,
+)
+
+
+class _Clock:
+    """Manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(clock, **kwargs) -> CircuitBreaker:
+    defaults = dict(
+        consecutive_failures=3,
+        failure_rate=0.5,
+        window=8,
+        min_samples=4,
+        cooldown_seconds=10.0,
+        half_open_probes=2,
+        half_open_successes=1,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("b", BreakerConfig(**defaults), clock=clock)
+
+
+class TestBreakerConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"consecutive_failures": 0},
+            {"failure_rate": 0.0},
+            {"failure_rate": 1.5},
+            {"window": 0},
+            {"min_samples": 0},
+            {"cooldown_seconds": 0.0},
+            {"half_open_probes": 0},
+            {"half_open_successes": 0},
+            {"half_open_probes": 1, "half_open_successes": 2},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_admits(self):
+        breaker = _breaker(_Clock())
+        assert breaker.state == "closed"
+        assert breaker.available()
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip(self):
+        breaker = _breaker(_Clock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.available()
+        assert not breaker.allow()
+        assert breaker.opened_total == 1
+
+    def test_success_resets_consecutive_count(self):
+        # min_samples high enough that the rate rule stays out of play.
+        breaker = _breaker(_Clock(), min_samples=8)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_failure_rate_trips_only_past_min_samples(self):
+        # Alternating success/failure never hits 3 consecutive, but the
+        # window rate reaches 50% once min_samples calls are recorded.
+        breaker = _breaker(_Clock(), min_samples=6)
+        for i in range(5):
+            (breaker.record_failure if i % 2 else breaker.record_success)()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_cooldown_moves_open_to_half_open(self):
+        clock = _Clock()
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == "open"
+        clock.advance(0.2)
+        assert breaker.state == "half-open"
+        assert breaker.available()
+
+    def test_half_open_admits_bounded_probes(self):
+        clock = _Clock()
+        breaker = _breaker(clock, half_open_probes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # probe quota spent
+        # available() never consumed a slot along the way.
+        assert not breaker.available()
+
+    def test_available_does_not_consume_probe_slots(self):
+        clock = _Clock()
+        breaker = _breaker(clock, half_open_probes=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.1)
+        for _ in range(5):
+            assert breaker.available()
+        assert breaker.allow()
+
+    def test_probe_success_closes(self):
+        clock = _Clock()
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.closed_total == 1
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = _Clock()
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 2
+        clock.advance(9.0)
+        assert breaker.state == "open"  # cooldown restarted at reopen
+        clock.advance(1.1)
+        assert breaker.state == "half-open"
+
+    def test_straggler_success_while_open_is_ignored(self):
+        breaker = _breaker(_Clock())
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.record_success()  # in-flight call from before the trip
+        assert breaker.state == "open"
+
+    def test_snapshot_shape(self):
+        breaker = _breaker(_Clock())
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["name"] == "b"
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["window_failures"] == 1
+        assert snap["opened_total"] == 0
+
+
+def _worker_factory(behaviour):
+    """Spawn factory whose workers run ``behaviour(worker_id, supervisor)``."""
+    box = {}
+
+    def spawn(worker_id):
+        def target():
+            try:
+                behaviour(worker_id, box["supervisor"])
+            except Exception as exc:
+                box["supervisor"].note_crash(worker_id, exc)
+            else:
+                box["supervisor"].note_exit(worker_id)
+
+        return threading.Thread(target=target, daemon=True)
+
+    return spawn, box
+
+
+class TestWorkerSupervisor:
+    def test_starts_requested_pool(self):
+        release = threading.Event()
+
+        def behaviour(worker_id, supervisor):
+            release.wait(timeout=5.0)
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(spawn, n_workers=3)
+        box["supervisor"] = supervisor
+        supervisor.start()
+        try:
+            assert supervisor.alive_count() == 3
+        finally:
+            release.set()
+            supervisor.join()
+        assert supervisor.alive_count() == 0
+        assert supervisor.restarts == 0
+
+    def test_crash_respawns_within_budget(self):
+        crashes_left = [2]
+        release = threading.Event()
+
+        def behaviour(worker_id, supervisor):
+            if crashes_left[0] > 0:
+                crashes_left[0] -= 1
+                raise RuntimeError(f"worker {worker_id} boom")
+            release.wait(timeout=5.0)
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(spawn, n_workers=1, restart_budget=5)
+        box["supervisor"] = supervisor
+        supervisor.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while supervisor.restarts < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert supervisor.restarts == 2
+            assert supervisor.alive_count() == 1
+            assert len(supervisor.crashes) == 2
+            assert not supervisor.exhausted
+        finally:
+            release.set()
+            supervisor.join()
+
+    def test_budget_exhaustion_fires_callback_once(self):
+        fired = []
+
+        def behaviour(worker_id, supervisor):
+            raise RuntimeError("always crashes")
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(
+            spawn, n_workers=1, restart_budget=2, on_exhausted=lambda: fired.append(1)
+        )
+        box["supervisor"] = supervisor
+        supervisor.start()
+        supervisor.join()
+        assert supervisor.exhausted
+        assert supervisor.restarts == 2
+        assert len(supervisor.crashes) == 3  # initial + 2 respawns
+        assert fired == [1]
+        assert supervisor.alive_count() == 0
+
+    def test_zero_budget_exhausts_on_first_crash(self):
+        def behaviour(worker_id, supervisor):
+            raise RuntimeError("boom")
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(spawn, n_workers=1, restart_budget=0)
+        box["supervisor"] = supervisor
+        supervisor.start()
+        supervisor.join()
+        assert supervisor.exhausted
+        assert supervisor.restarts == 0
+
+    def test_recent_crashes_windowing(self):
+        clock = _Clock()
+
+        def behaviour(worker_id, supervisor):
+            raise RuntimeError("boom")
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(
+            spawn, n_workers=1, restart_budget=0, clock=clock
+        )
+        box["supervisor"] = supervisor
+        supervisor.start()
+        supervisor.join()
+        assert supervisor.recent_crashes(1.0) == 1
+        clock.advance(5.0)
+        assert supervisor.recent_crashes(1.0) == 0
+
+    def test_validation(self):
+        spawn, _ = _worker_factory(lambda *a: None)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(spawn, n_workers=0)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(spawn, n_workers=1, restart_budget=-1)
+
+    def test_snapshot_shape(self):
+        def behaviour(worker_id, supervisor):
+            raise RuntimeError("boom")
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(spawn, n_workers=1, restart_budget=0)
+        box["supervisor"] = supervisor
+        supervisor.start()
+        supervisor.join()
+        snap = supervisor.snapshot()
+        assert snap["exhausted"] is True
+        assert snap["crashes"] == 1
+        assert snap["last_crash"]["error"].startswith("RuntimeError")

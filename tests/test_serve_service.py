@@ -1,10 +1,12 @@
 """Unit tests for the batching inference service (queueing, shedding)."""
 
+import threading
 import time
 
 import numpy as np
 import pytest
 
+from repro.resilience import faults
 from repro.serve.dispatch import AdaptiveDispatcher, Backend
 from repro.serve.plancache import PlanCache
 from repro.serve.service import InferenceService, ServeConfig
@@ -26,6 +28,18 @@ def _slow_backend(delay):
         return matrix.multiply_dense(dense)
 
     return Backend("slow", run)
+
+
+def _counting_backend(delay=0.0):
+    calls = []
+
+    def run(matrix, dense, plans, plan_dim):
+        calls.append(1)
+        if delay:
+            time.sleep(delay)
+        return matrix.multiply_dense(dense)
+
+    return Backend("counting", run), calls
 
 
 class TestConfigValidation:
@@ -276,3 +290,179 @@ class TestLifecycle:
                 timeout=10.0,
             )
         assert response.ok
+
+    def test_failed_admission_does_not_allocate_ids(
+        self, small_power_law, rng
+    ):
+        # Regression: ids and the submitted counter used to advance even
+        # when submit raised on a closed/unstarted service, so rejected
+        # calls skewed admission accounting.
+        service = _service()
+        dense = rng.random((small_power_law.n_cols, 4))
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="not started"):
+                service.submit(small_power_law, dense)
+        service.start()
+        try:
+            response = service.submit(small_power_law, dense).result(
+                timeout=10.0
+            )
+        finally:
+            service.close()
+        assert response.request_id == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(small_power_law, dense)
+
+    def test_close_during_in_flight_batch_completes_it(
+        self, small_power_law, rng
+    ):
+        # close() must drain the batch the worker is already executing —
+        # the client still gets its (correct) response, never an abort.
+        config = ServeConfig(
+            max_queue=8, max_batch=1, max_wait_ms=0.0, n_workers=1
+        )
+        backend, calls = _counting_backend(delay=0.3)
+        service = _service(config, backends=[backend]).start()
+        dense = rng.random((small_power_law.n_cols, 4))
+        future = service.submit(small_power_law, dense)
+        deadline = time.monotonic() + 5.0
+        while not calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert calls, "batch never started executing"
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        response = future.result(timeout=10.0)
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+        assert response.ok
+        assert np.allclose(
+            response.output, small_power_law.multiply_dense(dense)
+        )
+
+
+class TestDeadlines:
+    def test_rejects_nonpositive_deadline(self, small_power_law, rng):
+        with _service() as service:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                service.submit(
+                    small_power_law,
+                    rng.random((small_power_law.n_cols, 4)),
+                    deadline_ms=0,
+                )
+
+    def test_generous_deadline_serves_normally(self, small_power_law, rng):
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service() as service:
+            response = service.submit(
+                small_power_law, dense, deadline_ms=30_000.0
+            ).result(timeout=10.0)
+        assert response.ok
+        assert np.allclose(
+            response.output, small_power_law.multiply_dense(dense)
+        )
+
+    def test_expired_requests_shed_before_execution(
+        self, small_power_law, rng
+    ):
+        config = ServeConfig(
+            max_queue=64, max_batch=1, max_wait_ms=0.0, n_workers=1
+        )
+        backend, calls = _counting_backend(delay=0.1)
+        with _service(config, backends=[backend]) as service:
+            # The undeadlined blocker pins the single worker while the
+            # tightly-deadlined requests expire in the queue.
+            blocker = service.submit(
+                small_power_law, rng.random((small_power_law.n_cols, 4))
+            )
+            futures = [
+                service.submit(
+                    small_power_law,
+                    rng.random((small_power_law.n_cols, 4)),
+                    deadline_ms=5.0,
+                )
+                for _ in range(4)
+            ]
+            assert blocker.result(timeout=10.0).ok
+            responses = [f.result(timeout=10.0) for f in futures]
+        shed = [r for r in responses if r.deadline_exceeded]
+        assert shed, "queued requests past their deadline must be shed"
+        for response in shed:
+            assert response.status == "deadline_exceeded"
+            assert response.output is None
+            assert "deadline" in response.error
+        # Shed requests never reached the backend.
+        assert len(calls) == 1 + (len(responses) - len(shed))
+
+    def test_deadline_cuts_off_running_batch(self, small_power_law, rng):
+        # A batch already executing past every member's deadline resolves
+        # as deadline_exceeded, not a generic timeout error.
+        config = ServeConfig(
+            max_queue=8, max_batch=1, max_wait_ms=0.0, n_workers=1
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service(config, backends=[_slow_backend(1.0)]) as service:
+            response = service.submit(
+                small_power_law, dense, deadline_ms=60.0
+            ).result(timeout=30.0)
+        assert response.deadline_exceeded
+        assert response.output is None
+
+
+class TestWorkerCrashes:
+    def test_injected_crash_fails_batch_and_restarts(
+        self, small_power_law, rng
+    ):
+        config = ServeConfig(
+            max_queue=8, max_batch=1, max_wait_ms=0.0, n_workers=1,
+            restart_budget=3,
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        with _service(config) as service:
+            with faults.inject(seed=0, crash_worker=1.0) as plan:
+                response = service.submit(small_power_law, dense).result(
+                    timeout=10.0
+                )
+            assert plan.injected.get("worker-crash") == 1
+            assert response.status == "error"
+            assert "worker crashed" in response.error
+            # The supervisor respawned a worker that serves real traffic.
+            after = service.submit(small_power_law, dense).result(timeout=10.0)
+            assert after.ok
+            assert service._supervisor.restarts == 1
+
+    def test_exhausted_pool_rejects_and_abandons(self, small_power_law, rng):
+        config = ServeConfig(
+            max_queue=8, max_batch=1, max_wait_ms=0.0, n_workers=1,
+            restart_budget=0,
+        )
+        dense = rng.random((small_power_law.n_cols, 4))
+        backend, calls = _counting_backend(delay=0.25)
+        with _service(config, backends=[backend]) as service:
+            # While the worker executes the first request, the other two
+            # queue up safely; the crash plan then kills the worker on
+            # its *second* gather, with the queue demonstrably non-empty.
+            futures = [
+                service.submit(small_power_law, dense) for _ in range(3)
+            ]
+            deadline = time.monotonic() + 5.0
+            while not calls and time.monotonic() < deadline:
+                time.sleep(0.002)
+            assert calls, "first batch never started executing"
+            with faults.inject(seed=0, crash_worker=1.0):
+                responses = [f.result(timeout=10.0) for f in futures]
+            # Every future resolved (bounded failure, no hangs): one
+            # served, one failed by the crash, one abandoned on exhaustion.
+            assert responses[0].ok
+            assert "worker crashed" in responses[1].error
+            assert "exhausted" in responses[2].error
+            # The dead pool now sheds new work at admission.
+            rejected = service.submit(small_power_law, dense).result(
+                timeout=10.0
+            )
+            assert rejected.rejected
+            assert "exhausted" in rejected.error
+            report = service.health()
+            assert report.status == "unhealthy"
+            assert any(
+                c.kind == "worker-pool-exhausted" for c in report.causes
+            )

@@ -15,6 +15,14 @@ scheduler/executor/simulator added without a span silently disappears
 from traces and run records.  Opt-outs (e.g. trivial dispatchers) go in
 :data:`EXEMPT` with a reason.
 
+A second rule guards the failure-domain modules: everything in
+:data:`OBS_REQUIRED_MODULES` (circuit breakers, worker supervision,
+health evaluation, the serving chaos matrix) must emit at least one
+``repro.obs`` signal — a ``obs.counter``/``obs.gauge``/
+``obs.histogram``/``obs.span`` call or an ``@obs.instrumented``
+decorator.  A guard that trips invisibly defeats the point of having
+observable failure domains.
+
 Exit status 0 when clean; 1 with a listing of violations otherwise.
 """
 
@@ -38,6 +46,15 @@ REQUIRED_FUNCTIONS = {
 }
 # (module-relative path, qualified name) -> reason for exemption.
 EXEMPT: dict[tuple[str, str], str] = {}
+
+# Modules that must emit at least one repro.obs signal.
+OBS_REQUIRED_MODULES = (
+    "src/repro/serve/guard.py",
+    "src/repro/serve/health.py",
+    "src/repro/serve/service.py",
+    "src/repro/resilience/chaos_serve.py",
+)
+_OBS_CALLS = {"counter", "gauge", "histogram", "span", "instrumented"}
 
 
 def _decorator_names(node: ast.AST) -> set[str]:
@@ -88,6 +105,24 @@ def check_file(path: Path) -> list[str]:
     return violations
 
 
+def check_obs_usage(path: Path) -> list[str]:
+    """Violation messages when a failure-domain module emits no signal."""
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "obs"
+            and node.attr in _OBS_CALLS
+        ):
+            return []
+    return [
+        f"{rel}: failure-domain module emits no repro.obs signal "
+        "(expected obs.counter/gauge/histogram/span or @obs.instrumented)"
+    ]
+
+
 def main(argv: "list[str] | None" = None) -> int:
     del argv
     violations: list[str] = []
@@ -97,6 +132,8 @@ def main(argv: "list[str] | None" = None) -> int:
         for path in sorted(package_dir.rglob("*.py")):
             violations.extend(check_file(path))
             checked += 1
+    for module in OBS_REQUIRED_MODULES:
+        violations.extend(check_obs_usage(REPO_ROOT / module))
     if violations:
         print("\n".join(violations))
         print(f"\n{len(violations)} uninstrumented entry point(s) "
