@@ -1,0 +1,85 @@
+"""Fast inference: the engine fast path and the autotuner.
+
+Builds a synthetic power-law graph, compares the engine's compiled SpMM
+fast path against the serial reference executor, lets the autotuner pick
+the best executor empirically, and runs a fused 2-layer GCN forward pass
+through a single shared engine plan.
+
+Run:  python examples/fast_inference.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.engine import Autotuner, FusedGCNPipeline, compile_engine_plan
+from repro.core.schedule import schedule_for_cost
+from repro.core.spmm import execute_reference
+from repro.core.thread_mapping import default_merge_path_cost
+from repro.gnn.models import GCN
+from repro.graphs import power_law_graph
+
+
+def main() -> None:
+    # 1. A mid-sized power-law graph (the shape GNN workloads see).
+    adjacency = power_law_graph(
+        n_nodes=20_000, nnz=160_000, max_degree=2_000, seed=11
+    )
+    dim = 32
+    features = np.random.default_rng(0).standard_normal((20_000, dim))
+    print(
+        f"graph: {adjacency.n_rows} nodes, {adjacency.nnz} edges, "
+        f"feature width {dim}"
+    )
+
+    # 2. Compile the engine plan once; execute many times.  The first
+    # execute sizes the workspace arena; later calls allocate nothing.
+    schedule = schedule_for_cost(adjacency, default_merge_path_cost(dim))
+    plan = compile_engine_plan(adjacency, schedule=schedule)
+    plan.execute(features)  # warmup
+
+    start = time.perf_counter()
+    engine_out = plan.execute(features)
+    engine_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    reference_out, _ = execute_reference(schedule, features)
+    reference_s = time.perf_counter() - start
+
+    assert np.allclose(engine_out, reference_out, rtol=1e-9, atol=1e-9)
+    # Expected: the engine several times faster than the reference
+    # executor, e.g. "engine 12.3 ms vs reference 98.7 ms (8.0x)".
+    print(
+        f"engine {engine_s * 1e3:.1f} ms vs reference "
+        f"{reference_s * 1e3:.1f} ms ({reference_s / engine_s:.1f}x)"
+    )
+
+    # 3. The autotuner measures every candidate once per (graph, width)
+    # and remembers the winner; on a graph this size the engine wins.
+    tuner = Autotuner()
+    decision = tuner.tune(adjacency, dim)
+    ranked = sorted(decision.timings.items(), key=lambda kv: kv[1])
+    print("autotuner ranking (fastest first):")
+    for name, seconds in ranked:
+        print(f"  {name:12s} {seconds * 1e3:8.1f} ms")
+    # Expected: "winner: engine" on this dataset.
+    print(f"winner: {decision.winner}")
+
+    run = tuner.best_executor(adjacency, dim)
+    assert np.allclose(run(adjacency, features), reference_out)
+
+    # 4. Fused GCN inference: one schedule and one engine plan shared by
+    # both layers, layer ordering chosen by FLOP count (the 32 -> 4
+    # classifier layer runs transform-first: A @ (X W) at width 4).
+    model = GCN.random([dim, 16, 4], seed=3)
+    pipeline = FusedGCNPipeline(model, adjacency)
+    embeddings = pipeline.forward(features)
+    orderings = ", ".join(p.ordering for p in pipeline.layer_plans)
+    # Expected: "fused GCN: (20000, 4) embeddings" and two orderings.
+    print(f"fused GCN: {embeddings.shape} embeddings")
+    print(f"layer orderings: {orderings}")
+    print(f"modeled forward FLOPs: {pipeline.total_flops:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,10 @@ Subcommands:
   serving layer and record throughput, latency percentiles, plan-cache
   and load-shedding statistics; see :mod:`repro.serve.loadgen` and
   ``docs/SERVING.md``.
+* ``kernel-bench`` — measure every SpMM executor (reference, vectorized,
+  thread pool, engine fast path) on synthetic power-law datasets and
+  record rows/s + GFLOP-equivalents in ``BENCH_kernel.json``; see
+  :mod:`repro.engine.bench` and ``docs/PERFORMANCE.md``.
 * anything else delegates to :mod:`repro.experiments.harness`; run with
   ``--list`` to see the available experiments and their (measured or
   estimated) runtimes, and with ``--profile``/``--trace-out`` to collect
@@ -44,6 +48,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.loadgen import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "kernel-bench":
+        from repro.engine.bench import main as kernel_main
+
+        return kernel_main(argv[1:])
     from repro.experiments.harness import main as harness_main
 
     return harness_main(argv)

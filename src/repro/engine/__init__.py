@@ -1,0 +1,57 @@
+"""repro.engine — the tuned fast-path execution engine.
+
+The engine is the CPU analogue of the paper's tuned GPU kernel: a
+zero-Python-loop SpMM (:mod:`~repro.engine.kernels`) over preallocated
+workspaces (:mod:`~repro.engine.arena`), a measured per-matrix executor
+autotuner (:mod:`~repro.engine.autotune`), a fused multi-layer GCN path
+(:mod:`~repro.engine.pipeline`), and the kernel throughput bench that
+seeds the perf trajectory (:mod:`~repro.engine.bench`,
+``python -m repro kernel-bench``).
+
+See ``docs/ARCHITECTURE.md`` for where the engine sits in the system and
+``docs/PERFORMANCE.md`` for tuning guidance.
+"""
+
+from repro.engine.arena import Arena
+from repro.engine.autotune import (
+    Autotuner,
+    Candidate,
+    TuningDecision,
+    default_candidates,
+)
+from repro.engine.kernels import (
+    EnginePlan,
+    EnginePlanCache,
+    compile_engine_plan,
+    engine_spmm,
+    execute_engine,
+    get_arena,
+    get_engine_plan_cache,
+)
+from repro.engine.pipeline import (
+    AGGREGATE_FIRST,
+    TRANSFORM_FIRST,
+    FusedGCNPipeline,
+    LayerPlan,
+    choose_ordering,
+)
+
+__all__ = [
+    "AGGREGATE_FIRST",
+    "TRANSFORM_FIRST",
+    "Arena",
+    "Autotuner",
+    "Candidate",
+    "EnginePlan",
+    "EnginePlanCache",
+    "FusedGCNPipeline",
+    "LayerPlan",
+    "TuningDecision",
+    "choose_ordering",
+    "compile_engine_plan",
+    "default_candidates",
+    "engine_spmm",
+    "execute_engine",
+    "get_arena",
+    "get_engine_plan_cache",
+]

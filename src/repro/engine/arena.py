@@ -1,0 +1,88 @@
+"""Preallocated workspace buffers for the engine fast path.
+
+The fast path's temporaries — the gathered dense rows, the per-segment
+partial sums, the output block — are the same shapes call after call for
+a given ``(matrix, width)`` workload.  Allocating them fresh per call
+costs both the allocation itself and the page faults of first touch;
+steady-state inference should allocate nothing.
+
+:class:`Arena` owns a small set of named float64 buffers.  ``take(name,
+shape)`` returns a zeroed view of the right shape, growing the backing
+allocation geometrically when the request outgrows it (so a warmup call
+at the largest width sizes the arena once and for all).  Buffers are
+*views* into the backing storage: callers must finish with a buffer
+before taking it again under the same name, which the single-threaded
+executor discipline guarantees — an :class:`Arena` is deliberately not
+thread-safe, and each engine plan owns its own.
+
+The arena publishes ``engine.arena.*`` counters so ``--profile`` runs
+show exactly how much steady state allocates (the answer should be 0
+after warmup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+
+# Growth factor for backing buffers; geometric growth keeps the total
+# reallocation work linear in the peak size.
+_GROWTH = 1.5
+
+
+class Arena:
+    """A named pool of reusable float64 workspace buffers."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self.allocations = 0
+        self.reuses = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total backing bytes currently pinned by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def take(
+        self, name: str, shape: tuple[int, ...], *, zero: bool = True
+    ) -> np.ndarray:
+        """A ``float64`` array of ``shape``, reusing backing storage.
+
+        The returned array is a reshaped view of a flat backing buffer
+        that persists across calls; it is valid until the next ``take``
+        of the same ``name``.  Pass ``zero=False`` when every element
+        will be overwritten anyway (skips the fill).
+        """
+        size = 1
+        for extent in shape:
+            size *= int(extent)
+        backing = self._buffers.get(name)
+        if backing is None or backing.size < size:
+            capacity = max(size, int(_GROWTH * backing.size) if backing is not None else size)
+            backing = np.empty(capacity, dtype=np.float64)
+            self._buffers[name] = backing
+            self.allocations += 1
+            if obs.enabled():
+                obs.counter("engine.arena.allocations").inc()
+                obs.gauge("engine.arena.bytes").set(float(self.nbytes))
+        else:
+            self.reuses += 1
+            if obs.enabled():
+                obs.counter("engine.arena.reuses").inc()
+        view = backing[:size].reshape(shape)
+        if zero:
+            view.fill(0.0)
+        return view
+
+    def release(self) -> None:
+        """Drop every backing buffer (the arena stays usable)."""
+        self._buffers.clear()
+        if obs.enabled():
+            obs.gauge("engine.arena.bytes").set(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Arena(buffers={len(self._buffers)}, nbytes={self.nbytes}, "
+            f"allocations={self.allocations}, reuses={self.reuses})"
+        )

@@ -1,0 +1,253 @@
+"""``python -m repro kernel-bench`` — the kernel throughput trajectory.
+
+Measures every executor tier — the serial reference, the vectorized
+NumPy path, the thread pool, and both engine strategies — on synthetic
+power-law datasets of increasing size, and records rows/s and
+GFLOP-equivalents per ``(dataset, executor)`` pair in
+``BENCH_kernel.json`` (the standard ``repro.obs.run/1`` record, written
+to ``benchmarks/results/`` or ``$REPRO_BENCH_DIR``).
+
+This file seeds the perf trajectory the ROADMAP re-anchor reads: each
+later optimization PR reruns the bench and compares against the recorded
+baseline.  Every executor's output is checked against the
+:func:`~repro.resilience.oracles.verified_spmm` oracle before its timing
+counts — a fast wrong kernel is recorded as ``check: fail`` and sinks
+the run's status.
+
+Usage::
+
+    python -m repro kernel-bench              # full three-dataset sweep
+    python -m repro kernel-bench --quick      # CI smoke: small set only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro import obs
+from repro.core.parallel import execute_parallel
+from repro.core.schedule import MergePathSchedule, schedule_for_cost
+from repro.core.spmm import execute_reference, execute_vectorized
+from repro.core.thread_mapping import default_merge_path_cost
+from repro.engine.kernels import compile_engine_plan
+from repro.formats import CSRMatrix
+from repro.graphs.generators import power_law_graph
+from repro.obs.export import run_record, write_run_record
+from repro.resilience.oracles import verified_spmm
+
+# Synthetic power-law datasets: (name, n_nodes, nnz, max_degree).  The
+# largest is the acceptance target for the engine's >= 3x-over-reference
+# criterion; --quick keeps only the first for CI smoke runs.
+DATASETS = (
+    ("pl-small", 2_000, 16_000, 400),
+    ("pl-medium", 20_000, 200_000, 2_000),
+    ("pl-large", 100_000, 1_200_000, 5_000),
+)
+
+# Oracle tolerances: the executors reduce in different orders, so the
+# comparison is against an independent recomputation, not bit equality.
+_RTOL = 1e-9
+_ATOL = 1e-9
+
+
+@dataclass
+class BenchCase:
+    """One dataset prepared for measurement."""
+
+    name: str
+    matrix: CSRMatrix
+    dense: np.ndarray = field(repr=False)
+    schedule: MergePathSchedule = field(repr=False)
+    expected: np.ndarray = field(repr=False)
+
+
+def _build_cases(
+    datasets, dim: int, seed: int
+) -> "list[BenchCase]":
+    cases = []
+    rng = np.random.default_rng(seed)
+    cost = default_merge_path_cost(dim)
+    for name, n_nodes, nnz, max_degree in datasets:
+        matrix = power_law_graph(n_nodes, nnz, max_degree, seed=seed)
+        dense = rng.standard_normal((matrix.n_cols, dim))
+        schedule = schedule_for_cost(matrix, cost)
+        expected = verified_spmm(
+            matrix, dense, rtol=_RTOL, atol=_ATOL
+        ).output
+        cases.append(BenchCase(name, matrix, dense, schedule, expected))
+    return cases
+
+
+def _executors(
+    case: BenchCase,
+) -> "list[tuple[str, Callable[[], np.ndarray]]]":
+    """Named thunks computing ``case.matrix @ case.dense``."""
+    plan = compile_engine_plan(case.matrix, schedule=case.schedule)
+    return [
+        ("reference", lambda: execute_reference(case.schedule, case.dense)[0]),
+        (
+            "vectorized",
+            lambda: execute_vectorized(case.schedule, case.dense)[0],
+        ),
+        (
+            "parallel[4]",
+            lambda: execute_parallel(case.schedule, case.dense, 4).output,
+        ),
+        (
+            "engine[reduceat]",
+            lambda: plan.execute(case.dense, strategy="reduceat"),
+        ),
+        ("engine", lambda: plan.execute(case.dense)),
+    ]
+
+
+def _measure(thunk: Callable[[], np.ndarray], repeats: int) -> "tuple[float, np.ndarray]":
+    """Best-of-``repeats`` seconds and the (last) output."""
+    thunk()  # warmup: compile caches, size arenas, fault page-ins
+    best = float("inf")
+    output = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        output = thunk()
+        best = min(best, time.perf_counter() - start)
+    return best, output
+
+
+@obs.instrumented
+def run_kernel_bench(
+    *,
+    quick: bool = False,
+    dim: int = 32,
+    repeats: int = 3,
+    seed: int = 2023,
+    bench_dir: "str | None" = None,
+    out=sys.stdout,
+) -> int:
+    """Measure all executors on the synthetic sweep and record the result.
+
+    Returns the process exit code: 0 when every executor's output passes
+    the oracle check, 1 otherwise.
+    """
+    datasets = DATASETS[:1] if quick else DATASETS
+    repeats = max(1, 1 if quick else repeats)
+    rows: "list[dict]" = []
+    failures = 0
+    with obs.profiled() as session:
+        for case in _build_cases(datasets, dim, seed):
+            flops = 2.0 * case.matrix.nnz * dim
+            reference_seconds = None
+            for name, thunk in _executors(case):
+                seconds, output = _measure(thunk, repeats)
+                ok = bool(
+                    np.allclose(
+                        output, case.expected, rtol=_RTOL, atol=_ATOL
+                    )
+                )
+                failures += not ok
+                if name == "reference":
+                    reference_seconds = seconds
+                row = {
+                    "dataset": case.name,
+                    "executor": name,
+                    "n_rows": case.matrix.n_rows,
+                    "nnz": case.matrix.nnz,
+                    "dim": dim,
+                    "seconds": seconds,
+                    "rows_per_s": case.matrix.n_rows / seconds,
+                    "gflops": flops / seconds / 1e9,
+                    "speedup_vs_reference": (
+                        reference_seconds / seconds
+                        if reference_seconds
+                        else 1.0
+                    ),
+                    "max_abs_err": float(
+                        np.max(np.abs(output - case.expected))
+                        if output.size
+                        else 0.0
+                    ),
+                    "check": "pass" if ok else "fail",
+                }
+                rows.append(row)
+                obs.histogram("engine.bench.seconds", executor=name).observe(
+                    seconds
+                )
+                print(
+                    f"{case.name:10s} {name:17s} {seconds * 1e3:9.2f} ms  "
+                    f"{row['rows_per_s']:12.0f} rows/s  "
+                    f"{row['gflops']:7.2f} GFLOP/s  "
+                    f"{row['speedup_vs_reference']:6.2f}x  {row['check']}",
+                    file=out,
+                )
+
+    largest = datasets[-1][0]
+    engine_speedup = next(
+        r["speedup_vs_reference"]
+        for r in rows
+        if r["dataset"] == largest and r["executor"] == "engine"
+    )
+    status = "ok" if failures == 0 else "check-failed"
+    record = run_record(
+        "kernel",
+        metrics=session.snapshot(),
+        wall_seconds=session.wall_seconds,
+        status=status,
+        extra={
+            "quick": quick,
+            "dim": dim,
+            "repeats": repeats,
+            "seed": seed,
+            "results": rows,
+            "largest_dataset": largest,
+            "engine_speedup_vs_reference": engine_speedup,
+        },
+    )
+    path = write_run_record(record, bench_dir)
+    print(
+        f"\nengine speedup on {largest}: {engine_speedup:.2f}x over "
+        f"reference ({failures} check failure(s))",
+        file=out,
+    )
+    print(f"recorded {path}", file=out)
+    return 0 if failures == 0 else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro kernel-bench",
+        description="Measure SpMM executor throughput and record "
+        "BENCH_kernel.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smallest dataset only, one repeat (CI smoke)",
+    )
+    parser.add_argument("--dim", type=int, default=32, help="dense width")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best-of)"
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="run-record directory (default: benchmarks/results or "
+        "$REPRO_BENCH_DIR)",
+    )
+    args = parser.parse_args(argv)
+    return run_kernel_bench(
+        quick=args.quick,
+        dim=args.dim,
+        repeats=args.repeats,
+        seed=args.seed,
+        bench_dir=args.bench_dir,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -1,0 +1,571 @@
+"""The engine fast path: zero-Python-loop segmented-reduction SpMM.
+
+:func:`repro.core.spmm.execute_vectorized` already avoids per-thread
+loops, but it pays three per-call costs the serving steady state does not
+need: it re-flattens the schedule's write segments, it scatter-adds every
+non-zero with ``np.add.at`` (an unbuffered, cache-hostile ufunc loop),
+and it allocates every temporary fresh.  GE-SpMM's lesson (Huang et al.,
+SC'20) is that coalesced access plus dimension blocking is what makes
+SpMM fast; this module applies both on the CPU.
+
+An :class:`EnginePlan` flattens a schedule's write segments into index
+arrays **once** and then executes with a segmented reduction, two
+interchangeable strategies deep:
+
+* ``"grouped"`` (default) — segments are bucketed by length at compile
+  time (merge-path bounds every segment at the cost, so there are at
+  most ~50 buckets), and each bucket reduces with one batched BLAS
+  contraction ``(n, 1, L) @ (n, L, dim)``.  Every hot loop is C; the
+  only Python iteration is over the handful of buckets.
+* ``"reduceat"`` — the textbook ``np.add.reduceat`` over the non-empty
+  segment starts (which tile ``[0, nnz)`` in order).  Simpler, but
+  reduceat's inner loop is scalar; it is kept as the trajectory baseline
+  ``python -m repro kernel-bench`` measures the grouped strategy against.
+
+All temporaries come from a per-thread
+:class:`~repro.engine.arena.Arena`, so after a warmup call the steady
+state allocates nothing but the output — and not even that when the
+caller passes ``out=``.
+
+Numerical note: the strategies reduce each segment in different orders
+(BLAS dot / pairwise vs. strictly sequential), so engine outputs can
+differ from the core executors' in the last few ulps.  Cross-executor
+checks therefore use the independent oracle tolerance, not bit equality.
+
+:class:`EnginePlanCache` memoizes plans by content fingerprint the way
+the serving :class:`~repro.serve.plancache.PlanCache` memoizes
+:class:`~repro.serve.plancache.CompiledPlan` objects; :func:`engine_spmm`
+is the one-call cached entry point.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro import obs
+from repro.core.schedule import MergePathSchedule, schedule_for_cost
+from repro.core.spmm import (
+    WriteAccounting,
+    WriteSegments,
+    _inject_segment_faults,
+    write_segments,
+)
+from repro.core.thread_mapping import MIN_THREADS, default_merge_path_cost
+from repro.engine.arena import Arena
+from repro.formats import CSRMatrix
+from repro.resilience import faults
+
+STRATEGIES = ("grouped", "reduceat")
+
+# Feature-dimension block: bounds the per-bucket gather buffer and keeps
+# the reduction working set cache-resident for wide feature matrices.
+_DEFAULT_BLOCK = 32
+
+# Gather-tile size in float64 elements (256 KiB).  Each bucket is
+# processed in tiles this large so the gathered rows are still
+# cache-resident when the contraction consumes them; untiled, a large
+# bucket's gather buffer round-trips through DRAM twice (measured ~1.9x
+# slower end to end on a 1.2M-nnz power-law graph).
+_TILE_ELEMS = 32_768
+
+_thread_state = threading.local()
+
+
+def get_arena() -> Arena:
+    """The calling thread's workspace arena (created on first use).
+
+    Arenas are deliberately per-thread: buffers are reused across calls
+    without locking, and concurrent serve workers never alias each
+    other's workspaces.
+    """
+    arena = getattr(_thread_state, "arena", None)
+    if arena is None:
+        arena = _thread_state.arena = Arena()
+    return arena
+
+
+@dataclass(frozen=True)
+class SegmentGroup:
+    """All non-empty write segments of one length, batched for BLAS.
+
+    Attributes:
+        length: Non-zeros per segment in this bucket.
+        value_idx: Flat gather indices into ``matrix.values``
+            (``n * length``, row-major by segment).
+        column_idx: Flat gather indices into the dense operand's rows
+            (``cp[value_idx]``, precomputed).
+        regular_local: Bucket-local indices of direct-store segments.
+        regular_rows: Their output rows.
+        atomic_local: Bucket-local indices of atomically-added segments.
+        atomic_rows: Their output rows.
+    """
+
+    length: int
+    value_idx: np.ndarray = field(repr=False)
+    column_idx: np.ndarray = field(repr=False)
+    regular_local: np.ndarray = field(repr=False)
+    regular_rows: np.ndarray = field(repr=False)
+    atomic_local: np.ndarray = field(repr=False)
+    atomic_rows: np.ndarray = field(repr=False)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.value_idx) // self.length if self.length else 0
+
+
+@dataclass(frozen=True)
+class EnginePlan:
+    """A merge-path schedule compiled to flat segmented-reduction arrays.
+
+    Attributes:
+        schedule: The underlying merge-path decomposition.
+        segments: All write segments (kept for fault injection and
+            accounting; includes zero-length empty-row segments).
+        starts: Start offsets of the *non-empty* segments — a monotone
+            tiling of ``[0, nnz)``, the ``reduceat`` boundary array.
+        regular_sel: Indices (into the non-empty set) of direct-store
+            segments; ``atomic_sel`` likewise for atomic segments.
+        regular_rows / atomic_rows: Their output rows.
+        groups: Length-bucketed segments for the ``"grouped"`` strategy.
+        accounting: The write accounting every execution reports
+            (identical to the core executors' by construction).
+        block: Feature-dimension block width.
+        strategy: Default execution strategy.
+    """
+
+    schedule: MergePathSchedule
+    segments: WriteSegments = field(repr=False)
+    starts: np.ndarray = field(repr=False)
+    regular_sel: np.ndarray = field(repr=False)
+    atomic_sel: np.ndarray = field(repr=False)
+    regular_rows: np.ndarray = field(repr=False)
+    atomic_rows: np.ndarray = field(repr=False)
+    groups: "tuple[SegmentGroup, ...]" = field(repr=False)
+    accounting: WriteAccounting = field(repr=False)
+    block: int = _DEFAULT_BLOCK
+    strategy: str = "grouped"
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        return self.schedule.matrix
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate resident bytes of the plan's index arrays."""
+        total = sum(
+            a.nbytes
+            for a in (
+                self.starts,
+                self.regular_sel,
+                self.atomic_sel,
+                self.regular_rows,
+                self.atomic_rows,
+            )
+        )
+        total += sum(
+            v.nbytes
+            for v in vars(self.segments).values()
+            if isinstance(v, np.ndarray)
+        )
+        for group in self.groups:
+            total += sum(
+                v.nbytes
+                for v in vars(group).values()
+                if isinstance(v, np.ndarray)
+            )
+        return total
+
+    def rebind(self, matrix: CSRMatrix) -> "EnginePlan":
+        """This plan bound to ``matrix``'s values (structure must match).
+
+        The plan's index arrays are pure structure, so rebinding shares
+        all of them and only swaps the schedule's matrix binding.
+        """
+        schedule = self.schedule.rebind(matrix)
+        if schedule is self.schedule:
+            return self
+        return replace(self, schedule=schedule)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        dense: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        arena: "Arena | None" = None,
+        strategy: "str | None" = None,
+    ) -> np.ndarray:
+        """Compute ``matrix @ dense`` through the compiled fast path.
+
+        Args:
+            dense: Dense operand, shape ``(n_cols, dim)``.
+            out: Optional preallocated ``(n_rows, dim)`` float64 C-order
+                output; it is zeroed and filled in place (pass an arena
+                buffer to make the call allocation-free).
+            arena: Workspace override; defaults to the calling thread's
+                arena.
+            strategy: ``"grouped"`` or ``"reduceat"``; defaults to the
+                plan's compiled strategy.
+
+        Returns:
+            The product (``out`` when provided).
+        """
+        matrix = self.matrix
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+            )
+        strategy = strategy or self.strategy
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; known: {STRATEGIES}"
+            )
+        dim = dense.shape[1]
+        if out is None:
+            out = np.zeros((matrix.n_rows, dim), dtype=np.float64)
+        else:
+            if out.shape != (matrix.n_rows, dim) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be float64 {(matrix.n_rows, dim)}, got "
+                    f"{out.dtype} {out.shape}"
+                )
+            out.fill(0.0)
+        if obs.enabled():
+            obs.counter("engine.execute.calls", strategy=strategy).inc()
+            obs.counter("engine.execute.nnz").inc(matrix.nnz)
+
+        plan = faults.active_plan()
+        if plan is not None:
+            # Fault-injection path: materialize every segment's sum so
+            # the injection hooks see the same surface the core executors
+            # expose.  Slow, but only ever taken under chaos testing.
+            self._execute_with_faults(plan, dense, out)
+            return out
+        if matrix.nnz == 0 or dim == 0:
+            return out
+        if arena is None:
+            arena = get_arena()
+        if strategy == "grouped":
+            self._execute_grouped(dense, out, arena)
+        else:
+            self._execute_reduceat(dense, out, arena)
+        return out
+
+    def _execute_grouped(
+        self, dense: np.ndarray, out: np.ndarray, arena: Arena
+    ) -> None:
+        """Batched-BLAS segmented reduction, cache-tiled per bucket."""
+        values = self.matrix.values
+        dim = dense.shape[1]
+        block = min(self.block, dim) or dim
+        for lo in range(0, dim, block):
+            hi = min(lo + block, dim)
+            width = hi - lo
+            whole = lo == 0 and hi == dim
+            source = dense if whole else dense[:, lo:hi]
+            target = out if whole else out[:, lo:hi]
+            for group in self.groups:
+                n, length = group.n_segments, group.length
+                sums = arena.take("sums", (n, 1, width), zero=False)
+                tile = max(1, _TILE_ELEMS // (length * width))
+                for t0 in range(0, n, tile):
+                    t1 = min(t0 + tile, n)
+                    rows = t1 - t0
+                    vals = arena.take("vals", (rows, 1, length), zero=False)
+                    np.take(
+                        values,
+                        group.value_idx[t0 * length : t1 * length],
+                        out=vals.reshape(-1),
+                    )
+                    gathered = arena.take(
+                        "gather", (rows, length, width), zero=False
+                    )
+                    np.take(
+                        source,
+                        group.column_idx[t0 * length : t1 * length],
+                        axis=0,
+                        out=gathered.reshape(-1, width),
+                    )
+                    np.matmul(vals, gathered, out=sums[t0:t1])
+                flat = sums.reshape(n, width)
+                target[group.regular_rows] = flat[group.regular_local]
+                np.add.at(target, group.atomic_rows, flat[group.atomic_local])
+
+    def _execute_reduceat(
+        self, dense: np.ndarray, out: np.ndarray, arena: Arena
+    ) -> None:
+        """Plain ``np.add.reduceat`` over the non-empty segment starts."""
+        matrix = self.matrix
+        values = matrix.values[:, None]
+        cp = matrix.column_indices
+        nnz = matrix.nnz
+        n_segments = len(self.starts)
+        dim = dense.shape[1]
+        block = min(self.block, dim) or dim
+        for lo in range(0, dim, block):
+            hi = min(lo + block, dim)
+            width = hi - lo
+            whole = lo == 0 and hi == dim
+            source = dense if whole else dense[:, lo:hi]
+            target = out if whole else out[:, lo:hi]
+            gathered = arena.take("gather", (nnz, width), zero=False)
+            np.take(source, cp, axis=0, out=gathered)
+            gathered *= values
+            sums = arena.take("sums", (n_segments, width), zero=False)
+            np.add.reduceat(gathered, self.starts, axis=0, out=sums)
+            target[self.regular_rows] = sums[self.regular_sel]
+            np.add.at(target, self.atomic_rows, sums[self.atomic_sel])
+
+    def _execute_with_faults(
+        self, plan: "faults.FaultPlan", dense: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Semantics of the vectorized executor under an active fault plan."""
+        segments = self.segments
+        dim = dense.shape[1]
+        seg_sums = np.zeros((segments.n_segments, dim), dtype=np.float64)
+        seg_ids = np.repeat(np.arange(segments.n_segments), segments.lengths)
+        partial = (
+            self.matrix.values[:, None] * dense[self.matrix.column_indices]
+        )
+        np.add.at(seg_sums, seg_ids, partial)
+        dropped = _inject_segment_faults(plan, seg_sums, segments)
+        atomic_applied = segments.atomic & ~dropped
+        regular = ~segments.atomic
+        out[segments.rows[regular]] = seg_sums[regular]
+        np.add.at(out, segments.rows[atomic_applied], seg_sums[atomic_applied])
+
+
+def _build_groups(
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    rows: np.ndarray,
+    atomic: np.ndarray,
+    column_indices: np.ndarray,
+) -> "tuple[SegmentGroup, ...]":
+    """Bucket non-empty segments by length, precomputing gather indices."""
+    groups = []
+    for length in np.unique(lengths):
+        sel = np.flatnonzero(lengths == length)
+        value_idx = (
+            starts[sel][:, None] + np.arange(length, dtype=np.int64)
+        ).reshape(-1)
+        group_atomic = atomic[sel]
+        regular_local = np.flatnonzero(~group_atomic)
+        atomic_local = np.flatnonzero(group_atomic)
+        groups.append(
+            SegmentGroup(
+                length=int(length),
+                value_idx=value_idx,
+                column_idx=column_indices[value_idx],
+                regular_local=regular_local,
+                regular_rows=rows[sel][regular_local],
+                atomic_local=atomic_local,
+                atomic_rows=rows[sel][atomic_local],
+            )
+        )
+    return tuple(groups)
+
+
+def compile_engine_plan(
+    matrix: CSRMatrix,
+    cost: "int | None" = None,
+    *,
+    dim: "int | None" = None,
+    min_threads: int = MIN_THREADS,
+    schedule: "MergePathSchedule | None" = None,
+    block: int = _DEFAULT_BLOCK,
+    strategy: str = "grouped",
+) -> EnginePlan:
+    """Compile the engine's flat execution arrays for ``matrix``.
+
+    Args:
+        matrix: Sparse input.
+        cost: Merge-path cost; defaults to the paper's tuned value for
+            ``dim`` when omitted.
+        dim: Dense width used to derive the default cost.
+        min_threads: Small-graph thread floor (Section III-C).
+        schedule: Reuse an existing schedule instead of building one
+            (the fused GNN path hands in its cached schedule so schedule
+            accounting stays with the :class:`ScheduleCache`).
+        block: Feature-dimension block width.
+        strategy: Default execution strategy (``"grouped"`` or
+            ``"reduceat"``).
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; known: {STRATEGIES}")
+    if schedule is None:
+        if cost is None:
+            if dim is None:
+                raise ValueError("pass cost=, dim=, or schedule=")
+            cost = default_merge_path_cost(dim)
+        schedule = schedule_for_cost(matrix, cost, min_threads=min_threads)
+    with obs.span("engine.compile", nnz=matrix.nnz):
+        segments = write_segments(schedule)
+        nonempty = np.flatnonzero(segments.lengths > 0)
+        starts = segments.starts[nonempty]
+        lengths = segments.lengths[nonempty]
+        rows = segments.rows[nonempty]
+        atomic = segments.atomic[nonempty]
+        regular_sel = np.flatnonzero(~atomic)
+        atomic_sel = np.flatnonzero(atomic)
+        all_regular = ~segments.atomic
+        accounting = WriteAccounting(
+            atomic_writes=int(segments.atomic.sum()),
+            regular_writes=int(all_regular.sum()),
+            atomic_nnz=int(segments.lengths[segments.atomic].sum()),
+            regular_nnz=int(segments.lengths[all_regular].sum()),
+        )
+        return EnginePlan(
+            schedule=schedule,
+            segments=segments,
+            starts=starts,
+            regular_sel=regular_sel,
+            atomic_sel=atomic_sel,
+            regular_rows=rows[regular_sel],
+            atomic_rows=rows[atomic_sel],
+            groups=_build_groups(
+                starts, lengths, rows, atomic, matrix.column_indices
+            ),
+            accounting=accounting,
+            block=block,
+            strategy=strategy,
+        )
+
+
+@obs.instrumented
+def execute_engine(
+    schedule: MergePathSchedule,
+    dense: np.ndarray,
+    *,
+    strategy: str = "grouped",
+) -> "tuple[np.ndarray, WriteAccounting]":
+    """One-shot engine execution of an existing schedule.
+
+    Compiles an :class:`EnginePlan` (uncached — use
+    :class:`EnginePlanCache` or :func:`engine_spmm` for repeated calls)
+    and runs it, returning ``(output, accounting)`` like the
+    :mod:`repro.core.spmm` executors.
+    """
+    plan = compile_engine_plan(
+        schedule.matrix, schedule=schedule, strategy=strategy
+    )
+    output = plan.execute(dense)
+    if obs.enabled():
+        obs.counter("core.executor.atomic_writes").inc(
+            plan.accounting.atomic_writes
+        )
+        obs.counter("core.executor.regular_writes").inc(
+            plan.accounting.regular_writes
+        )
+    return output, plan.accounting
+
+
+class EnginePlanCache:
+    """Thread-safe LRU cache of :class:`EnginePlan` keyed by content.
+
+    Mirrors :class:`repro.serve.plancache.PlanCache`: keys are
+    ``(fingerprint, cost, min_threads)`` so two loads of the same graph
+    share one plan, and hits from same-structure matrices with different
+    values are rebound before they are returned.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[tuple[str, int, int], EnginePlan]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(
+        self,
+        matrix: CSRMatrix,
+        cost: "int | None" = None,
+        *,
+        dim: "int | None" = None,
+        min_threads: int = MIN_THREADS,
+        schedule: "MergePathSchedule | None" = None,
+    ) -> EnginePlan:
+        """The cached plan for ``matrix``, compiled on miss."""
+        if cost is None:
+            if schedule is not None:
+                cost = schedule.items_per_thread
+            elif dim is not None:
+                cost = default_merge_path_cost(dim)
+            else:
+                raise ValueError("pass cost=, dim=, or schedule=")
+        key = (matrix.fingerprint(), cost, min_threads)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                obs.counter("engine.plancache.hits").inc()
+                return plan.rebind(matrix)
+            self.misses += 1
+            obs.counter("engine.plancache.misses").inc()
+            plan = compile_engine_plan(
+                matrix,
+                cost if schedule is None else None,
+                min_threads=min_threads,
+                schedule=schedule,
+            )
+            self._plans[key] = plan
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                obs.counter("engine.plancache.evictions").inc()
+            return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+_default_cache = EnginePlanCache()
+
+
+def get_engine_plan_cache() -> EnginePlanCache:
+    """The process-wide engine plan cache."""
+    return _default_cache
+
+
+@obs.instrumented
+def engine_spmm(
+    matrix: CSRMatrix,
+    dense: np.ndarray,
+    *,
+    cost: "int | None" = None,
+    min_threads: int = MIN_THREADS,
+    out: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Compute ``matrix @ dense`` through the cached engine fast path.
+
+    The one-call serving entry point: plan compilation is amortized
+    through :func:`get_engine_plan_cache`, workspaces through the calling
+    thread's arena.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ValueError(f"dense operand must be 2-D, got shape {dense.shape}")
+    plan = _default_cache.get(
+        matrix, cost, dim=dense.shape[1], min_threads=min_threads
+    )
+    return plan.execute(dense, out=out)

@@ -6,6 +6,13 @@ is computed once per graph and reused across the model's layers and across
 inferences; in *online* mode every inference recomputes it.  The engine
 reports both wall-clock scheduling time and the modeled GPU scheduling
 overhead — the quantity Figure 8 plots.
+
+Execution goes through the fused :mod:`repro.engine` path by default:
+one merge-path cost per graph (so one schedule serves every layer), one
+compiled engine plan reused across layers and inferences, and each
+layer's ``(A·X)·W`` vs ``A·(X·W)`` ordering chosen by FLOP count (see
+:mod:`repro.engine.pipeline`).  Pass ``fused=False`` to fall back to the
+per-layer vectorized executor.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from repro.core.schedule import MergePathSchedule
 from repro.core.scheduler import ScheduleCache, SchedulingMode
 from repro.core.spmm import execute_vectorized
 from repro.core.thread_mapping import default_merge_path_cost
+from repro.engine.kernels import get_engine_plan_cache
+from repro.engine.pipeline import TRANSFORM_FIRST, choose_ordering
 from repro.gpu.device import GPUDevice, quadro_rtx_6000
 from repro.gpu.kernels import mergepath_workload
 from repro.gpu.timing import scheduling_time, simulate
@@ -60,15 +69,20 @@ class InferenceEngine:
             inferences (the paper's default, matching GNNAdvisor's
             pre-processed partitions); ``ONLINE`` recomputes per inference.
         device: GPU model used for the timing estimates.
+        fused: Execute through the fused engine path (shared schedule +
+            engine plan across layers, FLOP-counted ordering).  ``False``
+            restores the per-layer vectorized executor.
     """
 
     def __init__(
         self,
         mode: SchedulingMode = SchedulingMode.OFFLINE,
         device: GPUDevice | None = None,
+        fused: bool = True,
     ) -> None:
         self.cache = ScheduleCache(mode=mode)
         self.device = device or quadro_rtx_6000()
+        self.fused = fused
         # Normalized adjacencies cached per graph identity so the offline
         # mode's schedule reuse keys on a stable matrix object.
         self._normalized: dict[int, object] = {}
@@ -92,21 +106,46 @@ class InferenceEngine:
         schedule_cycles = 0.0
         computations_before = self.cache.schedule_computations
         wall_before = self.cache.total_scheduling_seconds
-        for layer in model.layers:
-            xw = hidden @ layer.weight
-            cost = default_merge_path_cost(xw.shape[1])
+        layer_plans = [
+            choose_ordering(
+                adjacency.n_rows,
+                adjacency.nnz,
+                layer.in_features,
+                layer.out_features,
+            )
+            for layer in model.layers
+        ]
+        # One cost per graph (sized for the widest SpMM any layer runs)
+        # so a single schedule — and, fused, a single engine plan —
+        # serves the whole pass.
+        graph_cost = default_merge_path_cost(
+            max(plan.spmm_width for plan in layer_plans)
+        )
+        for layer, layer_plan in zip(model.layers, layer_plans):
             built_before = self.cache.schedule_computations
-            schedule: MergePathSchedule = self.cache.get(adjacency, cost)
+            schedule: MergePathSchedule = self.cache.get(adjacency, graph_cost)
             if self.cache.schedule_computations > built_before:
                 schedule_cycles += scheduling_time(
                     schedule.n_threads,
                     adjacency.n_rows + adjacency.nnz,
                     self.device,
                 )
-            output, _ = execute_vectorized(schedule, xw)
+            if self.fused:
+                plan = get_engine_plan_cache().get(
+                    adjacency, graph_cost, schedule=schedule
+                )
+                if layer_plan.ordering == TRANSFORM_FIRST:
+                    output = plan.execute(hidden @ layer.weight)
+                else:
+                    output = plan.execute(hidden) @ layer.weight
+                spmm_width = layer_plan.spmm_width
+            else:
+                xw = hidden @ layer.weight
+                output, _ = execute_vectorized(schedule, xw)
+                spmm_width = xw.shape[1]
             kernel_cycles += simulate(
                 mergepath_workload(
-                    adjacency, xw.shape[1], self.device, schedule=schedule
+                    adjacency, spmm_width, self.device, schedule=schedule
                 ),
                 self.device,
             ).cycles

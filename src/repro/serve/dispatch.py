@@ -118,8 +118,19 @@ def _run_cusparse_like(
     return cusparse_like_spmm(matrix, dense)[0]
 
 
+def _run_engine(
+    matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
+) -> np.ndarray:
+    # The engine keeps its own plan cache (flattened index arrays, not
+    # CompiledPlan objects) and per-thread arenas; ``plans`` is unused.
+    # Keyed on plan_dim like the others so batching never fragments it.
+    from repro.engine.kernels import get_engine_plan_cache
+
+    return get_engine_plan_cache().get(matrix, dim=plan_dim).execute(dense)
+
+
 def default_backends() -> tuple[Backend, ...]:
-    """The six stock backends, in registration (tie-break) order."""
+    """The seven stock backends, in registration (tie-break) order."""
     return (
         Backend("vectorized", _run_vectorized, kernel="mergepath"),
         Backend("threaded", _run_threaded, kernel="mergepath"),
@@ -131,6 +142,7 @@ def default_backends() -> tuple[Backend, ...]:
         ),
         Backend("gnnadvisor", _run_gnnadvisor, kernel="gnnadvisor"),
         Backend("cusparse-like", _run_cusparse_like, kernel="cusparse"),
+        Backend("engine", _run_engine, kernel="mergepath"),
     )
 
 

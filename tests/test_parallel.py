@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core import build_schedule, execute_parallel, execute_vectorized
+from repro.core import (
+    build_schedule,
+    execute_parallel,
+    execute_reference,
+    execute_vectorized,
+)
 from repro.formats import CSRMatrix
 
 
@@ -59,3 +64,33 @@ class TestParallelExecutor:
         result = execute_parallel(schedule, np.ones((2, 2)), n_workers=2)
         assert result.output.shape == (2, 2)
         assert np.all(result.output == 0.0)
+
+    def test_more_workers_than_schedule_threads(self, paper_example, features):
+        # 2 schedule threads, 16 workers: most workers get an empty slice
+        # of the thread range and must neither crash nor corrupt output.
+        schedule = build_schedule(paper_example, 2)
+        x = features(paper_example.n_cols, 4)
+        expected, _ = execute_reference(schedule, x)
+        result = execute_parallel(schedule, x, n_workers=16)
+        assert result.n_workers == 16
+        np.testing.assert_allclose(result.output, expected)
+
+    def test_empty_matrix_matches_reference(self):
+        empty = CSRMatrix.from_arrays([0, 0, 0, 0], [])
+        schedule = build_schedule(empty, 4)
+        x = np.ones((3, 5))
+        expected, _ = execute_reference(schedule, x)
+        result = execute_parallel(schedule, x, n_workers=8)
+        np.testing.assert_allclose(result.output, expected)
+        assert result.writes.atomic_writes + result.writes.regular_writes >= 0
+
+    def test_width_one_dense_operand(self, small_power_law, features):
+        # A single-column operand: the degenerate SpMV shape, where any
+        # missed keepdims/squeeze in the worker slicing would surface.
+        schedule = build_schedule(small_power_law, 64)
+        x = features(small_power_law.n_cols, 1)
+        assert x.shape[1] == 1
+        expected, _ = execute_reference(schedule, x)
+        result = execute_parallel(schedule, x, n_workers=4)
+        assert result.output.shape == (small_power_law.n_rows, 1)
+        np.testing.assert_allclose(result.output, expected)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lint: relative links in the Markdown docs must resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and image
+references, and checks that every *relative* target (anything that is
+not an ``http(s)``/``mailto`` URL or a pure ``#anchor``) exists on disk,
+resolved against the linking file's directory.  Fragments are stripped
+before the existence check (``docs/API.md#engine`` checks
+``docs/API.md``).
+
+This is what keeps the docs index honest: a renamed doc, example, or
+tool breaks CI instead of silently 404ing for readers.
+
+Exit status 0 when every link resolves; 1 with a listing otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) / ![alt](target).  Reference-style
+# definitions: [label]: target
+_INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text: str) -> str:
+    """Remove fenced and inline code spans (links there aren't links)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def doc_files() -> list[Path]:
+    """The files whose links this lint guards."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link messages for one Markdown file."""
+    rel = path.relative_to(REPO_ROOT)
+    text = _strip_code(path.read_text())
+    targets = _INLINE.findall(text) + _REFDEF.findall(text)
+    broken = []
+    for target in targets:
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append(f"{rel}: broken relative link -> {target}")
+    return broken
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    del argv
+    broken: list[str] = []
+    checked = 0
+    for path in doc_files():
+        broken.extend(check_file(path))
+        checked += 1
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) across {checked} files")
+        return 1
+    print(f"docs link check: {checked} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PACKAGES = ("core", "gpu", "multicore", "serve")
+PACKAGES = ("core", "engine", "gpu", "multicore", "serve")
 
 ENTRY_PREFIXES = ("run_", "execute_", "simulate")
 REQUIRED_FUNCTIONS = {
