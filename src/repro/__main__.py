@@ -14,9 +14,12 @@ Subcommands:
   load and verify the failure-domain guards catch every one; see
   :mod:`repro.resilience.chaos_serve`.
 * ``serve-bench`` — drive synthetic Zipf/Poisson traffic through the
-  serving layer and record throughput, latency percentiles, plan-cache
-  and load-shedding statistics; see :mod:`repro.serve.loadgen` and
-  ``docs/SERVING.md``.
+  serving layer and record throughput, latency percentiles, per-stage
+  latency attribution, SLO attainment, plan-cache and load-shedding
+  statistics; see :mod:`repro.serve.loadgen` and ``docs/SERVING.md``.
+* ``slo-report`` — render per-route SLO attainment (observed
+  percentiles vs. objectives, error-budget burn) from the latest
+  ``serve-bench`` run record; see :mod:`repro.obs.slo`.
 * ``kernel-bench`` — measure every SpMM executor (reference, vectorized,
   thread pool, engine fast path) on synthetic power-law datasets and
   record rows/s + GFLOP-equivalents in ``BENCH_kernel.json``; see
@@ -48,6 +51,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.loadgen import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "slo-report":
+        from repro.obs.slo import main as slo_main
+
+        return slo_main(argv[1:])
     if argv and argv[0] == "kernel-bench":
         from repro.engine.bench import main as kernel_main
 

@@ -47,6 +47,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro import obs
+from repro.obs import rtrace
 from repro.core.schedule import MergePathSchedule, schedule_for_cost
 from repro.core.spmm import (
     WriteAccounting,
@@ -513,15 +514,18 @@ class EnginePlanCache:
                 self._plans.move_to_end(key)
                 self.hits += 1
                 obs.counter("engine.plancache.hits").inc()
+                rtrace.count("plan_cache_hit")
                 return plan.rebind(matrix)
             self.misses += 1
             obs.counter("engine.plancache.misses").inc()
-            plan = compile_engine_plan(
-                matrix,
-                cost if schedule is None else None,
-                min_threads=min_threads,
-                schedule=schedule,
-            )
+            rtrace.count("plan_compile")
+            with rtrace.stage("plan_compile"):
+                plan = compile_engine_plan(
+                    matrix,
+                    cost if schedule is None else None,
+                    min_threads=min_threads,
+                    schedule=schedule,
+                )
             self._plans[key] = plan
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)

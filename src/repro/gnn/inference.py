@@ -26,6 +26,7 @@ from repro.core.scheduler import ScheduleCache, SchedulingMode
 from repro.core.spmm import execute_vectorized
 from repro.core.thread_mapping import default_merge_path_cost
 from repro.engine.kernels import get_engine_plan_cache
+from repro.obs import rtrace
 from repro.engine.pipeline import TRANSFORM_FIRST, choose_ordering
 from repro.gpu.device import GPUDevice, quadro_rtx_6000
 from repro.gpu.kernels import mergepath_workload
@@ -87,9 +88,22 @@ class InferenceEngine:
         # mode's schedule reuse keys on a stable matrix object.
         self._normalized: dict[int, object] = {}
 
-    def infer(self, model: GCN, graph: Graph, features: np.ndarray | None = None
+    def infer(self, model: GCN, graph: Graph, features: np.ndarray | None = None,
+              *, ctx: "rtrace.RequestContext | None" = None
               ) -> InferenceReport:
-        """Run one inference, accounting schedules per Section III-D."""
+        """Run one inference, accounting schedules per Section III-D.
+
+        Args:
+            ctx: Optional request-trace context
+                (:mod:`repro.obs.rtrace`); when passed, per-layer kernel
+                execution and plan compilation are attributed to its
+                ledger.
+        """
+        with rtrace.activate(ctx):
+            return self._infer(model, graph, features)
+
+    def _infer(self, model: GCN, graph: Graph,
+               features: np.ndarray | None) -> InferenceReport:
         if id(graph) not in self._normalized:
             self._normalized[id(graph)] = graph.normalized_adjacency()
         adjacency = self._normalized[id(graph)]
@@ -134,14 +148,16 @@ class InferenceEngine:
                 plan = get_engine_plan_cache().get(
                     adjacency, graph_cost, schedule=schedule
                 )
-                if layer_plan.ordering == TRANSFORM_FIRST:
-                    output = plan.execute(hidden @ layer.weight)
-                else:
-                    output = plan.execute(hidden) @ layer.weight
+                with rtrace.stage("kernel", layer=layer_plan.ordering):
+                    if layer_plan.ordering == TRANSFORM_FIRST:
+                        output = plan.execute(hidden @ layer.weight)
+                    else:
+                        output = plan.execute(hidden) @ layer.weight
                 spmm_width = layer_plan.spmm_width
             else:
                 xw = hidden @ layer.weight
-                output, _ = execute_vectorized(schedule, xw)
+                with rtrace.stage("kernel", layer=layer_plan.ordering):
+                    output, _ = execute_vectorized(schedule, xw)
                 spmm_width = xw.shape[1]
             kernel_cycles += simulate(
                 mergepath_workload(

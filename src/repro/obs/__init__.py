@@ -25,14 +25,18 @@ uninstrumented path costs a single global load.
 See ``docs/OBSERVABILITY.md`` for the full tour.
 """
 
+from repro.obs import rtrace, slo
 from repro.obs.export import (
     diff_snapshots,
     latest_record,
     read_records,
+    read_trajectory,
     records_dir,
     run_record,
     write_run_record,
 )
+from repro.obs.rtrace import FlightRecorder, RequestContext
+from repro.obs.slo import SLObjective, SLOTracker, render_slo_report
 from repro.obs.metrics import (
     NULL_METRIC,
     Counter,
@@ -78,5 +82,8 @@ __all__ = [
     "render_text", "render_json", "kernel_breakdowns",
     # export
     "run_record", "write_run_record", "read_records", "latest_record",
-    "records_dir", "diff_snapshots",
+    "records_dir", "diff_snapshots", "read_trajectory",
+    # request tracing + SLOs
+    "rtrace", "slo", "RequestContext", "FlightRecorder",
+    "SLObjective", "SLOTracker", "render_slo_report",
 ]

@@ -1,8 +1,17 @@
-"""Exported run records: ``BENCH_<name>.json`` files.
+"""Exported run records: append-only ``BENCH_<name>.json`` trajectories.
 
-One record per experiment run, written next to the regenerated tables in
+Each ``BENCH_<name>.json`` holds the *history* of an experiment — every
+recorded run, oldest first — written next to the regenerated tables in
 ``benchmarks/results/`` (override with ``$REPRO_BENCH_DIR`` or the
-``directory=`` argument).  A record is self-describing JSON::
+``directory=`` argument).  The file is a self-describing trajectory::
+
+    {
+      "schema": "repro.obs.runs/2",
+      "name": "serve",
+      "runs": [ <run record>, <run record>, ... ]   # oldest first
+    }
+
+where each run record keeps the PR-1 per-run schema::
 
     {
       "schema": "repro.obs.run/1",
@@ -16,10 +25,17 @@ One record per experiment run, written next to the regenerated tables in
       "kernel_cycles": {kernel: {component: cycles}},
     }
 
-Records give every figure a machine-readable provenance trail: the
-harness uses the last recorded ``wall_seconds`` for its time estimates,
-``python -m repro obs-report`` renders them, and future PRs can diff the
-``metrics`` field for perf regressions.
+:func:`write_run_record` **appends**: a new run never overwrites the
+trajectory (the original PR-1 behavior lost all history, which made
+regression gating impossible).  Legacy single-run files are migrated in
+place — a ``repro.obs.run/1`` document found on disk becomes the first
+entry of the new trajectory.  Trajectories are bounded at
+:data:`MAX_RUNS` entries (oldest dropped) and written atomically.
+
+``tools/check_regression.py`` compares a trajectory's latest run against
+its history with noise-tolerant thresholds; ``python -m repro
+obs-report`` renders the most recent runs; the harness uses the last
+recorded ``wall_seconds`` for its time estimates.
 """
 
 from __future__ import annotations
@@ -31,7 +47,11 @@ from datetime import datetime
 from pathlib import Path
 
 SCHEMA = "repro.obs.run/1"
+TRAJECTORY_SCHEMA = "repro.obs.runs/2"
 RECORD_PREFIX = "BENCH_"
+# Per-trajectory retention bound: enough history for regression
+# baselines while keeping the JSON files reviewable.
+MAX_RUNS = 200
 _ENV_DIR = "REPRO_BENCH_DIR"
 _DEFAULT_DIR = Path("benchmarks") / "results"
 
@@ -114,30 +134,90 @@ def run_record(
     return record
 
 
+def _load_trajectory(path: Path) -> list[dict]:
+    """Parse one ``BENCH_*.json`` file into its run list (oldest first).
+
+    Understands both the trajectory form (``repro.obs.runs/2``) and the
+    legacy single-run form (``repro.obs.run/1``), which is migrated by
+    wrapping it as a one-entry history.  Unparseable files yield ``[]``.
+    """
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(doc, dict):
+        return []
+    if doc.get("schema") == TRAJECTORY_SCHEMA:
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            return []
+        return [
+            run
+            for run in runs
+            if isinstance(run, dict) and run.get("schema") == SCHEMA
+        ]
+    if doc.get("schema") == SCHEMA:
+        # Legacy single-run file from before trajectories existed.
+        return [doc]
+    return []
+
+
 def write_run_record(
-    record: dict, directory: "Path | str | None" = None
+    record: dict,
+    directory: "Path | str | None" = None,
+    max_runs: int = MAX_RUNS,
 ) -> Path:
-    """Write ``record`` to ``<dir>/BENCH_<name>.json`` and return the path."""
+    """Append ``record`` to ``<dir>/BENCH_<name>.json``; return the path.
+
+    The trajectory on disk (including a legacy single-run file, which is
+    migrated in place) is preserved; histories longer than ``max_runs``
+    drop their oldest entries.  The write is atomic (tmp + ``os.replace``)
+    so a crash mid-write never corrupts the history.
+    """
+    if max_runs < 1:
+        raise ValueError(f"max_runs must be >= 1, got {max_runs}")
     directory = records_dir(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{RECORD_PREFIX}{record['name']}.json"
-    path.write_text(json.dumps(record, indent=1) + "\n")
+    runs = _load_trajectory(path) if path.exists() else []
+    runs.append(record)
+    runs = runs[-max_runs:]
+    doc = {
+        "schema": TRAJECTORY_SCHEMA,
+        "name": record["name"],
+        "runs": runs,
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(doc, indent=1) + "\n")
+    os.replace(tmp, path)
     return path
 
 
+def read_trajectory(
+    name: str, directory: "Path | str | None" = None
+) -> list[dict]:
+    """One experiment's full run history, oldest first."""
+    directory = records_dir(directory)
+    path = directory / f"{RECORD_PREFIX}{name}.json"
+    if not path.is_file():
+        return []
+    runs = [r for r in _load_trajectory(path) if r.get("name") == name]
+    runs.sort(key=lambda r: r.get("timestamp") or 0.0)
+    return runs
+
+
 def read_records(directory: "Path | str | None" = None) -> list[dict]:
-    """All parseable run records in the directory, oldest first."""
+    """All parseable run records in the directory, oldest first.
+
+    Flattens trajectories: every run of every experiment appears as its
+    own record, so pre-trajectory consumers keep working unchanged.
+    """
     directory = records_dir(directory)
     if not directory.is_dir():
         return []
     records = []
     for path in sorted(directory.glob(f"{RECORD_PREFIX}*.json")):
-        try:
-            record = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            continue
-        if isinstance(record, dict) and record.get("schema") == SCHEMA:
-            records.append(record)
+        records.extend(_load_trajectory(path))
     records.sort(key=lambda r: r.get("timestamp") or 0.0)
     return records
 

@@ -21,7 +21,10 @@ checks the failure-domain guards end to end:
 * **corrupted request matrices** (NaN values) must produce a detected
   ``error`` response, never an accepted wrong product;
 * **expired deadlines** must be shed with ``deadline_exceeded`` *before*
-  execution — a shed request never reaches a backend.
+  execution — a shed request never reaches a backend;
+* a **deliberately slowed backend** must be localized by the request
+  traces (:mod:`repro.obs.rtrace`): the flight recorder's slowest trace
+  must attribute the delay to the ``kernel`` stage, not the queue.
 
 Every accepted response in every scenario is cross-checked against
 :func:`~repro.resilience.oracles.reference_spmm`; any mismatch or
@@ -43,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
+from repro.obs import rtrace
 from repro.formats import CSRMatrix
 from repro.graphs.generators import power_law_graph
 from repro.resilience import corruption, faults
@@ -76,6 +80,7 @@ class ServeChaosReport:
     deadline_shed: int = 0
     floor_requests: int = 0
     verified_responses: int = 0
+    slow_kernel_traces: int = 0
 
     @property
     def silent(self) -> "list[ChaosCase]":
@@ -115,6 +120,7 @@ class ServeChaosReport:
                 "deadline_shed": self.deadline_shed,
                 "floor_requests": self.floor_requests,
                 "verified_responses": self.verified_responses,
+                "slow_kernel_traces": self.slow_kernel_traces,
             },
             "cases": [c.to_dict() for c in self.cases],
         }
@@ -577,6 +583,92 @@ def _run_deadline_scenario(
         )
 
 
+def _run_slow_backend_scenario(
+    report: ServeChaosReport, seed: int, rng: np.random.Generator
+) -> None:
+    """A slowed backend must surface as *kernel*-stage time, not queue.
+
+    Submits closed-loop (one in flight at a time) so queue wait is
+    negligible, then checks the flight recorder's slowest retained
+    trace: the injected backend delay must land in the ``kernel`` stage
+    of the attribution ledger.  This is the regression the latency
+    attribution exists to localize — without per-stage ledgers a slow
+    kernel and a saturated queue are indistinguishable in p95.
+    """
+    matrix = _base_matrix(seed + 5)
+    delay = 0.05
+    slow = _CountingBackend(delay=delay)
+    dispatcher = AdaptiveDispatcher(
+        [Backend("molasses", slow.run)], plan_cache=PlanCache(), epsilon=0.0
+    )
+    config = ServeConfig(max_queue=16, max_batch=1, max_wait_ms=0.0,
+                         n_workers=1)
+    recorder = rtrace.FlightRecorder(capacity=8)
+    problems: "list[str]" = []
+    with InferenceService(
+        dispatcher, config, flight_recorder=recorder
+    ) as service:
+        for _ in range(4):
+            dense = rng.random((matrix.n_cols, _DIM))
+            response = service.submit(matrix, dense).result(timeout=30.0)
+            if response.ok:
+                report.verified_responses += 1
+                if not np.allclose(
+                    response.output, reference_spmm(matrix, dense),
+                    rtol=1e-9, atol=1e-9,
+                ):
+                    problems.append(
+                        f"request {response.request_id} output disagrees "
+                        "with the reference"
+                    )
+            else:
+                problems.append(
+                    f"request {response.request_id} failed: {response.error}"
+                )
+    slowest = recorder.slowest(1)
+    if not slowest:
+        problems.append("flight recorder retained no completed trace")
+    else:
+        stages = slowest[0]["stages"]
+        kernel = stages.get("kernel", 0.0)
+        queue = stages.get("queue", 0.0)
+        report.slow_kernel_traces += sum(
+            1
+            for trace in recorder.slowest()
+            if trace["stages"].get("kernel", 0.0)
+            > trace["stages"].get("queue", 0.0)
+        )
+        if kernel < delay * 0.5:
+            problems.append(
+                f"slowest trace attributes only {kernel * 1e3:.1f} ms to "
+                f"the kernel stage despite a {delay * 1e3:.0f} ms backend "
+                "delay"
+            )
+        elif kernel <= queue:
+            problems.append(
+                f"slowest trace blames the queue ({queue * 1e3:.1f} ms) "
+                f"over the kernel ({kernel * 1e3:.1f} ms)"
+            )
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "slow-backend/kernel-stage-attribution", _KIND, "rtrace",
+                SILENT, "; ".join(problems),
+            )
+        )
+    else:
+        stages = slowest[0]["stages"]
+        report.cases.append(
+            ChaosCase(
+                "slow-backend/kernel-stage-attribution", _KIND, "rtrace",
+                DETECTED,
+                f"kernel={stages.get('kernel', 0.0) * 1e3:.1f} ms > "
+                f"queue={stages.get('queue', 0.0) * 1e3:.1f} ms in the "
+                f"slowest of {recorder.recorded} recorded trace(s)",
+            )
+        )
+
+
 def run_serve_chaos(seed: int = 0, rate: float = 200.0) -> ServeChaosReport:
     """Run every serving chaos scenario with a deterministic seed."""
     report = ServeChaosReport(seed=seed)
@@ -587,6 +679,7 @@ def run_serve_chaos(seed: int = 0, rate: float = 200.0) -> ServeChaosReport:
         _run_executor_fault_scenario(report, seed, rng, rate)
         _run_corrupt_matrix_scenario(report, seed, rng)
         _run_deadline_scenario(report, seed, rng)
+        _run_slow_backend_scenario(report, seed, rng)
     obs.counter("resilience.chaos_serve.runs").inc()
     obs.gauge("resilience.chaos_serve.coverage").set(report.coverage)
     obs.counter("resilience.chaos_serve.silent_cases").inc(len(report.silent))

@@ -37,6 +37,7 @@ from typing import Callable
 import numpy as np
 
 from repro import obs
+from repro.obs import rtrace
 from repro.baselines import (
     cusparse_like_spmm,
     gnnadvisor_spmm,
@@ -438,13 +439,19 @@ class AdaptiveDispatcher:
         """
         dense = np.asarray(dense, dtype=np.float64)
         dim = plan_dim if plan_dim is not None else dense.shape[1]
-        backend, explored = self.choose(matrix, dim)
+        # Selection + bandit overhead lands in the "dispatch" stage of
+        # any active request trace; backend execution in "kernel".
+        with rtrace.stage("dispatch"):
+            backend, explored = self.choose(matrix, dim)
         if backend is None:
             # Every breaker is open: serve from the verified floor.  The
             # floor is never tripped — it IS the recovery path.
             obs.counter("serve.dispatch.floor").inc()
             started = time.perf_counter()
-            output = verified_spmm(matrix, dense, rtol=rtol, atol=atol).output
+            with rtrace.stage("fallback", backend=FLOOR_BACKEND):
+                output = verified_spmm(
+                    matrix, dense, rtol=rtol, atol=atol
+                ).output
             seconds = time.perf_counter() - started
             return DispatchResult(
                 output=output,
@@ -461,9 +468,11 @@ class AdaptiveDispatcher:
         started = time.perf_counter()
         try:
             with obs.span("serve.dispatch.execute", backend=backend.name):
-                output = backend.run(matrix, dense, self.plan_cache, dim)
+                with rtrace.stage("kernel", backend=backend.name):
+                    output = backend.run(matrix, dense, self.plan_cache, dim)
             if verify:
-                check_output(matrix, dense, output, rtol=rtol, atol=atol)
+                with rtrace.stage("verify"):
+                    check_output(matrix, dense, output, rtol=rtol, atol=atol)
         except Exception as exc:
             # Oracle failure, executor self-check, or a crashed backend:
             # forced fallback to the self-checking executor.
@@ -471,7 +480,10 @@ class AdaptiveDispatcher:
             fallback_used = True
             obs.counter("serve.dispatch.fallbacks", backend=backend.name).inc()
             breaker.record_failure()
-            output = verified_spmm(matrix, dense, rtol=rtol, atol=atol).output
+            with rtrace.stage("fallback", backend=backend.name):
+                output = verified_spmm(
+                    matrix, dense, rtol=rtol, atol=atol
+                ).output
         else:
             breaker.record_success()
         seconds = time.perf_counter() - started

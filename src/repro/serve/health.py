@@ -14,8 +14,10 @@ Severity model:
   worker pool is dead or its restart budget is exhausted, or *every*
   dispatch backend's breaker is open (only the verified floor remains).
 * **DEGRADED** — serving, but impaired: some (not all) breakers open or
-  probing, recent worker crashes/restarts, queue near saturation, or a
-  deadline-miss rate above threshold.
+  probing, recent worker crashes/restarts, queue near saturation, a
+  deadline-miss rate above threshold, or a route burning (or having
+  exhausted) its SLO error budget (``slo-burn-high`` /
+  ``slo-budget-exhausted``; see :mod:`repro.obs.slo`).
 * **HEALTHY** — none of the above.
 
 Each evaluation sets the ``serve.health.severity`` gauge
@@ -50,12 +52,20 @@ class HealthPolicy:
         crash_recent_seconds: A worker crash within this trailing window
             degrades the service; older crashes are history, not state,
             so a supervised service can *recover* to ``HEALTHY``.
+        slo_burn_degraded: SLO error-budget burn rate (1.0 = burning
+            exactly at budget) at or above which a route degrades the
+            service; exhaustion of a route's budget always degrades.
+        slo_min_samples: Minimum per-route SLO sample count before burn
+            rate is judged (a single slow warm-up request is not a
+            trend).
     """
 
     queue_saturation: float = 0.8
     deadline_miss_rate: float = 0.1
     min_miss_window: int = 8
     crash_recent_seconds: float = 30.0
+    slo_burn_degraded: float = 1.0
+    slo_min_samples: int = 16
 
     def __post_init__(self) -> None:
         if not 0.0 < self.queue_saturation <= 1.0:
@@ -75,6 +85,15 @@ class HealthPolicy:
             raise ValueError(
                 "crash_recent_seconds must be >= 0, "
                 f"got {self.crash_recent_seconds}"
+            )
+        if self.slo_burn_degraded <= 0:
+            raise ValueError(
+                f"slo_burn_degraded must be positive, got "
+                f"{self.slo_burn_degraded}"
+            )
+        if self.slo_min_samples < 1:
+            raise ValueError(
+                f"slo_min_samples must be >= 1, got {self.slo_min_samples}"
             )
 
 
@@ -236,6 +255,30 @@ def evaluate_health(
                     DEGRADED,
                     f"{misses}/{window} recent requests missed their "
                     f"deadline ({rate:.0%})",
+                )
+            )
+
+    slo = snapshot.get("slo") or {}
+    for route, state in sorted((slo.get("routes") or {}).items()):
+        if state.get("samples", 0) < policy.slo_min_samples:
+            continue
+        burn = state.get("burn_rate", 0.0)
+        if state.get("exhausted"):
+            causes.append(
+                HealthCause(
+                    "slo-budget-exhausted",
+                    DEGRADED,
+                    f"route {route!r} spent its error budget "
+                    f"(burn {burn:.2f}x over {state.get('samples')} samples)",
+                )
+            )
+        elif burn >= policy.slo_burn_degraded:
+            causes.append(
+                HealthCause(
+                    "slo-burn-high",
+                    DEGRADED,
+                    f"route {route!r} burning error budget at {burn:.2f}x "
+                    f"over {state.get('samples')} samples",
                 )
             )
 

@@ -16,10 +16,17 @@ The bench runs a *steady* scenario (throughput, p50/p95/p99 latency,
 plan-cache and backend statistics, with every accepted response verified
 against the independent SciPy oracle) and an *overload* scenario (a
 burst into a deliberately tiny queue, proving admission control sheds
-load instead of growing without bound), then writes a
-``BENCH_serve.json`` run record.  Measured wall-clock latencies are
+load instead of growing without bound), then appends a run to the
+``BENCH_serve.json`` trajectory.  Measured wall-clock latencies are
 reported next to *modeled* latencies from the GPU timing model; the
 modeled percentiles are a deterministic function of the seed.
+
+Each request is submitted under its dataset's name as the SLO *route*,
+so the report carries per-route SLO attainment (:mod:`repro.obs.slo`,
+rendered by ``python -m repro slo-report``), per-stage latency
+attribution percentiles from the request-trace ledgers
+(:mod:`repro.obs.rtrace`), and the flight recorder's slowest/failed
+traces.
 """
 
 from __future__ import annotations
@@ -35,6 +42,8 @@ import numpy as np
 from repro import obs
 from repro.formats import CSRMatrix
 from repro.graphs.datasets import load_dataset
+from repro.obs.rtrace import FlightRecorder
+from repro.obs.slo import SLObjective, SLOTracker
 from repro.resilience.oracles import reference_spmm
 from repro.serve.dispatch import AdaptiveDispatcher
 from repro.serve.plancache import PlanCache
@@ -64,6 +73,9 @@ class BenchConfig:
     verify: bool = True
     deadline_ms: "float | None" = None
     overload_requests: int = 64
+    # Per-route SLO template: every dataset route is judged against this
+    # p95 target (and it doubles as the error-budget threshold).
+    slo_p95_ms: float = 250.0
     service: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
@@ -79,6 +91,10 @@ class BenchConfig:
             )
         if not self.datasets:
             raise ValueError("at least one dataset is required")
+        if self.slo_p95_ms <= 0:
+            raise ValueError(
+                f"slo_p95_ms must be positive, got {self.slo_p95_ms}"
+            )
 
 
 def zipf_weights(n: int, s: float) -> np.ndarray:
@@ -141,6 +157,10 @@ class _ScenarioTally:
     latencies: "list[float]" = field(default_factory=list)
     batch_sizes: "list[int]" = field(default_factory=list)
     backends: "dict[str, int]" = field(default_factory=dict)
+    # Per-stage attribution samples (rtrace ledger seconds) and cache
+    # event totals across accepted responses.
+    stage_seconds: "dict[str, list[float]]" = field(default_factory=dict)
+    events: "dict[str, int]" = field(default_factory=dict)
 
     def absorb(self, response) -> None:
         self.requests += 1
@@ -162,6 +182,18 @@ class _ScenarioTally:
             )
         if response.fallback_used:
             self.fallbacks += 1
+        if response.attribution:
+            for stage, seconds in response.attribution["stages"].items():
+                self.stage_seconds.setdefault(stage, []).append(seconds)
+            for event, n in response.attribution["events"].items():
+                self.events[event] = self.events.get(event, 0) + n
+
+    def attribution_ms(self) -> dict:
+        """Per-stage latency-attribution percentiles (milliseconds)."""
+        return {
+            stage: percentiles_ms(samples)
+            for stage, samples in sorted(self.stage_seconds.items())
+        }
 
 
 def _modeled_microseconds(matrix: CSRMatrix, dim: int, cache: dict) -> float:
@@ -209,7 +241,10 @@ def run_steady(
                     matrix,
                     dense,
                     service.submit(
-                        matrix, dense, deadline_ms=config.deadline_ms
+                        matrix,
+                        dense,
+                        deadline_ms=config.deadline_ms,
+                        route=config.datasets[int(idx)],
                     ),
                 )
             )
@@ -233,7 +268,10 @@ def run_steady(
                         matrix,
                         dense,
                         service.submit(
-                            matrix, dense, deadline_ms=config.deadline_ms
+                            matrix,
+                            dense,
+                            deadline_ms=config.deadline_ms,
+                            route=config.datasets[int(idx)],
                         ),
                     )
                 )
@@ -259,6 +297,8 @@ def run_steady(
         "elapsed_seconds": elapsed,
         "throughput_rps": throughput,
         "modeled": modeled,
+        "attribution_ms": tally.attribution_ms(),
+        "events": dict(tally.events),
     }
     return tally, verifier, extra
 
@@ -301,10 +341,22 @@ def run_bench(config: BenchConfig) -> dict:
     dispatcher = AdaptiveDispatcher(
         plan_cache=plan_cache, epsilon=config.epsilon, seed=config.seed
     )
-    with InferenceService(dispatcher, config.service) as service:
+    slo_tracker = SLOTracker(
+        default_objective=SLObjective(
+            p95_ms=config.slo_p95_ms, threshold_ms=config.slo_p95_ms
+        )
+    )
+    flight_recorder = FlightRecorder(capacity=16)
+    with InferenceService(
+        dispatcher,
+        config.service,
+        slo_tracker=slo_tracker,
+        flight_recorder=flight_recorder,
+    ) as service:
         with obs.span("serve.loadgen.steady", requests=config.requests):
             steady, steady_verifier, extra = run_steady(config, service)
         health = service.health()
+        slo_report = slo_tracker.report()
     cache_stats = plan_cache.stats()
 
     with obs.span("serve.loadgen.overload", requests=config.overload_requests):
@@ -343,6 +395,8 @@ def run_bench(config: BenchConfig) -> dict:
             "offered_rps": config.rate if config.mode == "open" else None,
             "elapsed_seconds": extra["elapsed_seconds"],
             "latency_ms": percentiles_ms(steady.latencies),
+            "attribution_ms": extra["attribution_ms"],
+            "events": extra["events"],
             "modeled": extra["modeled"],
             "batch_size_mean": (
                 float(np.mean(steady.batch_sizes))
@@ -361,6 +415,8 @@ def run_bench(config: BenchConfig) -> dict:
             "mismatches": overload_verifier.mismatches,
         },
         "health": health.to_dict(),
+        "slo": slo_report,
+        "flight_recorder": flight_recorder.to_dict(),
         "silent_failures": silent_failures,
     }
 
@@ -384,6 +440,14 @@ def render_summary(report: dict) -> str:
         f"{steady['throughput_rps']:.0f} req/s",
         f"  latency ms: p50={latency['p50']:.2f} p95={latency['p95']:.2f} "
         f"p99={latency['p99']:.2f} max={latency['max']:.2f}",
+        "  stages p95: "
+        + (
+            " ".join(
+                f"{stage}={stats['p95']:.2f}"
+                for stage, stats in steady.get("attribution_ms", {}).items()
+            )
+            or "none"
+        ),
         f"  modeled us: p50={steady['modeled']['p50_us']:.1f} "
         f"p95={steady['modeled']['p95_us']:.1f} "
         f"p99={steady['modeled']['p99_us']:.1f}",
@@ -408,6 +472,18 @@ def render_summary(report: dict) -> str:
         causes = ", ".join(c["kind"] for c in health["causes"]) or "none"
         lines.append(
             f"  health    : {health['status']} (causes: {causes})"
+        )
+    slo = report.get("slo")
+    if slo is not None:
+        exhausted = sorted(
+            route
+            for route, r in slo.get("routes", {}).items()
+            if r["budget"]["exhausted"]
+        )
+        lines.append(
+            f"  slo       : {len(slo.get('routes', {}))} route(s), worst "
+            f"burn {slo.get('worst_burn_rate', 0.0):.2f}x"
+            + (f", exhausted: {', '.join(exhausted)}" if exhausted else "")
         )
     return "\n".join(lines)
 
@@ -463,6 +539,13 @@ def main(argv: "list[str] | None" = None) -> int:
         ),
     )
     parser.add_argument(
+        "--slo-p95-ms", type=float, default=250.0,
+        help=(
+            "per-route p95 latency objective in milliseconds (also the "
+            "per-request error-budget threshold; see `repro slo-report`)"
+        ),
+    )
+    parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the per-response SciPy oracle cross-check",
     )
@@ -491,6 +574,7 @@ def main(argv: "list[str] | None" = None) -> int:
         epsilon=args.epsilon,
         verify=not args.no_verify,
         deadline_ms=args.deadline_ms,
+        slo_p95_ms=args.slo_p95_ms,
         service=ServeConfig(
             max_queue=args.max_queue,
             max_batch=args.max_batch,

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro import obs
+from repro.obs import rtrace
 from repro.core.schedule import MergePathSchedule, schedule_for_cost
 from repro.core.spmm import (
     _CHUNK_NNZ,
@@ -246,14 +247,17 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 self._hits += 1
                 obs.counter("serve.plancache.hits").inc()
+                rtrace.count("plan_cache_hit")
                 # A structural hit may come from a same-structure matrix
                 # with different values; rebind so the plan executes with
                 # the *caller's* values.
                 return plan.rebind(matrix)
             self._misses += 1
             obs.counter("serve.plancache.misses").inc()
+            rtrace.count("plan_compile")
             with obs.span("serve.plancache.build", cost=cost, nnz=matrix.nnz):
-                plan = compile_plan(matrix, cost, min_threads=min_threads)
+                with rtrace.stage("plan_compile"):
+                    plan = compile_plan(matrix, cost, min_threads=min_threads)
             self._plans[key] = plan
             self._bytes += plan.nbytes
             self._evict_locked()

@@ -52,6 +52,8 @@ import numpy as np
 
 from repro import obs
 from repro.formats import CSRMatrix
+from repro.obs import rtrace
+from repro.obs.slo import SLOTracker
 from repro.resilience import faults
 from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
 from repro.serve.dispatch import AdaptiveDispatcher
@@ -130,8 +132,16 @@ class ServeResponse:
         fallback_used: Whether the verified fallback produced the output.
         batch_size: Number of requests that shared the execution.
         queue_seconds: Admission-to-execution wait.
-        service_seconds: Batch execution wall time.
+        service_seconds: Execution-to-reply wall time (includes this
+            request's copy-out), so ``queue_seconds + service_seconds``
+            is the request's end-to-end latency.
         error: Failure description for non-``ok`` statuses.
+        trace_id: Request-trace id (:mod:`repro.obs.rtrace`); ``None``
+            only for requests rejected at admission.
+        attribution: Per-stage latency ledger
+            (``{"stages": {stage: seconds}, "events": {event: count}}``).
+            Stage seconds are non-overlapping leaves summing to the
+            end-to-end latency.
     """
 
     request_id: int
@@ -143,6 +153,8 @@ class ServeResponse:
     queue_seconds: float = 0.0
     service_seconds: float = 0.0
     error: "str | None" = None
+    trace_id: "str | None" = None
+    attribution: "dict | None" = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -167,8 +179,14 @@ class _Pending:
     key: "tuple[str, int]"
     enqueued_at: float
     future: "Future[ServeResponse]"
+    # Request-trace context carried explicitly across the queue and
+    # worker-thread boundary (see repro.obs.rtrace).
+    ctx: rtrace.RequestContext = None  # type: ignore[assignment]
     # Absolute monotonic deadline; None = no deadline.
     deadline: "float | None" = None
+    # When a worker pulled this request into a forming batch (monotonic);
+    # 0.0 until then.  Splits queue wait from batch-formation wait.
+    picked_at: float = 0.0
 
 
 class InferenceService:
@@ -179,6 +197,12 @@ class InferenceService:
             :class:`AdaptiveDispatcher` is built when omitted.
         config: Queueing/batching tunables.
         plan_cache: Plan cache handed to a default dispatcher.
+        slo_tracker: Per-route SLO accounting fed every finished request
+            (a default :class:`~repro.obs.slo.SLOTracker` when omitted);
+            its burn rates feed :meth:`health`.
+        flight_recorder: Bounded retention of the slowest/failed request
+            traces (a default
+            :class:`~repro.obs.rtrace.FlightRecorder` when omitted).
 
     Use as a context manager (``with InferenceService() as svc``) or call
     :meth:`start`/:meth:`close` explicitly.
@@ -190,10 +214,18 @@ class InferenceService:
         config: "ServeConfig | None" = None,
         *,
         plan_cache: "PlanCache | None" = None,
+        slo_tracker: "SLOTracker | None" = None,
+        flight_recorder: "rtrace.FlightRecorder | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.dispatcher = dispatcher or AdaptiveDispatcher(
             plan_cache=plan_cache
+        )
+        self.slo = slo_tracker if slo_tracker is not None else SLOTracker()
+        self.flight_recorder = (
+            flight_recorder
+            if flight_recorder is not None
+            else rtrace.FlightRecorder()
         )
         self._cond = threading.Condition()
         self._queue: "deque[_Pending]" = deque()
@@ -256,6 +288,7 @@ class InferenceService:
         dense: np.ndarray,
         *,
         deadline_ms: "float | None" = None,
+        route: str = "default",
     ) -> "Future[ServeResponse]":
         """Enqueue one aggregation request ``matrix @ dense``.
 
@@ -267,6 +300,8 @@ class InferenceService:
                 deadline is shed with a :data:`DEADLINE_EXCEEDED`
                 response *before* execution, and batch execution is cut
                 off at the batch's minimum remaining deadline.
+            route: Logical route name grouping this request for SLO
+                accounting (e.g. the dataset or tenant it belongs to).
 
         Returns a future that resolves to a :class:`ServeResponse`.  When
         the bounded queue is full (or the worker pool is exhausted) the
@@ -317,8 +352,27 @@ class InferenceService:
                         error=error,
                     )
                 )
+                # A shed request still burns the route's error budget
+                # and lands in the failure ring — overload must be
+                # visible post hoc, not just in counters.
+                self.slo.observe(route, 0.0, ok=False)
+                self.flight_recorder.record(
+                    {
+                        "trace_id": None,
+                        "request_id": request_id,
+                        "route": route,
+                        "status": REJECTED,
+                        "total_seconds": 0.0,
+                        "stages": {},
+                        "events": {},
+                        "error": error,
+                    }
+                )
                 return future
             now = time.monotonic()
+            ctx = rtrace.RequestContext.new(
+                request_id=request_id, route=route
+            )
             pending = _Pending(
                 request_id=request_id,
                 matrix=matrix,
@@ -326,6 +380,7 @@ class InferenceService:
                 key=(matrix.fingerprint(include_values=True), dense.shape[1]),
                 enqueued_at=now,
                 future=future,
+                ctx=ctx,
                 deadline=(
                     now + deadline_ms / 1000.0
                     if deadline_ms is not None
@@ -334,6 +389,12 @@ class InferenceService:
             )
             self._queue.append(pending)
             obs.counter("serve.service.accepted").inc()
+            obs.instant(
+                "rtrace.submit",
+                category="rtrace",
+                trace_id=ctx.trace_id,
+                route=route,
+            )
             self._cond.notify()
         return future
 
@@ -344,11 +405,12 @@ class InferenceService:
         timeout: "float | None" = None,
         *,
         deadline_ms: "float | None" = None,
+        route: str = "default",
     ) -> ServeResponse:
         """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(matrix, dense, deadline_ms=deadline_ms).result(
-            timeout=timeout
-        )
+        return self.submit(
+            matrix, dense, deadline_ms=deadline_ms, route=route
+        ).result(timeout=timeout)
 
     @property
     def queue_depth(self) -> int:
@@ -396,6 +458,7 @@ class InferenceService:
                 "misses": misses,
                 "total_misses": self._deadline_misses,
             },
+            "slo": self.slo.health_snapshot(),
         }
         return evaluate_health(snapshot, policy)
 
@@ -473,6 +536,7 @@ class InferenceService:
                     self._shed_expired(head)
                     continue
                 break
+            head.picked_at = time.monotonic()
             batch = [head]
             deadline = head.enqueued_at + max_wait
             while len(batch) < self.config.max_batch:
@@ -492,6 +556,7 @@ class InferenceService:
         while self._queue:
             pending = self._queue.popleft()
             if pending.key == key and len(batch) < self.config.max_batch:
+                pending.picked_at = time.monotonic()
                 batch.append(pending)
             else:
                 kept.append(pending)
@@ -502,16 +567,50 @@ class InferenceService:
         now = time.monotonic() if now is None else now
         obs.counter("serve.service.deadline_shed").inc()
         self._record_miss(True)
+        waited = now - pending.enqueued_at
+        pending.ctx.ledger.add("queue", waited)
+        self._finalize(pending, DEADLINE_EXCEEDED)
         pending.future.set_result(
             ServeResponse(
                 request_id=pending.request_id,
                 status=DEADLINE_EXCEEDED,
-                queue_seconds=now - pending.enqueued_at,
+                queue_seconds=waited,
                 error=(
                     "deadline exceeded before execution "
-                    f"(waited {(now - pending.enqueued_at) * 1e3:.1f} ms)"
+                    f"(waited {waited * 1e3:.1f} ms)"
                 ),
+                trace_id=pending.ctx.trace_id,
+                attribution=pending.ctx.ledger.to_dict(),
             )
+        )
+
+    def _settle_ledger(
+        self, pending: _Pending, now: float
+    ) -> "tuple[float, dict]":
+        """Reconcile a request's ledger with its end-to-end latency.
+
+        Requests that never reached execution (abandoned queue, worker
+        crash before attribution) get their wait charged to ``queue``;
+        everything unattributed lands in ``other`` so the stage sum
+        always equals the end-to-end total.  Returns
+        ``(total_seconds, ledger_dict)``.
+        """
+        total = max(0.0, now - pending.enqueued_at)
+        ledger = pending.ctx.ledger
+        if "queue" not in ledger.stages():
+            ledger.add("queue", total)
+        ledger.add("other", max(0.0, total - ledger.total()))
+        return total, ledger.to_dict()
+
+    def _finalize(
+        self, pending: _Pending, status: str, **extra
+    ) -> None:
+        """Feed a finished request into the SLO tracker + flight recorder."""
+        self.slo.observe(
+            pending.ctx.route, pending.ctx.ledger.total(), ok=(status == OK)
+        )
+        self.flight_recorder.record(
+            pending.ctx.summary(status=status, **extra)
         )
 
     def _record_miss(self, missed: bool) -> None:
@@ -547,6 +646,17 @@ class InferenceService:
         batch = live
         matrix = batch[0].matrix
         queue_waits = [started - p.enqueued_at for p in batch]
+        # Split each member's wait into queue time (admission -> pulled
+        # into the forming batch) and batch-formation time (pulled ->
+        # execution start); together they equal queue_seconds.
+        contexts = []
+        for pending in batch:
+            picked = pending.picked_at or started
+            pending.ctx.ledger.add(
+                "queue", max(0.0, picked - pending.enqueued_at)
+            )
+            pending.ctx.ledger.add("batch_form", max(0.0, started - picked))
+            contexts.append(pending.ctx)
         # The batching key includes the feature width, so every member
         # shares one width and the stacked result splits evenly.
         width = batch[0].dense.shape[1]
@@ -557,23 +667,31 @@ class InferenceService:
         )
         obs.counter("serve.service.batches").inc()
         obs.histogram("serve.service.batch_size").observe(float(len(batch)))
+
+        def dispatch_batch():
+            # Activation happens *inside* the callable: call_with_timeout
+            # may run it on a separate timeout-pool thread, and request
+            # contexts propagate explicitly, never via thread inheritance.
+            with rtrace.activate(*contexts):
+                return self.dispatcher.execute(
+                    matrix,
+                    stacked,
+                    # Key plans/bandit arms by the per-request width so
+                    # batch size never fragments the plan cache.
+                    plan_dim=width,
+                    verify=self.config.verify,
+                )
+
         try:
             with obs.span(
                 "serve.service.batch",
                 batch_size=len(batch),
                 nnz=matrix.nnz,
                 dim=int(stacked.shape[1]),
+                trace_ids=",".join(c.trace_id for c in contexts),
             ):
                 result = call_with_timeout(
-                    lambda: self.dispatcher.execute(
-                        matrix,
-                        stacked,
-                        # Key plans/bandit arms by the per-request width so
-                        # batch size never fragments the plan cache.
-                        plan_dim=width,
-                        verify=self.config.verify,
-                    ),
-                    self._batch_timeout(batch, started),
+                    dispatch_batch, self._batch_timeout(batch, started)
                 )
         except ExperimentTimeoutError as exc:
             self._fail_timed_out_batch(batch, queue_waits, started, exc)
@@ -583,19 +701,37 @@ class InferenceService:
                 batch, queue_waits, started, f"{type(exc).__name__}: {exc}"
             )
             return
-        service_seconds = time.monotonic() - started
-        obs.histogram("serve.service.latency_seconds").observe(service_seconds)
+        obs.histogram("serve.service.latency_seconds").observe(
+            time.monotonic() - started
+        )
         for i, (pending, wait) in enumerate(zip(batch, queue_waits)):
-            if len(batch) == 1:
-                # The whole result belongs to this request — no copy.
-                output = result.output
-            else:
-                # Copy the slice: a view into the stacked batch result
-                # would let one client's mutation corrupt another's reply
-                # and pin the full batch array for every response.
-                output = result.output[:, i * width : (i + 1) * width].copy()
+            with rtrace.activate(pending.ctx):
+                with rtrace.stage("scatter"):
+                    if len(batch) == 1:
+                        # The whole result belongs to this request — no copy.
+                        output = result.output
+                    else:
+                        # Copy the slice: a view into the stacked batch
+                        # result would let one client's mutation corrupt
+                        # another's reply and pin the full batch array
+                        # for every response.
+                        output = result.output[
+                            :, i * width : (i + 1) * width
+                        ].copy()
             obs.counter("serve.service.completed").inc()
             self._record_miss(False)
+            # Stamp the residual (timeout-pool hand-off, loop overhead)
+            # so the ledger's stage sum reconciles exactly with the
+            # request's end-to-end latency.
+            total = time.monotonic() - pending.enqueued_at
+            ledger = pending.ctx.ledger
+            ledger.add("other", max(0.0, total - ledger.total()))
+            self._finalize(
+                pending, OK,
+                backend=result.backend,
+                fallback_used=result.fallback_used,
+                batch_size=len(batch),
+            )
             pending.future.set_result(
                 ServeResponse(
                     request_id=pending.request_id,
@@ -605,7 +741,9 @@ class InferenceService:
                     fallback_used=result.fallback_used,
                     batch_size=len(batch),
                     queue_seconds=wait,
-                    service_seconds=service_seconds,
+                    service_seconds=max(0.0, total - wait),
+                    trace_id=pending.ctx.trace_id,
+                    attribution=ledger.to_dict(),
                 )
             )
 
@@ -618,34 +756,31 @@ class InferenceService:
     ) -> None:
         """Classify a timed-out batch: deadline members vs. budget members."""
         now = time.monotonic()
-        service_seconds = now - started
         for pending, wait in zip(batch, queue_waits):
             if pending.deadline is not None and now >= pending.deadline:
+                status = DEADLINE_EXCEEDED
+                error = f"deadline exceeded during execution: {exc}"
                 obs.counter("serve.service.deadline_cutoff").inc()
                 self._record_miss(True)
-                pending.future.set_result(
-                    ServeResponse(
-                        request_id=pending.request_id,
-                        status=DEADLINE_EXCEEDED,
-                        batch_size=len(batch),
-                        queue_seconds=wait,
-                        service_seconds=service_seconds,
-                        error=f"deadline exceeded during execution: {exc}",
-                    )
-                )
             else:
+                status = ERROR
+                error = f"timeout: {exc}"
                 obs.counter("serve.service.errors").inc()
                 self._record_miss(False)
-                pending.future.set_result(
-                    ServeResponse(
-                        request_id=pending.request_id,
-                        status=ERROR,
-                        batch_size=len(batch),
-                        queue_seconds=wait,
-                        service_seconds=service_seconds,
-                        error=f"timeout: {exc}",
-                    )
+            total, attribution = self._settle_ledger(pending, now)
+            self._finalize(pending, status, error=error)
+            pending.future.set_result(
+                ServeResponse(
+                    request_id=pending.request_id,
+                    status=status,
+                    batch_size=len(batch),
+                    queue_seconds=wait,
+                    service_seconds=max(0.0, total - wait),
+                    error=error,
+                    trace_id=pending.ctx.trace_id,
+                    attribution=attribution,
                 )
+            )
 
     def _fail_batch(
         self,
@@ -654,18 +789,22 @@ class InferenceService:
         started: float,
         error: str,
     ) -> None:
-        service_seconds = time.monotonic() - started
+        now = time.monotonic()
         obs.counter("serve.service.errors").inc(len(batch))
         for pending, wait in zip(batch, queue_waits):
             self._record_miss(False)
+            total, attribution = self._settle_ledger(pending, now)
+            self._finalize(pending, ERROR, error=error)
             pending.future.set_result(
                 ServeResponse(
                     request_id=pending.request_id,
                     status=ERROR,
                     batch_size=len(batch),
                     queue_seconds=wait,
-                    service_seconds=service_seconds,
+                    service_seconds=max(0.0, total - wait),
                     error=error,
+                    trace_id=pending.ctx.trace_id,
+                    attribution=attribution,
                 )
             )
 

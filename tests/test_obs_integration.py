@@ -104,8 +104,10 @@ class TestHarnessProfiling:
         out = capsys.readouterr().out
         assert "profile summary" in out
         assert "core.schedule.built" in out
-        # (a) run record
-        record = json.loads((tmp_path / "bench" / "BENCH_fig3.json").read_text())
+        # (a) run record, appended to the trajectory file
+        doc = json.loads((tmp_path / "bench" / "BENCH_fig3.json").read_text())
+        assert doc["schema"] == "repro.obs.runs/2"
+        record = doc["runs"][-1]
         assert record["schema"] == "repro.obs.run/1"
         assert record["status"] == "ok"
         assert record["wall_seconds"] > 0
@@ -189,7 +191,8 @@ class TestFailureRecording:
         assert code == 1
         captured = capsys.readouterr()
         assert "1 experiment(s) failed: fig3" in captured.err
-        record = json.loads((tmp_path / "BENCH_fig3.json").read_text())
+        doc = json.loads((tmp_path / "BENCH_fig3.json").read_text())
+        record = doc["runs"][-1]
         assert record["status"] == "error"
         assert "RuntimeError" in record["error"]
 

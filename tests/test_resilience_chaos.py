@@ -69,7 +69,9 @@ class TestChaosCli:
             ]
         )
         assert code == 0
-        record = json.loads((tmp_path / "BENCH_chaos.json").read_text())
+        record = json.loads(
+            (tmp_path / "BENCH_chaos.json").read_text()
+        )["runs"][-1]
         assert record["status"] == "ok"
         assert record["chaos"]["coverage"] == 1.0
         side = json.loads(json_out.read_text())

@@ -156,7 +156,9 @@ class TestCli:
         assert code == 0
         records = list(bench_dir.glob("BENCH_serve.json"))
         assert len(records) == 1
-        payload = json.loads(records[0].read_text())
+        doc = json.loads(records[0].read_text())
+        assert doc["schema"] == "repro.obs.runs/2"
+        payload = doc["runs"][-1]
         assert payload["schema"] == "repro.obs.run/1"
         assert payload["status"] == "ok"
         serve = payload["serve"]

@@ -17,9 +17,10 @@ from traces and run records.  Opt-outs (e.g. trivial dispatchers) go in
 
 A second rule guards the failure-domain modules: everything in
 :data:`OBS_REQUIRED_MODULES` (circuit breakers, worker supervision,
-health evaluation, the serving chaos matrix) must emit at least one
-``repro.obs`` signal — a ``obs.counter``/``obs.gauge``/
-``obs.histogram``/``obs.span`` call or an ``@obs.instrumented``
+health evaluation, the serving chaos matrix, the request-trace and SLO
+layers) must emit at least one ``repro.obs`` signal — a
+``counter``/``gauge``/``histogram``/``span``/``instant`` call on one of
+the :data:`_OBS_RECEIVERS` aliases or an ``@obs.instrumented``
 decorator.  A guard that trips invisibly defeats the point of having
 observable failure domains.
 
@@ -53,8 +54,15 @@ OBS_REQUIRED_MODULES = (
     "src/repro/serve/health.py",
     "src/repro/serve/service.py",
     "src/repro/resilience/chaos_serve.py",
+    "src/repro/obs/rtrace.py",
+    "src/repro/obs/slo.py",
 )
-_OBS_CALLS = {"counter", "gauge", "histogram", "span", "instrumented"}
+_OBS_CALLS = {"counter", "gauge", "histogram", "span", "instant", "instrumented"}
+# Receiver names a signal call may hang off: `obs.counter(...)` in
+# consumer modules, `_metrics.counter(...)` / `_trace.span(...)` inside
+# repro.obs itself (which imports submodules under aliases to avoid
+# circularity).
+_OBS_RECEIVERS = {"obs", "_metrics", "_trace"}
 
 
 def _decorator_names(node: ast.AST) -> set[str]:
@@ -113,13 +121,14 @@ def check_obs_usage(path: Path) -> list[str]:
         if (
             isinstance(node, ast.Attribute)
             and isinstance(node.value, ast.Name)
-            and node.value.id == "obs"
+            and node.value.id in _OBS_RECEIVERS
             and node.attr in _OBS_CALLS
         ):
             return []
     return [
         f"{rel}: failure-domain module emits no repro.obs signal "
-        "(expected obs.counter/gauge/histogram/span or @obs.instrumented)"
+        "(expected obs.counter/gauge/histogram/span/instant or "
+        "@obs.instrumented)"
     ]
 
 
