@@ -13,6 +13,11 @@ Subcommands:
   matrices, expired deadlines) into a live serving stack under Poisson
   load and verify the failure-domain guards catch every one; see
   :mod:`repro.resilience.chaos_serve`.
+* ``chaos-update`` — race live graph updates against the serving stack
+  (mid-batch, mid-compile, mid-eviction), verifying every response
+  against a reference pinned to its admitted epoch and that caches
+  invalidate exactly the retired epochs' keys; see
+  :mod:`repro.resilience.chaos_update`.
 * ``serve-bench`` — drive synthetic Zipf/Poisson traffic through the
   serving layer and record throughput, latency percentiles, per-stage
   latency attribution, SLO attainment, plan-cache and load-shedding
@@ -47,6 +52,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.resilience.chaos_serve import main as chaos_serve_main
 
         return chaos_serve_main(argv[1:])
+    if argv and argv[0] == "chaos-update":
+        from repro.resilience.chaos_update import main as chaos_update_main
+
+        return chaos_update_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         from repro.serve.loadgen import main as serve_main
 

@@ -125,6 +125,25 @@ class ScheduleCache:
         with self._lock:
             return len(self._cache)
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every schedule keyed by ``fingerprint``; returns the count.
+
+        This is the epoch-retirement hook
+        (:class:`repro.serve.epoch.GraphEpochManager`): fingerprints are
+        version-precise for live graphs, so dropping one epoch's keys
+        never touches schedules other epochs still execute against —
+        precise invalidation, no global flush.
+        """
+        with self._lock:
+            stale = [key for key in self._cache if key[0] == fingerprint]
+            for key in stale:
+                del self._cache[key]
+            if stale:
+                obs.counter("core.scheduler.cache_invalidations").inc(
+                    len(stale)
+                )
+            return len(stale)
+
     def clear(self) -> None:
         """Drop all cached schedules and reset counters."""
         with self._lock:

@@ -174,6 +174,7 @@ class Autotuner:
         self.seed = seed
         self._decisions: "dict[tuple[str, int], TuningDecision]" = {}
         self._by_name = {c.name: c for c in self.candidates}
+        self.load_errors = 0
         if self.cache_path is not None and self.cache_path.exists():
             self._load()
 
@@ -181,16 +182,47 @@ class Autotuner:
     # Persistence
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        payload = json.loads(self.cache_path.read_text())
+        # A crash mid-write (or a torn copy) leaves invalid JSON or
+        # truncated entries on disk.  That must not keep the service
+        # from starting: fall back to empty decisions (re-tuning is
+        # merely slow) and count the event.  A *well-formed* file with a
+        # different schema is a configuration error and still raises.
+        try:
+            payload = json.loads(self.cache_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            self._note_load_error(f"unreadable tuning cache: {exc}")
+            return
+        if not isinstance(payload, dict):
+            self._note_load_error(
+                f"tuning cache is not an object: {type(payload).__name__}"
+            )
+            return
         if payload.get("schema") != SCHEMA:
             raise ValueError(
                 f"unexpected tuning-cache schema {payload.get('schema')!r} "
                 f"in {self.cache_path} (expected {SCHEMA})"
             )
-        for entry in payload.get("entries", []):
-            decision = TuningDecision.from_dict(entry)
-            self._decisions[(decision.fingerprint, decision.width)] = decision
+        loaded: "dict[tuple[str, int], TuningDecision]" = {}
+        try:
+            for entry in payload.get("entries", []):
+                decision = TuningDecision.from_dict(entry)
+                loaded[(decision.fingerprint, decision.width)] = decision
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            self._note_load_error(f"corrupt tuning-cache entry: {exc}")
+            return
+        self._decisions.update(loaded)
         obs.counter("engine.autotune.cache_loaded").inc(len(self._decisions))
+
+    def _note_load_error(self, detail: str) -> None:
+        self.load_errors += 1
+        self._decisions = {}
+        obs.counter("engine.autotune.cache_load_errors").inc()
+        obs.instant(
+            "engine.autotune.cache_load_error",
+            category="warning",
+            path=str(self.cache_path),
+            detail=detail,
+        )
 
     def _save(self) -> None:
         if self.cache_path is None:
@@ -264,6 +296,22 @@ class Autotuner:
             except AttributeError:  # pragma: no cover - builtin callables
                 pass
         return run
+
+    def forget_fingerprint(self, fingerprint: str) -> int:
+        """Drop every decision tuned for ``fingerprint``; returns the count.
+
+        The epoch-retirement hook: a retired graph epoch's measurements
+        describe a structure no request will present again, so they are
+        dropped precisely (decisions for live epochs and other matrices
+        stay) and the persisted cache is rewritten.
+        """
+        stale = [key for key in self._decisions if key[0] == fingerprint]
+        for key in stale:
+            del self._decisions[key]
+        if stale:
+            self._save()
+            obs.counter("engine.autotune.invalidations").inc(len(stale))
+        return len(stale)
 
     @property
     def decisions(self) -> "tuple[TuningDecision, ...]":

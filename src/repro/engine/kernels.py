@@ -532,6 +532,21 @@ class EnginePlanCache:
                 obs.counter("engine.plancache.evictions").inc()
             return plan
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every plan keyed by ``fingerprint``; returns the count.
+
+        Epoch-retirement hook: live-graph fingerprints are
+        version-precise, so this removes exactly one retired epoch's
+        plans and nothing else (no global flush).
+        """
+        with self._lock:
+            stale = [key for key in self._plans if key[0] == fingerprint]
+            for key in stale:
+                del self._plans[key]
+            if stale:
+                obs.counter("engine.plancache.invalidations").inc(len(stale))
+            return len(stale)
+
     def clear(self) -> None:
         with self._lock:
             self._plans.clear()

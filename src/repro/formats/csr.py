@@ -28,12 +28,23 @@ VALUE_DTYPE = np.float64
 class CSRMatrix:
     """An immutable CSR sparse matrix.
 
+    The container *takes ownership* of its arrays: ``__post_init__``
+    marks them read-only, so in-place mutation through the matrix (or
+    through an array that was passed in without a copy) raises instead
+    of silently invalidating cached fingerprints and the merge-path
+    schedules keyed on them.  Use :meth:`with_values` to rebind values.
+
     Attributes:
         n_rows: Number of rows.
         n_cols: Number of columns.
         row_pointers: ``int64`` array of length ``n_rows + 1`` (paper's *RP*).
         column_indices: ``int64`` array of length ``nnz`` (paper's *CP*).
         values: ``float64`` array of length ``nnz``.
+        version: Optional graph epoch stamp (set by
+            :class:`repro.graphs.delta.DeltaCSR` snapshots).  When set it
+            is mixed into :meth:`fingerprint`, making every cache key in
+            the stack version-precise: two epochs of a live graph never
+            share a fingerprint, even if their structure coincides.
     """
 
     n_rows: int
@@ -41,6 +52,7 @@ class CSRMatrix:
     row_pointers: np.ndarray
     column_indices: np.ndarray
     values: np.ndarray = field(repr=False)
+    version: "int | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -61,6 +73,12 @@ class CSRMatrix:
             self.n_rows,
             self.n_cols,
         )
+        # Freeze the arrays: cached fingerprints (and every schedule/plan
+        # cache keyed on them) assume the content never changes in place.
+        for name in ("row_pointers", "column_indices", "values"):
+            array = getattr(self, name)
+            if array.flags.writeable:
+                array.flags.writeable = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -151,24 +169,88 @@ class CSRMatrix:
         schedules depend only on structure, so this is the key every
         schedule/plan cache uses.
 
+        When :attr:`version` is set, it is hashed too: epoch-stamped
+        snapshots of a live graph (see
+        :class:`repro.graphs.delta.DeltaCSR`) get a distinct fingerprint
+        per epoch, so version-precise cache keys come for free.
+
         Args:
             include_values: Also hash the non-zero values, producing a
                 full content key (used by the serving layer to decide
                 which requests may share one batched execution).
         """
         attr = "_fingerprint_values" if include_values else "_fingerprint"
+        token = self._buffer_token(include_values)
         cached = self.__dict__.get(attr)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == token:
+            return cached[1]
         hasher = hashlib.blake2b(digest_size=16)
         hasher.update(f"csr:{self.n_rows}:{self.n_cols}:".encode())
+        if self.version is not None:
+            hasher.update(f"v{self.version}:".encode())
         hasher.update(self.row_pointers.tobytes())
         hasher.update(self.column_indices.tobytes())
         if include_values:
             hasher.update(self.values.tobytes())
         digest = hasher.hexdigest()
-        object.__setattr__(self, attr, digest)
+        object.__setattr__(self, attr, (token, digest))
         return digest
+
+    def _buffer_token(self, include_values: bool) -> tuple:
+        """Identity of the buffers a cached fingerprint was computed from.
+
+        The arrays themselves are frozen read-only at construction, so
+        the only way content can change under a cached digest is a
+        *rebind* — a different buffer swapped in behind the dataclass
+        field.  Comparing ``(data pointer, nbytes)`` per array detects
+        exactly that without rehashing ``nnz`` bytes per call.
+        """
+        arrays = (
+            (self.row_pointers, self.column_indices, self.values)
+            if include_values
+            else (self.row_pointers, self.column_indices)
+        )
+        return tuple(
+            (array.__array_interface__["data"][0], array.nbytes)
+            for array in arrays
+        )
+
+    def with_values(self, values: np.ndarray) -> "CSRMatrix":
+        """A sibling matrix sharing this structure with new values.
+
+        This is the sanctioned way to "mutate" values: the frozen
+        arrays make in-place writes raise, and a sibling gets its own
+        (correct) value fingerprint while sharing RP/CP — so structural
+        schedule caches still hit while value-keyed batching keys do
+        not alias.
+        """
+        sibling = CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=self.row_pointers,
+            column_indices=self.column_indices,
+            values=values,
+            version=self.version,
+        )
+        # Structure (and version) are unchanged, so the structural
+        # fingerprint carries over; the value fingerprint does not.
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            object.__setattr__(sibling, "_fingerprint", cached)
+        return sibling
+
+    def with_version(self, version: "int | None") -> "CSRMatrix":
+        """This matrix re-stamped with a graph epoch (shares all arrays)."""
+        if version == self.version:
+            return self
+        return CSRMatrix(
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+            row_pointers=self.row_pointers,
+            column_indices=self.column_indices,
+            values=self.values,
+            version=version,
+        )
 
     # ------------------------------------------------------------------
     # Properties

@@ -6,8 +6,19 @@ a *seeded synthetic stand-in* matched to the published statistics (node
 count, non-zero count, average degree, maximum degree, and a power-law vs.
 structured degree profile).  The generators themselves live in
 :mod:`repro.graphs.generators` and are reusable for arbitrary experiments.
+
+Live graphs: :mod:`repro.graphs.delta` layers a versioned edge-update
+overlay (:class:`DeltaCSR`) over a frozen CSR base, materializing
+immutable epoch-stamped snapshots for the serving stack's epoch manager
+(:mod:`repro.serve.epoch`).
 """
 
+from repro.graphs.delta import (
+    DeltaCSR,
+    EdgeUpdate,
+    GraphSnapshot,
+    UpdatePlanner,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.generators import (
     barabasi_albert_graph,
@@ -38,8 +49,12 @@ from repro.graphs.reorder import (
 __all__ = [
     "DATASETS",
     "DatasetSpec",
+    "DeltaCSR",
+    "EdgeUpdate",
     "Graph",
+    "GraphSnapshot",
     "PowerLawFit",
+    "UpdatePlanner",
     "barabasi_albert_graph",
     "bfs_order",
     "block_labels",

@@ -1,0 +1,814 @@
+"""The *live-update* chaos matrix behind ``python -m repro chaos-update``.
+
+:mod:`repro.resilience.chaos_serve` injects faults into a static-graph
+service; this matrix attacks the **mutation path** added for live
+graphs: a :class:`~repro.graphs.delta.DeltaCSR` behind a
+:class:`~repro.serve.epoch.GraphEpochManager`, with every cache in the
+stack keyed on version-precise fingerprints.  The stack's one
+consistency rule — *a request executes against the epoch it admitted
+under, end to end* — is exactly the kind of invariant that only breaks
+under races, so every scenario here runs updates concurrently with the
+thing they can tear:
+
+* **updates mid-batch**: a Poisson request stream races a Poisson
+  update stream; every accepted response is cross-checked against a
+  scipy reference pinned to the *response's admitted epoch* (not the
+  current graph).  One mismatch is a silent failure.
+* **updates mid-compile**: an update lands while the plan cache is
+  compiling the admitted epoch's plan, proving the lock ordering
+  (service condition → epoch manager → caches) can neither deadlock
+  nor tear a plan, and that the in-flight lease blocks retirement of
+  the epoch being compiled.
+* **updates mid-eviction**: a capacity-2 plan cache churns evictions
+  while epochs rotate and bystander graphs hammer the same cache —
+  stale reuse across epochs or cross-matrix value aliasing would
+  surface as an oracle mismatch.
+* **precise invalidation**: after an epoch retires, caches must retain
+  every live-epoch entry (including the shared repair base) and drop
+  exactly the retired epoch's keys — asserted via cache stats, never a
+  global flush.
+* **epoch-lag / compaction-backlog health**: held leases and a filling
+  delta log must surface as ``DEGRADED`` health causes and clear once
+  the lease drains and compaction lands.
+
+Exit status 0 requires zero silent cases *and* the demonstrations the
+machinery exists for: at least two distinct epochs served, one epoch
+retirement, one compaction, and one incremental plan repair.  The run
+writes a ``BENCH_chaos_update.json`` run record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.graphs.delta import DeltaCSR, UpdatePlanner
+from repro.graphs.generators import power_law_graph
+from repro.resilience.chaos import (
+    DETECTED,
+    OK,
+    RECOVERED,
+    SILENT,
+    ChaosCase,
+)
+from repro.resilience.oracles import reference_spmm
+from repro.serve.dispatch import AdaptiveDispatcher, Backend
+from repro.serve.epoch import GraphEpochManager
+from repro.serve.health import DEGRADED, HEALTHY
+from repro.serve.plancache import PlanCache
+from repro.serve.service import InferenceService, ServeConfig
+
+_DIM = 8
+_KIND = "live-update"
+
+
+@dataclass
+class UpdateChaosReport:
+    """Aggregate result of one update-race injection run."""
+
+    seed: int
+    cases: "list[ChaosCase]" = field(default_factory=list)
+    epochs_served: "set[int]" = field(default_factory=set)
+    retired_epochs: int = 0
+    compactions: int = 0
+    plan_repairs: int = 0
+    invalidated_keys: int = 0
+    verified_responses: int = 0
+    update_batches: int = 0
+    updates_applied: int = 0
+
+    @property
+    def silent(self) -> "list[ChaosCase]":
+        return [c for c in self.cases if not c.caught]
+
+    @property
+    def coverage(self) -> float:
+        if not self.cases:
+            return 1.0
+        return (len(self.cases) - len(self.silent)) / len(self.cases)
+
+    @property
+    def passed(self) -> bool:
+        """Zero silent cases *and* the live-update machinery exercised."""
+        return (
+            not self.silent
+            and len(self.epochs_served) >= 2
+            and self.retired_epochs >= 1
+            and self.compactions >= 1
+            and self.plan_repairs >= 1
+            and self.verified_responses >= 1
+        )
+
+    def to_dict(self) -> dict:
+        outcomes: "dict[str, int]" = {}
+        for case in self.cases:
+            outcomes[case.outcome] = outcomes.get(case.outcome, 0) + 1
+        return {
+            "seed": self.seed,
+            "n_cases": len(self.cases),
+            "coverage": self.coverage,
+            "passed": self.passed,
+            "outcomes": outcomes,
+            "demonstrations": {
+                "epochs_served": sorted(self.epochs_served),
+                "distinct_epochs": len(self.epochs_served),
+                "retired_epochs": self.retired_epochs,
+                "compactions": self.compactions,
+                "plan_repairs": self.plan_repairs,
+                "invalidated_keys": self.invalidated_keys,
+                "verified_responses": self.verified_responses,
+                "update_batches": self.update_batches,
+                "updates_applied": self.updates_applied,
+            },
+            "cases": [c.to_dict() for c in self.cases],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"live-update chaos matrix (seed={self.seed}): "
+            f"{len(self.cases)} cases"
+        ]
+        width = max(len(c.name) for c in self.cases) if self.cases else 0
+        for case in self.cases:
+            lines.append(
+                f"  {case.name:<{width}}  [{case.expected_layer:<10}] "
+                f"-> {case.outcome}"
+                + (f"  ({case.detail})" if case.detail and not case.caught else "")
+            )
+        lines.append(
+            f"detection coverage: {self.coverage:.0%} "
+            f"({len(self.cases) - len(self.silent)}/{len(self.cases)} caught)"
+        )
+        lines.append(
+            f"demonstrated: {len(self.epochs_served)} distinct epoch(s) "
+            f"served, {self.retired_epochs} retirement(s), "
+            f"{self.compactions} compaction(s), {self.plan_repairs} plan "
+            f"repair(s), {self.invalidated_keys} key(s) precisely "
+            f"invalidated, {self.verified_responses} responses verified "
+            f"against their admitted epoch"
+        )
+        if self.silent:
+            lines.append(
+                "SILENT failures: " + ", ".join(c.name for c in self.silent)
+            )
+        return "\n".join(lines)
+
+
+class _PlanBackend:
+    """A backend that exercises the plan cache (and can be slowed)."""
+
+    def __init__(self, delay: float = 0.0) -> None:
+        self.delay = delay
+        self.calls = 0
+
+    def run(self, matrix, dense, plans, plan_dim):
+        self.calls += 1
+        if self.delay:
+            time.sleep(self.delay)
+        return plans.get(matrix, dim=plan_dim).execute(dense)
+
+
+class _MidCompileCache(PlanCache):
+    """PlanCache whose first compile fires an injection hook mid-build."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.on_build = None
+        self.hook_fired = 0
+
+    def _build(self, matrix, cost, min_threads):
+        hook, self.on_build = self.on_build, None
+        if hook is not None:
+            self.hook_fired += 1
+            hook()
+        return super()._build(matrix, cost, min_threads)
+
+
+def _base_matrix(seed: int) -> CSRMatrix:
+    return power_law_graph(n_nodes=60, nnz=360, max_degree=16, seed=seed)
+
+
+def _wait_for(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _verify_epoch_pinned(
+    report: UpdateChaosReport,
+    oracle: "dict[int, CSRMatrix]",
+    entries,
+    name: str,
+) -> "list[str]":
+    """Check every accepted response against its *admitted epoch's* oracle."""
+    problems = []
+    for dense, future in entries:
+        response = future.result(timeout=30.0)
+        if not response.ok:
+            continue
+        if response.epoch is None:
+            problems.append(
+                f"{name}: accepted response {response.request_id} carries "
+                "no admitted epoch"
+            )
+            continue
+        pinned = oracle.get(response.epoch)
+        if pinned is None:
+            problems.append(
+                f"{name}: response {response.request_id} admitted under "
+                f"unknown epoch {response.epoch}"
+            )
+            continue
+        report.verified_responses += 1
+        report.epochs_served.add(response.epoch)
+        if not np.allclose(
+            response.output, reference_spmm(pinned, dense),
+            rtol=1e-9, atol=1e-9,
+        ):
+            problems.append(
+                f"{name}: response {response.request_id} disagrees with "
+                f"its admitted epoch {response.epoch}'s reference"
+            )
+    return problems
+
+
+def _run_update_stream_scenario(
+    report: UpdateChaosReport,
+    seed: int,
+    rng: np.random.Generator,
+    rate: float,
+    update_rate: float,
+) -> None:
+    """Poisson requests race a Poisson update stream, mid-batch included.
+
+    The backend sleeps a few milliseconds per call, so update batches
+    land while requests are queued, batched, and mid-execution; leases
+    must pin each request to its admitted epoch regardless.
+    """
+    base = _base_matrix(seed)
+    plans = PlanCache(capacity=32)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=12), caches=(plans,)
+    )
+    backend = _PlanBackend(delay=0.003)
+    dispatcher = AdaptiveDispatcher(
+        [Backend("planned", backend.run)], plan_cache=plans, epsilon=0.0
+    )
+    config = ServeConfig(max_queue=256, max_batch=4, max_wait_ms=1.0, n_workers=2)
+    oracle: "dict[int, CSRMatrix]" = {}
+    planner = UpdatePlanner(base)
+    problems: "list[str]" = []
+    with InferenceService(dispatcher, config, epoch_manager=manager) as service:
+        snapshot = manager.current_snapshot()
+        oracle[snapshot.epoch] = snapshot.matrix
+        stop = threading.Event()
+        update_errors: "list[str]" = []
+
+        def updater() -> None:
+            urng = np.random.default_rng(seed + 101)
+            while not stop.is_set():
+                batch = planner.batch(urng, int(urng.integers(1, 3)))
+                try:
+                    snap = service.apply_updates(batch)
+                except Exception as exc:  # any tear here is a finding
+                    update_errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+                oracle[snap.epoch] = snap.matrix
+                report.update_batches += 1
+                report.updates_applied += len(batch)
+                time.sleep(urng.exponential(1.0 / update_rate))
+
+        thread = threading.Thread(target=updater, name="chaos-updater")
+        thread.start()
+        entries = []
+        try:
+            for _ in range(40):
+                dense = rng.random((base.n_cols, _DIM))
+                entries.append((dense, service.submit(None, dense)))
+                time.sleep(rng.exponential(1.0 / rate))
+            # Let the tail of the batch queue drain under live updates.
+            for _, future in entries:
+                future.result(timeout=30.0)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        if thread.is_alive():
+            problems.append("update stream failed to stop (possible deadlock)")
+        problems += update_errors
+        problems += _verify_epoch_pinned(
+            report, oracle, entries, "update-stream"
+        )
+        stats = manager.stats()
+        report.retired_epochs += stats["retired_epochs"]
+        report.compactions += stats["compactions"]
+        cache_stats = plans.stats()
+        report.plan_repairs += cache_stats.repairs
+        report.invalidated_keys += cache_stats.invalidations
+        if len({r.epoch for _, f in entries if (r := f.result(30.0)).ok}) < 2:
+            problems.append(
+                "update stream never served two distinct epochs — the race "
+                "was not exercised"
+            )
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "update-stream/epoch-pinned-responses", _KIND, "oracle",
+                SILENT, "; ".join(problems),
+            )
+        )
+    else:
+        report.cases.append(
+            ChaosCase(
+                "update-stream/epoch-pinned-responses", _KIND, "oracle", OK,
+                f"{report.update_batches} update batch(es) raced "
+                f"{len(entries)} requests across "
+                f"{len(report.epochs_served)} epoch(s); every accepted "
+                "response matched its admitted epoch's reference",
+            )
+        )
+
+
+def _run_mid_compile_scenario(
+    report: UpdateChaosReport, seed: int, rng: np.random.Generator
+) -> None:
+    """An update lands while the admitted epoch's plan is compiling."""
+    base = _base_matrix(seed + 1)
+    plans = _MidCompileCache(capacity=16)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=64), caches=(plans,)
+    )
+    backend = _PlanBackend()
+    dispatcher = AdaptiveDispatcher(
+        [Backend("planned", backend.run)], plan_cache=plans, epsilon=0.0
+    )
+    config = ServeConfig(max_queue=16, max_batch=1, max_wait_ms=0.0, n_workers=1)
+    planner = UpdatePlanner(base)
+    problems: "list[str]" = []
+    with InferenceService(dispatcher, config, epoch_manager=manager) as service:
+        snapshot0 = manager.current_snapshot()
+        oracle: "dict[int, CSRMatrix]" = {snapshot0.epoch: snapshot0.matrix}
+        fire = threading.Event()
+        update_done = threading.Event()
+        update_errors: "list[str]" = []
+
+        def updater() -> None:
+            fire.wait(timeout=10.0)
+            try:
+                snap = service.apply_updates(planner.batch(
+                    np.random.default_rng(seed + 202), 2
+                ))
+                oracle[snap.epoch] = snap.matrix
+                report.update_batches += 1
+                report.updates_applied += 2
+            except Exception as exc:
+                update_errors.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                update_done.set()
+
+        def hook() -> None:
+            # Runs under the cache lock, mid-compile: release the update
+            # and give it time to get in flight.  It must block (or
+            # complete harmlessly) — never deadlock or tear the build.
+            fire.set()
+            time.sleep(0.05)
+
+        plans.on_build = hook
+        thread = threading.Thread(target=updater, name="mid-compile-updater")
+        thread.start()
+        dense = rng.random((base.n_cols, _DIM))
+        response = service.submit(None, dense).result(timeout=30.0)
+        if not update_done.wait(timeout=10.0):
+            problems.append(
+                "update blocked past compile completion (possible deadlock)"
+            )
+        thread.join(timeout=10.0)
+        problems += update_errors
+        if plans.hook_fired != 1:
+            problems.append("injection hook never fired during a compile")
+        if not response.ok:
+            problems.append(f"request failed: {response.error}")
+        elif response.epoch != snapshot0.epoch:
+            problems.append(
+                f"request admitted at epoch {snapshot0.epoch} resolved "
+                f"under epoch {response.epoch}"
+            )
+        elif not np.allclose(
+            response.output, reference_spmm(snapshot0.matrix, dense),
+            rtol=1e-9, atol=1e-9,
+        ):
+            problems.append(
+                "output compiled mid-update disagrees with the admitted "
+                "epoch's reference"
+            )
+        else:
+            report.verified_responses += 1
+            report.epochs_served.add(response.epoch)
+        # The next request admits under the new epoch and must be served
+        # by *repairing* the just-compiled base plan, not a recompile.
+        dense2 = rng.random((base.n_cols, _DIM))
+        entries = [(dense2, service.submit(None, dense2))]
+        problems += _verify_epoch_pinned(report, oracle, entries, "mid-compile")
+        cache_stats = plans.stats()
+        if cache_stats.repairs < 1:
+            problems.append(
+                "post-update request did not repair the cached base plan "
+                f"(repairs={cache_stats.repairs})"
+            )
+        report.plan_repairs += cache_stats.repairs
+        report.invalidated_keys += cache_stats.invalidations
+        report.retired_epochs += manager.stats()["retired_epochs"]
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "update-mid-compile/no-deadlock-no-tear", _KIND, "plancache",
+                SILENT, "; ".join(problems),
+            )
+        )
+    else:
+        report.cases.append(
+            ChaosCase(
+                "update-mid-compile/no-deadlock-no-tear", _KIND, "plancache",
+                DETECTED,
+                "update landed mid-compile; compiled output matched the "
+                "admitted epoch and the follow-up was served by repair",
+            )
+        )
+
+
+def _run_mid_eviction_scenario(
+    report: UpdateChaosReport, seed: int, rng: np.random.Generator
+) -> None:
+    """Epoch churn through a capacity-2 cache racing bystander lookups."""
+    base = _base_matrix(seed + 2)
+    plans = PlanCache(capacity=2)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=64), caches=(plans,)
+    )
+    backend = _PlanBackend()
+    dispatcher = AdaptiveDispatcher(
+        [Backend("planned", backend.run)], plan_cache=plans, epsilon=0.0
+    )
+    config = ServeConfig(max_queue=64, max_batch=1, max_wait_ms=0.0, n_workers=1)
+    bystanders = [_base_matrix(seed + 3), _base_matrix(seed + 4)]
+    planner = UpdatePlanner(base)
+    problems: "list[str]" = []
+    oracle: "dict[int, CSRMatrix]" = {}
+    with InferenceService(dispatcher, config, epoch_manager=manager) as service:
+        snapshot = manager.current_snapshot()
+        oracle[snapshot.epoch] = snapshot.matrix
+        stop = threading.Event()
+        bystander_errors: "list[str]" = []
+
+        def hammer() -> None:
+            brng = np.random.default_rng(seed + 303)
+            while not stop.is_set():
+                matrix = bystanders[int(brng.integers(0, len(bystanders)))]
+                dense = brng.random((matrix.n_cols, _DIM))
+                try:
+                    output = plans.get(matrix, dim=_DIM).execute(dense)
+                except Exception as exc:
+                    bystander_errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+                if not np.allclose(
+                    output, reference_spmm(matrix, dense),
+                    rtol=1e-9, atol=1e-9,
+                ):
+                    bystander_errors.append(
+                        "bystander plan executed with another matrix's "
+                        "values (cross-matrix aliasing)"
+                    )
+                    return
+
+        thread = threading.Thread(target=hammer, name="eviction-hammer")
+        thread.start()
+        entries = []
+        try:
+            urng = np.random.default_rng(seed + 404)
+            for _ in range(12):
+                snap = service.apply_updates(planner.batch(urng, 1))
+                oracle[snap.epoch] = snap.matrix
+                report.update_batches += 1
+                report.updates_applied += 1
+                dense = rng.random((base.n_cols, _DIM))
+                entries.append((dense, service.submit(None, dense)))
+            for _, future in entries:
+                future.result(timeout=30.0)
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        problems += bystander_errors
+        problems += _verify_epoch_pinned(report, oracle, entries, "eviction")
+        cache_stats = plans.stats()
+        if cache_stats.evictions < 1:
+            problems.append(
+                "capacity-2 cache never evicted under epoch churn"
+            )
+        if len(plans) > plans.capacity:
+            problems.append(
+                f"cache holds {len(plans)} entries over capacity "
+                f"{plans.capacity}"
+            )
+        report.plan_repairs += cache_stats.repairs
+        report.invalidated_keys += cache_stats.invalidations
+        report.retired_epochs += manager.stats()["retired_epochs"]
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "update-mid-eviction/no-stale-reuse", _KIND, "plancache",
+                SILENT, "; ".join(problems),
+            )
+        )
+    else:
+        report.cases.append(
+            ChaosCase(
+                "update-mid-eviction/no-stale-reuse", _KIND, "plancache",
+                DETECTED,
+                f"{plans.stats().evictions} eviction(s) under epoch churn "
+                "with bystander lookups; no stale or aliased plan served",
+            )
+        )
+
+
+def _run_precise_invalidation_scenario(
+    report: UpdateChaosReport, seed: int, rng: np.random.Generator
+) -> None:
+    """Retirement drops exactly the retired epoch's keys — no global flush."""
+    base = _base_matrix(seed + 5)
+    bystander = _base_matrix(seed + 6)
+    plans = PlanCache(capacity=16)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=3), caches=(plans,)
+    )
+    problems: "list[str]" = []
+    plans.get(bystander, dim=_DIM)
+    snapshot0 = manager.current_snapshot()
+    plans.get(snapshot0.matrix, dim=_DIM)
+
+    lease = manager.acquire()  # an in-flight request pins epoch 0
+    planner = UpdatePlanner(base)
+    urng = np.random.default_rng(seed + 505)
+    snapshot1 = manager.apply_updates(planner.batch(urng, 1))
+    report.update_batches += 1
+    report.updates_applied += 1
+    plans.get(snapshot1.matrix, dim=_DIM)
+
+    fingerprints = plans.fingerprints()
+    if snapshot0.fingerprint not in fingerprints:
+        problems.append("leased epoch's plan was dropped while in flight")
+    stats_before = plans.stats()
+
+    lease.release()  # drains the last lease -> epoch 0 retires
+    fingerprints = plans.fingerprints()
+    # Epoch 0's matrix doubles as epoch 1's repair base, so its plan
+    # must *survive* this retirement (shared-fingerprint refcount).
+    if snapshot1.base_fingerprint == snapshot0.fingerprint:
+        if snapshot0.fingerprint not in fingerprints:
+            problems.append(
+                "shared repair base was invalidated while epoch 1 leans "
+                "on it"
+            )
+    if snapshot1.fingerprint not in fingerprints:
+        problems.append("live epoch's plan was dropped at retirement")
+    if bystander.fingerprint() not in fingerprints:
+        problems.append("bystander plan was flushed by epoch retirement")
+
+    # Crossing the compaction threshold rebases the delta: the old base
+    # is no longer referenced by any live epoch and must drop precisely.
+    snapshot2 = manager.apply_updates(planner.batch(urng, 2))
+    report.update_batches += 1
+    report.updates_applied += 2
+    if not snapshot2.compacted:
+        problems.append(
+            f"expected the threshold-3 log to compact (log was "
+            f"{snapshot2.log_size})"
+        )
+    fingerprints = plans.fingerprints()
+    for name, fingerprint in (
+        ("epoch 0", snapshot0.fingerprint),
+        ("epoch 1", snapshot1.fingerprint),
+    ):
+        if fingerprint in fingerprints:
+            problems.append(f"{name}'s plan survived full retirement")
+    if bystander.fingerprint() not in fingerprints:
+        problems.append("bystander plan was flushed by compaction retirement")
+    stats_after = plans.stats()
+    dropped = stats_after.invalidations - stats_before.invalidations
+    if dropped < 2:
+        problems.append(
+            f"expected >= 2 precisely invalidated plans, stats report "
+            f"{dropped}"
+        )
+    hits_before = plans.stats().hits
+    plans.get(bystander, dim=_DIM)
+    if plans.stats().hits != hits_before + 1:
+        problems.append("bystander lookup missed after retirement (flush?)")
+    manager_stats = manager.stats()
+    report.retired_epochs += manager_stats["retired_epochs"]
+    report.compactions += manager_stats["compactions"]
+    report.invalidated_keys += stats_after.invalidations
+    report.plan_repairs += stats_after.repairs
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "retirement/precise-invalidation", _KIND, "epoch", SILENT,
+                "; ".join(problems),
+            )
+        )
+    else:
+        report.cases.append(
+            ChaosCase(
+                "retirement/precise-invalidation", _KIND, "epoch", DETECTED,
+                f"{dropped} retired-epoch plan(s) dropped; bystander and "
+                "live-epoch entries (incl. the shared repair base) retained",
+            )
+        )
+
+
+def _run_health_scenario(
+    report: UpdateChaosReport, seed: int, rng: np.random.Generator
+) -> None:
+    """Held leases and a filling log surface as DEGRADED, then clear."""
+    base = _base_matrix(seed + 7)
+    plans = PlanCache(capacity=16)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=10), caches=(plans,)
+    )
+    backend = _PlanBackend()
+    dispatcher = AdaptiveDispatcher(
+        [Backend("planned", backend.run)], plan_cache=plans, epsilon=0.0
+    )
+    config = ServeConfig(max_queue=16, max_batch=1, max_wait_ms=0.0, n_workers=1)
+    planner = UpdatePlanner(base)
+    problems: "list[str]" = []
+    with InferenceService(dispatcher, config, epoch_manager=manager) as service:
+        lease = manager.acquire()  # a stuck consumer pins epoch 0
+        urng = np.random.default_rng(seed + 606)
+        for _ in range(4):  # default epoch_lag_degraded = 4
+            service.apply_updates(planner.batch(urng, 1))
+            report.update_batches += 1
+            report.updates_applied += 1
+        health = service.health()
+        causes = {c.kind for c in health.causes}
+        if health.status != DEGRADED or "epoch-lag-high" not in causes:
+            problems.append(
+                f"4-epoch lag reported {health.status} with causes "
+                f"{sorted(causes)}"
+            )
+        for _ in range(5):  # log 4 -> 9 = 90% of threshold 10
+            service.apply_updates(planner.batch(urng, 1))
+            report.update_batches += 1
+            report.updates_applied += 1
+        health = service.health()
+        causes = {c.kind for c in health.causes}
+        if "compaction-backlog" not in causes:
+            problems.append(
+                f"90%-full delta log not reported (causes {sorted(causes)})"
+            )
+        lease.release()
+        # The next update crosses the threshold: snapshot compacts, the
+        # drained lag retires, and health must return to HEALTHY.
+        service.apply_updates(planner.batch(urng, 1))
+        report.update_batches += 1
+        report.updates_applied += 1
+        health = service.health()
+        if health.status != HEALTHY:
+            problems.append(
+                f"after lease drain + compaction health is {health.status} "
+                f"({[c.kind for c in health.causes]})"
+            )
+        dense = rng.random((base.n_cols, _DIM))
+        snap = manager.current_snapshot()
+        response = service.submit(None, dense).result(timeout=30.0)
+        if not response.ok or not np.allclose(
+            response.output, reference_spmm(snap.matrix, dense),
+            rtol=1e-9, atol=1e-9,
+        ):
+            problems.append("post-compaction response wrong or failed")
+        else:
+            report.verified_responses += 1
+            report.epochs_served.add(response.epoch)
+        manager_stats = manager.stats()
+        report.retired_epochs += manager_stats["retired_epochs"]
+        report.compactions += manager_stats["compactions"]
+        report.invalidated_keys += plans.stats().invalidations
+    if problems:
+        report.cases.append(
+            ChaosCase(
+                "health/epoch-lag-and-backlog", _KIND, "health", SILENT,
+                "; ".join(problems),
+            )
+        )
+    else:
+        report.cases.append(
+            ChaosCase(
+                "health/epoch-lag-and-backlog", _KIND, "health", RECOVERED,
+                "lag and backlog degraded health, then cleared after the "
+                "lease drained and compaction landed",
+            )
+        )
+
+
+def run_update_chaos(
+    seed: int = 0, rate: float = 200.0, update_rate: float = 80.0
+) -> UpdateChaosReport:
+    """Run every update-race chaos scenario with a deterministic seed."""
+    report = UpdateChaosReport(seed=seed)
+    rng = np.random.default_rng(seed)
+    with obs.span("resilience.chaos_update.run", seed=seed):
+        _run_update_stream_scenario(report, seed, rng, rate, update_rate)
+        _run_mid_compile_scenario(report, seed, rng)
+        _run_mid_eviction_scenario(report, seed, rng)
+        _run_precise_invalidation_scenario(report, seed, rng)
+        _run_health_scenario(report, seed, rng)
+    obs.counter("resilience.chaos_update.runs").inc()
+    obs.gauge("resilience.chaos_update.coverage").set(report.coverage)
+    obs.counter("resilience.chaos_update.silent_cases").inc(len(report.silent))
+    if report.silent:
+        obs.instant(
+            "resilience.chaos_update.silent",
+            category="error",
+            cases=[c.name for c in report.silent],
+        )
+    return report
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point for ``python -m repro chaos-update``."""
+    parser = argparse.ArgumentParser(
+        prog="repro chaos-update",
+        description=(
+            "Race live graph updates against a serving stack under "
+            "Poisson load — mid-batch, mid-compile, and mid-eviction — "
+            "verifying every response against its admitted epoch and "
+            "that caches invalidate exactly the retired epochs' keys."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="injection seed (default: 0)"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=200.0,
+        help="Poisson request rate in requests/second (default: 200)",
+    )
+    parser.add_argument(
+        "--update-rate", type=float, default=80.0,
+        help="Poisson update-batch rate in batches/second (default: 80)",
+    )
+    parser.add_argument(
+        "--bench-dir",
+        default=None,
+        help="run-record directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the full report as JSON to this path",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing the BENCH_chaos_update.json run record",
+    )
+    args = parser.parse_args(argv)
+
+    with obs.profiled() as session:
+        report = run_update_chaos(
+            seed=args.seed, rate=args.rate, update_rate=args.update_rate
+        )
+    print(report.render())
+
+    if not args.no_record:
+        record = obs.run_record(
+            "chaos_update",
+            metrics=session.snapshot(),
+            wall_seconds=session.wall_seconds,
+            status="ok" if report.passed else "silent-failures",
+            extra={"chaos_update": report.to_dict()},
+        )
+        path = obs.write_run_record(record, args.bench_dir)
+        print(f"run record: {path}")
+    if args.json_out:
+        from repro.formats.io import atomic_write_text
+
+        atomic_write_text(
+            args.json_out,
+            json.dumps(report.to_dict(), indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report: {args.json_out}")
+    return 0 if report.passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -17,6 +17,10 @@ The ROADMAP's request path on top of the one-shot experiment harness:
   every breaker is open).
 * :mod:`repro.serve.guard` — :class:`CircuitBreaker` and
   :class:`WorkerSupervisor`, the failure-domain guards.
+* :mod:`repro.serve.epoch` — :class:`GraphEpochManager`: RCU-style
+  epoch management for live graph updates (atomic snapshot install,
+  read leases pinning in-flight epochs, precise cache invalidation of
+  exactly the retired epochs' fingerprints).
 * :mod:`repro.serve.health` — the pure health-evaluation rules behind
   :meth:`InferenceService.health`.
 * :mod:`repro.serve.loadgen` — open/closed-loop synthetic traffic and
@@ -26,6 +30,10 @@ See ``docs/SERVING.md`` for the architecture tour and
 ``docs/ROBUSTNESS.md`` for the failure-domain model.
 """
 
+from repro.serve.epoch import (
+    EpochLease,
+    GraphEpochManager,
+)
 from repro.serve.dispatch import (
     FLOOR_BACKEND,
     AdaptiveDispatcher,
@@ -52,8 +60,10 @@ from repro.serve.plancache import (
     CompiledPlan,
     PlanCache,
     PlanCacheStats,
+    RepairedPlan,
     compile_plan,
     get_plan_cache,
+    repair_plan,
     set_plan_cache,
 )
 from repro.serve.service import (
@@ -70,7 +80,9 @@ __all__ = [
     "CompiledPlan",
     "DEGRADED",
     "DispatchResult",
+    "EpochLease",
     "FLOOR_BACKEND",
+    "GraphEpochManager",
     "HEALTHY",
     "HealthCause",
     "HealthPolicy",
@@ -78,6 +90,7 @@ __all__ = [
     "InferenceService",
     "PlanCache",
     "PlanCacheStats",
+    "RepairedPlan",
     "ServeConfig",
     "ServeResponse",
     "UNHEALTHY",
@@ -87,5 +100,6 @@ __all__ = [
     "default_backends",
     "evaluate_health",
     "get_plan_cache",
+    "repair_plan",
     "set_plan_cache",
 ]

@@ -88,7 +88,13 @@ def _run_threaded(
     matrix: CSRMatrix, dense: np.ndarray, plans: PlanCache, plan_dim: int
 ) -> np.ndarray:
     plan = plans.get(matrix, dim=plan_dim)
-    return execute_parallel(plan.schedule, dense, n_workers=4).output
+    schedule = getattr(plan, "schedule", None)
+    if schedule is None:
+        # A repaired plan (live-graph delta) has no single merge-path
+        # schedule to thread over; its execute() is already the patched
+        # fast path.
+        return plan.execute(dense)
+    return execute_parallel(schedule, dense, n_workers=4).output
 
 
 def _baseline_threads(matrix: CSRMatrix) -> int:

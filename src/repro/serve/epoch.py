@@ -1,0 +1,291 @@
+"""RCU-style graph epoch management for serving under live updates.
+
+:class:`GraphEpochManager` sits between a mutable
+:class:`~repro.graphs.delta.DeltaCSR` and the serving stack's caches,
+enforcing the stack's one consistency rule: **a request executes
+against the epoch it admitted under, end to end.**
+
+* :meth:`acquire` hands out an :class:`EpochLease` pinning the current
+  snapshot — the RCU read-side critical section.  The service takes one
+  per admitted request and releases it at the response boundary.
+* :meth:`apply_updates` installs a new snapshot atomically (writers
+  never block readers); the superseded epoch keeps serving its
+  in-flight leases.
+* An epoch whose lease count drains after being superseded is
+  **retired**: every registered cache drops exactly that epoch's keys
+  (``invalidate_fingerprint`` / ``forget_fingerprint``), never a global
+  flush.  Fingerprints shared with live epochs — the compaction base
+  that repairs lean on — are refcounted and survive until the last
+  sharer retires.
+
+:meth:`stats` reports epoch lag (current epoch minus oldest still-live
+epoch) and the delta's compaction backlog for the health surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.graphs.delta import DeltaCSR, EdgeUpdate, GraphSnapshot
+
+
+class EpochLease:
+    """A read lease pinning one graph epoch for one request.
+
+    Idempotent: calling :meth:`release` twice (or racing a release from
+    a finalizer) decrements the epoch's lease count exactly once.
+    """
+
+    __slots__ = ("snapshot", "_manager", "_released")
+
+    def __init__(self, manager: "GraphEpochManager", snapshot: GraphSnapshot):
+        self.snapshot = snapshot
+        self._manager = manager
+        self._released = False
+
+    @property
+    def epoch(self) -> int:
+        return self.snapshot.epoch
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        return self.snapshot.matrix
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._manager._release(self.snapshot.epoch)
+
+    def __enter__(self) -> "EpochLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+@dataclass
+class _EpochState:
+    snapshot: GraphSnapshot
+    leases: int = 0
+    superseded: bool = False
+
+
+@dataclass
+class _Caches:
+    """Registered invalidation targets, split by their hook name."""
+
+    invalidate: "list[object]" = field(default_factory=list)
+    forget: "list[object]" = field(default_factory=list)
+    note: "list[object]" = field(default_factory=list)
+
+
+class GraphEpochManager:
+    """Epoch lifecycle: acquire leases, install updates, retire precisely.
+
+    Args:
+        source: The live graph — a :class:`DeltaCSR`, or a bare
+            :class:`CSRMatrix` to wrap in one.
+        caches: Objects to keep coherent.  Anything with
+            ``invalidate_fingerprint(fp)`` (ScheduleCache, PlanCache,
+            EnginePlanCache) is invalidated at retirement; anything with
+            ``forget_fingerprint(fp)`` (Autotuner) likewise; anything
+            with ``note_snapshot(snapshot)`` (PlanCache) is told about
+            each installed snapshot so it can repair instead of
+            recompile.
+        compact_threshold: Forwarded to a :class:`DeltaCSR` built from a
+            bare matrix (ignored when ``source`` already is one).
+    """
+
+    def __init__(
+        self,
+        source: "DeltaCSR | CSRMatrix",
+        *,
+        caches: "Iterable[object]" = (),
+        compact_threshold: int = 1024,
+    ) -> None:
+        if isinstance(source, DeltaCSR):
+            self.delta = source
+        else:
+            self.delta = DeltaCSR(source, compact_threshold=compact_threshold)
+        self._lock = threading.Lock()
+        self._caches = _Caches()
+        for cache in caches:
+            self.register_cache(cache)
+        self.retired_epochs = 0
+        self.updates_applied = 0
+        # Fingerprints whose owner epoch retired while another live
+        # epoch still shares them (e.g. the repair base); invalidated
+        # once no live epoch references them.
+        self._pending_invalidate: "set[str]" = set()
+        snapshot = self.delta.snapshot()
+        self._current = snapshot.epoch
+        self._epochs: "dict[int, _EpochState]" = {
+            snapshot.epoch: _EpochState(snapshot)
+        }
+        self._announce(snapshot)
+
+    def register_cache(self, cache: object) -> None:
+        """Register one invalidation/notification target (see class docs)."""
+        known = False
+        if callable(getattr(cache, "invalidate_fingerprint", None)):
+            self._caches.invalidate.append(cache)
+            known = True
+        if callable(getattr(cache, "forget_fingerprint", None)):
+            self._caches.forget.append(cache)
+            known = True
+        if callable(getattr(cache, "note_snapshot", None)):
+            self._caches.note.append(cache)
+            known = True
+        if not known:
+            raise TypeError(
+                f"{type(cache).__name__} exposes none of "
+                "invalidate_fingerprint/forget_fingerprint/note_snapshot"
+            )
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    @property
+    def current_epoch(self) -> int:
+        with self._lock:
+            return self._current
+
+    def current_snapshot(self) -> GraphSnapshot:
+        with self._lock:
+            return self._epochs[self._current].snapshot
+
+    def acquire(self) -> EpochLease:
+        """Lease the current epoch (released at the response boundary)."""
+        with self._lock:
+            state = self._epochs[self._current]
+            state.leases += 1
+            lease = EpochLease(self, state.snapshot)
+        obs.counter("serve.epoch.leases").inc()
+        return lease
+
+    def _release(self, epoch: int) -> None:
+        retired: "list[GraphSnapshot]" = []
+        with self._lock:
+            state = self._epochs.get(epoch)
+            if state is None:
+                return
+            state.leases -= 1
+            if state.superseded and state.leases <= 0:
+                del self._epochs[epoch]
+                retired.append(state.snapshot)
+            invalidate = self._collect_invalidations_locked(retired)
+        self._retire(retired, invalidate)
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates: "Iterable[EdgeUpdate]") -> GraphSnapshot:
+        """Apply one update batch and install its snapshot atomically.
+
+        Returns the installed snapshot.  In-flight leases keep their
+        epochs alive; superseded epochs with no leases retire
+        immediately (their cache keys are dropped before this returns).
+        """
+        batch = list(updates)
+        retired: "list[GraphSnapshot]" = []
+        with self._lock:
+            self.delta.apply(batch)
+            snapshot = self.delta.snapshot()
+            self.updates_applied += len(batch)
+            previous = self._epochs[self._current]
+            previous.superseded = True
+            self._current = snapshot.epoch
+            self._epochs[snapshot.epoch] = _EpochState(snapshot)
+            for epoch, state in list(self._epochs.items()):
+                if state.superseded and state.leases <= 0:
+                    del self._epochs[epoch]
+                    retired.append(state.snapshot)
+            invalidate = self._collect_invalidations_locked(retired)
+        obs.counter("serve.epoch.installed").inc()
+        if obs.enabled():
+            obs.gauge("serve.epoch.current").set(float(snapshot.epoch))
+            obs.gauge("serve.epoch.live").set(float(len(self._epochs)))
+        self._announce(snapshot)
+        self._retire(retired, invalidate)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Retirement
+    # ------------------------------------------------------------------
+    def _live_fingerprints_locked(self) -> "set[str]":
+        live: "set[str]" = set()
+        for state in self._epochs.values():
+            live.add(state.snapshot.fingerprint)
+            live.add(state.snapshot.base_fingerprint)
+        return live
+
+    def _collect_invalidations_locked(
+        self, retired: "list[GraphSnapshot]"
+    ) -> "list[str]":
+        """Fingerprints safe to drop now that ``retired`` epochs ended.
+
+        A retired epoch contributes its own fingerprint and its base's;
+        anything still referenced by a live epoch (snapshot or repair
+        base) stays pending until its last sharer retires.
+        """
+        if not retired and not self._pending_invalidate:
+            return []
+        for snapshot in retired:
+            self._pending_invalidate.add(snapshot.fingerprint)
+            self._pending_invalidate.add(snapshot.base_fingerprint)
+        live = self._live_fingerprints_locked()
+        ready = sorted(self._pending_invalidate - live)
+        self._pending_invalidate -= set(ready)
+        return ready
+
+    def _retire(
+        self, retired: "list[GraphSnapshot]", fingerprints: "list[str]"
+    ) -> None:
+        if retired:
+            self.retired_epochs += len(retired)
+            obs.counter("serve.epoch.retired").inc(len(retired))
+        for fingerprint in fingerprints:
+            dropped = 0
+            for cache in self._caches.invalidate:
+                dropped += cache.invalidate_fingerprint(fingerprint)
+            for tuner in self._caches.forget:
+                dropped += tuner.forget_fingerprint(fingerprint)
+            obs.counter("serve.epoch.invalidated_keys").inc(dropped)
+
+    def _announce(self, snapshot: GraphSnapshot) -> None:
+        for cache in self._caches.note:
+            cache.note_snapshot(snapshot)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Epoch and compaction state for health() and run records."""
+        with self._lock:
+            live = sorted(self._epochs)
+            leases = sum(state.leases for state in self._epochs.values())
+            current = self._current
+        log_size = self.delta.log_size
+        threshold = self.delta.compact_threshold
+        stats = {
+            "current_epoch": current,
+            "live_epochs": len(live),
+            "oldest_live_epoch": live[0] if live else current,
+            "epoch_lag": current - (live[0] if live else current),
+            "leases": leases,
+            "retired_epochs": self.retired_epochs,
+            "updates_applied": self.updates_applied,
+            "log_size": log_size,
+            "compact_threshold": threshold,
+            "compaction_backlog": log_size / threshold,
+            "compactions": self.delta.compactions,
+        }
+        if obs.enabled():
+            obs.gauge("serve.epoch.lag").set(float(stats["epoch_lag"]))
+            obs.gauge("serve.epoch.leases_outstanding").set(float(leases))
+        return stats

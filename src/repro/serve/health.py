@@ -15,9 +15,12 @@ Severity model:
   dispatch backend's breaker is open (only the verified floor remains).
 * **DEGRADED** — serving, but impaired: some (not all) breakers open or
   probing, recent worker crashes/restarts, queue near saturation, a
-  deadline-miss rate above threshold, or a route burning (or having
+  deadline-miss rate above threshold, a route burning (or having
   exhausted) its SLO error budget (``slo-burn-high`` /
-  ``slo-budget-exhausted``; see :mod:`repro.obs.slo`).
+  ``slo-budget-exhausted``; see :mod:`repro.obs.slo`), or — on
+  epoch-managed services — in-flight leases pinning old graph epochs
+  (``epoch-lag-high``) or the delta log nearing forced compaction
+  (``compaction-backlog``; see :mod:`repro.serve.epoch`).
 * **HEALTHY** — none of the above.
 
 Each evaluation sets the ``serve.health.severity`` gauge
@@ -58,6 +61,14 @@ class HealthPolicy:
         slo_min_samples: Minimum per-route SLO sample count before burn
             rate is judged (a single slow warm-up request is not a
             trend).
+        epoch_lag_degraded: Live-graph epoch lag (current epoch minus
+            the oldest epoch still pinned by in-flight leases) at or
+            above which the service degrades — old snapshots and their
+            cache entries are being held alive.
+        compaction_backlog_degraded: Delta-log fill fraction
+            (``log_size / compact_threshold``) at or above which the
+            service degrades: sustained update pressure is about to
+            force a compaction (a full rebase) on the serving path.
     """
 
     queue_saturation: float = 0.8
@@ -66,6 +77,8 @@ class HealthPolicy:
     crash_recent_seconds: float = 30.0
     slo_burn_degraded: float = 1.0
     slo_min_samples: int = 16
+    epoch_lag_degraded: int = 4
+    compaction_backlog_degraded: float = 0.9
 
     def __post_init__(self) -> None:
         if not 0.0 < self.queue_saturation <= 1.0:
@@ -94,6 +107,15 @@ class HealthPolicy:
         if self.slo_min_samples < 1:
             raise ValueError(
                 f"slo_min_samples must be >= 1, got {self.slo_min_samples}"
+            )
+        if self.epoch_lag_degraded < 1:
+            raise ValueError(
+                f"epoch_lag_degraded must be >= 1, got {self.epoch_lag_degraded}"
+            )
+        if self.compaction_backlog_degraded <= 0:
+            raise ValueError(
+                "compaction_backlog_degraded must be positive, "
+                f"got {self.compaction_backlog_degraded}"
             )
 
 
@@ -279,6 +301,31 @@ def evaluate_health(
                     DEGRADED,
                     f"route {route!r} burning error budget at {burn:.2f}x "
                     f"over {state.get('samples')} samples",
+                )
+            )
+
+    epochs = snapshot.get("epochs") or {}
+    if epochs:
+        lag = epochs.get("epoch_lag", 0)
+        if lag >= policy.epoch_lag_degraded:
+            causes.append(
+                HealthCause(
+                    "epoch-lag-high",
+                    DEGRADED,
+                    f"oldest leased epoch trails the current one by {lag} "
+                    f"(>= {policy.epoch_lag_degraded}); "
+                    f"{epochs.get('leases', 0)} lease(s) outstanding",
+                )
+            )
+        backlog = epochs.get("compaction_backlog", 0.0)
+        if backlog >= policy.compaction_backlog_degraded:
+            causes.append(
+                HealthCause(
+                    "compaction-backlog",
+                    DEGRADED,
+                    f"delta log at {epochs.get('log_size', 0)}/"
+                    f"{epochs.get('compact_threshold', 0)} "
+                    f"({backlog:.0%} of the compaction threshold)",
                 )
             )
 

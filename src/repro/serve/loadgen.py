@@ -39,13 +39,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import threading
+
 from repro import obs
 from repro.formats import CSRMatrix
 from repro.graphs.datasets import load_dataset
+from repro.graphs.delta import DeltaCSR, UpdatePlanner
 from repro.obs.rtrace import FlightRecorder
 from repro.obs.slo import SLObjective, SLOTracker
 from repro.resilience.oracles import reference_spmm
 from repro.serve.dispatch import AdaptiveDispatcher
+from repro.serve.epoch import GraphEpochManager
 from repro.serve.plancache import PlanCache
 from repro.serve.service import InferenceService, ServeConfig
 
@@ -76,6 +80,14 @@ class BenchConfig:
     # Per-route SLO template: every dataset route is judged against this
     # p95 target (and it doubles as the error-budget threshold).
     slo_p95_ms: float = 250.0
+    # Live-graph update stream: Poisson rate (batches/second) of edge
+    # updates applied to the *hottest* dataset while the steady scenario
+    # runs.  0 disables the stream; when enabled, the hot dataset is
+    # served epoch-managed (submit pins each request to its admitted
+    # epoch) and every hot response verifies against that epoch's graph.
+    update_rate: float = 0.0
+    update_batch_max: int = 3
+    compact_threshold: int = 64
     service: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
@@ -94,6 +106,18 @@ class BenchConfig:
         if self.slo_p95_ms <= 0:
             raise ValueError(
                 f"slo_p95_ms must be positive, got {self.slo_p95_ms}"
+            )
+        if self.update_rate < 0:
+            raise ValueError(
+                f"update_rate must be >= 0, got {self.update_rate}"
+            )
+        if self.update_batch_max < 1:
+            raise ValueError(
+                f"update_batch_max must be >= 1, got {self.update_batch_max}"
+            )
+        if self.compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {self.compact_threshold}"
             )
 
 
@@ -143,6 +167,17 @@ class _Verifier:
             self.mismatches += 1
             obs.counter("serve.loadgen.mismatches").inc()
 
+    def unknown_epoch(self) -> None:
+        """An accepted response whose admitted epoch cannot be resolved.
+
+        That is an epoch-consistency violation (the response claims an
+        epoch the update stream never installed), so it counts as a
+        mismatch — a silent failure — not as unverifiable.
+        """
+        self.verified += 1
+        self.mismatches += 1
+        obs.counter("serve.loadgen.mismatches").inc()
+
 
 @dataclass
 class _ScenarioTally:
@@ -161,6 +196,9 @@ class _ScenarioTally:
     # event totals across accepted responses.
     stage_seconds: "dict[str, list[float]]" = field(default_factory=dict)
     events: "dict[str, int]" = field(default_factory=dict)
+    # Accepted responses per admitted graph epoch (epoch-managed
+    # requests only; static-matrix traffic carries no epoch).
+    epochs: "dict[int, int]" = field(default_factory=dict)
 
     def absorb(self, response) -> None:
         self.requests += 1
@@ -174,6 +212,8 @@ class _ScenarioTally:
             self.errors += 1
             return
         self.accepted += 1
+        if response.epoch is not None:
+            self.epochs[response.epoch] = self.epochs.get(response.epoch, 0) + 1
         self.latencies.append(response.queue_seconds + response.service_seconds)
         self.batch_sizes.append(response.batch_size)
         if response.backend:
@@ -194,6 +234,99 @@ class _ScenarioTally:
             stage: percentiles_ms(samples)
             for stage, samples in sorted(self.stage_seconds.items())
         }
+
+
+class _EpochOracle:
+    """Thread-safe ``epoch -> graph`` registry for epoch-pinned verification.
+
+    The update stream registers every installed snapshot; harvesters
+    resolve a response's admitted epoch to the exact graph it executed
+    against.  ``matrix_for`` tolerates the tiny publish race (a request
+    can admit a just-installed epoch before the updater thread records
+    it) by waiting briefly for the registration.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_epoch: "dict[int, CSRMatrix]" = {}
+
+    def note(self, snapshot) -> None:
+        with self._lock:
+            self._by_epoch[snapshot.epoch] = snapshot.matrix
+
+    def matrix_for(
+        self, epoch: int, timeout: float = 2.0
+    ) -> "CSRMatrix | None":
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                matrix = self._by_epoch.get(epoch)
+            if matrix is not None or time.monotonic() >= deadline:
+                return matrix
+            time.sleep(0.001)
+
+
+class _UpdateStream:
+    """Background Poisson edge-update stream against an epoch-managed service."""
+
+    def __init__(
+        self,
+        service: InferenceService,
+        oracle: _EpochOracle,
+        config: BenchConfig,
+        base: CSRMatrix,
+    ) -> None:
+        self.service = service
+        self.oracle = oracle
+        self.config = config
+        self.planner = UpdatePlanner(base)
+        self.batches = 0
+        self.updates = 0
+        self.errors = 0
+        self.apply_seconds: "list[float]" = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="loadgen-updater", daemon=True
+        )
+
+    def _run(self) -> None:
+        rng = np.random.default_rng(self.config.seed + 9001)
+        while not self._stop.is_set():
+            batch = self.planner.batch(
+                rng, int(rng.integers(1, self.config.update_batch_max + 1))
+            )
+            started = time.perf_counter()
+            try:
+                snapshot = self.service.apply_updates(batch)
+            except Exception:
+                self.errors += 1
+                obs.counter("serve.loadgen.update_errors").inc()
+                return
+            self.apply_seconds.append(time.perf_counter() - started)
+            self.oracle.note(snapshot)
+            self.batches += 1
+            self.updates += len(batch)
+            self._stop.wait(rng.exponential(1.0 / self.config.update_rate))
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> dict:
+        """Stop the stream and return its stats block for the report."""
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+        stats = {
+            "rate_target": self.config.update_rate,
+            "batches": self.batches,
+            "updates": self.updates,
+            "errors": self.errors,
+            "stalled": self._thread.is_alive(),
+            "apply_ms": percentiles_ms(self.apply_seconds),
+        }
+        manager = self.service.epoch_manager
+        if manager is not None:
+            stats["epochs"] = manager.stats()
+        return stats
 
 
 def _modeled_microseconds(matrix: CSRMatrix, dim: int, cache: dict) -> float:
@@ -223,66 +356,97 @@ def run_steady(
         for i in choices
     ]
 
+    # Live-update stream: when enabled the hottest dataset is served
+    # epoch-managed (submitted as matrix=None, pinning each request to
+    # its admitted epoch) while edge updates land concurrently.
+    manager = service.epoch_manager
+    live = manager is not None and config.update_rate > 0
+    oracle = _EpochOracle()
+    stream: "_UpdateStream | None" = None
+    if live:
+        oracle.note(manager.current_snapshot())
+        stream = _UpdateStream(service, oracle, config, matrices[0])
+
     def harvest(entry) -> None:
         matrix, dense, future = entry
         response = future.result()
         tally.absorb(response)
         if response.ok and config.verify:
-            verifier.check(matrix, dense, response.output)
+            if matrix is None:
+                # Epoch-managed request: verify against the graph of the
+                # epoch it admitted under, not the current one.
+                pinned = (
+                    oracle.matrix_for(response.epoch)
+                    if response.epoch is not None
+                    else None
+                )
+                if pinned is None:
+                    verifier.unknown_epoch()
+                else:
+                    verifier.check(pinned, dense, response.output)
+            else:
+                verifier.check(matrix, dense, response.output)
 
     started = time.perf_counter()
-    if config.mode == "open":
-        inflight: list = []
-        for idx in choices:
-            matrix = matrices[int(idx)]
-            dense = rng.random((matrix.n_cols, config.dim))
-            inflight.append(
-                (
-                    matrix,
-                    dense,
-                    service.submit(
-                        matrix,
-                        dense,
-                        deadline_ms=config.deadline_ms,
-                        route=config.datasets[int(idx)],
-                    ),
-                )
-            )
-            if len(inflight) >= _HARVEST_WINDOW:
-                harvest(inflight.pop(0))
-            time.sleep(rng.exponential(1.0 / config.rate))
-        for entry in inflight:
-            harvest(entry)
-    else:
-        per_client = np.array_split(choices, config.concurrency)
-
-        def client(client_id: int, assigned: np.ndarray) -> None:
-            client_rng = np.random.default_rng(
-                (config.seed, client_id)
-            )
-            for idx in assigned:
+    if stream is not None:
+        stream.start()
+    try:
+        if config.mode == "open":
+            inflight: list = []
+            for idx in choices:
                 matrix = matrices[int(idx)]
-                dense = client_rng.random((matrix.n_cols, config.dim))
-                harvest(
+                dense = rng.random((matrix.n_cols, config.dim))
+                submitted = None if live and int(idx) == 0 else matrix
+                inflight.append(
                     (
-                        matrix,
+                        submitted,
                         dense,
                         service.submit(
-                            matrix,
+                            submitted,
                             dense,
                             deadline_ms=config.deadline_ms,
                             route=config.datasets[int(idx)],
                         ),
                     )
                 )
+                if len(inflight) >= _HARVEST_WINDOW:
+                    harvest(inflight.pop(0))
+                time.sleep(rng.exponential(1.0 / config.rate))
+            for entry in inflight:
+                harvest(entry)
+        else:
+            per_client = np.array_split(choices, config.concurrency)
 
-        with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
-            futures = [
-                pool.submit(client, i, assigned)
-                for i, assigned in enumerate(per_client)
-            ]
-            for future in futures:
-                future.result()
+            def client(client_id: int, assigned: np.ndarray) -> None:
+                client_rng = np.random.default_rng(
+                    (config.seed, client_id)
+                )
+                for idx in assigned:
+                    matrix = matrices[int(idx)]
+                    dense = client_rng.random((matrix.n_cols, config.dim))
+                    submitted = None if live and int(idx) == 0 else matrix
+                    harvest(
+                        (
+                            submitted,
+                            dense,
+                            service.submit(
+                                submitted,
+                                dense,
+                                deadline_ms=config.deadline_ms,
+                                route=config.datasets[int(idx)],
+                            ),
+                        )
+                    )
+
+            with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+                futures = [
+                    pool.submit(client, i, assigned)
+                    for i, assigned in enumerate(per_client)
+                ]
+                for future in futures:
+                    future.result()
+    finally:
+        update_stream = stream.stop() if stream is not None else None
     elapsed = time.perf_counter() - started
 
     p50, p95, p99 = np.percentile(modeled_us, [50, 95, 99])
@@ -299,6 +463,7 @@ def run_steady(
         "modeled": modeled,
         "attribution_ms": tally.attribution_ms(),
         "events": dict(tally.events),
+        "update_stream": update_stream,
     }
     return tally, verifier, extra
 
@@ -347,11 +512,22 @@ def run_bench(config: BenchConfig) -> dict:
         )
     )
     flight_recorder = FlightRecorder(capacity=16)
+    epoch_manager = None
+    if config.update_rate > 0:
+        # The hottest dataset becomes a live graph: requests against it
+        # pin their admitted epoch while the update stream mutates it,
+        # and the plan cache is invalidated epoch-precisely.
+        hot = load_traffic_matrices(config)[0]
+        epoch_manager = GraphEpochManager(
+            DeltaCSR(hot, compact_threshold=config.compact_threshold),
+            caches=(plan_cache,),
+        )
     with InferenceService(
         dispatcher,
         config.service,
         slo_tracker=slo_tracker,
         flight_recorder=flight_recorder,
+        epoch_manager=epoch_manager,
     ) as service:
         with obs.span("serve.loadgen.steady", requests=config.requests):
             steady, steady_verifier, extra = run_steady(config, service)
@@ -380,6 +556,9 @@ def run_bench(config: BenchConfig) -> dict:
             "max_wait_ms": config.service.max_wait_ms,
             "n_workers": config.service.n_workers,
             "deadline_ms": config.deadline_ms,
+            "update_rate": config.update_rate,
+            "update_batch_max": config.update_batch_max,
+            "compact_threshold": config.compact_threshold,
         },
         "steady": {
             "mode": config.mode,
@@ -405,6 +584,17 @@ def run_bench(config: BenchConfig) -> dict:
             ),
             "backends": steady.backends,
             "plan_cache": cache_stats.to_dict(),
+            # Accepted responses per admitted graph epoch (empty without
+            # an update stream) and the stream's own statistics.
+            "epochs": {
+                str(epoch): count
+                for epoch, count in sorted(steady.epochs.items())
+            },
+            **(
+                {"update_stream": extra["update_stream"]}
+                if extra["update_stream"] is not None
+                else {}
+            ),
         },
         "overload": {
             "requests": overload.requests,
@@ -466,6 +656,16 @@ def render_summary(report: dict) -> str:
             2,
             f"  deadlines : {steady['deadline_misses']}/{steady['requests']} "
             "missed and shed",
+        )
+    stream = steady.get("update_stream")
+    if stream is not None:
+        epochs = steady.get("epochs", {})
+        stream_epochs = stream.get("epochs", {})
+        lines.append(
+            f"  updates   : {stream['updates']} edge update(s) in "
+            f"{stream['batches']} batch(es), {len(epochs)} epoch(s) served, "
+            f"{stream_epochs.get('compactions', 0)} compaction(s), "
+            f"{stream_epochs.get('retired_epochs', 0)} retirement(s)"
         )
     health = report.get("health")
     if health is not None:
@@ -546,6 +746,15 @@ def main(argv: "list[str] | None" = None) -> int:
         ),
     )
     parser.add_argument(
+        "--update-rate", type=float, default=0.0,
+        help=(
+            "Poisson rate (batches/second) of live edge updates applied "
+            "to the hottest dataset during the steady scenario; requests "
+            "against it pin their admitted graph epoch and verify "
+            "against exactly that epoch (0 disables)"
+        ),
+    )
+    parser.add_argument(
         "--no-verify", action="store_true",
         help="skip the per-response SciPy oracle cross-check",
     )
@@ -575,6 +784,7 @@ def main(argv: "list[str] | None" = None) -> int:
         verify=not args.no_verify,
         deadline_ms=args.deadline_ms,
         slo_p95_ms=args.slo_p95_ms,
+        update_rate=args.update_rate,
         service=ServeConfig(
             max_queue=args.max_queue,
             max_batch=args.max_batch,

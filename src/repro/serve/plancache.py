@@ -137,6 +137,131 @@ class CompiledPlan:
         return output
 
 
+@dataclass(frozen=True)
+class RepairedPlan:
+    """A cached base-epoch plan patched for a delta snapshot.
+
+    A true incremental merge-path recompile is impossible — the
+    diagonals are global functions of ``nnz`` — so repair is honest
+    about what *can* be incremental: :meth:`execute` runs the cached
+    base plan unchanged, then overwrites exactly the dirty rows'
+    outputs from the snapshot's own rows.  Cost over the base plan is
+    ``O(sum(degree(dirty)) * dim)``: proportional to the delta, not the
+    graph.
+
+    Duck-compatible with :class:`CompiledPlan` for ``execute``/
+    ``rebind``/``nbytes``/``matrix``; it deliberately has **no**
+    ``schedule`` attribute (the base schedule predates the delta and
+    must not be executed with patched expectations), which backends
+    detect with ``getattr(plan, "schedule", None)``.
+
+    Attributes:
+        base_plan: The compiled plan of the snapshot's base epoch.
+        matrix: The snapshot matrix (current epoch structure + values).
+        dirty_rows: Rows whose output the repair recomputes.
+        repair_cols: Column indices of the dirty rows' non-zeros,
+            flattened in dirty-row order.
+        repair_value_idx: Gather indices into ``matrix.values`` for the
+            same non-zeros (kept so :meth:`rebind` can re-gather).
+        repair_values: ``matrix.values[repair_value_idx]``.
+        repair_segment_ids: Position of each repair non-zero's row
+            inside ``dirty_rows``.
+    """
+
+    base_plan: CompiledPlan
+    matrix: CSRMatrix = field(repr=False)
+    dirty_rows: np.ndarray = field(repr=False)
+    repair_cols: np.ndarray = field(repr=False)
+    repair_value_idx: np.ndarray = field(repr=False)
+    repair_values: np.ndarray = field(repr=False)
+    repair_segment_ids: np.ndarray = field(repr=False)
+    cost: int = 0
+    min_threads: int = MIN_THREADS
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the repair arrays (the base plan is billed under its
+        own cache key, never twice)."""
+        return (
+            self.dirty_rows.nbytes
+            + self.repair_cols.nbytes
+            + self.repair_value_idx.nbytes
+            + self.repair_values.nbytes
+            + self.repair_segment_ids.nbytes
+        )
+
+    @property
+    def repaired_segments(self) -> int:
+        return len(self.dirty_rows)
+
+    def rebind(self, matrix: CSRMatrix) -> "RepairedPlan":
+        """This repair bound to ``matrix``'s values (base plan untouched)."""
+        if matrix is self.matrix or matrix.fingerprint(
+            include_values=True
+        ) == self.matrix.fingerprint(include_values=True):
+            return self
+        return replace(
+            self,
+            matrix=matrix,
+            repair_values=matrix.values[self.repair_value_idx],
+        )
+
+    def execute(self, dense: np.ndarray) -> np.ndarray:
+        """Base-plan execution plus O(|delta| * dim) dirty-row patching."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {self.matrix.shape} @ {dense.shape}"
+            )
+        output = self.base_plan.execute(dense)
+        if len(self.dirty_rows) == 0:
+            return output
+        sums = np.zeros((len(self.dirty_rows), dense.shape[1]), dtype=np.float64)
+        partial = self.repair_values[:, None] * dense[self.repair_cols]
+        np.add.at(sums, self.repair_segment_ids, partial)
+        output[self.dirty_rows] = sums
+        return output
+
+
+def repair_plan(
+    base_plan: CompiledPlan,
+    snapshot,
+    *,
+    cost: int,
+    min_threads: int = MIN_THREADS,
+) -> RepairedPlan:
+    """Patch ``base_plan`` for ``snapshot`` (a
+    :class:`repro.graphs.delta.GraphSnapshot`) instead of recompiling.
+
+    Gathers the snapshot's dirty rows once into flat repair arrays; the
+    base plan's segments and segment ids are reused as-is.
+    """
+    matrix = snapshot.matrix
+    dirty = np.ascontiguousarray(snapshot.dirty_rows, dtype=np.int64)
+    starts = matrix.row_pointers[dirty]
+    lengths = matrix.row_pointers[dirty + 1] - starts
+    total = int(lengths.sum())
+    value_idx = np.empty(total, dtype=np.int64)
+    cursor = 0
+    for start, length in zip(starts.tolist(), lengths.tolist()):
+        value_idx[cursor : cursor + length] = np.arange(
+            start, start + length, dtype=np.int64
+        )
+        cursor += length
+    segment_ids = np.repeat(np.arange(len(dirty), dtype=np.int64), lengths)
+    return RepairedPlan(
+        base_plan=base_plan,
+        matrix=matrix,
+        dirty_rows=dirty,
+        repair_cols=matrix.column_indices[value_idx],
+        repair_value_idx=value_idx,
+        repair_values=matrix.values[value_idx],
+        repair_segment_ids=segment_ids,
+        cost=cost,
+        min_threads=min_threads,
+    )
+
+
 def compile_plan(
     matrix: CSRMatrix, cost: int, min_threads: int = MIN_THREADS
 ) -> CompiledPlan:
@@ -164,6 +289,12 @@ class PlanCacheStats:
     evictions: int
     entries: int
     bytes: int
+    # Live-graph extensions: misses served by patching a cached base
+    # plan instead of a full merge-path recompile, and entries dropped
+    # by precise epoch retirement (never a global flush).
+    repairs: int = 0
+    repaired_rows: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -179,6 +310,9 @@ class PlanCacheStats:
             "entries": self.entries,
             "bytes": self.bytes,
             "hit_rate": self.hit_rate,
+            "repairs": self.repairs,
+            "repaired_rows": self.repaired_rows,
+            "invalidations": self.invalidations,
         }
 
 
@@ -195,25 +329,48 @@ class PlanCache:
     A plan build runs under the cache lock, so concurrent workers
     requesting the same key perform exactly one build and share the
     resulting plan object.
+
+    Live graphs: :meth:`note_snapshot` registers a
+    :class:`~repro.graphs.delta.GraphSnapshot` under its fingerprint;
+    a later miss on that fingerprint whose base plan is cached — and
+    whose dirty fraction is at most ``repair_max_fraction`` — is served
+    by :func:`repair_plan` (O(|delta|) patching) instead of a full
+    merge-path recompile.  :meth:`invalidate_fingerprint` retires one
+    epoch's keys precisely.
     """
 
     def __init__(
-        self, capacity: int = 256, max_bytes: "int | None" = None
+        self,
+        capacity: int = 256,
+        max_bytes: "int | None" = None,
+        *,
+        repair_max_fraction: float = 0.25,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if not 0.0 <= repair_max_fraction <= 1.0:
+            raise ValueError(
+                "repair_max_fraction must be in [0, 1], "
+                f"got {repair_max_fraction}"
+            )
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self.repair_max_fraction = repair_max_fraction
         self._lock = threading.RLock()
         self._plans: "OrderedDict[tuple[str, int, int], CompiledPlan]" = (
             OrderedDict()
         )
+        # fingerprint -> GraphSnapshot, bounded alongside the plans.
+        self._snapshots: "OrderedDict[str, object]" = OrderedDict()
         self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._repairs = 0
+        self._repaired_rows = 0
+        self._invalidations = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -254,15 +411,106 @@ class PlanCache:
                 return plan.rebind(matrix)
             self._misses += 1
             obs.counter("serve.plancache.misses").inc()
-            rtrace.count("plan_compile")
-            with obs.span("serve.plancache.build", cost=cost, nnz=matrix.nnz):
-                with rtrace.stage("plan_compile"):
-                    plan = compile_plan(matrix, cost, min_threads=min_threads)
+            plan = self._try_repair_locked(key)
+            if plan is None:
+                rtrace.count("plan_compile")
+                with obs.span(
+                    "serve.plancache.build", cost=cost, nnz=matrix.nnz
+                ):
+                    with rtrace.stage("plan_compile"):
+                        plan = self._build(matrix, cost, min_threads)
             self._plans[key] = plan
             self._bytes += plan.nbytes
             self._evict_locked()
             self._publish_locked()
-            return plan
+            return plan.rebind(matrix)
+
+    def _build(
+        self, matrix: CSRMatrix, cost: int, min_threads: int
+    ) -> CompiledPlan:
+        """Compile a plan on a miss; runs under the cache lock.
+
+        Overridable seam for the update-race chaos suite, which injects
+        graph updates *while a compile is in progress* to prove the lock
+        ordering (service condition -> epoch manager -> caches, with the
+        cache lock reentrant) cannot tear a plan or deadlock.
+        """
+        return compile_plan(matrix, cost, min_threads=min_threads)
+
+    def _try_repair_locked(self, key: "tuple[str, int, int]"):
+        """Serve a miss by patching a cached base plan, if possible.
+
+        Requires a registered snapshot for the missed fingerprint whose
+        base plan (same cost/min_threads) is resident and whose dirty
+        fraction is within ``repair_max_fraction``; otherwise the caller
+        falls back to a full compile.
+        """
+        fingerprint, cost, min_threads = key
+        snapshot = self._snapshots.get(fingerprint)
+        if snapshot is None or len(snapshot.dirty_rows) == 0:
+            return None
+        if snapshot.dirty_fraction > self.repair_max_fraction:
+            return None
+        base_key = (snapshot.base_fingerprint, cost, min_threads)
+        base_plan = self._plans.get(base_key)
+        if not isinstance(base_plan, CompiledPlan):
+            return None
+        # Repairing keeps the base hot: every live epoch leans on it.
+        self._plans.move_to_end(base_key)
+        rtrace.count("plan_repair")
+        with obs.span(
+            "serve.plancache.repair",
+            dirty_rows=len(snapshot.dirty_rows),
+            cost=cost,
+        ):
+            with rtrace.stage("plan_repair"):
+                plan = repair_plan(
+                    base_plan, snapshot, cost=cost, min_threads=min_threads
+                )
+        self._repairs += 1
+        self._repaired_rows += len(snapshot.dirty_rows)
+        obs.counter("serve.plancache.repairs").inc()
+        obs.counter("serve.plancache.repaired_rows").inc(
+            len(snapshot.dirty_rows)
+        )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Live-graph epochs
+    # ------------------------------------------------------------------
+    def note_snapshot(self, snapshot) -> None:
+        """Register a :class:`~repro.graphs.delta.GraphSnapshot`.
+
+        Misses on the snapshot's fingerprint become repair candidates
+        (see :meth:`get`).  The registry is bounded alongside the plan
+        table, dropping oldest-registered snapshots first.
+        """
+        with self._lock:
+            self._snapshots[snapshot.fingerprint] = snapshot
+            self._snapshots.move_to_end(snapshot.fingerprint)
+            while len(self._snapshots) > self.capacity:
+                self._snapshots.popitem(last=False)
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every plan (and snapshot) keyed by ``fingerprint``.
+
+        The epoch-retirement hook: live-graph fingerprints are
+        version-precise, so this removes exactly one retired epoch's
+        entries — entries of live epochs (including the shared base
+        plan other epochs repair from) are untouched.  Returns the
+        number of plans dropped.
+        """
+        with self._lock:
+            stale = [key for key in self._plans if key[0] == fingerprint]
+            for key in stale:
+                plan = self._plans.pop(key)
+                self._bytes -= plan.nbytes
+            self._snapshots.pop(fingerprint, None)
+            if stale:
+                self._invalidations += len(stale)
+                obs.counter("serve.plancache.invalidations").inc(len(stale))
+                self._publish_locked()
+            return len(stale)
 
     def _evict_locked(self) -> None:
         while len(self._plans) > self.capacity or (
@@ -292,16 +540,28 @@ class PlanCache:
                 evictions=self._evictions,
                 entries=len(self._plans),
                 bytes=self._bytes,
+                repairs=self._repairs,
+                repaired_rows=self._repaired_rows,
+                invalidations=self._invalidations,
             )
+
+    def fingerprints(self) -> "set[str]":
+        """Distinct fingerprints currently cached (for retirement tests)."""
+        with self._lock:
+            return {key[0] for key in self._plans}
 
     def clear(self) -> None:
         """Drop all plans and reset counters."""
         with self._lock:
             self._plans.clear()
+            self._snapshots.clear()
             self._bytes = 0
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._repairs = 0
+            self._repaired_rows = 0
+            self._invalidations = 0
             self._publish_locked()
 
     def __len__(self) -> int:

@@ -57,6 +57,7 @@ from repro.obs.slo import SLOTracker
 from repro.resilience import faults
 from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
 from repro.serve.dispatch import AdaptiveDispatcher
+from repro.serve.epoch import EpochLease, GraphEpochManager
 from repro.serve.guard import WorkerSupervisor
 from repro.serve.health import HealthPolicy, HealthReport, evaluate_health
 from repro.serve.plancache import PlanCache
@@ -142,6 +143,10 @@ class ServeResponse:
             (``{"stages": {stage: seconds}, "events": {event: count}}``).
             Stage seconds are non-overlapping leaves summing to the
             end-to-end latency.
+        epoch: Graph epoch this request admitted under (epoch-managed
+            services only; ``None`` otherwise).  An ``ok`` output is
+            guaranteed to be the product against exactly this epoch's
+            snapshot, regardless of updates applied mid-flight.
     """
 
     request_id: int
@@ -155,6 +160,7 @@ class ServeResponse:
     error: "str | None" = None
     trace_id: "str | None" = None
     attribution: "dict | None" = field(default=None, repr=False)
+    epoch: "int | None" = None
 
     @property
     def ok(self) -> bool:
@@ -187,6 +193,11 @@ class _Pending:
     # When a worker pulled this request into a forming batch (monotonic);
     # 0.0 until then.  Splits queue wait from batch-formation wait.
     picked_at: float = 0.0
+    # Epoch lease pinning the snapshot this request admitted under
+    # (epoch-managed services only); released in _finalize, the single
+    # choke point every terminal path passes through.
+    lease: "EpochLease | None" = None
+    epoch: "int | None" = None
 
 
 class InferenceService:
@@ -203,6 +214,12 @@ class InferenceService:
         flight_recorder: Bounded retention of the slowest/failed request
             traces (a default
             :class:`~repro.obs.rtrace.FlightRecorder` when omitted).
+        epoch_manager: Live-graph epoch manager
+            (:class:`~repro.serve.epoch.GraphEpochManager`).  When set,
+            ``submit(None, dense)`` serves against the current epoch's
+            snapshot under an RCU read lease, :meth:`apply_updates`
+            installs new epochs atomically, and :meth:`health` reports
+            epoch lag and compaction backlog.
 
     Use as a context manager (``with InferenceService() as svc``) or call
     :meth:`start`/:meth:`close` explicitly.
@@ -216,11 +233,13 @@ class InferenceService:
         plan_cache: "PlanCache | None" = None,
         slo_tracker: "SLOTracker | None" = None,
         flight_recorder: "rtrace.FlightRecorder | None" = None,
+        epoch_manager: "GraphEpochManager | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.dispatcher = dispatcher or AdaptiveDispatcher(
             plan_cache=plan_cache
         )
+        self.epoch_manager = epoch_manager
         self.slo = slo_tracker if slo_tracker is not None else SLOTracker()
         self.flight_recorder = (
             flight_recorder
@@ -284,7 +303,7 @@ class InferenceService:
     # ------------------------------------------------------------------
     def submit(
         self,
-        matrix: CSRMatrix,
+        matrix: "CSRMatrix | None",
         dense: np.ndarray,
         *,
         deadline_ms: "float | None" = None,
@@ -293,7 +312,12 @@ class InferenceService:
         """Enqueue one aggregation request ``matrix @ dense``.
 
         Args:
-            matrix: Sparse adjacency operand.
+            matrix: Sparse adjacency operand.  ``None`` on an
+                epoch-managed service serves against the **current
+                epoch's snapshot**: the request takes a read lease at
+                admission and executes against exactly that snapshot
+                even if :meth:`apply_updates` installs newer epochs
+                while it is queued or batched.
             dense: Dense feature operand.
             deadline_ms: Wall-clock budget for the whole request
                 (queueing + execution).  A request still queued past its
@@ -308,28 +332,46 @@ class InferenceService:
         future resolves *immediately* with a ``rejected`` response —
         explicit load shedding, never unbounded growth.
         """
-        dense = np.asarray(dense, dtype=np.float64)
-        if dense.ndim != 2:
-            raise ValueError(
-                f"dense operand must be 2-D, got shape {dense.shape}"
-            )
-        if dense.shape[0] != matrix.n_cols:
-            raise ValueError(
-                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
-            )
-        if deadline_ms is not None and deadline_ms <= 0:
-            raise ValueError(
-                f"deadline_ms must be positive, got {deadline_ms}"
-            )
+        lease: "EpochLease | None" = None
+        if matrix is None:
+            if self.epoch_manager is None:
+                raise ValueError(
+                    "submit(matrix=None) requires an epoch-managed service "
+                    "(pass epoch_manager= to InferenceService)"
+                )
+            lease = self.epoch_manager.acquire()
+            matrix = lease.matrix
+        try:
+            dense = np.asarray(dense, dtype=np.float64)
+            if dense.ndim != 2:
+                raise ValueError(
+                    f"dense operand must be 2-D, got shape {dense.shape}"
+                )
+            if dense.shape[0] != matrix.n_cols:
+                raise ValueError(
+                    f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+                )
+            if deadline_ms is not None and deadline_ms <= 0:
+                raise ValueError(
+                    f"deadline_ms must be positive, got {deadline_ms}"
+                )
+        except Exception:
+            if lease is not None:
+                lease.release()
+            raise
         future: "Future[ServeResponse]" = Future()
         with self._cond:
             # Admission checks come before any id/metric allocation so
             # the submitted counter only ever counts requests that were
             # actually admitted or explicitly shed.
-            if self._closed:
-                raise RuntimeError("service is closed")
-            if not self._started:
-                raise RuntimeError("service is not started")
+            if self._closed or not self._started:
+                if lease is not None:
+                    lease.release()
+                raise RuntimeError(
+                    "service is closed"
+                    if self._closed
+                    else "service is not started"
+                )
             request_id = next(self._ids)
             obs.counter("serve.service.submitted").inc()
             exhausted = (
@@ -345,6 +387,9 @@ class InferenceService:
                         f"bound {self.config.max_queue})"
                     )
                 )
+                if lease is not None:
+                    # Never admitted: the lease must not pin its epoch.
+                    lease.release()
                 future.set_result(
                     ServeResponse(
                         request_id=request_id,
@@ -386,6 +431,8 @@ class InferenceService:
                     if deadline_ms is not None
                     else None
                 ),
+                lease=lease,
+                epoch=lease.epoch if lease is not None else None,
             )
             self._queue.append(pending)
             obs.counter("serve.service.accepted").inc()
@@ -416,6 +463,30 @@ class InferenceService:
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Live-graph updates
+    # ------------------------------------------------------------------
+    def apply_updates(self, updates) -> "object":
+        """Apply one edge-update batch and install the new epoch atomically.
+
+        Returns the installed
+        :class:`~repro.graphs.delta.GraphSnapshot`.  In-flight and
+        queued requests keep executing against the epoch they admitted
+        under (their read leases pin it); requests submitted after this
+        returns admit under the new epoch.  Superseded epochs whose
+        leases have drained retire before this returns — each
+        registered cache drops exactly those epochs' keys.
+        """
+        if self.epoch_manager is None:
+            raise RuntimeError(
+                "apply_updates requires an epoch-managed service "
+                "(pass epoch_manager= to InferenceService)"
+            )
+        with obs.span("serve.service.apply_updates"):
+            snapshot = self.epoch_manager.apply_updates(updates)
+        obs.counter("serve.service.updates_applied").inc()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Health
@@ -460,6 +531,8 @@ class InferenceService:
             },
             "slo": self.slo.health_snapshot(),
         }
+        if self.epoch_manager is not None:
+            snapshot["epochs"] = self.epoch_manager.stats()
         return evaluate_health(snapshot, policy)
 
     # ------------------------------------------------------------------
@@ -581,6 +654,7 @@ class InferenceService:
                 ),
                 trace_id=pending.ctx.trace_id,
                 attribution=pending.ctx.ledger.to_dict(),
+                epoch=pending.epoch,
             )
         )
 
@@ -605,7 +679,14 @@ class InferenceService:
     def _finalize(
         self, pending: _Pending, status: str, **extra
     ) -> None:
-        """Feed a finished request into the SLO tracker + flight recorder."""
+        """Feed a finished request into the SLO tracker + flight recorder.
+
+        Every terminal path passes through here, so this is also where
+        the request's epoch lease drains — after this, a superseded
+        epoch with no other readers retires and its cache keys drop.
+        """
+        if pending.lease is not None:
+            pending.lease.release()
         self.slo.observe(
             pending.ctx.route, pending.ctx.ledger.total(), ok=(status == OK)
         )
@@ -744,6 +825,7 @@ class InferenceService:
                     service_seconds=max(0.0, total - wait),
                     trace_id=pending.ctx.trace_id,
                     attribution=ledger.to_dict(),
+                    epoch=pending.epoch,
                 )
             )
 
@@ -779,6 +861,7 @@ class InferenceService:
                     error=error,
                     trace_id=pending.ctx.trace_id,
                     attribution=attribution,
+                    epoch=pending.epoch,
                 )
             )
 
@@ -805,6 +888,7 @@ class InferenceService:
                     error=error,
                     trace_id=pending.ctx.trace_id,
                     attribution=attribution,
+                    epoch=pending.epoch,
                 )
             )
 

@@ -1,0 +1,169 @@
+"""Threaded stress tests: cache coherence under concurrent live updates.
+
+Satellite of the live-graph mutation work: hammer ScheduleCache,
+PlanCache, and EnginePlanCache from reader threads while a writer
+applies update batches through a GraphEpochManager (invalidation +
+snapshot notes race against get/put/evict under LRU pressure).  Every
+read is verified against the dense reference for the *exact matrix the
+reader used*, so any cross-epoch or cross-matrix aliasing shows up as a
+numeric mismatch, not a flake.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import ScheduleCache, execute_vectorized
+from repro.engine import EnginePlanCache
+from repro.graphs import power_law_graph
+from repro.graphs.delta import DeltaCSR, UpdatePlanner
+from repro.serve import GraphEpochManager, PlanCache
+
+DIM = 8
+COST = 256
+N_READERS = 4
+ROUNDS = 60
+
+
+@pytest.fixture
+def base():
+    return power_law_graph(n_nodes=60, nnz=360, max_degree=16, seed=0)
+
+
+@pytest.fixture
+def bystanders():
+    return [
+        power_law_graph(n_nodes=40, nnz=200, max_degree=10, seed=s)
+        for s in (21, 22, 23)
+    ]
+
+
+def _run_race(base, bystanders, read_one):
+    """Drive readers + one updater; returns collected problems."""
+    # Tiny capacities force evictions to interleave with invalidations.
+    schedules = ScheduleCache(max_entries=4)
+    plans = PlanCache(capacity=4)
+    engine = EnginePlanCache(capacity=4)
+    manager = GraphEpochManager(
+        DeltaCSR(base, compact_threshold=8),
+        caches=(schedules, plans, engine),
+    )
+    planner = UpdatePlanner(base)
+    problems: "list[str]" = []
+    stop = threading.Event()
+
+    def updater():
+        rng = np.random.default_rng(99)
+        try:
+            for _ in range(ROUNDS):
+                if stop.is_set():
+                    return
+                manager.apply_updates(planner.batch(rng, 2))
+        except Exception as exc:  # pragma: no cover - failure path
+            problems.append(f"updater: {exc!r}")
+
+    def reader(seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.standard_normal((base.n_cols, DIM))
+        small = {
+            m.fingerprint(): rng.standard_normal((m.n_cols, DIM))
+            for m in bystanders
+        }
+        try:
+            for i in range(ROUNDS):
+                if rng.random() < 0.5:
+                    with manager.acquire() as lease:
+                        matrix, operand = lease.matrix, dense
+                        read_one(
+                            (schedules, plans, engine),
+                            matrix,
+                            operand,
+                            problems,
+                        )
+                else:
+                    matrix = bystanders[i % len(bystanders)]
+                    read_one(
+                        (schedules, plans, engine),
+                        matrix,
+                        small[matrix.fingerprint()],
+                        problems,
+                    )
+        except Exception as exc:  # pragma: no cover - failure path
+            problems.append(f"reader[{seed}]: {exc!r}")
+
+    threads = [threading.Thread(target=updater)]
+    threads += [threading.Thread(target=reader, args=(s,)) for s in range(N_READERS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+        alive = t.is_alive()
+        stop.set()
+        assert not alive, "race test deadlocked"
+    return problems, manager, (schedules, plans, engine)
+
+
+def _check(expected, got, label, problems):
+    if not np.allclose(got, expected, atol=1e-9):
+        problems.append(f"{label}: output mismatch")
+
+
+class TestCacheRaces:
+    def test_all_three_caches_stay_coherent(self, base, bystanders):
+        def read_one(caches, matrix, dense, problems):
+            schedules, plans, engine = caches
+            expected = matrix.multiply_dense(dense)
+            schedule = schedules.get(matrix, COST)
+            out, _ = execute_vectorized(schedule, dense)
+            _check(expected, out, "schedule", problems)
+            _check(
+                expected,
+                plans.get(matrix, cost=COST).execute(dense),
+                "plan",
+                problems,
+            )
+            _check(
+                expected,
+                engine.get(matrix, cost=COST).execute(dense),
+                "engine",
+                problems,
+            )
+
+        problems, manager, caches = _run_race(base, bystanders, read_one)
+        assert problems == [], problems[:10]
+        stats = manager.stats()
+        assert stats["retired_epochs"] >= 1
+        assert stats["leases"] == 0
+        # Retirement kept firing under load: retired epochs' keys are
+        # gone, and the small caches never grew past their bounds.
+        schedules, plans, engine = caches
+        assert schedules.entries <= 4
+        assert plans.stats().entries <= 4
+        assert len(engine) <= 4
+        live = {
+            manager.current_snapshot().fingerprint,
+            manager.current_snapshot().base_fingerprint,
+        } | {m.fingerprint() for m in bystanders}
+        assert plans.fingerprints() <= live
+
+    def test_precise_invalidation_under_eviction_pressure(
+        self, base, bystanders
+    ):
+        # Plan-cache-only variant with repairs in the mix: the repair
+        # base may be evicted at any moment by bystander traffic.
+        def read_one(caches, matrix, dense, problems):
+            _, plans, _ = caches
+            _check(
+                matrix.multiply_dense(dense),
+                plans.get(matrix, dim=DIM).execute(dense),
+                "plan",
+                problems,
+            )
+
+        problems, manager, caches = _run_race(base, bystanders, read_one)
+        assert problems == [], problems[:10]
+        _, plans, _ = caches
+        stats = plans.stats()
+        assert stats.hits + stats.misses > 0
+        assert manager.stats()["compactions"] >= 1

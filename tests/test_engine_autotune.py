@@ -122,6 +122,82 @@ class TestAutotuner:
                 err_msg=candidate.name,
             )
 
+class TestCacheHardening:
+    """Torn/corrupt tuning caches must not keep the service from starting."""
+
+    def _tuner(self, path, names=("a", "b")):
+        cands = tuple(
+            Candidate(name=n, run=lambda m, d: m.multiply_dense(d))
+            for n in names
+        )
+        return Autotuner(path, candidates=cands, measure=lambda t: (t(), 1.0)[1])
+
+    def _write_good_cache(self, path, matrix):
+        seeded = self._tuner(path)
+        decision = seeded.tune(matrix, 4)
+        assert path.exists()
+        return decision
+
+    def test_torn_json_tolerated_and_counted(self, paper_example, tmp_path):
+        path = tmp_path / "tuning.json"
+        self._write_good_cache(path, paper_example)
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # crash mid-copy
+        tuner = self._tuner(path)
+        assert tuner.load_errors == 1
+        assert tuner.decisions == ()
+        # Re-tuning is merely slow, not fatal — and heals the file.
+        tuner.tune(paper_example, 4)
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+        assert self._tuner(path).load_errors == 0
+
+    def test_empty_file_tolerated(self, paper_example, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text("")
+        tuner = self._tuner(path)
+        assert tuner.load_errors == 1
+        assert tuner.tune(paper_example, 4).winner == "a"
+
+    def test_non_object_payload_tolerated(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert self._tuner(path).load_errors == 1
+
+    def test_corrupt_entry_tolerated(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text(
+            json.dumps({"schema": SCHEMA, "entries": [{"nonsense": True}]})
+        )
+        tuner = self._tuner(path)
+        assert tuner.load_errors == 1
+        assert tuner.decisions == ()
+
+    def test_wellformed_wrong_schema_still_raises(self, tmp_path):
+        # A readable file with a different schema is a configuration
+        # error, not a torn write; silently discarding it would mask it.
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps({"schema": "other/1", "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            self._tuner(path)
+
+    def test_forget_fingerprint_is_precise(self, paper_example, tmp_path):
+        path = tmp_path / "tuning.json"
+        tuner = self._tuner(path)
+        tuner.tune(paper_example, 4)
+        tuner.tune(paper_example, 8)
+        other = paper_example.with_version(7)
+        tuner.tune(other, 4)
+        dropped = tuner.forget_fingerprint(paper_example.fingerprint())
+        assert dropped == 2  # both widths of the retired fingerprint
+        remaining = {d.fingerprint for d in tuner.decisions}
+        assert remaining == {other.fingerprint()}
+        # The persisted cache was rewritten without the forgotten keys.
+        reloaded = self._tuner(path)
+        assert {d.fingerprint for d in reloaded.decisions} == remaining
+        assert tuner.forget_fingerprint("not-cached") == 0
+
+
+class TestRealMeasure:
     def test_real_measure_end_to_end(self, paper_example):
         # Full stack with the wall-clock measure on a tiny matrix: just
         # asserts it completes and returns a known candidate.

@@ -266,3 +266,61 @@ class TestFingerprint:
         valued = csr_small.fingerprint(include_values=True)
         assert csr_small.fingerprint(include_values=True) is valued
         assert valued != first
+
+
+class TestFingerprintStaleness:
+    """Regressions for the stale-fingerprint bug class.
+
+    A cached digest over mutable arrays could describe content that no
+    longer exists — and every schedule/plan/batch key in the stack hangs
+    off it.  Three defenses are pinned here: frozen buffers, sanctioned
+    value rebinding, and version-precise hashing.
+    """
+
+    def test_arrays_are_frozen_after_construction(self, csr_small):
+        with pytest.raises(ValueError):
+            csr_small.values[0] = 99.0
+        with pytest.raises(ValueError):
+            csr_small.column_indices[0] = 0
+        with pytest.raises(ValueError):
+            csr_small.row_pointers[0] = 0
+
+    def test_construction_freezes_caller_arrays_share(self, dense_small):
+        # from_dense builds fresh arrays; they must come out read-only.
+        matrix = CSRMatrix.from_dense(dense_small)
+        assert not matrix.values.flags.writeable
+        assert not matrix.column_indices.flags.writeable
+        assert not matrix.row_pointers.flags.writeable
+
+    def test_with_values_refreshes_value_fingerprint(self, dense_small):
+        a = CSRMatrix.from_dense(dense_small)
+        structural = a.fingerprint()
+        valued = a.fingerprint(include_values=True)
+        b = a.with_values(a.values * 3.0)
+        assert b.fingerprint() == structural  # structure shared
+        assert b.fingerprint(include_values=True) != valued
+        np.testing.assert_allclose(b.values, a.values * 3.0)
+        assert b.row_pointers is a.row_pointers
+
+    def test_value_fingerprint_detects_rebound_buffer(self, dense_small):
+        # The cached value digest is keyed on buffer identity: a sibling
+        # with different values never inherits it.
+        a = CSRMatrix.from_dense(dense_small)
+        fp_a = a.fingerprint(include_values=True)
+        b = a.with_values(a.values.copy())
+        assert b.fingerprint(include_values=True) == fp_a  # equal content
+        c = a.with_values(np.full_like(a.values, 5.0))
+        assert c.fingerprint(include_values=True) != fp_a
+
+    def test_with_version_changes_fingerprint(self, csr_small):
+        stamped = csr_small.with_version(3)
+        assert stamped.fingerprint() != csr_small.fingerprint()
+        assert stamped.with_version(3) is stamped  # no-op restamp
+        restamped = stamped.with_version(4)
+        assert restamped.fingerprint() != stamped.fingerprint()
+
+    def test_epochs_never_share_fingerprints(self, csr_small):
+        # Two epochs of a live graph with *identical* structure must
+        # still key caches differently.
+        fps = {csr_small.with_version(v).fingerprint() for v in range(4)}
+        assert len(fps) == 4

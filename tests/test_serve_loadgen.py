@@ -138,6 +138,60 @@ class TestRunBench:
         assert report["silent_failures"] == 0
 
 
+class TestLiveUpdateBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(
+            _tiny_config(
+                requests=60,
+                rate=1500.0,
+                update_rate=150.0,
+                compact_threshold=8,
+            )
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="update_rate"):
+            _tiny_config(update_rate=-1.0)
+        with pytest.raises(ValueError, match="update_batch_max"):
+            _tiny_config(update_batch_max=0)
+        with pytest.raises(ValueError, match="compact_threshold"):
+            _tiny_config(compact_threshold=0)
+
+    def test_no_silent_failures_under_updates(self, report):
+        assert report["silent_failures"] == 0
+        assert report["steady"]["mismatches"] == 0
+        assert report["steady"]["errors"] == 0
+
+    def test_update_stream_recorded(self, report):
+        stream = report["steady"]["update_stream"]
+        assert stream["batches"] >= 1
+        assert stream["updates"] >= stream["batches"]
+        assert stream["errors"] == 0
+        assert stream["rate_target"] == 150.0
+        epochs = stream["epochs"]
+        assert epochs["current_epoch"] == stream["batches"]
+        assert epochs["updates_applied"] == stream["updates"]
+
+    def test_per_epoch_response_counts(self, report):
+        epochs = report["steady"]["epochs"]
+        assert epochs, "no epoch-stamped responses recorded"
+        assert sum(epochs.values()) >= 1
+        assert all(count >= 1 for count in epochs.values())
+
+    def test_config_echoed_in_report(self, report):
+        assert report["config"]["update_rate"] == 150.0
+        assert report["config"]["compact_threshold"] == 8
+
+    def test_render_mentions_updates(self, report):
+        text = render_summary(report)
+        assert "updates" in text
+
+    def test_static_bench_has_no_update_block(self):
+        report = run_bench(_tiny_config())
+        assert "update_stream" not in report["steady"]
+
+
 class TestCli:
     def test_main_writes_run_record(self, tmp_path):
         bench_dir = tmp_path / "records"

@@ -50,10 +50,13 @@ EXEMPT: dict[tuple[str, str], str] = {}
 
 # Modules that must emit at least one repro.obs signal.
 OBS_REQUIRED_MODULES = (
+    "src/repro/graphs/delta.py",
+    "src/repro/serve/epoch.py",
     "src/repro/serve/guard.py",
     "src/repro/serve/health.py",
     "src/repro/serve/service.py",
     "src/repro/resilience/chaos_serve.py",
+    "src/repro/resilience/chaos_update.py",
     "src/repro/obs/rtrace.py",
     "src/repro/obs/slo.py",
 )
