@@ -22,6 +22,11 @@ Subcommands:
   serving layer and record throughput, latency percentiles, per-stage
   latency attribution, SLO attainment, plan-cache and load-shedding
   statistics; see :mod:`repro.serve.loadgen` and ``docs/SERVING.md``.
+* ``sample-bench`` — drive a Zipf-seeded ego-sampling minibatch
+  workload: demonstrate the fingerprint plan-cache collapse on one-shot
+  subgraphs, measure the structure-class tier's reuse and rows/s, and
+  verify every output (including under live updates) against a SciPy
+  oracle pinned to its admitted epoch; see :mod:`repro.sample.bench`.
 * ``slo-report`` — render per-route SLO attainment (observed
   percentiles vs. objectives, error-budget burn) from the latest
   ``serve-bench`` run record; see :mod:`repro.obs.slo`.
@@ -60,6 +65,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.loadgen import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "sample-bench":
+        from repro.sample.bench import main as sample_main
+
+        return sample_main(argv[1:])
     if argv and argv[0] == "slo-report":
         from repro.obs.slo import main as slo_main
 

@@ -18,13 +18,24 @@ VALUE_DTYPE = np.float64
 
 @dataclass(frozen=True)
 class CSCMatrix:
-    """An immutable CSC sparse matrix (column-compressed)."""
+    """An immutable CSC sparse matrix (column-compressed).
+
+    Attributes:
+        version: Optional graph epoch stamp, carried over from the
+            :class:`~repro.formats.csr.CSRMatrix` this matrix was
+            derived from.  Round-tripping through CSC (``to_csc`` /
+            ``to_csr`` / ``transpose``) must never silently drop a
+            live-graph version: every cache key in the serving stack is
+            version-precise, and a derived matrix that reverted to the
+            unversioned fingerprint space could alias a different epoch.
+    """
 
     n_rows: int
     n_cols: int
     col_pointers: np.ndarray
     row_indices: np.ndarray
     values: np.ndarray = field(repr=False)
+    version: "int | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -89,6 +100,7 @@ class CSCMatrix:
             row_pointers=row_pointers,
             column_indices=cols[order],
             values=self.values[order],
+            version=self.version,
         )
 
     def to_dense(self) -> np.ndarray:

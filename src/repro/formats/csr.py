@@ -328,6 +328,7 @@ class CSRMatrix:
             col_pointers=col_pointers,
             row_indices=rows[order],
             values=self.values[order],
+            version=self.version,
         )
 
     def transpose(self) -> "CSRMatrix":
@@ -339,6 +340,7 @@ class CSRMatrix:
             row_pointers=csc.col_pointers,
             column_indices=csc.row_indices,
             values=csc.values,
+            version=self.version,
         )
 
     def multiply_dense(self, dense: np.ndarray) -> np.ndarray:
@@ -381,6 +383,7 @@ class CSRMatrix:
             row_pointers=self.row_pointers.copy(),
             column_indices=column_indices,
             values=values,
+            version=self.version,
         )
 
     def __eq__(self, other: object) -> bool:

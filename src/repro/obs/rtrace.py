@@ -57,6 +57,7 @@ from repro.obs import trace as _trace
 # any stage name is accepted — but documented here as the canonical
 # taxonomy reports and tests rely on.
 STAGES = (
+    "sample",       # ego-graph sampling + extraction (pre-admission)
     "queue",        # admission -> pulled into a forming batch
     "batch_form",   # pulled -> batch execution start
     "dispatch",     # backend selection + bandit accounting overhead

@@ -1,0 +1,632 @@
+"""``python -m repro sample-bench`` — the ego-sampling workload bench.
+
+Quantifies the cache collapse that motivates the structure-class tier,
+then demonstrates the fix, in three phases over one Zipf-seeded ego
+request stream:
+
+1. **naive** — every sampled subgraph executes through a fresh
+   fingerprint-keyed :class:`~repro.serve.plancache.PlanCache` (the
+   full-graph serving stack's fast path).  Because each subgraph's
+   fingerprint occurs exactly once, the measured hit rate collapses to
+   ~0% — the acceptance bar is **< 5%**.
+2. **classed** — the same stream through a fresh
+   :class:`~repro.sample.classtier.ClassTier`.  Subgraphs bucket into
+   (row, nnz, degree-profile) structure classes, the first request of a
+   class bakes off the candidate executors, and every later request of
+   the class reuses the winner — the acceptance bar is **>= 70%**.
+3. **serve** (when ``--update-rate`` > 0, on by default) — ego requests
+   flow through an epoch-managed
+   :class:`~repro.serve.service.InferenceService` while a concurrent
+   edge-update stream installs new graph epochs.  Every response is
+   verified against a SciPy fancy-indexing oracle over the exact epoch
+   it admitted under.
+
+Every phase verifies every output against SciPy; any mismatch (or an
+unresolvable epoch) is a *silent failure* and fails the bench.  The
+report lands in the ``BENCH_sample.json`` trajectory with per-hop
+fanout statistics, subgraph-size distributions, naive-vs-classed hit
+rates, and rows/s.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.graphs.datasets import load_dataset
+from repro.sample.classtier import ClassTier
+from repro.sample.extract import EgoSubgraph, gather_features
+from repro.sample.sampler import ZipfSeedGenerator, sample_ego
+
+# Acceptance bars (see ISSUE/ROADMAP): the naive fingerprint-keyed plan
+# cache must collapse under ego traffic; the class tier must restore
+# reuse.
+NAIVE_HIT_RATE_MAX = 0.05
+CLASSED_HIT_RATE_MIN = 0.70
+
+
+@dataclass(frozen=True)
+class SampleBenchConfig:
+    """Tunables of one ``sample-bench`` run."""
+
+    requests: int = 400
+    seed: int = 0
+    dataset: str = "Wiki-Vote"
+    scale: float = 0.25
+    dim: int = 16
+    fanouts: "tuple[int, ...]" = (10, 5)
+    zipf_s: float = 1.1
+    verify: bool = True
+    # Serve phase: ego requests through an epoch-managed service under a
+    # concurrent Poisson edge-update stream (batches/second; 0 skips).
+    # Submissions arrive open-loop at ``serve_rate`` requests/second so
+    # the update stream genuinely interleaves with in-flight requests.
+    serve_requests: int = 120
+    serve_rate: float = 250.0
+    update_rate: float = 10.0
+    update_batch_max: int = 3
+    compact_threshold: int = 64
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if not 0 < self.scale <= 1:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if not self.fanouts or any(f == 0 for f in self.fanouts):
+            raise ValueError(
+                f"fanouts must be non-empty and non-zero, got {self.fanouts}"
+            )
+        if self.serve_requests < 0:
+            raise ValueError(
+                f"serve_requests must be >= 0, got {self.serve_requests}"
+            )
+        if self.serve_rate <= 0:
+            raise ValueError(
+                f"serve_rate must be positive, got {self.serve_rate}"
+            )
+        if self.update_rate < 0:
+            raise ValueError(
+                f"update_rate must be >= 0, got {self.update_rate}"
+            )
+
+
+def _percentiles(values: "list[float]") -> dict:
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    array = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(array, [50, 95, 99])
+    return {
+        "p50": float(p50),
+        "p95": float(p95),
+        "p99": float(p99),
+        "mean": float(array.mean()),
+        "max": float(array.max()),
+    }
+
+
+def _scipy_csr(matrix: CSRMatrix):
+    import scipy.sparse
+
+    return scipy.sparse.csr_matrix(
+        (matrix.values, matrix.column_indices, matrix.row_pointers),
+        shape=matrix.shape,
+    )
+
+
+def _ego_reference(
+    scipy_graph, ego: EgoSubgraph, features: np.ndarray
+) -> np.ndarray:
+    """SciPy fancy-indexing oracle: ``(A[nodes][:, nodes]) @ X[nodes]``."""
+    induced = scipy_graph[ego.nodes][:, ego.nodes]
+    return induced.toarray() @ features[ego.nodes]
+
+
+@obs.instrumented
+def sample_request_stream(
+    matrix: CSRMatrix, config: SampleBenchConfig
+) -> "list[EgoSubgraph]":
+    """The shared ego request stream both executor phases replay.
+
+    Seeds follow a degree-ranked Zipf law (hot hubs dominate, like
+    production inference traffic); each request is an independent k-hop
+    fanout sample.  Materializing the stream once keeps the naive and
+    classed phases byte-identical, so their hit rates differ only by
+    caching policy.
+    """
+    seed_gen = ZipfSeedGenerator.for_matrix(
+        matrix,
+        alpha=config.zipf_s,
+        rng=np.random.default_rng(config.seed + 17),
+    )
+    seeds = seed_gen.draw(config.requests)
+    rng = np.random.default_rng(config.seed)
+    stream = []
+    for seed_node in seeds:
+        stream.append(
+            sample_ego(
+                matrix, int(seed_node), fanouts=config.fanouts, rng=rng
+            )
+        )
+    return stream
+
+
+def _sampling_stats(stream: "list[EgoSubgraph]") -> dict:
+    """Per-hop fanout statistics and subgraph-size distributions."""
+    hops = max(len(ego.hop_counts) for ego in stream)
+    per_hop = {}
+    for hop in range(hops):
+        discovered = [
+            ego.hop_counts[hop]
+            for ego in stream
+            if len(ego.hop_counts) > hop
+        ]
+        per_hop[str(hop)] = {
+            "requests": len(discovered),
+            "discovered": _percentiles([float(d) for d in discovered]),
+        }
+    return {
+        "fanouts": list(stream[0].fanouts),
+        "per_hop": per_hop,
+        "subgraph_nodes": _percentiles(
+            [float(ego.n_nodes) for ego in stream]
+        ),
+        "subgraph_nnz": _percentiles([float(ego.nnz) for ego in stream]),
+        "unique_fingerprints": len(
+            {ego.matrix.fingerprint(include_values=True) for ego in stream}
+        ),
+    }
+
+
+@obs.instrumented
+def run_naive_phase(
+    stream: "list[EgoSubgraph]",
+    features: np.ndarray,
+    scipy_graph,
+    config: SampleBenchConfig,
+) -> dict:
+    """Replay the stream through a fingerprint-keyed plan cache.
+
+    This is exactly what the full-graph serving stack would do with ego
+    traffic: compile (and cache) one merge-path plan per content
+    fingerprint.  One-shot fingerprints mean every request is a miss.
+    """
+    from repro.serve.plancache import PlanCache
+
+    plans = PlanCache(capacity=256)
+    latencies: "list[float]" = []
+    mismatches = 0
+    rows = 0
+    started = time.perf_counter()
+    for ego in stream:
+        dense = gather_features(features, ego.nodes)
+        t0 = time.perf_counter()
+        output = plans.get(ego.matrix, dim=config.dim).execute(dense)
+        latencies.append(time.perf_counter() - t0)
+        rows += ego.n_nodes
+        if config.verify and not np.allclose(
+            output,
+            _ego_reference(scipy_graph, ego, features),
+            rtol=1e-9,
+            atol=1e-9,
+        ):
+            mismatches += 1
+    elapsed = time.perf_counter() - started
+    stats = plans.stats()
+    return {
+        "requests": len(stream),
+        "plan_cache": stats.to_dict(),
+        "hit_rate": stats.hit_rate,
+        "elapsed_seconds": elapsed,
+        "rows_per_second": rows / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": _percentiles([s * 1e3 for s in latencies]),
+        "verified": len(stream) if config.verify else 0,
+        "mismatches": mismatches,
+    }
+
+
+@obs.instrumented
+def run_classed_phase(
+    stream: "list[EgoSubgraph]",
+    features: np.ndarray,
+    scipy_graph,
+    config: SampleBenchConfig,
+) -> dict:
+    """Replay the same stream through a fresh structure-class tier."""
+    tier = ClassTier()
+    latencies: "list[float]" = []
+    backends: "dict[str, int]" = {}
+    mismatches = 0
+    rows = 0
+    started = time.perf_counter()
+    for ego in stream:
+        dense = gather_features(features, ego.nodes)
+        t0 = time.perf_counter()
+        output, backend, _hit = tier.execute(ego.matrix, dense)
+        latencies.append(time.perf_counter() - t0)
+        rows += ego.n_nodes
+        backends[backend] = backends.get(backend, 0) + 1
+        if config.verify and not np.allclose(
+            output,
+            _ego_reference(scipy_graph, ego, features),
+            rtol=1e-9,
+            atol=1e-9,
+        ):
+            mismatches += 1
+    elapsed = time.perf_counter() - started
+    stats = tier.stats()
+    return {
+        "requests": len(stream),
+        "tier": stats.to_dict(),
+        "hit_rate": stats.hit_rate,
+        "elapsed_seconds": elapsed,
+        "rows_per_second": rows / elapsed if elapsed > 0 else 0.0,
+        "latency_ms": _percentiles([s * 1e3 for s in latencies]),
+        "backends": backends,
+        "verified": len(stream) if config.verify else 0,
+        "mismatches": mismatches,
+    }
+
+
+@obs.instrumented
+def run_serve_phase(
+    matrix: CSRMatrix, config: SampleBenchConfig
+) -> dict:
+    """Ego serving under live updates, verified epoch-pinned.
+
+    Builds an epoch-managed :class:`InferenceService`, mutates the graph
+    with a Poisson edge-update stream while ``submit_ego`` traffic
+    flows, and verifies every accepted response against SciPy fancy
+    indexing over the graph of the epoch the response admitted under.
+    An unresolvable epoch counts as a mismatch (an epoch-consistency
+    violation), never as "unverifiable".
+    """
+    from repro.graphs.delta import DeltaCSR, UpdatePlanner
+    from repro.sample.classtier import set_class_tier
+    from repro.sample.index import get_neighbor_index_cache
+    from repro.serve.epoch import GraphEpochManager
+    from repro.serve.service import InferenceService
+
+    manager = GraphEpochManager(
+        DeltaCSR(matrix, compact_threshold=config.compact_threshold),
+        caches=(get_neighbor_index_cache(),),
+    )
+    epoch_graphs: "dict[int, object]" = {}
+    epoch_lock = threading.Lock()
+
+    def note(snapshot) -> None:
+        with epoch_lock:
+            epoch_graphs[snapshot.epoch] = _scipy_csr(snapshot.matrix)
+
+    note(manager.current_snapshot())
+    features = np.random.default_rng(config.seed + 5).random(
+        (matrix.n_cols, config.dim)
+    )
+    seed_gen = ZipfSeedGenerator.for_matrix(
+        matrix,
+        alpha=config.zipf_s,
+        rng=np.random.default_rng(config.seed + 23),
+    )
+    seeds = seed_gen.draw(config.serve_requests)
+
+    stop = threading.Event()
+    planner = UpdatePlanner(matrix)
+    update_counts = {"batches": 0, "updates": 0, "errors": 0}
+
+    def updater(service: InferenceService) -> None:
+        # Wait *before* the first batch so early requests admit under the
+        # seed epoch and later ones under mutated epochs — an immediate
+        # first apply would advance the epoch before any request is in
+        # flight, collapsing the phase back to a single served epoch.
+        rng = np.random.default_rng(config.seed + 9001)
+        while not stop.is_set():
+            if stop.wait(rng.exponential(1.0 / config.update_rate)):
+                return
+            batch = planner.batch(
+                rng, int(rng.integers(1, config.update_batch_max + 1))
+            )
+            try:
+                snapshot = service.apply_updates(batch)
+            except Exception:
+                update_counts["errors"] += 1
+                return
+            note(snapshot)
+            update_counts["batches"] += 1
+            update_counts["updates"] += len(batch)
+
+    previous_tier = set_class_tier(ClassTier())
+    verified = mismatches = accepted = errors = 0
+    epochs_served: "set[int]" = set()
+    latencies: "list[float]" = []
+    try:
+        with InferenceService(epoch_manager=manager) as service:
+            thread = None
+            if config.update_rate > 0:
+                thread = threading.Thread(
+                    target=updater, args=(service,), daemon=True
+                )
+                thread.start()
+            try:
+                arrival_rng = np.random.default_rng(config.seed + 31)
+                submissions = []
+                for seed_node in seeds:
+                    submissions.append(
+                        service.submit_ego(
+                            int(seed_node), features, fanouts=config.fanouts
+                        )
+                    )
+                    time.sleep(
+                        arrival_rng.exponential(1.0 / config.serve_rate)
+                    )
+                for submission in submissions:
+                    response = submission.result(timeout=60)
+                    if not response.ok:
+                        errors += 1
+                        continue
+                    accepted += 1
+                    latencies.append(
+                        response.queue_seconds + response.service_seconds
+                    )
+                    epochs_served.add(response.epoch)
+                    with epoch_lock:
+                        pinned = epoch_graphs.get(response.epoch)
+                    verified += 1
+                    if pinned is None or not np.allclose(
+                        response.output,
+                        _ego_reference(
+                            pinned, submission.subgraph, features
+                        ),
+                        rtol=1e-9,
+                        atol=1e-9,
+                    ):
+                        mismatches += 1
+            finally:
+                stop.set()
+                if thread is not None:
+                    thread.join(timeout=10.0)
+        tier_stats = (
+            service.dispatcher.resolve_class_tier().stats().to_dict()
+        )
+    finally:
+        set_class_tier(previous_tier)
+    return {
+        "requests": int(config.serve_requests),
+        "accepted": accepted,
+        "errors": errors,
+        "verified": verified,
+        "mismatches": mismatches,
+        "epochs_served": len(epochs_served),
+        "latency_ms": _percentiles([s * 1e3 for s in latencies]),
+        "update_stream": {
+            "rate_target": config.update_rate,
+            **update_counts,
+        },
+        "class_tier": tier_stats,
+        "epoch_manager": manager.stats(),
+    }
+
+
+@obs.instrumented
+def run_bench(config: SampleBenchConfig) -> dict:
+    """Run all phases and assemble the ``BENCH_sample.json`` payload."""
+    graph = load_dataset(config.dataset, seed=config.seed, scale=config.scale)
+    matrix = graph.adjacency
+    features = np.random.default_rng(config.seed + 1).random(
+        (matrix.n_cols, config.dim)
+    )
+    scipy_graph = _scipy_csr(matrix)
+
+    with obs.span("sample.bench.sample", requests=config.requests):
+        stream = sample_request_stream(matrix, config)
+    sampling = _sampling_stats(stream)
+
+    with obs.span("sample.bench.naive"):
+        naive = run_naive_phase(stream, features, scipy_graph, config)
+    with obs.span("sample.bench.classed"):
+        classed = run_classed_phase(stream, features, scipy_graph, config)
+
+    serve = None
+    if config.serve_requests > 0:
+        with obs.span("sample.bench.serve", requests=config.serve_requests):
+            serve = run_serve_phase(matrix, config)
+
+    silent_failures = naive["mismatches"] + classed["mismatches"] + (
+        serve["mismatches"] if serve is not None else 0
+    )
+    acceptance = {
+        "naive_hit_rate": naive["hit_rate"],
+        "naive_hit_rate_max": NAIVE_HIT_RATE_MAX,
+        "naive_ok": naive["hit_rate"] < NAIVE_HIT_RATE_MAX,
+        "classed_hit_rate": classed["hit_rate"],
+        "classed_hit_rate_min": CLASSED_HIT_RATE_MIN,
+        "classed_ok": classed["hit_rate"] >= CLASSED_HIT_RATE_MIN,
+        "silent_failures": silent_failures,
+    }
+    acceptance["passed"] = bool(
+        acceptance["naive_ok"]
+        and acceptance["classed_ok"]
+        and silent_failures == 0
+    )
+    return {
+        "seed": config.seed,
+        "config": {
+            "requests": config.requests,
+            "dataset": config.dataset,
+            "scale": config.scale,
+            "dim": config.dim,
+            "fanouts": list(config.fanouts),
+            "zipf_s": config.zipf_s,
+            "serve_requests": config.serve_requests,
+            "serve_rate": config.serve_rate,
+            "update_rate": config.update_rate,
+        },
+        "graph": {
+            "n_nodes": matrix.n_rows,
+            "nnz": matrix.nnz,
+        },
+        "sampling": sampling,
+        "naive": naive,
+        "classed": classed,
+        **({"serve": serve} if serve is not None else {}),
+        "acceptance": acceptance,
+        "silent_failures": silent_failures,
+    }
+
+
+def render_summary(report: dict) -> str:
+    """Human-readable one-screen summary of a sample-bench report."""
+    sampling = report["sampling"]
+    naive = report["naive"]
+    classed = report["classed"]
+    acceptance = report["acceptance"]
+    speedup = (
+        naive["latency_ms"]["p50"] / classed["latency_ms"]["p50"]
+        if classed["latency_ms"]["p50"] > 0
+        else float("inf")
+    )
+    lines = [
+        "sample-bench",
+        f"  graph     : {report['config']['dataset']} "
+        f"({report['graph']['n_nodes']} nodes, {report['graph']['nnz']} nnz), "
+        f"fanouts {sampling['fanouts']}",
+        f"  subgraphs : p50 {sampling['subgraph_nodes']['p50']:.0f} nodes / "
+        f"{sampling['subgraph_nnz']['p50']:.0f} nnz, "
+        f"{sampling['unique_fingerprints']}/{naive['requests']} unique "
+        "fingerprints",
+        f"  naive     : plan-cache hit_rate={naive['hit_rate']:.1%} "
+        f"(bar < {acceptance['naive_hit_rate_max']:.0%}), "
+        f"{naive['rows_per_second']:.0f} rows/s, "
+        f"p50 {naive['latency_ms']['p50']:.3f} ms",
+        f"  classed   : tier hit_rate={classed['hit_rate']:.1%} "
+        f"(bar >= {acceptance['classed_hit_rate_min']:.0%}), "
+        f"{classed['rows_per_second']:.0f} rows/s, "
+        f"p50 {classed['latency_ms']['p50']:.3f} ms "
+        f"({speedup:.1f}x naive), "
+        f"{classed['tier']['classes']} classes",
+    ]
+    serve = report.get("serve")
+    if serve is not None:
+        stream = serve["update_stream"]
+        lines.append(
+            f"  serve     : {serve['accepted']}/{serve['requests']} ok under "
+            f"{stream['updates']} live update(s), "
+            f"{serve['epochs_served']} epoch(s) served, tier "
+            f"hit_rate={serve['class_tier']['hit_rate']:.1%}"
+        )
+    lines.append(
+        f"  verified  : {report['naive']['verified'] + report['classed']['verified'] + (serve['verified'] if serve else 0)} "
+        f"responses vs SciPy, {report['silent_failures']} silent failures"
+    )
+    lines.append(
+        "  acceptance: " + ("PASS" if acceptance["passed"] else "FAIL")
+    )
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point for ``python -m repro sample-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro sample-bench",
+        description=(
+            "Drive a Zipf-seeded ego-sampling workload, demonstrate the "
+            "fingerprint plan-cache collapse, and measure the "
+            "structure-class tier's reuse, with every output verified "
+            "against SciPy."
+        ),
+    )
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dataset", default="Wiki-Vote")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--dim", type=int, default=16)
+    parser.add_argument(
+        "--fanouts", default="10,5",
+        help="comma-separated per-hop caps (-1 keeps all neighbors)",
+    )
+    parser.add_argument("--zipf-s", type=float, default=1.1)
+    parser.add_argument(
+        "--serve-requests", type=int, default=120,
+        help="requests in the epoch-managed serve phase (0 skips it)",
+    )
+    parser.add_argument(
+        "--serve-rate", type=float, default=250.0,
+        help="open-loop arrival rate (requests/second) in the serve phase",
+    )
+    parser.add_argument(
+        "--update-rate", type=float, default=10.0,
+        help=(
+            "Poisson rate (batches/second) of live edge updates during "
+            "the serve phase; responses verify against their admitted "
+            "epoch's graph"
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI-sized run (fewer requests, smaller graph scale)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-output SciPy oracle cross-checks",
+    )
+    parser.add_argument(
+        "--bench-dir", default=None,
+        help="run-record directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--no-record", action="store_true",
+        help="skip writing the BENCH_sample.json run record",
+    )
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    serve_requests = args.serve_requests
+    scale = args.scale
+    if args.quick:
+        requests = min(requests, 120)
+        serve_requests = min(serve_requests, 60)
+        scale = min(scale, 0.25)
+
+    config = SampleBenchConfig(
+        requests=requests,
+        seed=args.seed,
+        dataset=args.dataset,
+        scale=scale,
+        dim=args.dim,
+        fanouts=tuple(
+            int(f.strip()) for f in args.fanouts.split(",") if f.strip()
+        ),
+        zipf_s=args.zipf_s,
+        verify=not args.no_verify,
+        serve_requests=serve_requests,
+        serve_rate=args.serve_rate,
+        update_rate=args.update_rate,
+    )
+
+    with obs.profiled() as session:
+        report = run_bench(config)
+    print(render_summary(report))
+
+    passed = report["acceptance"]["passed"]
+    if not args.no_record:
+        record = obs.run_record(
+            "sample",
+            metrics=session.snapshot(),
+            wall_seconds=session.wall_seconds,
+            status="ok" if passed else "acceptance-failed",
+            extra={"sample": report},
+        )
+        path = obs.write_run_record(record, args.bench_dir)
+        print(f"run record: {path}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

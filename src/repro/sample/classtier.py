@@ -1,0 +1,421 @@
+"""Structure-class plan tier for sampled-subgraph serving.
+
+Ego sampling breaks the serving stack's caching model.  Every cache in
+the fast path — :class:`~repro.serve.plancache.PlanCache`, the engine's
+:class:`~repro.engine.kernels.EnginePlanCache`, the dispatcher's bandit
+priors — is keyed by content fingerprint, which is exactly right for a
+small population of long-lived graphs and exactly wrong for ego
+serving, where every request carries a freshly extracted subgraph with
+a fingerprint nobody will ever see again.  Under the ego workload the
+naive plan-cache hit rate collapses to ~0% and every request pays plan
+compilation plus bandit warm-up for a matrix that is used once
+(``sample-bench`` measures this collapse; the acceptance bar is <5%).
+
+The fix is to stop keying on *identity* and key on *structure class*:
+
+* ``row bucket`` — ``n_rows`` rounded up to a power of two,
+* ``nnz bucket`` — ``nnz`` rounded up to a power of four (coarser,
+  keeping the class count low enough that a steady workload revisits
+  classes constantly), and
+* ``degree profile`` — ``flat`` / ``skewed`` / ``hub`` from the
+  max-to-mean row-length ratio, the same signal the merge-path
+  scheduler uses to pick split granularity.
+
+All subgraphs in a class share one :class:`ClassPlan`.  The first
+request of a class measures every candidate executor on the live
+request (a *miss*); every later request reuses the winner (a *hit*)
+with zero per-fingerprint state.  Candidate executors:
+
+* ``padded`` — an ELL-style class template: reusable
+  ``(row bucket, slot)`` column/value grids plus a reusable output
+  buffer, refilled per request with one ``O(nnz)`` scatter, then swept
+  with perfectly regular per-slot passes.  This is the "padded template
+  schedule": the buffers and the access pattern are the class's; only
+  the fill is per-request.
+* ``direct`` — one-shot vectorized scatter-add, no per-class state.
+* ``engine`` — the PR 5 merge-path fast path, compiling per subgraph;
+  kept as an honest candidate so the tier *learns* (rather than
+  assumes) that per-request compilation loses at ego sizes.
+* ``reference`` — :meth:`CSRMatrix.multiply_dense`, also the
+  correctness oracle during measurement: a candidate whose output
+  disagrees is disqualified on the spot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.formats.ell import PAD_COLUMN
+
+#: Max-to-mean row-length ratio boundaries between degree profiles.
+FLAT_RATIO = 2.0
+SKEWED_RATIO = 8.0
+
+EXECUTORS = ("padded", "direct", "engine", "reference")
+
+
+@dataclass(frozen=True)
+class StructureClass:
+    """One bucket of the (rows, nnz, degree-profile) class space.
+
+    Attributes:
+        row_bucket: Smallest power of two >= the subgraph's row count.
+        nnz_bucket: Smallest power of four >= the subgraph's nnz
+            (power-of-*four* on purpose: nnz spreads over a wider range
+            than rows, and coarser buckets keep the class population
+            small enough for high reuse).
+        profile: ``"flat"``, ``"skewed"``, or ``"hub"``.
+    """
+
+    row_bucket: int
+    nnz_bucket: int
+    profile: str
+
+    @property
+    def label(self) -> str:
+        return f"r{self.row_bucket}.n{self.nnz_bucket}.{self.profile}"
+
+
+def _ceil_power(value: int, base: int) -> int:
+    """Smallest power of ``base`` >= ``value`` (and >= 1)."""
+    power = 1
+    while power < value:
+        power *= base
+    return power
+
+
+def classify(matrix: CSRMatrix) -> StructureClass:
+    """The structure class of one (sub)graph adjacency."""
+    lengths = matrix.row_lengths
+    max_len = int(lengths.max(initial=0))
+    mean_len = matrix.nnz / matrix.n_rows if matrix.n_rows else 0.0
+    ratio = (max_len / mean_len) if mean_len > 0 else 1.0
+    if ratio <= FLAT_RATIO:
+        profile = "flat"
+    elif ratio <= SKEWED_RATIO:
+        profile = "skewed"
+    else:
+        profile = "hub"
+    return StructureClass(
+        row_bucket=_ceil_power(matrix.n_rows, 2),
+        nnz_bucket=_ceil_power(matrix.nnz, 4),
+        profile=profile,
+    )
+
+
+class _PaddedTemplate:
+    """Reusable ELL-style grids shared by every subgraph of one class.
+
+    Holds ``(row capacity, slot capacity)`` column/value grids and an
+    output buffer sized to the class's row bucket; capacities only ever
+    grow.  Not thread-safe — callers hold the owning plan's lock.
+    """
+
+    def __init__(self, row_capacity: int) -> None:
+        self.row_capacity = row_capacity
+        self.slot_capacity = 0
+        self.columns = np.full((row_capacity, 0), PAD_COLUMN, dtype=np.int64)
+        self.values = np.zeros((row_capacity, 0), dtype=np.float64)
+        self.out = np.zeros((row_capacity, 0), dtype=np.float64)
+
+    def _reserve(self, rows: int, slots: int, width: int) -> None:
+        if rows > self.row_capacity:
+            self.row_capacity = _ceil_power(rows, 2)
+            self.slot_capacity = 0  # force grid rebuild at the new height
+        if slots > self.slot_capacity:
+            self.slot_capacity = slots
+            self.columns = np.full(
+                (self.row_capacity, slots), PAD_COLUMN, dtype=np.int64
+            )
+            self.values = np.zeros((self.row_capacity, slots), dtype=np.float64)
+        if self.out.shape[0] < self.row_capacity or self.out.shape[1] < width:
+            self.out = np.zeros((self.row_capacity, width), dtype=np.float64)
+
+    def multiply(self, matrix: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+        """``matrix @ dense`` through the class template (returns a copy)."""
+        lengths = matrix.row_lengths
+        slots = int(lengths.max(initial=0))
+        width = dense.shape[1]
+        self._reserve(matrix.n_rows, slots, width)
+        n, w = matrix.n_rows, width
+        columns = self.columns[:n, :slots]
+        values = self.values[:n, :slots]
+        out = self.out[:n, :w]
+        columns.fill(PAD_COLUMN)
+        values.fill(0.0)
+        out.fill(0.0)
+        if matrix.nnz:
+            # One O(nnz) scatter refills the template for this request.
+            rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+            starts = np.repeat(matrix.row_pointers[:-1], lengths)
+            within = np.arange(matrix.nnz, dtype=np.int64) - starts
+            columns[rows, within] = matrix.column_indices
+            values[rows, within] = matrix.values
+            for slot in range(slots):
+                cols = columns[:, slot]
+                valid = cols != PAD_COLUMN
+                out[valid] += values[valid, slot, None] * dense[cols[valid]]
+        return out.copy()
+
+
+@dataclass
+class ClassPlan:
+    """Learned per-class state: the winning executor and its template."""
+
+    structure_class: StructureClass
+    executor: "str | None" = None
+    timings: "dict[str, float]" = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    template: "_PaddedTemplate | None" = None
+    lock: threading.RLock = field(default_factory=threading.RLock)
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.structure_class.label,
+            "executor": self.executor,
+            "timings_ms": {
+                name: round(seconds * 1e3, 6)
+                for name, seconds in sorted(self.timings.items())
+            },
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def _run_direct(matrix: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """One-shot vectorized scatter-add (no per-class state)."""
+    out = np.zeros((matrix.n_rows, dense.shape[1]), dtype=np.float64)
+    if matrix.nnz:
+        rows = np.repeat(
+            np.arange(matrix.n_rows, dtype=np.int64), matrix.row_lengths
+        )
+        np.add.at(
+            out, rows, matrix.values[:, None] * dense[matrix.column_indices]
+        )
+    return out
+
+
+def _run_engine(matrix: CSRMatrix, dense: np.ndarray) -> np.ndarray:
+    """PR 5 fast path, compiling a plan for this one subgraph."""
+    from repro.engine.kernels import get_engine_plan_cache
+
+    plan = get_engine_plan_cache().get(matrix, dim=dense.shape[1])
+    return plan.execute(dense)
+
+
+class ClassTier:
+    """Per-structure-class executor selection for one-shot subgraphs.
+
+    The first request of each class measures every candidate executor on
+    that request (recorded as a *miss*); later requests of the class run
+    the winner directly (a *hit*).  ``measure_rounds`` > 1 repeats the
+    bake-off on the first N requests and keeps per-executor minima,
+    trading a few extra misses for steadier timings.
+    """
+
+    def __init__(
+        self,
+        *,
+        executors: "tuple[str, ...]" = EXECUTORS,
+        measure_rounds: int = 1,
+        rtol: float = 1e-9,
+        atol: float = 1e-12,
+    ) -> None:
+        unknown = set(executors) - set(EXECUTORS)
+        if unknown:
+            raise ValueError(f"unknown executors: {sorted(unknown)}")
+        if "reference" not in executors:
+            raise ValueError("'reference' must stay in the candidate set")
+        if measure_rounds < 1:
+            raise ValueError(
+                f"measure_rounds must be >= 1, got {measure_rounds}"
+            )
+        self.executors = tuple(executors)
+        self.measure_rounds = measure_rounds
+        self.rtol = rtol
+        self.atol = atol
+        self._lock = threading.RLock()
+        self._plans: "dict[StructureClass, ClassPlan]" = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, matrix: CSRMatrix, dense: np.ndarray
+    ) -> "tuple[np.ndarray, str, bool]":
+        """``(matrix @ dense, 'class:<executor>', was it a class hit)``."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2 or dense.shape[0] != matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+            )
+        structure_class = classify(matrix)
+        with self._lock:
+            plan = self._plans.get(structure_class)
+            if plan is None:
+                plan = ClassPlan(structure_class=structure_class)
+                self._plans[structure_class] = plan
+                obs.counter("sample.classtier.classes").inc()
+        with plan.lock:
+            if plan.executor is None:
+                out = self._measure(plan, matrix, dense)
+                plan.misses += 1
+                with self._lock:
+                    self.misses += 1
+                obs.counter("sample.classtier.misses").inc()
+                return out, f"class:{plan.executor}", False
+            out = self._run(plan, plan.executor, matrix, dense)
+            plan.hits += 1
+            with self._lock:
+                self.hits += 1
+            obs.counter("sample.classtier.hits").inc()
+            return out, f"class:{plan.executor}", True
+
+    def _run(
+        self,
+        plan: ClassPlan,
+        executor: str,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+    ) -> np.ndarray:
+        if executor == "padded":
+            if plan.template is None:
+                plan.template = _PaddedTemplate(
+                    plan.structure_class.row_bucket
+                )
+            return plan.template.multiply(matrix, dense)
+        if executor == "direct":
+            return _run_direct(matrix, dense)
+        if executor == "engine":
+            return _run_engine(matrix, dense)
+        return matrix.multiply_dense(dense)
+
+    def _measure(
+        self, plan: ClassPlan, matrix: CSRMatrix, dense: np.ndarray
+    ) -> np.ndarray:
+        """Bake off every candidate on this request; pick the fastest.
+
+        ``reference`` always runs first and its output is the oracle —
+        a candidate that disagrees is disqualified for the class.
+        """
+        ordered = ["reference"] + [
+            name for name in self.executors if name != "reference"
+        ]
+        oracle: "np.ndarray | None" = None
+        for name in ordered:
+            try:
+                start = time.perf_counter()
+                candidate = self._run(plan, name, matrix, dense)
+                elapsed = time.perf_counter() - start
+            except Exception:
+                obs.counter(
+                    "sample.classtier.candidate_errors", executor=name
+                ).inc()
+                continue
+            if name == "reference":
+                oracle = candidate
+            elif oracle is not None and not np.allclose(
+                candidate, oracle, rtol=self.rtol, atol=self.atol
+            ):
+                obs.counter(
+                    "sample.classtier.disqualified", executor=name
+                ).inc()
+                continue
+            previous = plan.timings.get(name)
+            plan.timings[name] = (
+                elapsed if previous is None else min(previous, elapsed)
+            )
+        if oracle is None or not plan.timings:
+            raise RuntimeError(
+                "reference executor failed during class measurement"
+            )
+        rounds = plan.hits + plan.misses + 1
+        if rounds >= self.measure_rounds:
+            plan.executor = min(plan.timings, key=plan.timings.get)
+            obs.counter(
+                "sample.classtier.decided", executor=plan.executor
+            ).inc()
+            # Re-run the winner so the returned output came from the
+            # executor the class will use from now on.
+            return self._run(plan, plan.executor, matrix, dense)
+        return oracle
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> "ClassTierStats":
+        with self._lock:
+            plans = list(self._plans.values())
+            hits, misses = self.hits, self.misses
+        return ClassTierStats(
+            classes=len(plans),
+            hits=hits,
+            misses=misses,
+            plans=tuple(sorted(
+                (p.to_dict() for p in plans),
+                key=lambda d: d["class"],
+            )),
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+
+@dataclass(frozen=True)
+class ClassTierStats:
+    """A snapshot of tier effectiveness for run records."""
+
+    classes: int
+    hits: int
+    misses: int
+    plans: "tuple[dict, ...]" = ()
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "classes": self.classes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "plans": list(self.plans),
+        }
+
+
+_default_tier = ClassTier()
+_default_lock = threading.Lock()
+
+
+def get_class_tier() -> ClassTier:
+    """The process-wide structure-class tier (shared by serve and bench)."""
+    return _default_tier
+
+
+def set_class_tier(tier: ClassTier) -> ClassTier:
+    """Install a new process-wide tier; returns the previous one."""
+    global _default_tier
+    with _default_lock:
+        previous, _default_tier = _default_tier, tier
+    return previous

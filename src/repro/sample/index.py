@@ -1,0 +1,187 @@
+"""CSC-backed neighbor index over a (possibly live) graph.
+
+Ego-graph sampling expands a frontier hop by hop: for every frontier
+node it needs that node's *message sources* — the nodes whose features
+flow into its aggregated output.  Under this repo's convention the
+aggregation is ``out = A @ X``, so row ``v`` of the adjacency lists
+exactly the nodes feeding ``v``; equivalently, ``v``'s message sources
+are column ``v`` of the message-flow graph's CSC.  That CSC *is* the
+adjacency's CSR arrays reinterpreted — ``col_pointers = A.row_pointers``
+and ``row_indices = A.column_indices`` — so :class:`NeighborIndex`
+builds its :class:`~repro.formats.csc.CSCMatrix` zero-copy (GraphBolt
+stores its sampling graphs the same way: one CSC indexed by the node
+being sampled *for*).
+
+For the opposite direction ("which nodes does ``v`` feed?", the push
+view) the index falls back to a real :meth:`CSRMatrix.to_csc`
+conversion, which costs one ``O(nnz log nnz)`` sort.
+
+Indexes are cached process-wide by content fingerprint
+(:class:`NeighborIndexCache`).  Fingerprints mix in the graph epoch
+(PR 7), so the cache is epoch-aware for free, and the cache exposes
+``invalidate_fingerprint`` so a
+:class:`~repro.serve.epoch.GraphEpochManager` can retire exactly one
+epoch's index when its last lease drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.formats.csc import CSCMatrix
+
+# Frontier expansion follows message sources (the pull direction used by
+# ``A @ X`` aggregation) or message sinks (the push direction).
+PULL = "pull"
+PUSH = "push"
+
+
+class NeighborIndex:
+    """Column-slice neighbor lookups for fanout sampling.
+
+    Args:
+        matrix: The graph adjacency (``A``; rows aggregate columns).
+        direction: :data:`PULL` (default) expands toward the nodes a
+            frontier node *aggregates from* — built zero-copy from the
+            CSR arrays.  :data:`PUSH` expands toward the nodes it
+            *feeds*, paying one CSC conversion.
+    """
+
+    def __init__(self, matrix: CSRMatrix, direction: str = PULL) -> None:
+        if direction not in (PULL, PUSH):
+            raise ValueError(
+                f"direction must be '{PULL}' or '{PUSH}', got {direction!r}"
+            )
+        if matrix.n_rows != matrix.n_cols:
+            raise ValueError(
+                f"adjacency must be square, got {matrix.shape}"
+            )
+        self.matrix = matrix
+        self.direction = direction
+        if direction == PULL:
+            # Zero-copy reinterpretation: column v of this CSC is row v
+            # of A — the nodes whose features flow into v's aggregation.
+            self.csc = CSCMatrix(
+                n_rows=matrix.n_cols,
+                n_cols=matrix.n_rows,
+                col_pointers=matrix.row_pointers,
+                row_indices=matrix.column_indices,
+                values=matrix.values,
+                version=matrix.version,
+            )
+        else:
+            self.csc = matrix.to_csc()
+        obs.counter("sample.index.built").inc()
+
+    @property
+    def n_nodes(self) -> int:
+        return self.csc.n_cols
+
+    @property
+    def fingerprint(self) -> str:
+        """The underlying matrix's (version-mixed) structure fingerprint."""
+        return self.matrix.fingerprint()
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Per-node neighbor counts in the index's direction."""
+        return self.csc.col_lengths
+
+    def neighbors(self, node: int) -> "tuple[np.ndarray, np.ndarray]":
+        """``(neighbor ids, edge values)`` of one node (read-only views)."""
+        return self.csc.col_slice(node)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes pinned beyond the matrix itself (0 for the pull view)."""
+        if self.direction == PULL:
+            return 0
+        return (
+            self.csc.col_pointers.nbytes
+            + self.csc.row_indices.nbytes
+            + self.csc.values.nbytes
+        )
+
+
+class NeighborIndexCache:
+    """Thread-safe LRU cache of neighbor indexes keyed by fingerprint.
+
+    Fingerprints are version-precise (PR 7), so one live graph holds one
+    entry per epoch; ``invalidate_fingerprint`` lets the epoch manager
+    retire exactly the entries of a drained epoch.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.RLock()
+        self._indexes: "OrderedDict[tuple[str, str], NeighborIndex]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, matrix: CSRMatrix, direction: str = PULL) -> NeighborIndex:
+        """The cached index for ``matrix``, building it on miss."""
+        key = (matrix.fingerprint(), direction)
+        with self._lock:
+            index = self._indexes.get(key)
+            if index is not None:
+                self._indexes.move_to_end(key)
+                self.hits += 1
+                obs.counter("sample.index.hits").inc()
+                return index
+            self.misses += 1
+            obs.counter("sample.index.misses").inc()
+            index = NeighborIndex(matrix, direction)
+            self._indexes[key] = index
+            while len(self._indexes) > self.capacity:
+                self._indexes.popitem(last=False)
+                obs.counter("sample.index.evictions").inc()
+            return index
+
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every index of one (epoch-precise) fingerprint."""
+        with self._lock:
+            stale = [key for key in self._indexes if key[0] == fingerprint]
+            for key in stale:
+                del self._indexes[key]
+            if stale:
+                self.invalidations += len(stale)
+                obs.counter("sample.index.invalidations").inc(len(stale))
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._indexes.clear()
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._indexes)
+
+
+_default_cache = NeighborIndexCache()
+_default_lock = threading.Lock()
+
+
+def get_neighbor_index_cache() -> NeighborIndexCache:
+    """The process-wide neighbor-index cache (shared by serve and bench)."""
+    return _default_cache
+
+
+def set_neighbor_index_cache(cache: NeighborIndexCache) -> NeighborIndexCache:
+    """Install a new process-wide index cache; returns the previous one."""
+    global _default_cache
+    with _default_lock:
+        previous, _default_cache = _default_cache, cache
+    return previous

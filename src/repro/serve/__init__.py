@@ -26,6 +26,10 @@ The ROADMAP's request path on top of the one-shot experiment harness:
 * :mod:`repro.serve.loadgen` — open/closed-loop synthetic traffic and
   the ``python -m repro serve-bench`` subcommand.
 
+Ego-graph minibatch serving (``InferenceService.submit_ego``, the
+``--workload ego`` loadgen mode, and the structure-class dispatch tier)
+lives in :mod:`repro.sample`; see ``docs/SERVING.md``.
+
 See ``docs/SERVING.md`` for the architecture tour and
 ``docs/ROBUSTNESS.md`` for the failure-domain model.
 """
@@ -67,6 +71,7 @@ from repro.serve.plancache import (
     set_plan_cache,
 )
 from repro.serve.service import (
+    EgoSubmission,
     InferenceService,
     ServeConfig,
     ServeResponse,
@@ -80,6 +85,7 @@ __all__ = [
     "CompiledPlan",
     "DEGRADED",
     "DispatchResult",
+    "EgoSubmission",
     "EpochLease",
     "FLOOR_BACKEND",
     "GraphEpochManager",

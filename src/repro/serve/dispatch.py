@@ -24,6 +24,16 @@ per ``(graph structure, feature dim)`` workload:
   is open the dispatcher serves from the always-available
   **verified floor** (:func:`verified_spmm` under the name
   ``verified-floor``).
+
+Everything above keys on content fingerprints, which assumes requests
+revisit the same graphs.  Ego-sampled subgraphs violate that — every
+request carries a one-shot fingerprint, so priors, bandit arms, and
+plan caches would all be cold on every request.  For those,
+``execute(..., prefer_class_tier=True)`` routes through the
+:class:`~repro.sample.classtier.ClassTier` instead: no modeled prior,
+no bandit, no per-fingerprint plan — the structure *class* picks the
+executor.  The verified fallback still backstops the tier, so the
+"always returns a verified product" contract is unchanged.
 """
 
 from __future__ import annotations
@@ -207,6 +217,13 @@ class AdaptiveDispatcher:
             to :class:`~repro.serve.guard.BreakerConfig`.
         breaker_clock: Monotonic clock handed to the breakers (test
             injection point for cooldown control).
+        class_tier: Structure-class tier serving
+            ``execute(prefer_class_tier=True)`` requests.  ``"auto"``
+            (default) resolves the process-wide
+            :func:`repro.sample.classtier.get_class_tier` lazily;
+            ``None`` disables the tier (such requests fall back to the
+            bandit path); a :class:`~repro.sample.classtier.ClassTier`
+            instance pins one explicitly.
 
     All state is guarded by one lock; `choose`/`record`/`execute` are
     safe to call from concurrent serve workers.
@@ -224,6 +241,7 @@ class AdaptiveDispatcher:
         max_entries: int = 4096,
         breaker_config: "BreakerConfig | None" = None,
         breaker_clock: Callable[[], float] = time.monotonic,
+        class_tier="auto",
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
@@ -252,6 +270,7 @@ class AdaptiveDispatcher:
         self._priors: "OrderedDict[tuple[str, int, str], float]" = (
             OrderedDict()
         )
+        self._class_tier = class_tier
         self.breaker_config = breaker_config or BreakerConfig()
         self._breakers = {
             backend.name: CircuitBreaker(
@@ -419,6 +438,14 @@ class AdaptiveDispatcher:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def resolve_class_tier(self):
+        """The tier serving ``prefer_class_tier`` requests (or ``None``)."""
+        if self._class_tier == "auto":
+            from repro.sample.classtier import get_class_tier
+
+            return get_class_tier()
+        return self._class_tier
+
     def execute(
         self,
         matrix: CSRMatrix,
@@ -428,6 +455,7 @@ class AdaptiveDispatcher:
         verify: bool = False,
         rtol: float = 1e-9,
         atol: float = 1e-9,
+        prefer_class_tier: bool = False,
     ) -> DispatchResult:
         """Dispatch one SpMM, guaranteeing a verified result on failure.
 
@@ -442,9 +470,20 @@ class AdaptiveDispatcher:
                 independent reference before accepting it (the serving
                 layer's paranoid mode; failures degrade to the verified
                 fallback rather than propagate).
+            prefer_class_tier: Route through the structure-class tier,
+                bypassing the per-fingerprint prior/bandit machinery
+                entirely — the right path for one-shot sampled
+                subgraphs whose fingerprints never recur.  Ignored when
+                the dispatcher was built with ``class_tier=None``.
         """
         dense = np.asarray(dense, dtype=np.float64)
         dim = plan_dim if plan_dim is not None else dense.shape[1]
+        if prefer_class_tier:
+            tier = self.resolve_class_tier()
+            if tier is not None:
+                return self._execute_classed(
+                    tier, matrix, dense, verify=verify, rtol=rtol, atol=atol
+                )
         # Selection + bandit overhead lands in the "dispatch" stage of
         # any active request trace; backend execution in "kernel".
         with rtrace.stage("dispatch"):
@@ -503,4 +542,56 @@ class AdaptiveDispatcher:
             detected=detected,
             latency_seconds=seconds,
             explored=explored,
+        )
+
+    def _execute_classed(
+        self,
+        tier,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        *,
+        verify: bool,
+        rtol: float,
+        atol: float,
+    ) -> DispatchResult:
+        """The class-tier path: no prior, no bandit, no per-fingerprint plan.
+
+        The tier measures candidates on a class's first request and runs
+        the class winner afterwards; failures degrade to the same
+        :func:`verified_spmm` fallback as the bandit path.  Nothing here
+        touches the per-fingerprint maps, so a stream of one-shot
+        subgraphs leaves the long-lived workloads' bandit state alone.
+        """
+        detected: "str | None" = None
+        fallback_used = False
+        backend_name = "class-tier"
+        started = time.perf_counter()
+        try:
+            with obs.span("serve.dispatch.execute", backend="class-tier"):
+                with rtrace.stage("kernel", backend="class-tier"):
+                    output, backend_name, hit = tier.execute(matrix, dense)
+            rtrace.count("class_tier_hit" if hit else "class_tier_miss")
+            if verify:
+                with rtrace.stage("verify"):
+                    check_output(matrix, dense, output, rtol=rtol, atol=atol)
+        except Exception as exc:
+            detected = f"{type(exc).__name__}: {exc}"
+            fallback_used = True
+            obs.counter("serve.dispatch.fallbacks", backend="class-tier").inc()
+            with rtrace.stage("fallback", backend="class-tier"):
+                output = verified_spmm(
+                    matrix, dense, rtol=rtol, atol=atol
+                ).output
+        seconds = time.perf_counter() - started
+        obs.counter("serve.dispatch.requests", backend=backend_name).inc()
+        obs.histogram(
+            "serve.dispatch.latency_seconds", backend=backend_name
+        ).observe(seconds)
+        return DispatchResult(
+            output=output,
+            backend=backend_name,
+            fallback_used=fallback_used,
+            detected=detected,
+            latency_seconds=seconds,
+            explored=False,
         )

@@ -48,6 +48,12 @@ from repro.graphs.delta import DeltaCSR, UpdatePlanner
 from repro.obs.rtrace import FlightRecorder
 from repro.obs.slo import SLObjective, SLOTracker
 from repro.resilience.oracles import reference_spmm
+from repro.sample import (
+    ClassTier,
+    ZipfSeedGenerator,
+    get_neighbor_index_cache,
+    set_class_tier,
+)
 from repro.serve.dispatch import AdaptiveDispatcher
 from repro.serve.epoch import GraphEpochManager
 from repro.serve.plancache import PlanCache
@@ -62,11 +68,24 @@ _HARVEST_WINDOW = 128
 
 @dataclass(frozen=True)
 class BenchConfig:
-    """Tunables of one ``serve-bench`` run."""
+    """Tunables of one ``serve-bench`` run.
+
+    ``workload`` selects the traffic shape: ``"full"`` (default) submits
+    full-graph aggregations over the Zipf-popular dataset set; ``"ego"``
+    submits :meth:`~repro.serve.service.InferenceService.submit_ego`
+    minibatch requests against the hottest dataset, with seed nodes
+    drawn from a degree-ranked Zipf law and per-request ``fanouts``
+    k-hop sampling.  Ego responses verify against a SciPy
+    fancy-indexing oracle over the graph of each response's *admitted
+    epoch*, so the check stays exact under a concurrent
+    ``--update-rate`` stream.
+    """
 
     requests: int = 1000
     seed: int = 0
     mode: str = "open"
+    workload: str = "full"
+    fanouts: "tuple[int, ...]" = (10, 5)
     rate: float = 400.0
     concurrency: int = 8
     dim: int = 16
@@ -95,6 +114,14 @@ class BenchConfig:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
         if self.mode not in ("open", "closed"):
             raise ValueError(f"mode must be 'open' or 'closed', got {self.mode}")
+        if self.workload not in ("full", "ego"):
+            raise ValueError(
+                f"workload must be 'full' or 'ego', got {self.workload}"
+            )
+        if not self.fanouts or any(f == 0 for f in self.fanouts):
+            raise ValueError(
+                f"fanouts must be non-empty and non-zero, got {self.fanouts}"
+            )
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate}")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
@@ -136,19 +163,24 @@ def load_traffic_matrices(config: BenchConfig) -> list[CSRMatrix]:
     ]
 
 
-def percentiles_ms(seconds: "list[float]") -> dict:
-    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
-    if not seconds:
+def percentiles(values: "list[float]") -> dict:
+    """p50/p95/p99/mean/max of a sample, in its own units."""
+    if not values:
         return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
-    values = np.asarray(seconds) * 1e3
-    p50, p95, p99 = np.percentile(values, [50, 95, 99])
+    array = np.asarray(values, dtype=np.float64)
+    p50, p95, p99 = np.percentile(array, [50, 95, 99])
     return {
         "p50": float(p50),
         "p95": float(p95),
         "p99": float(p99),
-        "mean": float(values.mean()),
-        "max": float(values.max()),
+        "mean": float(array.mean()),
+        "max": float(array.max()),
     }
+
+
+def percentiles_ms(seconds: "list[float]") -> dict:
+    """p50/p95/p99/mean/max of a latency sample, in milliseconds."""
+    return percentiles([s * 1e3 for s in seconds])
 
 
 class _Verifier:
@@ -162,6 +194,28 @@ class _Verifier:
         self, matrix: CSRMatrix, dense: np.ndarray, output: np.ndarray
     ) -> None:
         reference = reference_spmm(matrix, dense)
+        self.verified += 1
+        if not np.allclose(output, reference, rtol=1e-9, atol=1e-9):
+            self.mismatches += 1
+            obs.counter("serve.loadgen.mismatches").inc()
+
+    def check_ego(
+        self,
+        scipy_graph,
+        nodes: np.ndarray,
+        features: np.ndarray,
+        output: np.ndarray,
+    ) -> None:
+        """Verify one ego response against the SciPy fancy-indexing oracle.
+
+        ``scipy_graph`` is the *full* graph of the response's admitted
+        epoch as a ``scipy.sparse.csr_matrix``; the expected output is
+        ``(A[nodes][:, nodes]) @ X[nodes]`` computed entirely by SciPy,
+        so this cross-checks the sampler's extraction *and* the
+        class-tier SpMM in one shot.
+        """
+        induced = scipy_graph[nodes][:, nodes]
+        reference = induced.toarray() @ features[nodes]
         self.verified += 1
         if not np.allclose(output, reference, rtol=1e-9, atol=1e-9):
             self.mismatches += 1
@@ -339,11 +393,177 @@ def _modeled_microseconds(matrix: CSRMatrix, dim: int, cache: dict) -> float:
     return cache[key]
 
 
+class _ScipyGraphCache:
+    """Per-epoch ``scipy.sparse.csr_matrix`` views for ego verification."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_fingerprint: dict = {}
+
+    def get(self, matrix: CSRMatrix):
+        import scipy.sparse
+
+        key = matrix.fingerprint(include_values=True)
+        with self._lock:
+            cached = self._by_fingerprint.get(key)
+            if cached is None:
+                cached = scipy.sparse.csr_matrix(
+                    (matrix.values, matrix.column_indices, matrix.row_pointers),
+                    shape=matrix.shape,
+                )
+                self._by_fingerprint[key] = cached
+            return cached
+
+
+@obs.instrumented
+def run_steady_ego(
+    config: BenchConfig, service: InferenceService
+) -> "tuple[_ScenarioTally, _Verifier, dict]":
+    """The ego-workload steady scenario.
+
+    All traffic targets the hottest dataset: each request samples a
+    k-hop ego network around a Zipf-popular seed node
+    (:meth:`InferenceService.submit_ego`) and aggregates the extracted
+    subgraph through the structure-class tier.  Every accepted response
+    is verified against SciPy fancy indexing over the full graph of the
+    epoch it admitted under — exact even while ``--update-rate`` mutates
+    the graph concurrently.
+    """
+    rng = np.random.default_rng(config.seed)
+    matrices = load_traffic_matrices(config)
+    hot = matrices[0]
+    features = rng.random((hot.n_cols, config.dim))
+    seed_gen = ZipfSeedGenerator.for_matrix(
+        hot, alpha=config.zipf_s, rng=np.random.default_rng(config.seed + 17)
+    )
+    seeds = seed_gen.draw(config.requests)
+    tally = _ScenarioTally()
+    verifier = _Verifier()
+    scipy_cache = _ScipyGraphCache()
+
+    manager = service.epoch_manager
+    live = manager is not None and config.update_rate > 0
+    oracle = _EpochOracle()
+    stream: "_UpdateStream | None" = None
+    if manager is not None:
+        oracle.note(manager.current_snapshot())
+    if live:
+        stream = _UpdateStream(service, oracle, config, hot)
+
+    # Subgraph-size and per-hop-discovery samples across all submissions.
+    subgraph_nodes: "list[float]" = []
+    subgraph_nnz: "list[float]" = []
+    hop_totals: "dict[int, int]" = {}
+    size_lock = threading.Lock()
+
+    def note_submission(submission) -> None:
+        with size_lock:
+            subgraph_nodes.append(float(submission.subgraph.n_nodes))
+            subgraph_nnz.append(float(submission.subgraph.nnz))
+            for hop, count in enumerate(submission.subgraph.hop_counts):
+                hop_totals[hop] = hop_totals.get(hop, 0) + count
+
+    def harvest(submission) -> None:
+        response = submission.future.result()
+        tally.absorb(response)
+        if not (response.ok and config.verify):
+            return
+        if manager is not None:
+            pinned = (
+                oracle.matrix_for(response.epoch)
+                if response.epoch is not None
+                else None
+            )
+            if pinned is None:
+                verifier.unknown_epoch()
+                return
+            base = pinned
+        else:
+            base = hot
+        verifier.check_ego(
+            scipy_cache.get(base),
+            submission.subgraph.nodes,
+            features,
+            response.output,
+        )
+
+    route = config.datasets[0]
+    started = time.perf_counter()
+    if stream is not None:
+        stream.start()
+    try:
+        if config.mode == "open":
+            inflight: list = []
+            for seed_node in seeds:
+                submission = service.submit_ego(
+                    int(seed_node),
+                    features,
+                    matrix=None if manager is not None else hot,
+                    fanouts=config.fanouts,
+                    deadline_ms=config.deadline_ms,
+                    route=route,
+                )
+                note_submission(submission)
+                inflight.append(submission)
+                if len(inflight) >= _HARVEST_WINDOW:
+                    harvest(inflight.pop(0))
+                time.sleep(rng.exponential(1.0 / config.rate))
+            for submission in inflight:
+                harvest(submission)
+        else:
+            per_client = np.array_split(seeds, config.concurrency)
+
+            def client(client_id: int, assigned: np.ndarray) -> None:
+                for seed_node in assigned:
+                    submission = service.submit_ego(
+                        int(seed_node),
+                        features,
+                        matrix=None if manager is not None else hot,
+                        fanouts=config.fanouts,
+                        deadline_ms=config.deadline_ms,
+                        route=route,
+                    )
+                    note_submission(submission)
+                    harvest(submission)
+
+            with ThreadPoolExecutor(max_workers=config.concurrency) as pool:
+                futures = [
+                    pool.submit(client, i, assigned)
+                    for i, assigned in enumerate(per_client)
+                ]
+                for future in futures:
+                    future.result()
+    finally:
+        update_stream = stream.stop() if stream is not None else None
+    elapsed = time.perf_counter() - started
+
+    throughput = tally.accepted / elapsed if elapsed > 0 else 0.0
+    extra = {
+        "elapsed_seconds": elapsed,
+        "throughput_rps": throughput,
+        "modeled": None,
+        "attribution_ms": tally.attribution_ms(),
+        "events": dict(tally.events),
+        "update_stream": update_stream,
+        "ego": {
+            "fanouts": list(config.fanouts),
+            "subgraph_nodes": percentiles(subgraph_nodes),
+            "subgraph_nnz": percentiles(subgraph_nnz),
+            "hop_discovered": {
+                str(hop): count for hop, count in sorted(hop_totals.items())
+            },
+        },
+    }
+    return tally, verifier, extra
+
+
 @obs.instrumented
 def run_steady(
     config: BenchConfig, service: InferenceService
 ) -> "tuple[_ScenarioTally, _Verifier, dict]":
     """Drive the steady scenario; returns tally, verifier, modeled block."""
+    if config.workload == "ego":
+        return run_steady_ego(config, service)
     rng = np.random.default_rng(config.seed)
     matrices = load_traffic_matrices(config)
     weights = zipf_weights(len(matrices), config.zipf_s)
@@ -512,28 +732,46 @@ def run_bench(config: BenchConfig) -> dict:
         )
     )
     flight_recorder = FlightRecorder(capacity=16)
+    # Ego runs get a fresh structure-class tier so reported hit rates
+    # belong to this run alone; restored on exit.
+    previous_tier = (
+        set_class_tier(ClassTier()) if config.workload == "ego" else None
+    )
     epoch_manager = None
     if config.update_rate > 0:
         # The hottest dataset becomes a live graph: requests against it
         # pin their admitted epoch while the update stream mutates it,
-        # and the plan cache is invalidated epoch-precisely.
+        # and the plan cache (plus, for ego runs, the neighbor-index
+        # cache) is invalidated epoch-precisely.
         hot = load_traffic_matrices(config)[0]
+        caches: "tuple[object, ...]" = (plan_cache,)
+        if config.workload == "ego":
+            caches = (plan_cache, get_neighbor_index_cache())
         epoch_manager = GraphEpochManager(
             DeltaCSR(hot, compact_threshold=config.compact_threshold),
-            caches=(plan_cache,),
+            caches=caches,
         )
-    with InferenceService(
-        dispatcher,
-        config.service,
-        slo_tracker=slo_tracker,
-        flight_recorder=flight_recorder,
-        epoch_manager=epoch_manager,
-    ) as service:
-        with obs.span("serve.loadgen.steady", requests=config.requests):
-            steady, steady_verifier, extra = run_steady(config, service)
-        health = service.health()
-        slo_report = slo_tracker.report()
-    cache_stats = plan_cache.stats()
+    try:
+        with InferenceService(
+            dispatcher,
+            config.service,
+            slo_tracker=slo_tracker,
+            flight_recorder=flight_recorder,
+            epoch_manager=epoch_manager,
+        ) as service:
+            with obs.span("serve.loadgen.steady", requests=config.requests):
+                steady, steady_verifier, extra = run_steady(config, service)
+            health = service.health()
+            slo_report = slo_tracker.report()
+        cache_stats = plan_cache.stats()
+        class_tier_stats = (
+            dispatcher.resolve_class_tier().stats().to_dict()
+            if config.workload == "ego"
+            else None
+        )
+    finally:
+        if previous_tier is not None:
+            set_class_tier(previous_tier)
 
     with obs.span("serve.loadgen.overload", requests=config.overload_requests):
         overload, overload_verifier = run_overload(config)
@@ -544,6 +782,8 @@ def run_bench(config: BenchConfig) -> dict:
         "config": {
             "requests": config.requests,
             "mode": config.mode,
+            "workload": config.workload,
+            "fanouts": list(config.fanouts),
             "rate_rps": config.rate,
             "concurrency": config.concurrency,
             "dim": config.dim,
@@ -595,6 +835,14 @@ def run_bench(config: BenchConfig) -> dict:
                 if extra["update_stream"] is not None
                 else {}
             ),
+            # Ego workloads: subgraph-size distributions and the
+            # structure-class tier's reuse statistics.
+            **({"ego": extra["ego"]} if "ego" in extra else {}),
+            **(
+                {"class_tier": class_tier_stats}
+                if class_tier_stats is not None
+                else {}
+            ),
         },
         "overload": {
             "requests": overload.requests,
@@ -638,9 +886,6 @@ def render_summary(report: dict) -> str:
             )
             or "none"
         ),
-        f"  modeled us: p50={steady['modeled']['p50_us']:.1f} "
-        f"p95={steady['modeled']['p95_us']:.1f} "
-        f"p99={steady['modeled']['p99_us']:.1f}",
         f"  plan cache: hit_rate={cache['hit_rate']:.1%} "
         f"({cache['hits']} hits / {cache['misses']} misses, "
         f"{cache['bytes'] / 1024:.0f} KiB)",
@@ -651,6 +896,28 @@ def render_summary(report: dict) -> str:
         f"  verified  : {steady['verified'] + overload['verified']} responses, "
         f"{report['silent_failures']} silent failures",
     ]
+    modeled = steady.get("modeled")
+    if modeled is not None:
+        lines.insert(
+            3,
+            f"  modeled us: p50={modeled['p50_us']:.1f} "
+            f"p95={modeled['p95_us']:.1f} "
+            f"p99={modeled['p99_us']:.1f}",
+        )
+    ego = steady.get("ego")
+    if ego is not None:
+        lines.append(
+            f"  ego       : fanouts {ego['fanouts']}, subgraph p50 "
+            f"{ego['subgraph_nodes']['p50']:.0f} nodes / "
+            f"{ego['subgraph_nnz']['p50']:.0f} nnz"
+        )
+    class_tier = steady.get("class_tier")
+    if class_tier is not None:
+        lines.append(
+            f"  class tier: hit_rate={class_tier['hit_rate']:.1%} "
+            f"({class_tier['hits']} hits / {class_tier['misses']} misses, "
+            f"{class_tier['classes']} classes)"
+        )
     if steady.get("deadline_misses"):
         lines.insert(
             2,
@@ -714,6 +981,21 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     parser.add_argument("--dim", type=int, default=16)
     parser.add_argument(
+        "--workload", choices=("full", "ego"), default="full",
+        help=(
+            "full: Zipf-popular full-graph aggregations (default); "
+            "ego: k-hop ego-sampled minibatch requests against the "
+            "hottest dataset, served through the structure-class tier"
+        ),
+    )
+    parser.add_argument(
+        "--fanouts", default="10,5",
+        help=(
+            "comma-separated per-hop neighbor caps for --workload ego "
+            "(-1 keeps all neighbors at a hop)"
+        ),
+    )
+    parser.add_argument(
         "--datasets", default=",".join(DEFAULT_DATASETS),
         help="comma-separated Table II dataset names",
     )
@@ -772,6 +1054,10 @@ def main(argv: "list[str] | None" = None) -> int:
         requests=args.requests,
         seed=args.seed,
         mode=args.mode,
+        workload=args.workload,
+        fanouts=tuple(
+            int(f.strip()) for f in args.fanouts.split(",") if f.strip()
+        ),
         rate=args.rate,
         concurrency=args.concurrency,
         dim=args.dim,

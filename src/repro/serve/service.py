@@ -56,6 +56,7 @@ from repro.obs import rtrace
 from repro.obs.slo import SLOTracker
 from repro.resilience import faults
 from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
+from repro.sample import EgoSubgraph, gather_features, sample_ego
 from repro.serve.dispatch import AdaptiveDispatcher
 from repro.serve.epoch import EpochLease, GraphEpochManager
 from repro.serve.guard import WorkerSupervisor
@@ -175,14 +176,41 @@ class ServeResponse:
         return self.status == DEADLINE_EXCEEDED
 
 
+@dataclass(frozen=True)
+class EgoSubmission:
+    """Handle on one in-flight ego request (see :meth:`submit_ego`).
+
+    Attributes:
+        future: Resolves to the :class:`ServeResponse` for the *subgraph*
+            aggregation (its ``output`` rows follow ``subgraph.nodes``).
+        subgraph: The sampled, relabeled ego network the request runs on
+            — already final at submission time, so callers can verify the
+            response against it (and against the epoch it was sampled
+            from) without re-sampling.
+        epoch: Graph epoch the sample was drawn from (epoch-managed
+            services only).
+        sample_seconds: Wall time spent sampling + extracting, charged to
+            the request's ``sample`` attribution stage.
+    """
+
+    future: "Future[ServeResponse]"
+    subgraph: EgoSubgraph
+    epoch: "int | None" = None
+    sample_seconds: float = 0.0
+
+    def result(self, timeout: "float | None" = None) -> ServeResponse:
+        return self.future.result(timeout=timeout)
+
+
 @dataclass
 class _Pending:
     request_id: int
     matrix: CSRMatrix
     dense: np.ndarray
-    # (full content fingerprint, feature width): only requests that share
-    # both the matrix values and the dense width may batch together.
-    key: "tuple[str, int]"
+    # (full content fingerprint, feature width, class-tier flag): only
+    # requests that share the matrix values, the dense width, and the
+    # dispatch path may batch together.
+    key: "tuple[str, int, bool]"
     enqueued_at: float
     future: "Future[ServeResponse]"
     # Request-trace context carried explicitly across the queue and
@@ -198,6 +226,13 @@ class _Pending:
     # choke point every terminal path passes through.
     lease: "EpochLease | None" = None
     epoch: "int | None" = None
+    # Ego requests dispatch through the structure-class tier instead of
+    # the per-fingerprint bandit (their fingerprints never recur).
+    use_class_tier: bool = False
+    # Seconds pre-charged to the ledger before admission (the "sample"
+    # stage); reconciliation adds it on top of the admission-to-reply
+    # latency so the stage sum equals the *full* end-to-end time.
+    pre_seconds: float = 0.0
 
 
 class InferenceService:
@@ -258,6 +293,10 @@ class InferenceService:
         self._miss_lock = threading.Lock()
         self._recent_misses: "deque[bool]" = deque(maxlen=_MISS_WINDOW)
         self._deadline_misses = 0
+        # Per-service sequence feeding default ego-sampling rngs, so two
+        # unseeded submissions of the same seed node draw distinct (but
+        # reproducible-within-a-service) neighborhoods.
+        self._ego_seq = itertools.count()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -332,15 +371,132 @@ class InferenceService:
         future resolves *immediately* with a ``rejected`` response —
         explicit load shedding, never unbounded growth.
         """
-        lease: "EpochLease | None" = None
-        if matrix is None:
-            if self.epoch_manager is None:
+        lease, matrix = self._resolve_operand(matrix, "submit")
+        return self._enqueue(
+            matrix, dense, deadline_ms=deadline_ms, route=route, lease=lease
+        )
+
+    def submit_ego(
+        self,
+        seed_node: int,
+        features: np.ndarray,
+        *,
+        matrix: "CSRMatrix | None" = None,
+        fanouts: "tuple[int, ...]" = (10, 5),
+        add_self_loops: bool = False,
+        rng: "np.random.Generator | None" = None,
+        deadline_ms: "float | None" = None,
+        route: str = "ego",
+    ) -> EgoSubmission:
+        """Sample an ego network around ``seed_node`` and serve it.
+
+        Samples a k-hop fanout neighborhood (:func:`repro.sample.sampler.
+        sample_ego`), extracts the relabeled induced subgraph, gathers
+        the sampled nodes' feature rows, and enqueues the *subgraph*
+        aggregation.  On an epoch-managed service the sample is drawn
+        under a read lease taken **before** sampling, so the subgraph,
+        its version stamp, and the eventual output all belong to exactly
+        one epoch even if updates land mid-flight.
+
+        Ego requests dispatch through the structure-class tier
+        (:mod:`repro.sample.classtier`) rather than the per-fingerprint
+        bandit — each subgraph's fingerprint occurs once, so fingerprint
+        keys can never amortize.  Sampling time is charged to the
+        ``sample`` attribution stage; for ego requests the attribution's
+        stage sum therefore equals ``sample_seconds`` *plus* the
+        admission-to-reply latency.
+
+        Args:
+            seed_node: Global id of the ego center.
+            features: Full-graph feature matrix ``(n_nodes, d)``; the
+                subgraph's rows are gathered from it at submission.
+            matrix: Graph adjacency; ``None`` uses the epoch manager's
+                current snapshot (like :meth:`submit`).
+            fanouts: Per-hop neighbor caps (see
+                :class:`~repro.sample.sampler.FanoutSampler`).
+            add_self_loops: Insert missing diagonal entries into the
+                extracted subgraph (GCN-style ``A + I``).
+            rng: Sampling randomness; ``None`` draws a fresh deterministic
+                stream per submission (seeded by the seed node and a
+                service-local sequence number).
+            deadline_ms: As for :meth:`submit` (covers queueing +
+                execution, not sampling — sampling happens synchronously
+                in the caller before admission).
+            route: SLO route; defaults to ``"ego"`` so ego traffic gets
+                its own error budget.
+        """
+        lease, matrix = self._resolve_operand(matrix, "submit_ego")
+        try:
+            features = np.asarray(features, dtype=np.float64)
+            if features.ndim != 2 or features.shape[0] != matrix.n_cols:
                 raise ValueError(
-                    "submit(matrix=None) requires an epoch-managed service "
-                    "(pass epoch_manager= to InferenceService)"
+                    "features must have one row per graph node "
+                    f"({matrix.n_cols}), got shape {features.shape}"
                 )
-            lease = self.epoch_manager.acquire()
-            matrix = lease.matrix
+            if rng is None:
+                with self._cond:
+                    sequence = next(self._ego_seq)
+                rng = np.random.default_rng((int(seed_node), sequence))
+            started = time.perf_counter()
+            with obs.span("serve.service.sample", seed=int(seed_node)):
+                ego = sample_ego(
+                    matrix,
+                    int(seed_node),
+                    fanouts=tuple(fanouts),
+                    rng=rng,
+                    add_self_loops=add_self_loops,
+                )
+                sub_features = gather_features(features, ego.nodes)
+            sample_seconds = time.perf_counter() - started
+        except Exception:
+            if lease is not None:
+                lease.release()
+            raise
+        obs.counter("serve.service.ego_submitted").inc()
+        obs.histogram("serve.service.ego_nodes").observe(float(ego.n_nodes))
+        obs.histogram("serve.service.ego_nnz").observe(float(ego.nnz))
+        future = self._enqueue(
+            ego.matrix,
+            sub_features,
+            deadline_ms=deadline_ms,
+            route=route,
+            lease=lease,
+            pre_stages={"sample": sample_seconds},
+            use_class_tier=True,
+        )
+        return EgoSubmission(
+            future=future,
+            subgraph=ego,
+            epoch=lease.epoch if lease is not None else None,
+            sample_seconds=sample_seconds,
+        )
+
+    def _resolve_operand(
+        self, matrix: "CSRMatrix | None", caller: str
+    ) -> "tuple[EpochLease | None, CSRMatrix]":
+        """Resolve ``matrix=None`` to the current epoch's snapshot."""
+        if matrix is not None:
+            return None, matrix
+        if self.epoch_manager is None:
+            raise ValueError(
+                f"{caller}(matrix=None) requires an epoch-managed service "
+                "(pass epoch_manager= to InferenceService)"
+            )
+        lease = self.epoch_manager.acquire()
+        return lease, lease.matrix
+
+    def _enqueue(
+        self,
+        matrix: CSRMatrix,
+        dense: np.ndarray,
+        *,
+        deadline_ms: "float | None",
+        route: str,
+        lease: "EpochLease | None",
+        pre_stages: "dict[str, float] | None" = None,
+        use_class_tier: bool = False,
+    ) -> "Future[ServeResponse]":
+        """Validate, admit (or shed), and queue one request."""
         try:
             dense = np.asarray(dense, dtype=np.float64)
             if dense.ndim != 2:
@@ -418,11 +574,19 @@ class InferenceService:
             ctx = rtrace.RequestContext.new(
                 request_id=request_id, route=route
             )
+            pre_seconds = 0.0
+            for stage, seconds in (pre_stages or {}).items():
+                ctx.ledger.add(stage, seconds)
+                pre_seconds += max(0.0, seconds)
             pending = _Pending(
                 request_id=request_id,
                 matrix=matrix,
                 dense=dense,
-                key=(matrix.fingerprint(include_values=True), dense.shape[1]),
+                key=(
+                    matrix.fingerprint(include_values=True),
+                    dense.shape[1],
+                    use_class_tier,
+                ),
                 enqueued_at=now,
                 future=future,
                 ctx=ctx,
@@ -433,6 +597,8 @@ class InferenceService:
                 ),
                 lease=lease,
                 epoch=lease.epoch if lease is not None else None,
+                use_class_tier=use_class_tier,
+                pre_seconds=pre_seconds,
             )
             self._queue.append(pending)
             obs.counter("serve.service.accepted").inc()
@@ -673,7 +839,12 @@ class InferenceService:
         ledger = pending.ctx.ledger
         if "queue" not in ledger.stages():
             ledger.add("queue", total)
-        ledger.add("other", max(0.0, total - ledger.total()))
+        # pre_seconds (the pre-admission "sample" stage) rides on top of
+        # the admission-to-reply total, so the stage sum reconciles with
+        # the request's full end-to-end time.
+        ledger.add(
+            "other", max(0.0, total + pending.pre_seconds - ledger.total())
+        )
         return total, ledger.to_dict()
 
     def _finalize(
@@ -761,6 +932,9 @@ class InferenceService:
                     # batch size never fragments the plan cache.
                     plan_dim=width,
                     verify=self.config.verify,
+                    # Homogeneous per batch: the flag is part of the
+                    # batching key.
+                    prefer_class_tier=batch[0].use_class_tier,
                 )
 
         try:
@@ -806,7 +980,10 @@ class InferenceService:
             # request's end-to-end latency.
             total = time.monotonic() - pending.enqueued_at
             ledger = pending.ctx.ledger
-            ledger.add("other", max(0.0, total - ledger.total()))
+            ledger.add(
+                "other",
+                max(0.0, total + pending.pre_seconds - ledger.total()),
+            )
             self._finalize(
                 pending, OK,
                 backend=result.backend,

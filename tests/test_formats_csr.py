@@ -324,3 +324,53 @@ class TestFingerprintStaleness:
         # still key caches differently.
         fps = {csr_small.with_version(v).fingerprint() for v in range(4)}
         assert len(fps) == 4
+
+
+class TestVersionPropagation:
+    """Derived matrices must carry the live-graph epoch stamp.
+
+    ``to_csc`` / ``transpose`` / ``sorted_indices`` build new containers
+    from a (possibly version-stamped) epoch snapshot.  Dropping the
+    stamp would silently move the derivative back into the unversioned
+    fingerprint space, where it aliases a different epoch's cache
+    entries — exactly the staleness class PR 7's version-precise
+    fingerprints exist to prevent.
+    """
+
+    def test_to_csc_carries_version(self, csr_small):
+        stamped = csr_small.with_version(5)
+        assert stamped.to_csc().version == 5
+        assert csr_small.to_csc().version is None  # unstamped stays so
+
+    def test_csc_round_trip_keeps_fingerprint_epoch_precise(self, csr_small):
+        stamped = csr_small.with_version(5)
+        back = stamped.to_csc().to_csr()
+        assert back.version == 5
+        assert back.fingerprint() == stamped.fingerprint()
+        assert back.fingerprint() != csr_small.fingerprint()
+
+    def test_transpose_carries_version(self, csr_small):
+        stamped = csr_small.with_version(7)
+        transposed = stamped.transpose()
+        assert transposed.version == 7
+        # Double transpose lands back on the stamped fingerprint, not
+        # the unversioned one.
+        assert (
+            transposed.transpose().fingerprint() == stamped.fingerprint()
+        )
+
+    def test_sorted_indices_carries_version(self, csr_small):
+        stamped = csr_small.with_version(9)
+        assert stamped.sorted_indices().version == 9
+        assert csr_small.sorted_indices().version is None
+
+    def test_distinct_epochs_stay_distinct_through_derivation(
+        self, csr_small
+    ):
+        # Structurally identical epochs must not collide after a
+        # conversion round trip either.
+        fps = {
+            csr_small.with_version(v).to_csc().to_csr().fingerprint()
+            for v in range(3)
+        }
+        assert len(fps) == 3

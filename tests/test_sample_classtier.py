@@ -1,0 +1,210 @@
+"""Unit tests for structure classification and the class-tier bake-off."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.graphs import power_law_graph
+from repro.sample import classtier
+from repro.sample.classtier import (
+    ClassTier,
+    StructureClass,
+    _ceil_power,
+    _PaddedTemplate,
+    classify,
+    get_class_tier,
+    set_class_tier,
+)
+
+
+def _matrix(dense):
+    return CSRMatrix.from_dense(np.asarray(dense, dtype=float))
+
+
+@pytest.fixture
+def flat5():
+    # 5 rows x 1 nnz each: perfectly flat degree profile.
+    return _matrix(np.eye(5))
+
+
+class TestClassify:
+    def test_ceil_power(self):
+        assert _ceil_power(0, 2) == 1
+        assert _ceil_power(1, 2) == 1
+        assert _ceil_power(5, 2) == 8
+        assert _ceil_power(5, 4) == 16
+        assert _ceil_power(16, 4) == 16
+
+    def test_flat_profile(self, flat5):
+        cls = classify(flat5)
+        assert cls == StructureClass(row_bucket=8, nnz_bucket=16, profile="flat")
+        assert cls.label == "r8.n16.flat"
+
+    def test_hub_profile(self):
+        dense = np.zeros((16, 16))
+        dense[0, :] = 1.0  # one hub row
+        dense[1:, 0] = 1.0
+        cls = classify(_matrix(dense))
+        assert cls.profile == "hub"
+
+    def test_skewed_profile(self):
+        dense = np.zeros((8, 8))
+        dense[:, 0] = 1.0
+        dense[0, 1:5] = 1.0  # max 5 vs mean 1.5: between the boundaries
+        assert classify(_matrix(dense)).profile == "skewed"
+
+    def test_same_class_regardless_of_values(self, flat5):
+        rescaled = flat5.with_values(flat5.values * 7.0)
+        assert classify(rescaled) == classify(flat5)
+
+
+class TestPaddedTemplate:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(0)
+        matrix = power_law_graph(n_nodes=60, nnz=400, max_degree=20, seed=1)
+        dense = rng.random((matrix.n_cols, 4))
+        template = _PaddedTemplate(row_capacity=64)
+        out = template.multiply(matrix, dense)
+        assert np.allclose(out, matrix.multiply_dense(dense), atol=1e-9)
+
+    def test_reuse_across_different_shapes(self):
+        # The grids are shared class state: a second, differently shaped
+        # matrix must not see the first one's leftover entries.
+        rng = np.random.default_rng(1)
+        template = _PaddedTemplate(row_capacity=8)
+        wide = _matrix(rng.random((6, 6)) * (rng.random((6, 6)) < 0.8))
+        narrow = _matrix(np.eye(4))
+        dense6 = rng.random((6, 3))
+        dense4 = rng.random((4, 3))
+        assert np.allclose(
+            template.multiply(wide, dense6),
+            wide.multiply_dense(dense6),
+            atol=1e-9,
+        )
+        assert np.allclose(
+            template.multiply(narrow, dense4),
+            narrow.multiply_dense(dense4),
+            atol=1e-9,
+        )
+
+    def test_grows_past_initial_capacity(self):
+        rng = np.random.default_rng(2)
+        template = _PaddedTemplate(row_capacity=2)
+        big = _matrix(rng.random((10, 10)) * (rng.random((10, 10)) < 0.5))
+        dense = rng.random((10, 2))
+        assert np.allclose(
+            template.multiply(big, dense),
+            big.multiply_dense(dense),
+            atol=1e-9,
+        )
+        assert template.row_capacity >= 10
+
+    def test_empty_matrix(self):
+        empty = _matrix(np.zeros((3, 3)))
+        out = _PaddedTemplate(row_capacity=4).multiply(
+            empty, np.ones((3, 2))
+        )
+        assert np.array_equal(out, np.zeros((3, 2)))
+
+
+class TestClassTier:
+    def test_first_request_misses_then_hits(self, flat5):
+        tier = ClassTier()
+        dense = np.random.default_rng(0).random((5, 3))
+        out, backend, hit = tier.execute(flat5, dense)
+        assert not hit
+        assert backend.startswith("class:")
+        assert np.allclose(out, flat5.multiply_dense(dense), atol=1e-9)
+        # Any same-class subgraph reuses the winner, even with other values.
+        sibling = flat5.with_values(flat5.values * 2.0)
+        out2, backend2, hit2 = tier.execute(sibling, dense)
+        assert hit2
+        assert backend2 == backend
+        assert np.allclose(out2, sibling.multiply_dense(dense), atol=1e-9)
+        stats = tier.stats()
+        assert (stats.classes, stats.hits, stats.misses) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_distinct_classes_learn_separately(self, flat5):
+        tier = ClassTier()
+        rng = np.random.default_rng(3)
+        big = power_law_graph(n_nodes=128, nnz=900, max_degree=60, seed=2)
+        tier.execute(flat5, rng.random((5, 2)))
+        tier.execute(big, rng.random((big.n_cols, 2)))
+        assert len(tier) == 2
+        assert tier.stats().misses == 2
+
+    def test_measure_rounds_delay_the_decision(self, flat5):
+        tier = ClassTier(measure_rounds=2)
+        dense = np.random.default_rng(0).random((5, 2))
+        _, _, hit1 = tier.execute(flat5, dense)
+        _, _, hit2 = tier.execute(flat5, dense)
+        _, _, hit3 = tier.execute(flat5, dense)
+        assert (hit1, hit2, hit3) == (False, False, True)
+
+    def test_disqualified_candidate_never_wins(self, flat5, monkeypatch):
+        # A candidate whose output disagrees with the reference oracle is
+        # dropped for the class, however fast it is.
+        monkeypatch.setattr(
+            classtier,
+            "_run_direct",
+            lambda matrix, dense: np.zeros(
+                (matrix.n_rows, dense.shape[1])
+            ),
+        )
+        tier = ClassTier(executors=("direct", "reference"))
+        dense = np.random.default_rng(0).random((5, 3))
+        out, backend, _ = tier.execute(flat5, dense)
+        assert backend == "class:reference"
+        assert np.allclose(out, flat5.multiply_dense(dense), atol=1e-9)
+        out2, backend2, hit = tier.execute(flat5, dense)
+        assert (backend2, hit) == ("class:reference", True)
+        assert np.allclose(out2, flat5.multiply_dense(dense), atol=1e-9)
+
+    def test_every_executor_agrees_with_reference(self, flat5):
+        # Force each candidate to run as the class winner and check it.
+        rng = np.random.default_rng(4)
+        matrix = power_law_graph(n_nodes=40, nnz=260, max_degree=12, seed=5)
+        dense = rng.random((matrix.n_cols, 3))
+        expected = matrix.multiply_dense(dense)
+        for name in ("padded", "direct", "engine", "reference"):
+            tier = ClassTier(
+                executors=(name, "reference")
+                if name != "reference"
+                else ("reference",)
+            )
+            out, _, _ = tier.execute(matrix, dense)
+            assert np.allclose(out, expected, atol=1e-9), name
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ClassTier(executors=("reference", "magic"))
+        with pytest.raises(ValueError, match="reference"):
+            ClassTier(executors=("direct",))
+        with pytest.raises(ValueError, match="measure_rounds"):
+            ClassTier(measure_rounds=0)
+
+    def test_dimension_mismatch(self, flat5):
+        with pytest.raises(ValueError, match="mismatch"):
+            ClassTier().execute(flat5, np.ones((4, 2)))
+
+    def test_clear_and_stats_to_dict(self, flat5):
+        tier = ClassTier()
+        tier.execute(flat5, np.ones((5, 1)))
+        report = tier.stats().to_dict()
+        assert report["classes"] == 1
+        assert report["plans"][0]["class"] == "r8.n16.flat"
+        assert report["plans"][0]["executor"] in (
+            "padded", "direct", "engine", "reference"
+        )
+        tier.clear()
+        assert len(tier) == 0
+        assert tier.stats().requests == 0
+
+    def test_process_wide_swap(self):
+        fresh = ClassTier()
+        previous = set_class_tier(fresh)
+        try:
+            assert get_class_tier() is fresh
+        finally:
+            set_class_tier(previous)

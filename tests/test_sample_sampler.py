@@ -1,0 +1,164 @@
+"""Unit tests for fanout sampling and the Zipf seed generator."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.graphs import power_law_graph
+from repro.sample.index import NeighborIndex, NeighborIndexCache
+from repro.sample.sampler import (
+    FanoutSampler,
+    ZipfSeedGenerator,
+    sample_ego,
+)
+from repro.sample.index import set_neighbor_index_cache
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(n_nodes=200, nnz=1_400, max_degree=60, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return NeighborIndex(graph)
+
+
+class TestFanoutSampler:
+    def test_deterministic_under_identical_rng(self, index):
+        a = FanoutSampler(index, (10, 5)).sample(
+            0, np.random.default_rng(42)
+        )
+        b = FanoutSampler(index, (10, 5)).sample(
+            0, np.random.default_rng(42)
+        )
+        assert np.array_equal(a.nodes, b.nodes)
+        assert a.hop_counts == b.hop_counts
+
+    def test_seed_is_first_and_nodes_distinct(self, index):
+        result = FanoutSampler(index, (4, 4)).sample(
+            7, np.random.default_rng(0)
+        )
+        assert result.nodes[0] == 7
+        assert len(set(result.nodes.tolist())) == len(result.nodes)
+
+    def test_hop_counts_partition_the_node_set(self, index):
+        result = FanoutSampler(index, (6, 3, 2)).sample(
+            1, np.random.default_rng(1)
+        )
+        assert result.hop_counts[0] == 1
+        assert sum(result.hop_counts) == len(result.nodes)
+
+    def test_fanout_caps_hop_growth(self, index):
+        fanouts = (3, 2)
+        result = FanoutSampler(index, fanouts).sample(
+            0, np.random.default_rng(5)
+        )
+        # Hop 1 draws from one frontier node; hop 2 from at most 3.
+        assert result.hop_counts[1] <= 3
+        if len(result.hop_counts) > 2:
+            assert result.hop_counts[2] <= result.hop_counts[1] * 2
+        assert len(result.nodes) <= 1 + 3 + 3 * 2
+
+    def test_non_positive_fanout_keeps_all_neighbors(self, index, graph):
+        result = FanoutSampler(index, (-1,)).sample(
+            0, np.random.default_rng(0)
+        )
+        row = set(
+            graph.column_indices[
+                graph.row_pointers[0]:graph.row_pointers[1]
+            ].tolist()
+        )
+        assert set(result.nodes.tolist()) == row | {0}
+
+    def test_sampled_neighbors_are_real_edges(self, index, graph):
+        result = FanoutSampler(index, (5,)).sample(
+            2, np.random.default_rng(9)
+        )
+        row = set(
+            graph.column_indices[
+                graph.row_pointers[2]:graph.row_pointers[3]
+            ].tolist()
+        )
+        assert set(result.nodes[1:].tolist()) <= row
+
+    def test_dead_end_stops_early(self):
+        # Node 1 has no neighbors: the walk is just the seed.
+        matrix = CSRMatrix.from_dense(
+            np.array([[0.0, 1.0], [0.0, 0.0]])
+        )
+        result = FanoutSampler(NeighborIndex(matrix), (4, 4)).sample(
+            1, np.random.default_rng(0)
+        )
+        assert result.nodes.tolist() == [1]
+        assert result.hop_counts == (1, 0)
+
+    def test_validation(self, index):
+        with pytest.raises(ValueError, match="at least one hop"):
+            FanoutSampler(index, ())
+        with pytest.raises(ValueError, match="out of range"):
+            FanoutSampler(index, (3,)).sample(
+                10_000, np.random.default_rng(0)
+            )
+
+
+class TestSampleEgo:
+    def test_returns_consistent_subgraph(self, graph):
+        ego = sample_ego(graph, 0, fanouts=(6, 3), rng=np.random.default_rng(0))
+        assert ego.seed == 0
+        assert ego.nodes[0] == 0
+        assert ego.matrix.n_rows == len(ego.nodes)
+        assert ego.fanouts == (6, 3)
+        dense = graph.to_dense()
+        assert np.allclose(
+            ego.matrix.to_dense(),
+            dense[np.ix_(ego.nodes, ego.nodes)],
+        )
+
+    def test_deterministic_with_explicit_rng(self, graph):
+        a = sample_ego(graph, 3, rng=np.random.default_rng(11))
+        b = sample_ego(graph, 3, rng=np.random.default_rng(11))
+        assert np.array_equal(a.nodes, b.nodes)
+
+    def test_uses_process_wide_index_cache(self, graph):
+        fresh = NeighborIndexCache()
+        previous = set_neighbor_index_cache(fresh)
+        try:
+            sample_ego(graph, 0, rng=np.random.default_rng(0))
+            sample_ego(graph, 1, rng=np.random.default_rng(1))
+            assert (fresh.misses, fresh.hits) == (1, 1)
+        finally:
+            set_neighbor_index_cache(previous)
+
+
+class TestZipfSeedGenerator:
+    def test_ranked_by_descending_degree(self):
+        degrees = np.array([1, 9, 3, 9, 0])
+        gen = ZipfSeedGenerator(degrees, alpha=1.0)
+        # Ties broken by ascending node id.
+        assert gen.ranked_nodes.tolist() == [1, 3, 2, 0, 4]
+
+    def test_alpha_zero_is_uniform(self):
+        gen = ZipfSeedGenerator(np.arange(5), alpha=0.0)
+        assert np.allclose(gen.probabilities, 0.2)
+
+    def test_hubs_dominate_draws(self):
+        degrees = np.zeros(50)
+        degrees[17] = 100.0
+        gen = ZipfSeedGenerator(
+            degrees, alpha=1.5, rng=np.random.default_rng(0)
+        )
+        draws = gen.draw(500)
+        assert (draws >= 0).all() and (draws < 50).all()
+        # Rank 1 carries by far the largest weight.
+        assert (draws == 17).mean() > 0.3
+
+    def test_for_matrix_ranks_by_row_length(self, graph):
+        gen = ZipfSeedGenerator.for_matrix(graph, alpha=1.0)
+        assert gen.ranked_nodes[0] == int(np.argmax(graph.row_lengths))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ZipfSeedGenerator(np.empty(0))
+        with pytest.raises(ValueError, match="alpha"):
+            ZipfSeedGenerator(np.ones(3), alpha=-0.1)

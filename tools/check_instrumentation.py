@@ -34,7 +34,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PACKAGES = ("core", "engine", "gpu", "multicore", "serve")
+PACKAGES = ("core", "engine", "gpu", "multicore", "sample", "serve")
 
 ENTRY_PREFIXES = ("run_", "execute_", "simulate")
 REQUIRED_FUNCTIONS = {
@@ -59,6 +59,14 @@ OBS_REQUIRED_MODULES = (
     "src/repro/resilience/chaos_update.py",
     "src/repro/obs/rtrace.py",
     "src/repro/obs/slo.py",
+    # The sampling subsystem: every module must be visible in traces —
+    # a sampler or class-tier decision that leaves no signal makes the
+    # ego-workload latency attribution unreconcilable.
+    "src/repro/sample/index.py",
+    "src/repro/sample/sampler.py",
+    "src/repro/sample/extract.py",
+    "src/repro/sample/classtier.py",
+    "src/repro/sample/bench.py",
 )
 _OBS_CALLS = {"counter", "gauge", "histogram", "span", "instant", "instrumented"}
 # Receiver names a signal call may hang off: `obs.counter(...)` in

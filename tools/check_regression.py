@@ -61,15 +61,25 @@ def kernel_metrics(record: dict) -> "dict[str, tuple[float, str]]":
 
 
 def serve_metrics(record: dict) -> "dict[str, tuple[float, str]]":
-    """``{metric: (value, direction)}`` from one serve-bench record."""
-    steady = (record.get("serve") or {}).get("steady") or {}
+    """``{metric: (value, direction)}`` from one serve-bench record.
+
+    The serve trajectory interleaves workloads (``full`` and ``ego``
+    share ``BENCH_serve.json``), so non-default workloads get their own
+    metric namespace — an ego run must never shift the full-workload
+    baseline or be judged against it.  Records predating the workload
+    knob count as ``full``.
+    """
+    serve = record.get("serve") or {}
+    steady = serve.get("steady") or {}
+    workload = (serve.get("config") or {}).get("workload") or "full"
+    suffix = "" if workload == "full" else f"[{workload}]"
     metrics: "dict[str, tuple[float, str]]" = {}
     p95 = (steady.get("latency_ms") or {}).get("p95")
     if p95:
-        metrics["steady.latency_ms.p95"] = (float(p95), LOWER)
+        metrics[f"steady.latency_ms.p95{suffix}"] = (float(p95), LOWER)
     rps = steady.get("throughput_rps")
     if rps:
-        metrics["steady.throughput_rps"] = (float(rps), HIGHER)
+        metrics[f"steady.throughput_rps{suffix}"] = (float(rps), HIGHER)
     return metrics
 
 
