@@ -13,6 +13,12 @@ Subcommands:
   matrices, expired deadlines) into a live serving stack under Poisson
   load and verify the failure-domain guards catch every one; see
   :mod:`repro.resilience.chaos_serve`.
+* ``chaos-proc`` — attack the process-isolated execution tier (worker
+  SIGKILLs mid-batch, busy-loop hangs, heartbeat loss, memory hogs,
+  poison requests, torn shared-memory segments) and verify every
+  failure is contained with a terminal status, an explanatory health
+  cause, and zero oracle disagreements; see
+  :mod:`repro.resilience.chaos_proc`.
 * ``chaos-update`` — race live graph updates against the serving stack
   (mid-batch, mid-compile, mid-eviction), verifying every response
   against a reference pinned to its admitted epoch and that caches
@@ -57,6 +63,10 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.resilience.chaos_serve import main as chaos_serve_main
 
         return chaos_serve_main(argv[1:])
+    if argv and argv[0] == "chaos-proc":
+        from repro.resilience.chaos_proc import main as chaos_proc_main
+
+        return chaos_proc_main(argv[1:])
     if argv and argv[0] == "chaos-update":
         from repro.resilience.chaos_update import main as chaos_update_main
 

@@ -65,6 +65,7 @@ STAGES = (
     "kernel",       # backend execution, excluding nested plan_compile
     "verify",       # output-oracle cross-check
     "fallback",     # verified_spmm recovery path
+    "ipc",          # process-pool transport: pickle, pipe, wakeups
     "scatter",      # per-request copy-out of the batched result
     "other",        # residual stamped at finalization
 )

@@ -56,6 +56,19 @@ class FaultPlan:
             :class:`~repro.serve.service.InferenceService`'s worker
             loop, *outside* the per-batch error handler, so the crash
             exercises the supervisor's restart path).
+        crash_proc: Probability that a process-pool worker subprocess
+            dies (``os._exit``) mid-batch — exercises the pool's crash
+            containment and respawn path
+            (:mod:`repro.serve.procpool`).
+        hang_proc: Probability that a worker subprocess busy-loops
+            forever instead of computing — exercises the heartbeat
+            reaper's SIGKILL path.
+        hog_proc: Probability that a worker subprocess balloons its RSS
+            before computing — exercises the pool's memory guard.
+        delay_proc: Probability that a worker subprocess sleeps
+            ``delay_proc_seconds`` before computing — opens a window
+            for externally-injected kills without corrupting results.
+        delay_proc_seconds: Sleep applied when the delay fault fires.
     """
 
     def __init__(
@@ -65,11 +78,20 @@ class FaultPlan:
         bitflip: float = 0.0,
         fail_unit: "int | None" = None,
         crash_worker: float = 0.0,
+        crash_proc: float = 0.0,
+        hang_proc: float = 0.0,
+        hog_proc: float = 0.0,
+        delay_proc: float = 0.0,
+        delay_proc_seconds: float = 0.5,
     ) -> None:
         for name, prob in (
             ("drop_atomic", drop_atomic),
             ("bitflip", bitflip),
             ("crash_worker", crash_worker),
+            ("crash_proc", crash_proc),
+            ("hang_proc", hang_proc),
+            ("hog_proc", hog_proc),
+            ("delay_proc", delay_proc),
         ):
             if not 0.0 <= prob <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {prob}")
@@ -78,6 +100,11 @@ class FaultPlan:
         self.bitflip = bitflip
         self.fail_unit = fail_unit
         self.crash_worker = crash_worker
+        self.crash_proc = crash_proc
+        self.hang_proc = hang_proc
+        self.hog_proc = hog_proc
+        self.delay_proc = delay_proc
+        self.delay_proc_seconds = delay_proc_seconds
         self.rng = np.random.default_rng(seed)
         self.injected: dict[str, int] = {}
         self.detected: dict[str, int] = {}
@@ -119,6 +146,27 @@ class FaultPlan:
             return False
         self.note_injected("worker-crash")
         return True
+
+    def proc_fault(self) -> "str | None":
+        """Roll the subprocess-worker faults in a fixed order.
+
+        Returns the first fault kind that fires — ``"crash"``,
+        ``"hang"``, ``"hog"`` or ``"delay"`` — or ``None``.  The pool
+        rolls this in the *parent* (the plan's RNG stays deterministic
+        and single-process) and ships the verdict to the child with the
+        batch.
+        """
+        for kind, prob in (
+            ("crash", self.crash_proc),
+            ("hang", self.hang_proc),
+            ("hog", self.hog_proc),
+            ("delay", self.delay_proc),
+        ):
+            if prob > 0.0 and self.rng.random() < prob:
+                if kind != "delay":
+                    self.note_injected(f"proc-{kind}")
+                return kind
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -5,7 +5,8 @@ milliseconds:
 
 * :func:`call_with_timeout` — run a callable with a wall-clock budget,
   raising :class:`ExperimentTimeoutError` when it is exhausted; workers
-  abandoned past the budget stay visible through the
+  run as daemon threads (an abandoned worker can never block interpreter
+  shutdown) and stay visible through the
   ``resilience.harness.abandoned_workers`` gauge;
 * :func:`retry_with_backoff` — bounded retry with exponential backoff
   and optional deterministic jitter.
@@ -13,7 +14,6 @@ milliseconds:
 
 from __future__ import annotations
 
-import concurrent.futures
 import threading
 import time
 from typing import Callable, TypeVar
@@ -32,15 +32,18 @@ def call_with_timeout(
 ) -> T:
     """Call ``fn()`` with a wall-clock timeout.
 
-    The call runs in a worker thread; on timeout the caller gets
-    :class:`ExperimentTimeoutError` immediately.  Python threads cannot
-    be killed, so the abandoned worker may keep running in the background
-    until its current experiment finishes — the harness records the
-    timeout and moves on, which is the graceful-degradation contract.
-    Every abandonment increments the
-    ``resilience.harness.abandoned_workers`` gauge, and the gauge drops
-    back when the abandoned call eventually finishes, so a leak of
-    stuck workers is visible in ``obs-report`` instead of silent.
+    The call runs in a *daemon* worker thread; on timeout the caller
+    gets :class:`ExperimentTimeoutError` immediately.  Python threads
+    cannot be killed, so the abandoned worker may keep running in the
+    background until its current experiment finishes — the harness
+    records the timeout and moves on, which is the graceful-degradation
+    contract — but being a daemon it can never block interpreter
+    shutdown (non-daemon threads are joined at exit, so a wedged worker
+    used to hang the whole process on the way out).  Every abandonment
+    increments the ``resilience.harness.abandoned_workers`` gauge, and
+    the gauge drops back when the abandoned call eventually finishes, so
+    a leak of stuck workers is visible in ``obs-report`` instead of
+    silent.
 
     Args:
         fn: Zero-argument callable.
@@ -52,24 +55,26 @@ def call_with_timeout(
         raise ValueError(f"timeout must be positive, got {timeout}")
     state_lock = threading.Lock()
     state = {"abandoned": False, "finished": False}
+    outcome: dict = {}
+    done = threading.Event()
 
-    def tracked() -> T:
+    def tracked() -> None:
         try:
-            return fn()
+            outcome["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            outcome["error"] = exc
         finally:
             with state_lock:
                 state["finished"] = True
                 if state["abandoned"]:
                     obs.gauge("resilience.harness.abandoned_workers").add(-1)
+            done.set()
 
-    # No ``with``: the context manager's exit joins worker threads, which
-    # would block the caller on the very worker it just abandoned.
-    pool = concurrent.futures.ThreadPoolExecutor(max_workers=1)
-    future = pool.submit(tracked)
-    try:
-        return future.result(timeout=timeout)
-    except concurrent.futures.TimeoutError:
-        future.cancel()
+    worker = threading.Thread(
+        target=tracked, name="repro-timeout-worker", daemon=True
+    )
+    worker.start()
+    if not done.wait(timeout):
         with state_lock:
             if not state["finished"]:
                 state["abandoned"] = True
@@ -78,9 +83,9 @@ def call_with_timeout(
         raise ExperimentTimeoutError(
             f"call exceeded its {timeout:g}s wall-clock budget"
         ) from None
-    finally:
-        # Don't block harness shutdown on an abandoned worker.
-        pool.shutdown(wait=False, cancel_futures=True)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]
 
 
 def retry_with_backoff(

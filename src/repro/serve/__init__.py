@@ -17,6 +17,12 @@ The ROADMAP's request path on top of the one-shot experiment harness:
   every breaker is open).
 * :mod:`repro.serve.guard` — :class:`CircuitBreaker` and
   :class:`WorkerSupervisor`, the failure-domain guards.
+* :mod:`repro.serve.procpool` — :class:`ProcessWorkerPool`: the
+  ``isolation="process"`` execution tier — subprocess workers attached
+  zero-copy to shared-memory CSR segments (:mod:`repro.shm`), with a
+  heartbeat reaper that SIGKILLs hung workers, crash containment to the
+  affected batch (terminal ``worker_crashed`` status), poison-request
+  quarantine, and RSS-based memory guards.
 * :mod:`repro.serve.epoch` — :class:`GraphEpochManager`: RCU-style
   epoch management for live graph updates (atomic snapshot install,
   read leases pinning in-flight epochs, precise cache invalidation of
@@ -70,6 +76,17 @@ from repro.serve.plancache import (
     repair_plan,
     set_plan_cache,
 )
+from repro.serve.procpool import (
+    QUARANTINED,
+    WORKER_CRASHED,
+    PoolError,
+    ProcessWorkerPool,
+    ProcPoolConfig,
+    ProcResult,
+    QuarantinedError,
+    WorkerCrashError,
+    poison_key,
+)
 from repro.serve.service import (
     EgoSubmission,
     InferenceService,
@@ -96,16 +113,25 @@ __all__ = [
     "InferenceService",
     "PlanCache",
     "PlanCacheStats",
+    "PoolError",
+    "ProcPoolConfig",
+    "ProcResult",
+    "ProcessWorkerPool",
+    "QUARANTINED",
+    "QuarantinedError",
     "RepairedPlan",
     "ServeConfig",
     "ServeResponse",
     "UNHEALTHY",
+    "WORKER_CRASHED",
+    "WorkerCrashError",
     "WorkerPoolExhausted",
     "WorkerSupervisor",
     "compile_plan",
     "default_backends",
     "evaluate_health",
     "get_plan_cache",
+    "poison_key",
     "repair_plan",
     "set_plan_cache",
 ]

@@ -244,8 +244,14 @@ class WorkerSupervisor:
             *unstarted* thread whose target reports termination through
             :meth:`note_crash` / :meth:`note_exit`.
         n_workers: Initial pool size.
-        restart_budget: Total respawns allowed across the pool's
-            lifetime; the budget bounds crash loops.
+        restart_budget: Respawns allowed per ``restart_window`` seconds;
+            the budget bounds crash loops.
+        restart_window: Length of the sliding window the budget applies
+            to.  A sustained crash *rate* above ``restart_budget`` per
+            window exhausts the pool, while isolated transient bursts
+            spread over a long-running service's lifetime do not.
+            ``None`` restores the historical lifetime-total semantics
+            (the budget never replenishes).
         on_exhausted: Callback fired once when the budget runs out (the
             service uses it to fail queued work instead of hanging it).
         clock: Monotonic clock injection point for tests.
@@ -257,6 +263,7 @@ class WorkerSupervisor:
         n_workers: int,
         *,
         restart_budget: int = 3,
+        restart_window: "float | None" = None,
         on_exhausted: "Callable[[], None] | None" = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -266,15 +273,21 @@ class WorkerSupervisor:
             raise ValueError(
                 f"restart_budget must be >= 0, got {restart_budget}"
             )
+        if restart_window is not None and restart_window <= 0:
+            raise ValueError(
+                f"restart_window must be positive or None, got {restart_window}"
+            )
         self._spawn = spawn
         self.n_workers = n_workers
         self.restart_budget = restart_budget
+        self.restart_window = restart_window
         self._on_exhausted = on_exhausted
         self._clock = clock
         self._lock = threading.Lock()
         self._threads: "dict[int, threading.Thread]" = {}
         self._next_id = 0
         self.restarts = 0
+        self._restart_times: "deque[float]" = deque()
         self.crashes: "list[dict]" = []
         self.exhausted = False
 
@@ -312,6 +325,15 @@ class WorkerSupervisor:
         with self._lock:
             self._threads.pop(worker_id, None)
 
+    def _budget_left_locked(self, now: float) -> bool:
+        """Whether the (possibly windowed) restart budget has room."""
+        if self.restart_window is None:
+            return self.restarts < self.restart_budget
+        cutoff = now - self.restart_window
+        while self._restart_times and self._restart_times[0] < cutoff:
+            self._restart_times.popleft()
+        return len(self._restart_times) < self.restart_budget
+
     def note_crash(self, worker_id: int, exc: BaseException) -> bool:
         """A worker died of ``exc``; respawn within budget.
 
@@ -322,16 +344,18 @@ class WorkerSupervisor:
         fire_exhausted = False
         with self._lock:
             self._threads.pop(worker_id, None)
+            now = self._clock()
             self.crashes.append(
                 {
                     "worker_id": worker_id,
                     "error": f"{type(exc).__name__}: {exc}",
-                    "at": self._clock(),
+                    "at": now,
                 }
             )
             obs.counter("serve.supervisor.crashes").inc()
-            if self.restarts < self.restart_budget:
+            if self._budget_left_locked(now):
                 self.restarts += 1
+                self._restart_times.append(now)
                 obs.counter("serve.supervisor.restarts").inc()
                 self._spawn_locked()
                 respawned = True
@@ -361,11 +385,18 @@ class WorkerSupervisor:
     def snapshot(self) -> dict:
         """Machine-readable pool state for health reports."""
         with self._lock:
+            if self.restart_window is None:
+                windowed = None
+            else:
+                cutoff = self._clock() - self.restart_window
+                windowed = sum(1 for at in self._restart_times if at >= cutoff)
             return {
                 "n_workers": self.n_workers,
                 "alive": sum(1 for t in self._threads.values() if t.is_alive()),
                 "restarts": self.restarts,
                 "restart_budget": self.restart_budget,
+                "restart_window": self.restart_window,
+                "restarts_in_window": windowed,
                 "crashes": len(self.crashes),
                 "exhausted": self.exhausted,
                 "last_crash": (

@@ -17,10 +17,14 @@ Severity model:
   probing, recent worker crashes/restarts, queue near saturation, a
   deadline-miss rate above threshold, a route burning (or having
   exhausted) its SLO error budget (``slo-burn-high`` /
-  ``slo-budget-exhausted``; see :mod:`repro.obs.slo`), or — on
+  ``slo-budget-exhausted``; see :mod:`repro.obs.slo`), — on
   epoch-managed services — in-flight leases pinning old graph epochs
   (``epoch-lag-high``) or the delta log nearing forced compaction
-  (``compaction-backlog``; see :mod:`repro.serve.epoch`).
+  (``compaction-backlog``; see :mod:`repro.serve.epoch`), or — with
+  process isolation — quarantined poison requests
+  (``worker-quarantine-active``), workers reaped for missed heartbeats
+  (``heartbeat-misses-high``), or pool RSS past the admission highwater
+  (``memory-pressure``; see :mod:`repro.serve.procpool`).
 * **HEALTHY** — none of the above.
 
 Each evaluation sets the ``serve.health.severity`` gauge
@@ -69,6 +73,10 @@ class HealthPolicy:
             (``log_size / compact_threshold``) at or above which the
             service degrades: sustained update pressure is about to
             force a compaction (a full rebase) on the serving path.
+        heartbeat_kills_degraded: Process-isolation pools only: recent
+            heartbeat-miss SIGKILLs (workers reaped for going silent
+            while idle) at or above which the service degrades with
+            ``heartbeat-misses-high``.
     """
 
     queue_saturation: float = 0.8
@@ -79,6 +87,7 @@ class HealthPolicy:
     slo_min_samples: int = 16
     epoch_lag_degraded: int = 4
     compaction_backlog_degraded: float = 0.9
+    heartbeat_kills_degraded: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.queue_saturation <= 1.0:
@@ -116,6 +125,11 @@ class HealthPolicy:
             raise ValueError(
                 "compaction_backlog_degraded must be positive, "
                 f"got {self.compaction_backlog_degraded}"
+            )
+        if self.heartbeat_kills_degraded < 1:
+            raise ValueError(
+                "heartbeat_kills_degraded must be >= 1, "
+                f"got {self.heartbeat_kills_degraded}"
             )
 
 
@@ -326,6 +340,52 @@ def evaluate_health(
                     f"delta log at {epochs.get('log_size', 0)}/"
                     f"{epochs.get('compact_threshold', 0)} "
                     f"({backlog:.0%} of the compaction threshold)",
+                )
+            )
+
+    procpool = snapshot.get("procpool") or {}
+    if procpool:
+        pool_supervisor = procpool.get("supervisor") or {}
+        if pool_supervisor.get("exhausted"):
+            causes.append(
+                HealthCause(
+                    "worker-pool-exhausted",
+                    UNHEALTHY,
+                    "process worker pool spent its restart budget "
+                    f"({pool_supervisor.get('restart_budget')}) after "
+                    f"{pool_supervisor.get('crashes')} worker deaths",
+                )
+            )
+        quarantine = procpool.get("quarantine") or {}
+        if quarantine.get("active", 0) > 0:
+            causes.append(
+                HealthCause(
+                    "worker-quarantine-active",
+                    DEGRADED,
+                    f"{quarantine['active']} poison request(s) quarantined "
+                    f"(threshold {quarantine.get('threshold')} worker "
+                    "deaths each)",
+                )
+            )
+        heartbeat_kills = procpool.get("heartbeat_kills_recent", 0)
+        if heartbeat_kills >= policy.heartbeat_kills_degraded:
+            causes.append(
+                HealthCause(
+                    "heartbeat-misses-high",
+                    DEGRADED,
+                    f"{heartbeat_kills} worker(s) recently SIGKILLed for "
+                    "missed heartbeats",
+                )
+            )
+        memory = procpool.get("memory") or {}
+        if memory.get("pressure"):
+            causes.append(
+                HealthCause(
+                    "memory-pressure",
+                    DEGRADED,
+                    f"pool RSS {memory.get('total_rss_bytes', 0)} at or "
+                    f"above the {memory.get('highwater_bytes')} admission "
+                    "highwater; shedding new work",
                 )
             )
 

@@ -703,6 +703,7 @@ def run_overload(config: BenchConfig) -> "tuple[_ScenarioTally, _Verifier]":
         max_wait_ms=50.0,
         n_workers=1,
         request_timeout=config.service.request_timeout,
+        isolation=config.service.isolation,
     )
     tally = _ScenarioTally()
     verifier = _Verifier()
@@ -763,6 +764,13 @@ def run_bench(config: BenchConfig) -> dict:
                 steady, steady_verifier, extra = run_steady(config, service)
             health = service.health()
             slo_report = slo_tracker.report()
+            # Process-isolation tier: worker crash/restart/heartbeat and
+            # zero-copy statistics, captured before the pool closes.
+            procpool_stats = (
+                service._proc_pool.snapshot()
+                if service._proc_pool is not None
+                else None
+            )
         cache_stats = plan_cache.stats()
         class_tier_stats = (
             dispatcher.resolve_class_tier().stats().to_dict()
@@ -795,6 +803,7 @@ def run_bench(config: BenchConfig) -> dict:
             "max_batch": config.service.max_batch,
             "max_wait_ms": config.service.max_wait_ms,
             "n_workers": config.service.n_workers,
+            "isolation": config.service.isolation,
             "deadline_ms": config.deadline_ms,
             "update_rate": config.update_rate,
             "update_batch_max": config.update_batch_max,
@@ -852,6 +861,7 @@ def run_bench(config: BenchConfig) -> dict:
             "verified": overload_verifier.verified,
             "mismatches": overload_verifier.mismatches,
         },
+        **({"procpool": procpool_stats} if procpool_stats is not None else {}),
         "health": health.to_dict(),
         "slo": slo_report,
         "flight_recorder": flight_recorder.to_dict(),
@@ -934,6 +944,21 @@ def render_summary(report: dict) -> str:
             f"{stream_epochs.get('compactions', 0)} compaction(s), "
             f"{stream_epochs.get('retired_epochs', 0)} retirement(s)"
         )
+    procpool = report.get("procpool")
+    if procpool is not None:
+        kills = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(procpool["kills"].items())
+            if count
+        )
+        lines.append(
+            f"  procpool  : {procpool['executed']} batch(es), "
+            f"{procpool['supervisor']['restarts']} restart(s), "
+            f"kills: {kills or 'none'}, "
+            f"{procpool['quarantine']['active']} quarantined, "
+            f"{procpool['zero_copy']['per_request_graph_bytes_copied']} "
+            "graph bytes copied/request"
+        )
     health = report.get("health")
     if health is not None:
         causes = ", ".join(c["kind"] for c in health["causes"]) or "none"
@@ -1006,6 +1031,15 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--zipf-s", type=float, default=1.1)
     parser.add_argument("--epsilon", type=float, default=0.1)
     parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--isolation", choices=("thread", "process"), default="thread",
+        help=(
+            "execution tier: in-process worker threads (default) or "
+            "process-isolated subprocess workers over shared-memory "
+            "graph segments (crash/hang/OOM containment; see "
+            "docs/ROBUSTNESS.md)"
+        ),
+    )
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--max-queue", type=int, default=64)
@@ -1077,6 +1111,7 @@ def main(argv: "list[str] | None" = None) -> int:
             max_wait_ms=args.max_wait_ms,
             n_workers=args.workers,
             request_timeout=args.timeout,
+            isolation=args.isolation,
         ),
     )
 

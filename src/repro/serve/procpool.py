@@ -1,0 +1,978 @@
+"""Process-isolated execution workers over shared-memory graph segments.
+
+Every execution tier before this one ran as threads inside a single
+Python process, so one hung, crashed, or memory-hogging worker could
+stall or kill the whole service — ``call_with_timeout`` can only
+*abandon* a stuck thread, never kill it.  :class:`ProcessWorkerPool`
+closes that gap: each worker is a real OS subprocess that attaches the
+graph zero-copy from a checksummed shared-memory CSR segment
+(:mod:`repro.shm`), takes batches over a pipe, and is *supervised from
+outside its own failure domain*:
+
+* **Heartbeat liveness.**  Idle workers beat on their pipe every
+  ``heartbeat_interval``; a worker that stops beating (wedged
+  interpreter, stuck import, swap death) past ``heartbeat_timeout`` is
+  SIGKILLed and respawned.  Busy workers are covered by the per-batch
+  deadline instead: a batch that outlives its budget gets its worker
+  SIGKILLed by the reaper — an actual kill, where the thread tier could
+  only abandon.
+* **Crash containment.**  A worker dying mid-batch (segfault, OOM kill,
+  ``os._exit``) fails exactly that batch's requests with a terminal
+  :data:`WORKER_CRASHED` status; the pool respawns the worker under the
+  shared :class:`~repro.serve.guard.WorkerSupervisor` restart-budget
+  semantics and every other queued request proceeds.
+* **Poison-request quarantine.**  A request whose content has killed or
+  hung workers ``poison_threshold`` times is quarantined: answered
+  immediately with a terminal :data:`QUARANTINED` error and never again
+  allowed near a worker, so one poison input cannot crash-loop the pool
+  to exhaustion.
+* **Memory guards.**  The reaper SIGKILLs any worker whose RSS passes
+  ``worker_rss_limit_bytes`` *before* the OS OOM-killer picks a victim
+  at random, and :meth:`ProcessWorkerPool.memory_pressure` lets the
+  service shed new work at admission once the pool's total RSS passes
+  ``memory_highwater_bytes``.
+* **Torn-segment detection.**  Workers verify each segment's BLAKE2b
+  digests at attach; a corrupted segment is reported (never computed
+  on), republished from the parent's pristine copy, and every worker's
+  stale attach cache is flushed by respawn.
+
+The graph payload is never serialized per request: workers attach the
+published segment once per epoch and hold numpy views into the shared
+pages (:class:`~repro.shm.AttachedCSR.copied_bytes` stays 0, which the
+chaos suite asserts).  Only the per-request dense operands travel the
+pipe, and that transport cost is attributed to the ``ipc`` request-trace
+stage (:mod:`repro.obs.rtrace`).
+
+Wire-up: ``InferenceService(config=ServeConfig(isolation="process"))``
+builds and owns one of these pools; ``python -m repro chaos-proc``
+drives the containment matrix end to end.  See ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.formats import CSRMatrix
+from repro.obs import rtrace
+from repro.resilience import faults
+from repro.serve.guard import WorkerSupervisor
+from repro.shm import SegmentChecksumError, attach_csr, publish_csr
+
+# Terminal response statuses owned by the process tier (the service
+# re-exports them next to OK/REJECTED/ERROR/DEADLINE_EXCEEDED).
+WORKER_CRASHED = "worker_crashed"
+QUARANTINED = "quarantined"
+
+# Kill reasons that count as the in-flight request's fault and strike
+# its poison key; "segment-flush" and plain shutdown kills do not.
+_POISON_REASONS = ("crash", "hang-timeout", "rss-limit")
+
+
+class PoolError(RuntimeError):
+    """Base class for process-pool execution failures.
+
+    ``status`` is the terminal :class:`~repro.serve.service.ServeResponse`
+    status the service should answer the affected requests with.
+    """
+
+    status = "error"
+
+
+class WorkerCrashError(PoolError):
+    """The batch's worker died (crash, hang reap, or RSS kill)."""
+
+    status = WORKER_CRASHED
+
+    def __init__(self, message: str, reason: str = "crash") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class QuarantinedError(PoolError):
+    """The request's content is quarantined as poison."""
+
+    status = QUARANTINED
+
+
+@dataclass(frozen=True)
+class ProcPoolConfig:
+    """Tunables of one :class:`ProcessWorkerPool`.
+
+    Attributes:
+        n_workers: Worker subprocesses.
+        heartbeat_interval: Idle-worker beat period (also the reaper's
+            scan period), in seconds.
+        heartbeat_timeout: An *idle* worker silent this long is presumed
+            wedged and SIGKILLed.
+        hang_timeout: Default per-batch execution budget; a busy worker
+            past it is SIGKILLed (per-call ``timeout`` tightens this).
+        poison_threshold: Worker deaths attributable to one request
+            content before it is quarantined.
+        quarantine_capacity: Most-recent quarantine entries retained
+            (bounded so an adversarial key stream cannot grow memory).
+        worker_rss_limit_bytes: Per-worker RSS above which the reaper
+            SIGKILLs (``None`` disables).
+        memory_highwater_bytes: Pool-wide RSS (parent + workers) above
+            which :meth:`ProcessWorkerPool.memory_pressure` reports
+            pressure so admission can shed (``None`` disables).
+        segment_cache_capacity: Published segments kept live in the
+            parent (per distinct graph fingerprint; LRU beyond this).
+        restart_budget: Worker respawns allowed per ``restart_window``
+            seconds (see :class:`~repro.serve.guard.WorkerSupervisor`).
+        restart_window: Sliding window for the restart budget; ``None``
+            makes the budget a lifetime total.
+        start_method: ``multiprocessing`` start method.  ``fork`` keeps
+            respawn latency in the low milliseconds; workers run a
+            deliberately minimal loop (pipe + numpy only) so inherited
+            parent state is never touched.
+    """
+
+    n_workers: int = 2
+    heartbeat_interval: float = 0.05
+    heartbeat_timeout: float = 2.0
+    hang_timeout: float = 30.0
+    poison_threshold: int = 2
+    quarantine_capacity: int = 64
+    worker_rss_limit_bytes: "int | None" = None
+    memory_highwater_bytes: "int | None" = None
+    segment_cache_capacity: int = 4
+    restart_budget: int = 8
+    restart_window: "float | None" = 60.0
+    start_method: str = "fork"
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        for name in ("heartbeat_interval", "heartbeat_timeout", "hang_timeout"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.poison_threshold < 1:
+            raise ValueError(
+                f"poison_threshold must be >= 1, got {self.poison_threshold}"
+            )
+        if self.quarantine_capacity < 1:
+            raise ValueError(
+                f"quarantine_capacity must be >= 1, got {self.quarantine_capacity}"
+            )
+        if self.segment_cache_capacity < 1:
+            raise ValueError(
+                "segment_cache_capacity must be >= 1, "
+                f"got {self.segment_cache_capacity}"
+            )
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.start_method not in ("fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}"
+            )
+
+
+@dataclass
+class ProcResult:
+    """One successful pool execution (mirrors ``DispatchResult`` fields)."""
+
+    output: np.ndarray
+    backend: str = "procpool"
+    fallback_used: bool = False
+    kernel_seconds: float = 0.0
+    ipc_seconds: float = 0.0
+    copied_bytes: int = 0
+    worker_id: int = -1
+
+
+def poison_key(matrix_fingerprint: str, dense: np.ndarray) -> str:
+    """Content identity of one request for quarantine accounting.
+
+    Covers the graph (by value fingerprint) *and* the dense operand
+    bytes: two requests are "the same poison" only when a worker would
+    execute the identical computation.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(matrix_fingerprint.encode())
+    dense = np.ascontiguousarray(dense, dtype=np.float64)
+    digest.update(repr(dense.shape).encode())
+    digest.update(dense.data)
+    return digest.hexdigest()
+
+
+def rss_bytes(pid: "int | None" = None) -> int:
+    """Resident set size of ``pid`` (default: this process), in bytes."""
+    try:
+        with open(f"/proc/{pid or os.getpid()}/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-proc OS
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Worker subprocess
+# ----------------------------------------------------------------------
+def _apply_fault(fault: "str | None", delay_seconds: float) -> None:
+    """Honor an injected fault marker shipped with the batch."""
+    if fault == "crash":
+        os._exit(23)
+    if fault == "hang":
+        while True:  # reaped by the parent's SIGKILL
+            time.sleep(0.01)
+    if fault == "hog":
+        hog = []
+        # Bounded balloon: enough to cross any test RSS limit without
+        # actually endangering the host; then stall holding it so the
+        # reaper (RSS guard or hang timeout) must do the killing.
+        for _ in range(24):
+            hog.append(np.ones(1 << 21))  # 16 MiB per chunk
+            time.sleep(0.002)
+        while True:
+            time.sleep(0.01)
+    if fault == "delay":
+        time.sleep(delay_seconds)
+
+
+def _worker_entry(
+    worker_id: int,
+    conn,
+    heartbeat_interval: float,
+    segment_cache_capacity: int,
+) -> None:
+    """Worker subprocess main loop: beat while idle, compute on demand.
+
+    Deliberately minimal — pipe + numpy + segment attach, nothing else —
+    so a ``fork``-started child never touches inherited parent state
+    (locks, sockets, the obs registry).  Metrics collection is switched
+    off first thing for the same reason.
+    """
+    try:
+        obs.disable()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    attached: "OrderedDict[str, object]" = OrderedDict()
+    try:
+        while True:
+            if not conn.poll(heartbeat_interval):
+                try:
+                    conn.send(("beat", rss_bytes()))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "stop":
+                return
+            if message[0] != "exec":  # pragma: no cover - protocol guard
+                continue
+            _, job_id, meta, stacked, fault, delay_seconds = message
+            _apply_fault(fault, delay_seconds)
+            try:
+                entry = attached.get(meta.name)
+                if entry is None:
+                    entry = attach_csr(meta, verify=True)
+                    attached[meta.name] = entry
+                    while len(attached) > segment_cache_capacity:
+                        attached.popitem(last=False)[1].close()
+                else:
+                    attached.move_to_end(meta.name)
+                started = time.perf_counter()
+                output = entry.matrix.multiply_dense(stacked)
+                kernel_seconds = time.perf_counter() - started
+                conn.send(
+                    ("result", job_id, output, kernel_seconds, entry.copied_bytes)
+                )
+            except SegmentChecksumError as exc:
+                stale = attached.pop(meta.name, None)
+                if stale is not None:
+                    stale.close()
+                conn.send(("error", job_id, "segment_corrupt", str(exc)))
+            except Exception as exc:  # noqa: BLE001 - report, stay alive
+                conn.send(
+                    ("error", job_id, "exec_error", f"{type(exc).__name__}: {exc}")
+                )
+    finally:
+        for entry in attached.values():
+            entry.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+@dataclass
+class _Job:
+    job_id: int
+    keys: "tuple[str, ...]"
+    event: threading.Event = field(default_factory=threading.Event)
+    result: "ProcResult | None" = None
+    error: "tuple[str, str] | None" = None  # (kind, message)
+    crash_reason: "str | None" = None
+
+
+class _Slot:
+    """Parent-side state of one worker subprocess."""
+
+    def __init__(self, worker_id: int, proc, conn, now: float) -> None:
+        self.worker_id = worker_id
+        self.proc = proc
+        self.conn = conn
+        self.job: "_Job | None" = None
+        self.busy_deadline: "float | None" = None
+        self.last_beat = now
+        self.reported_rss = 0
+        self.kill_reason: "str | None" = None
+        self.dead = False
+
+
+class _ProcHandle:
+    """Adapter giving a worker Process the supervisor's thread interface."""
+
+    def __init__(self, proc, after_start) -> None:
+        self._proc = proc
+        self._after_start = after_start
+
+    def start(self) -> None:
+        self._proc.start()
+        self._after_start()
+
+    def is_alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def join(self, timeout: "float | None" = None) -> None:
+        self._proc.join(timeout)
+
+    def kill(self) -> None:
+        self._proc.kill()
+
+    @property
+    def pid(self) -> "int | None":
+        return self._proc.pid
+
+
+class ProcessWorkerPool:
+    """Supervised pool of subprocess workers over shared CSR segments.
+
+    Args:
+        config: Pool tunables; defaults to :class:`ProcPoolConfig`.
+
+    Use :meth:`start`/:meth:`close` (or as a context manager).  All
+    public methods are thread-safe: many service worker threads call
+    :meth:`execute` concurrently, each blocking until a subprocess
+    returns its batch.
+    """
+
+    def __init__(self, config: "ProcPoolConfig | None" = None) -> None:
+        self.config = config or ProcPoolConfig()
+        self._ctx = multiprocessing.get_context(self.config.start_method)
+        self._cond = threading.Condition()
+        self._slots: "dict[int, _Slot]" = {}
+        self._jobs = 0
+        self._started = False
+        self._closed = False
+        # Published segments by graph value-fingerprint (LRU).
+        self._segments: "OrderedDict[str, object]" = OrderedDict()
+        self._seg_lock = threading.Lock()
+        # Poison accounting: strikes per key, plus the bounded
+        # quarantine set itself.
+        self._strikes: "OrderedDict[str, int]" = OrderedDict()
+        self._quarantined: "OrderedDict[str, str]" = OrderedDict()
+        # Kill/telemetry counters.
+        self.kills = {"hang-timeout": 0, "heartbeat-miss": 0, "rss-limit": 0}
+        self._heartbeat_kill_times: "deque[float]" = deque(maxlen=256)
+        self.executed = 0
+        self.republished = 0
+        self.max_request_copied_bytes = 0
+        self.supervisor = WorkerSupervisor(
+            self._spawn_worker,
+            self.config.n_workers,
+            restart_budget=self.config.restart_budget,
+            restart_window=self.config.restart_window,
+        )
+        self._reaper: "threading.Thread | None" = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ProcessWorkerPool":
+        with self._cond:
+            if self._closed:
+                raise PoolError("pool is closed")
+            if self._started:
+                return self
+            self._started = True
+        self.supervisor.start()
+        self._reaper = threading.Thread(
+            target=self._reaper_loop, name="procpool-reaper", daemon=True
+        )
+        self._reaper.start()
+        obs.counter("serve.procpool.started").inc()
+        return self
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            slots = list(self._slots.values())
+            self._cond.notify_all()
+        for slot in slots:
+            try:
+                slot.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for slot in slots:
+            slot.proc.join(max(0.0, deadline - time.monotonic()))
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(1.0)
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        if self._reaper is not None:
+            self._reaper.join(2.0)
+        with self._seg_lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+        for segment in segments:
+            segment.close()
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Spawning (via the supervisor)
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, worker_id: int) -> _ProcHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(
+                worker_id,
+                child_conn,
+                self.config.heartbeat_interval,
+                self.config.segment_cache_capacity,
+            ),
+            name=f"procpool-worker-{worker_id}",
+            daemon=True,
+        )
+        slot = _Slot(worker_id, proc, parent_conn, time.monotonic())
+
+        def after_start() -> None:
+            # The parent's copy of the child end must close or the
+            # receiver would never see EOF when the worker dies.
+            child_conn.close()
+            with self._cond:
+                self._slots[worker_id] = slot
+                self._cond.notify_all()
+            threading.Thread(
+                target=self._receiver_loop,
+                args=(slot,),
+                name=f"procpool-recv-{worker_id}",
+                daemon=True,
+            ).start()
+
+        return _ProcHandle(proc, after_start)
+
+    # ------------------------------------------------------------------
+    # Receiver + reaper threads
+    # ------------------------------------------------------------------
+    def _receiver_loop(self, slot: _Slot) -> None:
+        """Drain one worker's pipe until it dies; then run the death path."""
+        while True:
+            try:
+                message = slot.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "beat":
+                with self._cond:
+                    slot.last_beat = time.monotonic()
+                    slot.reported_rss = message[1]
+                continue
+            if kind == "result":
+                _, job_id, output, kernel_seconds, copied = message
+                with self._cond:
+                    job = slot.job
+                    if job is None or job.job_id != job_id:
+                        continue  # reply for a job already failed over
+                    job.result = ProcResult(
+                        output=output,
+                        kernel_seconds=kernel_seconds,
+                        copied_bytes=copied,
+                        worker_id=slot.worker_id,
+                    )
+                    slot.job = None
+                    slot.busy_deadline = None
+                    slot.last_beat = time.monotonic()
+                    self.executed += 1
+                    self.max_request_copied_bytes = max(
+                        self.max_request_copied_bytes, copied
+                    )
+                    self._cond.notify_all()
+                job.event.set()
+                obs.counter("serve.procpool.batches").inc()
+                continue
+            if kind == "error":
+                _, job_id, err_kind, err_message = message
+                with self._cond:
+                    job = slot.job
+                    if job is None or job.job_id != job_id:
+                        continue
+                    job.error = (err_kind, err_message)
+                    slot.job = None
+                    slot.busy_deadline = None
+                    slot.last_beat = time.monotonic()
+                    self._cond.notify_all()
+                job.event.set()
+                obs.counter(
+                    "serve.procpool.worker_errors", kind=err_kind
+                ).inc()
+        self._handle_worker_death(slot)
+
+    def _handle_worker_death(self, slot: _Slot) -> None:
+        """EOF on a worker pipe: contain, account, respawn."""
+        with self._cond:
+            if slot.dead:
+                return
+            slot.dead = True
+            closed = self._closed
+            self._slots.pop(slot.worker_id, None)
+            job = slot.job
+            slot.job = None
+            reason = slot.kill_reason or "crash"
+            self._cond.notify_all()
+        slot.proc.join(1.0)
+        try:
+            slot.conn.close()
+        except OSError:
+            pass
+        if closed:
+            if job is not None:  # pragma: no cover - shutdown race
+                job.crash_reason = reason
+                job.event.set()
+            return
+        obs.counter("serve.procpool.worker_deaths", reason=reason).inc()
+        if job is not None:
+            job.crash_reason = reason
+            if reason in _POISON_REASONS:
+                self._strike(job.keys)
+            job.event.set()
+        plan = faults.active_plan()
+        fault_kind = {
+            "crash": "proc-crash",
+            "hang-timeout": "proc-hang",
+            "heartbeat-miss": "proc-hang",
+            "rss-limit": "proc-hog",
+        }.get(reason)
+        if plan is not None and fault_kind is not None:
+            plan.note_detected(fault_kind)
+        respawned = self.supervisor.note_crash(
+            slot.worker_id,
+            WorkerCrashError(f"worker died ({reason})", reason=reason),
+        )
+        if respawned and plan is not None and fault_kind is not None:
+            plan.note_recovered(fault_kind)
+        with self._cond:
+            self._cond.notify_all()
+
+    def _reaper_loop(self) -> None:
+        """SIGKILL workers that hang, go silent, or balloon their RSS."""
+        interval = self.config.heartbeat_interval
+        while True:
+            time.sleep(interval)
+            with self._cond:
+                if self._closed:
+                    return
+                slots = list(self._slots.values())
+            now = time.monotonic()
+            for slot in slots:
+                if slot.dead or not slot.proc.is_alive():
+                    continue
+                reason = None
+                limit = self.config.worker_rss_limit_bytes
+                if limit is not None:
+                    rss = rss_bytes(slot.proc.pid)
+                    if rss > limit:
+                        reason = "rss-limit"
+                if reason is None and slot.busy_deadline is not None:
+                    if now >= slot.busy_deadline:
+                        reason = "hang-timeout"
+                elif reason is None and slot.job is None:
+                    if now - slot.last_beat > self.config.heartbeat_timeout:
+                        reason = "heartbeat-miss"
+                if reason is None:
+                    continue
+                with self._cond:
+                    if slot.dead or slot.kill_reason is not None:
+                        continue
+                    # Revalidate under the lock: the unlocked scan above
+                    # races job hand-off, and an idle-silence verdict
+                    # must not kill a worker that just went busy (its
+                    # batch would be blamed on a heartbeat miss).
+                    if reason == "heartbeat-miss" and slot.job is not None:
+                        continue
+                    if reason == "hang-timeout" and (
+                        slot.busy_deadline is None
+                        or now < slot.busy_deadline
+                    ):
+                        continue
+                    slot.kill_reason = reason
+                    self.kills[reason] += 1
+                    if reason == "heartbeat-miss":
+                        self._heartbeat_kill_times.append(now)
+                obs.counter("serve.procpool.reaped", reason=reason).inc()
+                # SIGKILL; the receiver thread sees EOF and runs the
+                # death path (fail job, strike poison, respawn).
+                slot.proc.kill()
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+    def segment_for(self, matrix: CSRMatrix):
+        """Published segment for ``matrix`` (publish-once, LRU-bounded).
+
+        The cache keys on the *value* fingerprint (which folds in the
+        epoch version), so ``apply_updates`` installing a new epoch
+        republished automatically on first use.
+        """
+        fingerprint = matrix.fingerprint(include_values=True)
+        with self._seg_lock:
+            segment = self._segments.get(fingerprint)
+            if segment is not None:
+                self._segments.move_to_end(fingerprint)
+                return segment
+        # Publish outside the lock (O(nnz) copy), then install.
+        fresh = publish_csr(matrix)
+        evicted = []
+        with self._seg_lock:
+            racer = self._segments.get(fingerprint)
+            if racer is not None:
+                evicted.append(fresh)
+                segment = racer
+            else:
+                self._segments[fingerprint] = fresh
+                segment = fresh
+                while len(self._segments) > self.config.segment_cache_capacity:
+                    evicted.append(self._segments.popitem(last=False)[1])
+        for stale in evicted:
+            stale.close()
+        return segment
+
+    def _republish_after_corruption(self, matrix: CSRMatrix, bad_name: str) -> None:
+        """Replace a corrupted segment and flush every worker's caches.
+
+        Workers cache attaches per segment *name*; a republish gets a
+        fresh name, but a worker that attached before the corruption
+        would keep computing on the torn pages.  Killing the workers is
+        the only way to guarantee no stale mapping survives — they
+        respawn in milliseconds with cold caches.
+        """
+        fingerprint = matrix.fingerprint(include_values=True)
+        with self._seg_lock:
+            current = self._segments.get(fingerprint)
+            already_replaced = current is not None and current.name != bad_name
+            if not already_replaced:
+                self._segments.pop(fingerprint, None)
+        if already_replaced:
+            return
+        if current is not None:
+            current.close()
+        self.republished += 1
+        obs.counter("serve.procpool.segments_republished").inc()
+        plan = faults.active_plan()
+        if plan is not None:
+            plan.note_detected("segment-corrupt")
+            plan.note_recovered("segment-corrupt")
+        with self._cond:
+            victims = [s for s in self._slots.values() if not s.dead]
+            for slot in victims:
+                if slot.kill_reason is None:
+                    slot.kill_reason = "segment-flush"
+        for slot in victims:
+            if slot.proc.is_alive():
+                slot.proc.kill()
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _strike(self, keys: "tuple[str, ...]") -> None:
+        quarantined_now = False
+        with self._cond:
+            for key in keys:
+                strikes = self._strikes.get(key, 0) + 1
+                self._strikes[key] = strikes
+                self._strikes.move_to_end(key)
+                while len(self._strikes) > 4 * self.config.quarantine_capacity:
+                    self._strikes.popitem(last=False)
+                if (
+                    strikes >= self.config.poison_threshold
+                    and key not in self._quarantined
+                ):
+                    self._quarantined[key] = (
+                        f"{strikes} worker deaths attributed to this request"
+                    )
+                    while len(self._quarantined) > self.config.quarantine_capacity:
+                        self._quarantined.popitem(last=False)
+                    quarantined_now = True
+        if quarantined_now:
+            obs.counter("serve.procpool.quarantined").inc()
+            plan = faults.active_plan()
+            if plan is not None:
+                plan.note_detected("poison-request")
+                plan.note_recovered("poison-request")
+
+    def is_quarantined(self, key: "str | None") -> bool:
+        if key is None:
+            return False
+        with self._cond:
+            return key in self._quarantined
+
+    def quarantine_size(self) -> int:
+        with self._cond:
+            return len(self._quarantined)
+
+    # ------------------------------------------------------------------
+    # Memory pressure
+    # ------------------------------------------------------------------
+    def total_rss_bytes(self) -> int:
+        """Parent + live-worker resident set, in bytes."""
+        total = rss_bytes()
+        with self._cond:
+            pids = [
+                s.proc.pid
+                for s in self._slots.values()
+                if not s.dead and s.proc.is_alive()
+            ]
+        for pid in pids:
+            total += rss_bytes(pid)
+        return total
+
+    def memory_pressure(self) -> bool:
+        """Whether admission should shed on pool-wide memory pressure."""
+        highwater = self.config.memory_highwater_bytes
+        if highwater is None:
+            return False
+        pressured = self.total_rss_bytes() >= highwater
+        if pressured:
+            obs.counter("serve.procpool.memory_pressure").inc()
+        return pressured
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _acquire_slot(self, job: _Job, deadline: "float | None") -> _Slot:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise PoolError("pool is closed")
+                if self.supervisor.exhausted:
+                    raise WorkerCrashError(
+                        "worker pool exhausted (restart budget spent)",
+                        reason="exhausted",
+                    )
+                for slot in self._slots.values():
+                    # A slot marked for death (reaper or segment flush)
+                    # may still look alive for a few ms; handing it a
+                    # job would fail that job for nothing.
+                    if slot.dead or slot.job is not None:
+                        continue
+                    if slot.kill_reason is not None:
+                        continue
+                    if not slot.proc.is_alive():
+                        continue
+                    slot.job = job
+                    return slot
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise PoolError(
+                        "no idle process worker within the batch budget"
+                    )
+                self._cond.wait(timeout=self.config.heartbeat_interval)
+
+    def execute(
+        self,
+        matrix: CSRMatrix,
+        stacked: np.ndarray,
+        *,
+        keys: "tuple[str, ...]" = (),
+        timeout: "float | None" = None,
+    ) -> ProcResult:
+        """Run ``matrix @ stacked`` on a worker subprocess.
+
+        Args:
+            matrix: Sparse operand; published to (or reused from) the
+                shared-segment cache — never serialized per request.
+            stacked: Column-stacked dense operands of the batch (the
+                only per-request payload on the pipe).
+            keys: Poison keys of the batch's members (see
+                :func:`poison_key`); worker deaths strike them and a
+                quarantined key fails fast with
+                :class:`QuarantinedError`.
+            timeout: Batch budget in seconds.  Unlike the thread tier's
+                ``call_with_timeout`` — which can only abandon — the
+                budget here is enforced by the reaper SIGKILLing the
+                worker, so a hung batch *terminates*.
+
+        Raises:
+            QuarantinedError: A member's content is quarantined.
+            WorkerCrashError: The worker died mid-batch (killed, hung
+                past budget, RSS guard) or the pool is exhausted.
+            PoolError: Transport/execution errors (terminal ``error``).
+
+        On success the call attributes the worker-reported kernel time
+        to the ``kernel`` request-trace stage and the remaining wall
+        time (pickle, pipe, wakeups) to ``ipc`` for every active
+        request context.
+        """
+        for key in keys:
+            if self.is_quarantined(key):
+                raise QuarantinedError(
+                    "request content is quarantined after repeatedly "
+                    "killing workers"
+                )
+        started = time.monotonic()
+        deadline = started + timeout if timeout is not None else None
+        budget = min(
+            timeout if timeout is not None else self.config.hang_timeout,
+            self.config.hang_timeout,
+        )
+        segment = self.segment_for(matrix)
+        attempts = 0
+        while True:
+            attempts += 1
+            with self._cond:
+                self._jobs += 1
+                job = _Job(job_id=self._jobs, keys=tuple(keys))
+            slot = self._acquire_slot(job, deadline)
+            plan = faults.active_plan()
+            fault = plan.proc_fault() if plan is not None else None
+            delay_seconds = (
+                plan.delay_proc_seconds if plan is not None else 0.0
+            )
+            with self._cond:
+                slot.busy_deadline = time.monotonic() + budget
+            try:
+                slot.conn.send(
+                    ("exec", job.job_id, segment.meta, stacked, fault,
+                     delay_seconds)
+                )
+            except (BrokenPipeError, OSError):
+                # Worker died between acquire and send; its death path
+                # respawns it — just try another slot.
+                with self._cond:
+                    if slot.job is job:
+                        slot.job = None
+                        slot.busy_deadline = None
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise WorkerCrashError(
+                        "worker died before accepting the batch"
+                    ) from None
+                continue
+            # The reaper guarantees termination (SIGKILL past budget),
+            # so this wait always ends; the slack covers reap + EOF
+            # delivery.
+            job.event.wait(budget + 10.0 * self.config.heartbeat_interval + 5.0)
+            if job.result is not None:
+                wall = time.monotonic() - started
+                job.result.ipc_seconds = max(
+                    0.0, wall - job.result.kernel_seconds
+                )
+                rtrace.attribute("kernel", job.result.kernel_seconds)
+                rtrace.attribute("ipc", job.result.ipc_seconds)
+                obs.histogram("serve.procpool.ipc_seconds").observe(
+                    job.result.ipc_seconds
+                )
+                return job.result
+            if job.error is not None:
+                kind, message = job.error
+                if kind == "segment_corrupt":
+                    self._republish_after_corruption(matrix, segment.meta.name)
+                    if attempts <= 2:
+                        segment = self.segment_for(matrix)
+                        continue
+                    raise PoolError(
+                        f"segment corrupt after republish: {message}"
+                    )
+                raise PoolError(f"worker execution error: {message}")
+            reason = job.crash_reason or "hang-timeout"
+            if reason == "segment-flush" and attempts <= 2:
+                # The worker was killed to flush stale attach caches
+                # after a corrupt segment — not this request's fault;
+                # re-resolve the segment and run it elsewhere.
+                segment = self.segment_for(matrix)
+                continue
+            raise WorkerCrashError(
+                f"worker crashed mid-batch ({reason})", reason=reason
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def heartbeat_kills_recent(self, window_seconds: float) -> int:
+        cutoff = time.monotonic() - window_seconds
+        with self._cond:
+            return sum(1 for at in self._heartbeat_kill_times if at >= cutoff)
+
+    def snapshot(self) -> dict:
+        """Machine-readable pool state for health reports and benches."""
+        supervisor = self.supervisor.snapshot()
+        with self._cond:
+            kills = dict(self.kills)
+            quarantine = {
+                "active": len(self._quarantined),
+                "threshold": self.config.poison_threshold,
+                "strikes": sum(self._strikes.values()),
+            }
+            executed = self.executed
+            max_copied = self.max_request_copied_bytes
+            idle = sum(
+                1
+                for s in self._slots.values()
+                if s.job is None and not s.dead
+            )
+        with self._seg_lock:
+            segments = {
+                "active": len(self._segments),
+                "republished": self.republished,
+            }
+        highwater = self.config.memory_highwater_bytes
+        total_rss = self.total_rss_bytes()
+        return {
+            "isolation": "process",
+            "supervisor": supervisor,
+            "idle_workers": idle,
+            "executed": executed,
+            "kills": kills,
+            "heartbeat_kills_recent": self.heartbeat_kills_recent(30.0),
+            "quarantine": quarantine,
+            "segments": segments,
+            "memory": {
+                "total_rss_bytes": total_rss,
+                "highwater_bytes": highwater,
+                "worker_limit_bytes": self.config.worker_rss_limit_bytes,
+                "pressure": (
+                    highwater is not None and total_rss >= highwater
+                ),
+            },
+            "zero_copy": {
+                "per_request_graph_bytes_copied": max_copied,
+            },
+        }

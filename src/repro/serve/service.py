@@ -55,6 +55,7 @@ from repro.formats import CSRMatrix
 from repro.obs import rtrace
 from repro.obs.slo import SLOTracker
 from repro.resilience import faults
+from repro.resilience.oracles import check_output
 from repro.resilience.runtime import ExperimentTimeoutError, call_with_timeout
 from repro.sample import EgoSubgraph, gather_features, sample_ego
 from repro.serve.dispatch import AdaptiveDispatcher
@@ -62,11 +63,23 @@ from repro.serve.epoch import EpochLease, GraphEpochManager
 from repro.serve.guard import WorkerSupervisor
 from repro.serve.health import HealthPolicy, HealthReport, evaluate_health
 from repro.serve.plancache import PlanCache
+from repro.serve.procpool import (
+    QUARANTINED,
+    WORKER_CRASHED,
+    PoolError,
+    ProcessWorkerPool,
+    ProcPoolConfig,
+    QuarantinedError,
+    WorkerCrashError,
+    poison_key,
+)
 
 OK = "ok"
 REJECTED = "rejected"
 ERROR = "error"
 DEADLINE_EXCEEDED = "deadline_exceeded"
+# WORKER_CRASHED / QUARANTINED (terminal statuses of the process
+# isolation tier) are re-exported from repro.serve.procpool above.
 
 # Sliding window of recent request outcomes backing the health surface's
 # deadline-miss rate.
@@ -86,11 +99,24 @@ class ServeConfig:
         request_timeout: Per-batch wall-clock budget in seconds
             (``None`` disables; see :mod:`repro.resilience.runtime`).
             Request deadlines tighten this further per batch.
-        restart_budget: Total worker respawns the supervisor allows over
-            the service's lifetime before declaring the pool exhausted.
+        restart_budget: Worker respawns the supervisor allows (per
+            ``restart_window_seconds`` when set, else over the service's
+            lifetime) before declaring the pool exhausted.
+        restart_window_seconds: Sliding window for the restart budget
+            (see :class:`~repro.serve.guard.WorkerSupervisor`); ``None``
+            keeps the budget a lifetime total.
         verify: Cross-check every batch output against the independent
             reference before replying (failures degrade to the verified
-            fallback inside the dispatcher).
+            fallback inside the dispatcher; with process isolation the
+            check runs in the parent, outside the worker's failure
+            domain).
+        isolation: ``"thread"`` executes batches on this process's
+            worker threads through the adaptive dispatcher;
+            ``"process"`` executes them on supervised worker
+            *subprocesses* attached zero-copy to shared-memory graph
+            segments (:mod:`repro.serve.procpool`): crashes, hangs and
+            memory blowups are contained to the worker and answered
+            with terminal statuses instead of taking the service down.
     """
 
     max_queue: int = 64
@@ -99,9 +125,23 @@ class ServeConfig:
     n_workers: int = 2
     request_timeout: "float | None" = None
     restart_budget: int = 3
+    restart_window_seconds: "float | None" = None
     verify: bool = False
+    isolation: str = "thread"
 
     def __post_init__(self) -> None:
+        if self.isolation not in ("thread", "process"):
+            raise ValueError(
+                f"isolation must be 'thread' or 'process', got {self.isolation!r}"
+            )
+        if (
+            self.restart_window_seconds is not None
+            and self.restart_window_seconds <= 0
+        ):
+            raise ValueError(
+                "restart_window_seconds must be positive or None, "
+                f"got {self.restart_window_seconds}"
+            )
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_batch < 1:
@@ -233,6 +273,9 @@ class _Pending:
     # stage); reconciliation adds it on top of the admission-to-reply
     # latency so the stage sum equals the *full* end-to-end time.
     pre_seconds: float = 0.0
+    # Quarantine identity (graph fingerprint + dense bytes); set only
+    # when the service runs with process isolation.
+    poison_key: "str | None" = None
 
 
 class InferenceService:
@@ -255,6 +298,14 @@ class InferenceService:
             snapshot under an RCU read lease, :meth:`apply_updates`
             installs new epochs atomically, and :meth:`health` reports
             epoch lag and compaction backlog.
+        proc_pool: Process-isolation worker pool
+            (:class:`~repro.serve.procpool.ProcessWorkerPool`).
+            Passing one enables process isolation regardless of
+            ``config.isolation``; with ``config.isolation="process"``
+            and no pool given, the service builds and owns one (sized
+            by ``proc_config`` or ``config.n_workers``).
+        proc_config: Tunables for a service-built pool (ignored when
+            ``proc_pool`` is passed).
 
     Use as a context manager (``with InferenceService() as svc``) or call
     :meth:`start`/:meth:`close` explicitly.
@@ -269,12 +320,17 @@ class InferenceService:
         slo_tracker: "SLOTracker | None" = None,
         flight_recorder: "rtrace.FlightRecorder | None" = None,
         epoch_manager: "GraphEpochManager | None" = None,
+        proc_pool: "ProcessWorkerPool | None" = None,
+        proc_config: "ProcPoolConfig | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.dispatcher = dispatcher or AdaptiveDispatcher(
             plan_cache=plan_cache
         )
         self.epoch_manager = epoch_manager
+        self._proc_pool = proc_pool
+        self._proc_config = proc_config
+        self._owns_proc_pool = False
         self.slo = slo_tracker if slo_tracker is not None else SLOTracker()
         self.flight_recorder = (
             flight_recorder
@@ -309,10 +365,23 @@ class InferenceService:
             if self._started:
                 return self
             self._started = True
+        if self._proc_pool is None and self.config.isolation == "process":
+            import dataclasses
+
+            proc_config = self._proc_config or dataclasses.replace(
+                ProcPoolConfig(), n_workers=self.config.n_workers
+            )
+            self._proc_pool = ProcessWorkerPool(proc_config)
+            self._owns_proc_pool = True
+        if self._proc_pool is not None:
+            # Fork the worker subprocesses before spinning up this
+            # process's own thread churn.
+            self._proc_pool.start()
         self._supervisor = WorkerSupervisor(
             self._spawn_worker,
             self.config.n_workers,
             restart_budget=self.config.restart_budget,
+            restart_window=self.config.restart_window_seconds,
             on_exhausted=self._on_pool_exhausted,
         )
         self._supervisor.start()
@@ -330,6 +399,8 @@ class InferenceService:
         # If the pool died mid-drain (budget exhausted), whatever is
         # still queued must fail, never hang.
         self._abandon_queue("service closed with no live workers")
+        if self._proc_pool is not None and self._owns_proc_pool:
+            self._proc_pool.close()
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -515,6 +586,16 @@ class InferenceService:
             if lease is not None:
                 lease.release()
             raise
+        # Process-isolation admission inputs are gathered outside the
+        # lock: the poison key hashes the operands and the memory guard
+        # reads /proc.
+        pkey: "str | None" = None
+        memory_pressure = False
+        if self._proc_pool is not None:
+            pkey = poison_key(
+                matrix.fingerprint(include_values=True), dense
+            )
+            memory_pressure = self._proc_pool.memory_pressure()
         future: "Future[ServeResponse]" = Future()
         with self._cond:
             # Admission checks come before any id/metric allocation so
@@ -530,19 +611,61 @@ class InferenceService:
                 )
             request_id = next(self._ids)
             obs.counter("serve.service.submitted").inc()
+            if pkey is not None and self._proc_pool.is_quarantined(pkey):
+                # Poison content never reaches another worker: terminal
+                # answer at admission, no execution.
+                obs.counter("serve.service.quarantined").inc()
+                error = (
+                    "request content quarantined after repeatedly "
+                    "killing workers"
+                )
+                if lease is not None:
+                    lease.release()
+                future.set_result(
+                    ServeResponse(
+                        request_id=request_id,
+                        status=QUARANTINED,
+                        error=error,
+                    )
+                )
+                self.slo.observe(route, 0.0, ok=False)
+                self.flight_recorder.record(
+                    {
+                        "trace_id": None,
+                        "request_id": request_id,
+                        "route": route,
+                        "status": QUARANTINED,
+                        "total_seconds": 0.0,
+                        "stages": {},
+                        "events": {},
+                        "error": error,
+                    }
+                )
+                return future
             exhausted = (
                 self._supervisor is not None and self._supervisor.exhausted
+            ) or (
+                self._proc_pool is not None
+                and self._proc_pool.supervisor.exhausted
             )
-            if exhausted or len(self._queue) >= self.config.max_queue:
+            if (
+                exhausted
+                or memory_pressure
+                or len(self._queue) >= self.config.max_queue
+            ):
                 obs.counter("serve.service.rejected").inc()
-                error = (
-                    "worker pool exhausted (restart budget spent)"
-                    if exhausted
-                    else (
+                if exhausted:
+                    error = "worker pool exhausted (restart budget spent)"
+                elif memory_pressure:
+                    error = (
+                        "memory pressure: pool RSS at or above the "
+                        "admission highwater"
+                    )
+                else:
+                    error = (
                         f"queue full ({len(self._queue)} pending, "
                         f"bound {self.config.max_queue})"
                     )
-                )
                 if lease is not None:
                     # Never admitted: the lease must not pin its epoch.
                     lease.release()
@@ -599,6 +722,7 @@ class InferenceService:
                 epoch=lease.epoch if lease is not None else None,
                 use_class_tier=use_class_tier,
                 pre_seconds=pre_seconds,
+                poison_key=pkey,
             )
             self._queue.append(pending)
             obs.counter("serve.service.accepted").inc()
@@ -699,6 +823,8 @@ class InferenceService:
         }
         if self.epoch_manager is not None:
             snapshot["epochs"] = self.epoch_manager.stats()
+        if self._proc_pool is not None:
+            snapshot["procpool"] = self._proc_pool.snapshot()
         return evaluate_health(snapshot, policy)
 
     # ------------------------------------------------------------------
@@ -919,6 +1045,11 @@ class InferenceService:
         )
         obs.counter("serve.service.batches").inc()
         obs.histogram("serve.service.batch_size").observe(float(len(batch)))
+        if self._proc_pool is not None:
+            self._execute_batch_proc(
+                batch, queue_waits, started, contexts, matrix, stacked, width
+            )
+            return
 
         def dispatch_batch():
             # Activation happens *inside* the callable: call_with_timeout
@@ -956,6 +1087,123 @@ class InferenceService:
                 batch, queue_waits, started, f"{type(exc).__name__}: {exc}"
             )
             return
+        self._complete_batch(batch, queue_waits, started, result, width)
+
+    def _execute_batch_proc(
+        self,
+        batch: "list[_Pending]",
+        queue_waits: "list[float]",
+        started: float,
+        contexts: list,
+        matrix: CSRMatrix,
+        stacked: np.ndarray,
+        width: int,
+    ) -> None:
+        """Run one batch on the process-isolation pool.
+
+        The pool's reaper enforces the batch budget by SIGKILLing a
+        hung worker — no ``call_with_timeout`` thread-abandonment here —
+        and failures map to terminal statuses: crash/hang/RSS kill ->
+        :data:`WORKER_CRASHED` (or :data:`DEADLINE_EXCEEDED` for
+        members already past their deadline), quarantined content ->
+        :data:`QUARANTINED`, transport errors -> :data:`ERROR`.  With
+        ``config.verify`` the oracle cross-check runs here in the
+        parent, outside the worker's failure domain.
+        """
+        keys = tuple(p.poison_key for p in batch if p.poison_key is not None)
+
+        def run_on_pool():
+            with rtrace.activate(*contexts):
+                result = self._proc_pool.execute(
+                    matrix,
+                    stacked,
+                    keys=keys,
+                    timeout=self._batch_timeout(batch, started),
+                )
+                if self.config.verify:
+                    with rtrace.stage("verify"):
+                        check_output(matrix, stacked, result.output)
+                return result
+
+        try:
+            with obs.span(
+                "serve.service.batch",
+                batch_size=len(batch),
+                nnz=matrix.nnz,
+                dim=int(stacked.shape[1]),
+                isolation="process",
+                trace_ids=",".join(c.trace_id for c in contexts),
+            ):
+                result = run_on_pool()
+        except QuarantinedError as exc:
+            obs.counter("serve.service.quarantined").inc(len(batch))
+            self._fail_batch(
+                batch, queue_waits, started, str(exc), status=QUARANTINED
+            )
+            return
+        except WorkerCrashError as exc:
+            self._fail_crashed_batch(batch, queue_waits, started, exc)
+            return
+        except PoolError as exc:
+            self._fail_batch(batch, queue_waits, started, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - e.g. oracle failure
+            self._fail_batch(
+                batch, queue_waits, started, f"{type(exc).__name__}: {exc}"
+            )
+            return
+        self._complete_batch(batch, queue_waits, started, result, width)
+
+    def _fail_crashed_batch(
+        self,
+        batch: "list[_Pending]",
+        queue_waits: "list[float]",
+        started: float,
+        exc: WorkerCrashError,
+    ) -> None:
+        """Terminal per-member classification after a worker death.
+
+        Members already past their deadline answer
+        :data:`DEADLINE_EXCEEDED` (a hung worker reaped at the batch
+        budget *is* their deadline firing); everyone else answers the
+        terminal :data:`WORKER_CRASHED`.
+        """
+        now = time.monotonic()
+        for pending, wait in zip(batch, queue_waits):
+            if pending.deadline is not None and now >= pending.deadline:
+                status = DEADLINE_EXCEEDED
+                error = f"deadline exceeded during execution: {exc}"
+                obs.counter("serve.service.deadline_cutoff").inc()
+                self._record_miss(True)
+            else:
+                status = WORKER_CRASHED
+                error = str(exc)
+                obs.counter("serve.service.worker_crashed").inc()
+                self._record_miss(False)
+            total, attribution = self._settle_ledger(pending, now)
+            self._finalize(pending, status, error=error)
+            pending.future.set_result(
+                ServeResponse(
+                    request_id=pending.request_id,
+                    status=status,
+                    batch_size=len(batch),
+                    queue_seconds=wait,
+                    service_seconds=max(0.0, total - wait),
+                    error=error,
+                    trace_id=pending.ctx.trace_id,
+                    attribution=attribution,
+                    epoch=pending.epoch,
+                )
+            )
+
+    def _complete_batch(
+        self,
+        batch: "list[_Pending]",
+        queue_waits: "list[float]",
+        started: float,
+        result,
+        width: int,
+    ) -> None:
         obs.histogram("serve.service.latency_seconds").observe(
             time.monotonic() - started
         )
@@ -1048,17 +1296,19 @@ class InferenceService:
         queue_waits: "list[float]",
         started: float,
         error: str,
+        status: str = ERROR,
     ) -> None:
         now = time.monotonic()
-        obs.counter("serve.service.errors").inc(len(batch))
+        if status == ERROR:
+            obs.counter("serve.service.errors").inc(len(batch))
         for pending, wait in zip(batch, queue_waits):
             self._record_miss(False)
             total, attribution = self._settle_ledger(pending, now)
-            self._finalize(pending, ERROR, error=error)
+            self._finalize(pending, status, error=error)
             pending.future.set_result(
                 ServeResponse(
                     request_id=pending.request_id,
-                    status=ERROR,
+                    status=status,
                     batch_size=len(batch),
                     queue_seconds=wait,
                     service_seconds=max(0.0, total - wait),

@@ -351,3 +351,43 @@ class TestRunExperimentsDegradation:
         # resumed run re-ran nothing
         assert fake_experiments.count("ok1") == 1
         capsys.readouterr()
+
+
+class TestTimeoutWorkerIsDaemon:
+    def test_timed_out_call_does_not_block_interpreter_exit(self):
+        """Regression: the timeout worker must be a daemon thread.
+
+        A non-daemon worker abandoned by ``call_with_timeout`` would keep
+        the interpreter alive at shutdown until the stuck callable
+        finished — here 60s, far past the asserted exit window.
+        """
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import time\n"
+            "from repro.resilience.runtime import (\n"
+            "    ExperimentTimeoutError, call_with_timeout)\n"
+            "try:\n"
+            "    call_with_timeout(lambda: time.sleep(60), 0.1)\n"
+            "except ExperimentTimeoutError:\n"
+            "    print('timed-out-cleanly')\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        started = time.monotonic()
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=30.0,
+            env=env,
+        )
+        elapsed = time.monotonic() - started
+        assert proc.returncode == 0, proc.stderr
+        assert "timed-out-cleanly" in proc.stdout
+        assert elapsed < 20.0, (
+            f"interpreter took {elapsed:.1f}s to exit past a timed-out call"
+        )

@@ -306,3 +306,85 @@ class TestWorkerSupervisor:
         assert snap["exhausted"] is True
         assert snap["crashes"] == 1
         assert snap["last_crash"]["error"].startswith("RuntimeError")
+
+
+class TestWindowedRestartBudget:
+    """The sliding-window budget semantics (``restart_window``)."""
+
+    def _idle_supervisor(self, clock, **kwargs):
+        release = threading.Event()
+
+        def behaviour(worker_id, supervisor):
+            release.wait(timeout=10.0)
+
+        spawn, box = _worker_factory(behaviour)
+        supervisor = WorkerSupervisor(spawn, n_workers=1, clock=clock, **kwargs)
+        box["supervisor"] = supervisor
+        supervisor.start()
+        return supervisor, release
+
+    def test_budget_replenishes_as_crashes_age_out(self):
+        clock = _Clock()
+        supervisor, release = self._idle_supervisor(
+            clock, restart_budget=2, restart_window=10.0
+        )
+        try:
+            assert supervisor.note_crash(0, RuntimeError("a"))
+            assert supervisor.note_crash(1, RuntimeError("b"))
+            assert supervisor.restarts == 2
+            # A burst now would exhaust; spread past the window it doesn't.
+            clock.advance(11.0)
+            assert supervisor.note_crash(2, RuntimeError("c"))
+            assert supervisor.restarts == 3
+            assert not supervisor.exhausted
+            snap = supervisor.snapshot()
+            assert snap["restart_window"] == 10.0
+            assert snap["restarts_in_window"] == 1
+        finally:
+            release.set()
+            supervisor.join()
+
+    def test_burst_within_window_exhausts(self):
+        clock = _Clock()
+        fired = []
+        supervisor, release = self._idle_supervisor(
+            clock,
+            restart_budget=2,
+            restart_window=10.0,
+            on_exhausted=lambda: fired.append(1),
+        )
+        try:
+            assert supervisor.note_crash(0, RuntimeError("a"))
+            clock.advance(1.0)
+            assert supervisor.note_crash(1, RuntimeError("b"))
+            clock.advance(1.0)
+            assert not supervisor.note_crash(2, RuntimeError("c"))
+            assert supervisor.exhausted
+            assert fired == [1]
+        finally:
+            release.set()
+            supervisor.join()
+
+    def test_window_none_keeps_lifetime_total_semantics(self):
+        clock = _Clock()
+        supervisor, release = self._idle_supervisor(
+            clock, restart_budget=2, restart_window=None
+        )
+        try:
+            assert supervisor.note_crash(0, RuntimeError("a"))
+            assert supervisor.note_crash(1, RuntimeError("b"))
+            # No amount of elapsed time replenishes a lifetime budget.
+            clock.advance(10_000.0)
+            assert not supervisor.note_crash(2, RuntimeError("c"))
+            assert supervisor.exhausted
+            assert supervisor.snapshot()["restarts_in_window"] is None
+        finally:
+            release.set()
+            supervisor.join()
+
+    def test_window_validation(self):
+        spawn, _ = _worker_factory(lambda *a: None)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(spawn, n_workers=1, restart_window=0.0)
+        with pytest.raises(ValueError):
+            WorkerSupervisor(spawn, n_workers=1, restart_window=-5.0)

@@ -57,6 +57,12 @@ OBS_REQUIRED_MODULES = (
     "src/repro/serve/service.py",
     "src/repro/resilience/chaos_serve.py",
     "src/repro/resilience/chaos_update.py",
+    "src/repro/resilience/chaos_proc.py",
+    # Process isolation: segment publishes/attaches/checksum failures and
+    # every pool-side kill/quarantine/republish must leave a signal, or a
+    # reaped worker looks identical to one that never ran.
+    "src/repro/shm.py",
+    "src/repro/serve/procpool.py",
     "src/repro/obs/rtrace.py",
     "src/repro/obs/slo.py",
     # The sampling subsystem: every module must be visible in traces —
