@@ -40,6 +40,15 @@ Subcommands:
   thread pool, engine fast path) on synthetic power-law datasets and
   record rows/s + GFLOP-equivalents in ``BENCH_kernel.json``; see
   :mod:`repro.engine.bench` and ``docs/PERFORMANCE.md``.
+* ``shard-bench`` — measure N-shard multi-process SpMM (scatter ->
+  per-shard SpMM -> halo gather) against the single-process kernel,
+  record rows/s, speedup, halo bytes and partition imbalance in
+  ``BENCH_shard.json``; see :mod:`repro.shard.bench` and
+  ``docs/SHARDING.md``.
+* ``chaos-shard`` — kill shard workers mid-batch and exhaust shard
+  restart budgets, verifying failures stay contained to the victim
+  shard (sub-batch re-replay, per-shard health causes, correct
+  answers throughout); see :mod:`repro.resilience.chaos_shard`.
 * anything else delegates to :mod:`repro.experiments.harness`; run with
   ``--list`` to see the available experiments and their (measured or
   estimated) runtimes, and with ``--profile``/``--trace-out`` to collect
@@ -87,6 +96,14 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.engine.bench import main as kernel_main
 
         return kernel_main(argv[1:])
+    if argv and argv[0] == "shard-bench":
+        from repro.shard.bench import main as shard_main
+
+        return shard_main(argv[1:])
+    if argv and argv[0] == "chaos-shard":
+        from repro.resilience.chaos_shard import main as chaos_shard_main
+
+        return chaos_shard_main(argv[1:])
     from repro.experiments.harness import main as harness_main
 
     return harness_main(argv)

@@ -66,7 +66,8 @@ STAGES = (
     "verify",       # output-oracle cross-check
     "fallback",     # verified_spmm recovery path
     "ipc",          # process-pool transport: pickle, pipe, wakeups
-    "scatter",      # per-request copy-out of the batched result
+    "scatter",      # per-request copy-out / per-shard operand slicing
+    "halo",         # shard-tier gather: partial boundary-row summation
     "other",        # residual stamped at finalization
 )
 

@@ -49,13 +49,16 @@ class EpochLease:
 
     @property
     def epoch(self) -> int:
+        """Epoch number this lease pins."""
         return self.snapshot.epoch
 
     @property
     def matrix(self) -> CSRMatrix:
+        """The pinned epoch's compacted matrix."""
         return self.snapshot.matrix
 
     def release(self) -> None:
+        """Drop the pin (idempotent); retirement may proceed."""
         if self._released:
             return
         self._released = True
@@ -152,10 +155,12 @@ class GraphEpochManager:
     # ------------------------------------------------------------------
     @property
     def current_epoch(self) -> int:
+        """The newest installed epoch number."""
         with self._lock:
             return self._current
 
     def current_snapshot(self) -> GraphSnapshot:
+        """The newest epoch's immutable snapshot."""
         with self._lock:
             return self._epochs[self._current].snapshot
 

@@ -373,6 +373,7 @@ class WorkerSupervisor:
     # Introspection
     # ------------------------------------------------------------------
     def alive_count(self) -> int:
+        """Supervised workers currently alive."""
         with self._lock:
             return sum(1 for t in self._threads.values() if t.is_alive())
 

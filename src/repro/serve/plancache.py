@@ -74,6 +74,7 @@ class CompiledPlan:
 
     @property
     def matrix(self) -> CSRMatrix:
+        """The matrix this plan was compiled against."""
         return self.schedule.matrix
 
     @property
@@ -192,6 +193,7 @@ class RepairedPlan:
 
     @property
     def repaired_segments(self) -> int:
+        """Rows recomputed instead of recompiled."""
         return len(self.dirty_rows)
 
     def rebind(self, matrix: CSRMatrix) -> "RepairedPlan":
@@ -303,6 +305,7 @@ class PlanCacheStats:
         return self.hits / total if total else 0.0
 
     def to_dict(self) -> dict:
+        """JSON-ready form for run records."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -55,6 +55,7 @@ import multiprocessing
 import os
 import threading
 import time
+from multiprocessing import shared_memory
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 
@@ -65,7 +66,13 @@ from repro.formats import CSRMatrix
 from repro.obs import rtrace
 from repro.resilience import faults
 from repro.serve.guard import WorkerSupervisor
-from repro.shm import SegmentChecksumError, attach_csr, publish_csr
+from repro.shm import (
+    SegmentChecksumError,
+    _no_tracker_register,
+    _quiet_close,
+    attach_csr,
+    publish_csr,
+)
 
 # Terminal response statuses owned by the process tier (the service
 # re-exports them next to OK/REJECTED/ERROR/DEADLINE_EXCEEDED).
@@ -134,6 +141,18 @@ class ProcPoolConfig:
             respawn latency in the low milliseconds; workers run a
             deliberately minimal loop (pipe + numpy only) so inherited
             parent state is never touched.
+        kernel: SpMM kernel workers run: ``"reference"`` (the
+            :meth:`~repro.formats.csr.CSRMatrix.multiply_dense` ground
+            truth, default) or ``"engine"`` (the
+            :func:`~repro.engine.kernels.engine_spmm` fast path with a
+            per-worker plan cache — what the shard tier uses on its
+            compacted per-shard matrices).
+        result_transport: How worker outputs return to the parent:
+            ``"pipe"`` (pickled over the worker pipe, default) or
+            ``"shm"`` (written into a parent-owned shared-memory block,
+            skipping the pickle/pipe round-trip — what the shard tier
+            uses, where per-shard partial outputs dominate the IPC
+            bill).
     """
 
     n_workers: int = 2
@@ -148,6 +167,8 @@ class ProcPoolConfig:
     restart_budget: int = 8
     restart_window: "float | None" = 60.0
     start_method: str = "fork"
+    kernel: str = "reference"
+    result_transport: str = "pipe"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -177,11 +198,27 @@ class ProcPoolConfig:
             raise ValueError(
                 f"unknown start_method {self.start_method!r}"
             )
+        if self.kernel not in ("reference", "engine"):
+            raise ValueError(
+                f"kernel must be 'reference' or 'engine', got {self.kernel!r}"
+            )
+        if self.result_transport not in ("pipe", "shm"):
+            raise ValueError(
+                "result_transport must be 'pipe' or 'shm', "
+                f"got {self.result_transport!r}"
+            )
 
 
 @dataclass
 class ProcResult:
-    """One successful pool execution (mirrors ``DispatchResult`` fields)."""
+    """One successful pool execution (mirrors ``DispatchResult`` fields).
+
+    Under ``result_transport="shm"`` the ``output`` array is a
+    zero-copy view of a pool-owned shared-memory block; consumers that
+    are done with it should call :meth:`release` so the warm block (and
+    its faulted-in pages) can serve the next request.  ``release`` is
+    always safe to call and a no-op for pipe-transported results.
+    """
 
     output: np.ndarray
     backend: str = "procpool"
@@ -190,6 +227,14 @@ class ProcResult:
     ipc_seconds: float = 0.0
     copied_bytes: int = 0
     worker_id: int = -1
+    _release_cb: "object | None" = field(default=None, repr=False, compare=False)
+
+    def release(self) -> None:
+        """Return a shm-backed output block to its pool (idempotent)."""
+        callback, self._release_cb = self._release_cb, None
+        if callback is not None:
+            self.output = None
+            callback()
 
 
 def poison_key(matrix_fingerprint: str, dense: np.ndarray) -> str:
@@ -246,6 +291,7 @@ def _worker_entry(
     conn,
     heartbeat_interval: float,
     segment_cache_capacity: int,
+    kernel: str = "reference",
 ) -> None:
     """Worker subprocess main loop: beat while idle, compute on demand.
 
@@ -258,6 +304,14 @@ def _worker_entry(
         obs.disable()
     except Exception:  # pragma: no cover - defensive
         pass
+    if kernel == "engine":
+        # Imported here, not at loop scope: the plan cache and arena are
+        # per-process, so the fork child builds its own — never touching
+        # compiled state inherited from the parent.
+        from repro.engine.kernels import engine_spmm as _spmm
+    else:
+        def _spmm(matrix, stacked):
+            return matrix.multiply_dense(stacked)
     attached: "OrderedDict[str, object]" = OrderedDict()
     try:
         while True:
@@ -275,7 +329,7 @@ def _worker_entry(
                 return
             if message[0] != "exec":  # pragma: no cover - protocol guard
                 continue
-            _, job_id, meta, stacked, fault, delay_seconds = message
+            _, job_id, meta, stacked, fault, delay_seconds, shm_io = message
             _apply_fault(fault, delay_seconds)
             try:
                 entry = attached.get(meta.name)
@@ -286,9 +340,39 @@ def _worker_entry(
                         attached.popitem(last=False)[1].close()
                 else:
                     attached.move_to_end(meta.name)
-                started = time.perf_counter()
-                output = entry.matrix.multiply_dense(stacked)
-                kernel_seconds = time.perf_counter() - started
+                block = None
+                if shm_io is not None:
+                    # shm operand/result transport: the parent staged the
+                    # dense operand in a pool-owned block; read it as a
+                    # zero-copy view, write the result back beside it,
+                    # and send only the (tiny) completion message down
+                    # the pipe.
+                    block_name, in_shape, out_shape, out_offset = shm_io
+                    with _no_tracker_register():
+                        block = shared_memory.SharedMemory(
+                            name=block_name, create=False
+                        )
+                    stacked = np.ndarray(
+                        in_shape, dtype=np.float64, buffer=block.buf
+                    )
+                try:
+                    started = time.perf_counter()
+                    output = _spmm(entry.matrix, stacked)
+                    kernel_seconds = time.perf_counter() - started
+                    if block is not None:
+                        view = np.ndarray(
+                            out_shape,
+                            dtype=np.float64,
+                            buffer=block.buf,
+                            offset=out_offset,
+                        )
+                        view[...] = output
+                        del view
+                        output = None
+                finally:
+                    if block is not None:
+                        del stacked
+                        _quiet_close(block)
                 conn.send(
                     ("result", job_id, output, kernel_seconds, entry.copied_bytes)
                 )
@@ -396,6 +480,13 @@ class ProcessWorkerPool:
         self.executed = 0
         self.republished = 0
         self.max_request_copied_bytes = 0
+        # Reusable shm output blocks (result_transport="shm"): keeping
+        # blocks warm across requests avoids re-faulting their pages in
+        # on every execute.  All blocks ever created stay tracked so
+        # close() can unlink them even if a consumer never released.
+        self._out_lock = threading.Lock()
+        self._out_free: "list[shared_memory.SharedMemory]" = []
+        self._out_all: "dict[str, shared_memory.SharedMemory]" = {}
         self.supervisor = WorkerSupervisor(
             self._spawn_worker,
             self.config.n_workers,
@@ -408,6 +499,7 @@ class ProcessWorkerPool:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ProcessWorkerPool":
+        """Fork the worker subprocesses and the reaper (idempotent)."""
         with self._cond:
             if self._closed:
                 raise PoolError("pool is closed")
@@ -423,6 +515,7 @@ class ProcessWorkerPool:
         return self
 
     def close(self) -> None:
+        """Kill workers, release segments and shm blocks (idempotent)."""
         with self._cond:
             if self._closed:
                 return
@@ -451,6 +544,16 @@ class ProcessWorkerPool:
             self._segments.clear()
         for segment in segments:
             segment.close()
+        with self._out_lock:
+            blocks = list(self._out_all.values())
+            self._out_all.clear()
+            self._out_free.clear()
+        for block in blocks:
+            _quiet_close(block)
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
 
     def __enter__(self) -> "ProcessWorkerPool":
         return self.start()
@@ -470,6 +573,7 @@ class ProcessWorkerPool:
                 child_conn,
                 self.config.heartbeat_interval,
                 self.config.segment_cache_capacity,
+                self.config.kernel,
             ),
             name=f"procpool-worker-{worker_id}",
             daemon=True,
@@ -741,12 +845,14 @@ class ProcessWorkerPool:
                 plan.note_recovered("poison-request")
 
     def is_quarantined(self, key: "str | None") -> bool:
+        """Whether ``key`` is a quarantined poison-request key."""
         if key is None:
             return False
         with self._cond:
             return key in self._quarantined
 
     def quarantine_size(self) -> int:
+        """Number of keys currently quarantined."""
         with self._cond:
             return len(self._quarantined)
 
@@ -855,6 +961,91 @@ class ProcessWorkerPool:
             self.config.hang_timeout,
         )
         segment = self.segment_for(matrix)
+        out_block: "shared_memory.SharedMemory | None" = None
+        shm_io = None
+        out_shape = (matrix.n_rows, int(stacked.shape[1]))
+        if self.config.result_transport == "shm":
+            # One pool-owned block per in-flight call carries both the
+            # staged dense operand and the worker's result, reused
+            # across requests so its pages stay faulted in; a retried
+            # attempt reuses it (same matrix, same operand), and the
+            # worker only ever attaches — the pool keeps ownership.
+            stacked = np.ascontiguousarray(stacked, dtype=np.float64)
+            out_offset = (stacked.nbytes + 63) & ~63
+            out_nbytes = out_shape[0] * out_shape[1] * 8
+            out_block = self._out_acquire(max(1, out_offset + out_nbytes))
+            staged = np.ndarray(
+                stacked.shape, dtype=np.float64, buffer=out_block.buf
+            )
+            staged[...] = stacked
+            del staged
+            shm_io = (out_block.name, stacked.shape, out_shape, out_offset)
+            stacked = None  # metadata-only exec message
+        try:
+            return self._execute_attempts(
+                matrix, stacked, segment, keys, started, deadline, budget,
+                out_block, out_shape, shm_io,
+            )
+        except BaseException:
+            if out_block is not None:
+                # A worker SIGKILLed mid-write may still hold a mapping;
+                # never recycle a block a dying writer might touch.
+                self._out_discard(out_block)
+            raise
+
+    def _out_acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """Pop a warm output block of at least ``nbytes`` (or create)."""
+        with self._out_lock:
+            for index, block in enumerate(self._out_free):
+                if block.size >= nbytes:
+                    return self._out_free.pop(index)
+        block = shared_memory.SharedMemory(create=True, size=nbytes)
+        with self._out_lock:
+            self._out_all[block.name] = block
+        return block
+
+    def _out_release(self, block: shared_memory.SharedMemory) -> None:
+        """Return a block to the warm free list (bounded by pool width)."""
+        overflow = None
+        with self._out_lock:
+            if block.name not in self._out_all:
+                return  # pool closed meanwhile; block already unlinked
+            if len(self._out_free) >= self.config.n_workers + 2:
+                overflow = block
+                del self._out_all[block.name]
+            else:
+                self._out_free.append(block)
+        if overflow is not None:
+            _quiet_close(overflow)
+            try:
+                overflow.unlink()
+            except FileNotFoundError:  # pragma: no cover - defensive
+                pass
+
+    def _out_discard(self, block: shared_memory.SharedMemory) -> None:
+        """Unlink a block that must not be recycled."""
+        with self._out_lock:
+            self._out_all.pop(block.name, None)
+        _quiet_close(block)
+        try:
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+
+    def _execute_attempts(
+        self,
+        matrix: CSRMatrix,
+        stacked: np.ndarray,
+        segment,
+        keys: "tuple[str, ...]",
+        started: float,
+        deadline: "float | None",
+        budget: float,
+        out_block: "shared_memory.SharedMemory | None",
+        out_shape: "tuple[int, int]",
+        shm_io: "tuple | None" = None,
+    ) -> ProcResult:
+        """Acquire/send/wait attempt loop behind :meth:`execute`."""
         attempts = 0
         while True:
             attempts += 1
@@ -872,7 +1063,7 @@ class ProcessWorkerPool:
             try:
                 slot.conn.send(
                     ("exec", job.job_id, segment.meta, stacked, fault,
-                     delay_seconds)
+                     delay_seconds, shm_io)
                 )
             except (BrokenPipeError, OSError):
                 # Worker died between acquire and send; its death path
@@ -891,6 +1082,16 @@ class ProcessWorkerPool:
             # delivery.
             job.event.wait(budget + 10.0 * self.config.heartbeat_interval + 5.0)
             if job.result is not None:
+                if out_block is not None and job.result.output is None:
+                    job.result.output = np.ndarray(
+                        out_shape,
+                        dtype=np.float64,
+                        buffer=out_block.buf,
+                        offset=shm_io[3],
+                    )
+                    job.result._release_cb = (
+                        lambda block=out_block: self._out_release(block)
+                    )
                 wall = time.monotonic() - started
                 job.result.ipc_seconds = max(
                     0.0, wall - job.result.kernel_seconds
@@ -927,6 +1128,7 @@ class ProcessWorkerPool:
     # Introspection
     # ------------------------------------------------------------------
     def heartbeat_kills_recent(self, window_seconds: float) -> int:
+        """Workers SIGKILLed for missed heartbeats in the window."""
         cutoff = time.monotonic() - window_seconds
         with self._cond:
             return sum(1 for at in self._heartbeat_kill_times if at >= cutoff)

@@ -116,7 +116,15 @@ class ServeConfig:
             *subprocesses* attached zero-copy to shared-memory graph
             segments (:mod:`repro.serve.procpool`): crashes, hangs and
             memory blowups are contained to the worker and answered
-            with terminal statuses instead of taking the service down.
+            with terminal statuses instead of taking the service down;
+            ``"shard"`` partitions the graph across ``num_shards``
+            single-shard pools behind a
+            :class:`~repro.shard.router.ShardRouter` — each batch
+            scatters to the owning shards, runs per-shard SpMM
+            concurrently, and halo-gathers the partial boundary-row
+            outputs (see ``docs/SHARDING.md``).
+        num_shards: Graph shards when ``isolation="shard"`` (ignored
+            otherwise).
     """
 
     max_queue: int = 64
@@ -128,11 +136,17 @@ class ServeConfig:
     restart_window_seconds: "float | None" = None
     verify: bool = False
     isolation: str = "thread"
+    num_shards: int = 2
 
     def __post_init__(self) -> None:
-        if self.isolation not in ("thread", "process"):
+        if self.isolation not in ("thread", "process", "shard"):
             raise ValueError(
-                f"isolation must be 'thread' or 'process', got {self.isolation!r}"
+                "isolation must be 'thread', 'process' or 'shard', "
+                f"got {self.isolation!r}"
+            )
+        if self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {self.num_shards}"
             )
         if (
             self.restart_window_seconds is not None
@@ -205,14 +219,17 @@ class ServeResponse:
 
     @property
     def ok(self) -> bool:
+        """Whether the request completed with a verified output."""
         return self.status == OK
 
     @property
     def rejected(self) -> bool:
+        """Whether admission shed the request before execution."""
         return self.status == REJECTED
 
     @property
     def deadline_exceeded(self) -> bool:
+        """Whether the request ran out of deadline budget."""
         return self.status == DEADLINE_EXCEEDED
 
 
@@ -239,6 +256,7 @@ class EgoSubmission:
     sample_seconds: float = 0.0
 
     def result(self, timeout: "float | None" = None) -> ServeResponse:
+        """Block for the sampled request's response."""
         return self.future.result(timeout=timeout)
 
 
@@ -298,14 +316,23 @@ class InferenceService:
             snapshot under an RCU read lease, :meth:`apply_updates`
             installs new epochs atomically, and :meth:`health` reports
             epoch lag and compaction backlog.
-        proc_pool: Process-isolation worker pool
-            (:class:`~repro.serve.procpool.ProcessWorkerPool`).
-            Passing one enables process isolation regardless of
-            ``config.isolation``; with ``config.isolation="process"``
-            and no pool given, the service builds and owns one (sized
-            by ``proc_config`` or ``config.n_workers``).
-        proc_config: Tunables for a service-built pool (ignored when
-            ``proc_pool`` is passed).
+        proc_pool: Process-isolation executor — a
+            :class:`~repro.serve.procpool.ProcessWorkerPool` or a
+            :class:`~repro.shard.router.ShardRouter` (both speak the
+            same execution protocol).  Passing one enables process
+            isolation regardless of ``config.isolation``; with
+            ``config.isolation="process"`` (or ``"shard"``) and no pool
+            given, the service builds and owns one (sized by
+            ``proc_config``/``shard_config`` or
+            ``config.n_workers``/``config.num_shards``).
+        proc_config: Tunables for a service-built pool, and the
+            per-shard pool template under ``isolation="shard"``
+            (ignored when ``proc_pool`` is passed).
+        shard_config: Tunables for a service-built
+            :class:`~repro.shard.router.ShardRouter` under
+            ``isolation="shard"`` (its ``n_shards`` defaults from
+            ``config.num_shards``; ignored when ``proc_pool`` is
+            passed).
 
     Use as a context manager (``with InferenceService() as svc``) or call
     :meth:`start`/:meth:`close` explicitly.
@@ -322,6 +349,7 @@ class InferenceService:
         epoch_manager: "GraphEpochManager | None" = None,
         proc_pool: "ProcessWorkerPool | None" = None,
         proc_config: "ProcPoolConfig | None" = None,
+        shard_config: "object | None" = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.dispatcher = dispatcher or AdaptiveDispatcher(
@@ -330,7 +358,9 @@ class InferenceService:
         self.epoch_manager = epoch_manager
         self._proc_pool = proc_pool
         self._proc_config = proc_config
+        self._shard_config = shard_config
         self._owns_proc_pool = False
+        self._pool_isolation = "process"
         self.slo = slo_tracker if slo_tracker is not None else SLOTracker()
         self.flight_recorder = (
             flight_recorder
@@ -373,10 +403,36 @@ class InferenceService:
             )
             self._proc_pool = ProcessWorkerPool(proc_config)
             self._owns_proc_pool = True
+        elif self._proc_pool is None and self.config.isolation == "shard":
+            # Imported lazily: repro.shard sits above repro.serve in the
+            # layering, so the serve package must not import it eagerly.
+            import dataclasses
+
+            from repro.shard.router import ShardConfig, ShardRouter
+
+            shard_config = self._shard_config or dataclasses.replace(
+                ShardConfig(), n_shards=self.config.num_shards
+            )
+            self._proc_pool = ShardRouter(
+                shard_config, proc_config=self._proc_config
+            )
+            self._owns_proc_pool = True
         if self._proc_pool is not None:
+            self._pool_isolation = (
+                "shard"
+                if hasattr(self._proc_pool, "partition_for")
+                else "process"
+            )
             # Fork the worker subprocesses before spinning up this
             # process's own thread churn.
             self._proc_pool.start()
+            if self.epoch_manager is not None and callable(
+                getattr(self._proc_pool, "invalidate_fingerprint", None)
+            ):
+                # Shard routers cache partitions per graph fingerprint;
+                # retiring an epoch (e.g. after compaction) drops its
+                # partition so the next epoch re-partitions fresh.
+                self.epoch_manager.register_cache(self._proc_pool)
         self._supervisor = WorkerSupervisor(
             self._spawn_worker,
             self.config.n_workers,
@@ -751,6 +807,7 @@ class InferenceService:
 
     @property
     def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched."""
         with self._cond:
             return len(self._queue)
 
@@ -824,7 +881,11 @@ class InferenceService:
         if self.epoch_manager is not None:
             snapshot["epochs"] = self.epoch_manager.stats()
         if self._proc_pool is not None:
-            snapshot["procpool"] = self._proc_pool.snapshot()
+            pool_snapshot = self._proc_pool.snapshot()
+            if pool_snapshot.get("isolation") == "shard":
+                snapshot["shards"] = pool_snapshot
+            else:
+                snapshot["procpool"] = pool_snapshot
         return evaluate_health(snapshot, policy)
 
     # ------------------------------------------------------------------
@@ -1099,8 +1160,11 @@ class InferenceService:
         stacked: np.ndarray,
         width: int,
     ) -> None:
-        """Run one batch on the process-isolation pool.
+        """Run one batch on the process-isolation executor.
 
+        The executor is a :class:`ProcessWorkerPool` or a
+        :class:`~repro.shard.router.ShardRouter` (same protocol; the
+        router adds scatter/halo stages and per-shard crash replay).
         The pool's reaper enforces the batch budget by SIGKILLing a
         hung worker — no ``call_with_timeout`` thread-abandonment here —
         and failures map to terminal statuses: crash/hang/RSS kill ->
@@ -1131,7 +1195,7 @@ class InferenceService:
                 batch_size=len(batch),
                 nnz=matrix.nnz,
                 dim=int(stacked.shape[1]),
-                isolation="process",
+                isolation=self._pool_isolation,
                 trace_ids=",".join(c.trace_id for c in contexts),
             ):
                 result = run_on_pool()

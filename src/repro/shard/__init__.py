@@ -1,0 +1,35 @@
+"""Sharded multi-process serving: graph partitioning + halo exchange.
+
+The package splits one graph across ``N`` supervised worker-pool
+processes and reassembles per-shard partial SpMM outputs with a halo
+gather — the paper's complete/partial row split lifted from threads to
+processes.  See :mod:`repro.shard.partition` for the partitioners and
+halo map, :mod:`repro.shard.router` for the scatter/execute/gather
+router, and ``docs/SHARDING.md`` for the protocol and operations guide.
+"""
+
+from repro.shard.partition import (
+    STRATEGIES,
+    GraphPartition,
+    PartitionStats,
+    ShardPart,
+    build_partition,
+    contiguous_block_assignment,
+    edge_cut_assignment,
+    partition_graph,
+)
+from repro.shard.router import ShardConfig, ShardResult, ShardRouter
+
+__all__ = [
+    "STRATEGIES",
+    "GraphPartition",
+    "PartitionStats",
+    "ShardPart",
+    "build_partition",
+    "contiguous_block_assignment",
+    "edge_cut_assignment",
+    "partition_graph",
+    "ShardConfig",
+    "ShardResult",
+    "ShardRouter",
+]

@@ -113,6 +113,7 @@ class SegmentMeta:
     checksums: "tuple[str, str, str]"
 
     def to_dict(self) -> dict:
+        """Picklable form workers attach from."""
         return {
             "name": self.name,
             "n_rows": self.n_rows,
@@ -140,10 +141,12 @@ class SharedCSRSegment:
 
     @property
     def name(self) -> str:
+        """OS-level shared-memory block name."""
         return self.meta.name
 
     @property
     def nbytes(self) -> int:
+        """Total bytes of the published segment."""
         return self.meta.total_bytes
 
     def buffer(self) -> memoryview:

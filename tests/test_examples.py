@@ -69,10 +69,18 @@ def test_fast_inference_runs(capsys):
     assert "fused GCN" in out
 
 
+def test_sharded_serving_runs(capsys):
+    _run("sharded_serving.py", ["2"])
+    out = capsys.readouterr().out
+    assert "verified against the dense reference" in out
+    assert "halo rows" in out
+    assert "shard pools" in out
+
+
 ALL_EXAMPLES = [
     "quickstart.py", "gcn_inference.py", "kernel_comparison.py",
     "multicore_scaling.py", "cost_tuning.py", "node_classification.py",
-    "fast_inference.py",
+    "fast_inference.py", "sharded_serving.py",
 ]
 
 

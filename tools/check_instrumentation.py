@@ -34,7 +34,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PACKAGES = ("core", "engine", "gpu", "multicore", "sample", "serve")
+PACKAGES = ("core", "engine", "gpu", "multicore", "sample", "serve", "shard")
 
 ENTRY_PREFIXES = ("run_", "execute_", "simulate")
 REQUIRED_FUNCTIONS = {
@@ -73,6 +73,13 @@ OBS_REQUIRED_MODULES = (
     "src/repro/sample/extract.py",
     "src/repro/sample/classtier.py",
     "src/repro/sample/bench.py",
+    # Sharded serving: partition builds, replays, halo traffic, and the
+    # chaos demonstrations must all leave signals — a silent shard tier
+    # makes per-shard failure containment unverifiable.
+    "src/repro/shard/partition.py",
+    "src/repro/shard/router.py",
+    "src/repro/shard/bench.py",
+    "src/repro/resilience/chaos_shard.py",
 )
 _OBS_CALLS = {"counter", "gauge", "histogram", "span", "instant", "instrumented"}
 # Receiver names a signal call may hang off: `obs.counter(...)` in
